@@ -1,0 +1,157 @@
+//! Shared plumbing for the traditional-paradigm baselines: the common
+//! answer shape, and MCCS-based similarity verification by reduction to
+//! exact subgraph-isomorphism tests (the strategy the paper attributes to
+//! Grafil/SIGMA: "converts the subgraph similarity verification problem to
+//! the exact subgraph isomorphism verification problem").
+
+use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
+use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
+use prague_graph::{Graph, GraphDb, GraphId};
+use prague_index::IndexFootprint;
+use std::time::Duration;
+
+/// A similarity answer from a baseline: ranked `(graph id, distance)`.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineAnswer {
+    /// Candidate ids that survived filtering (pre-verification).
+    pub candidates: Vec<GraphId>,
+    /// Verified matches with their subgraph distance, ordered by
+    /// `(distance, id)`.
+    pub matches: Vec<(GraphId, usize)>,
+    /// Filtering time.
+    pub filter_time: Duration,
+    /// Verification time.
+    pub verify_time: Duration,
+}
+
+impl BaselineAnswer {
+    /// Total query evaluation time — the SRT of a traditional-paradigm
+    /// system (the whole query is processed after Run).
+    pub fn srt(&self) -> Duration {
+        self.filter_time + self.verify_time
+    }
+}
+
+/// Trait implemented by every substructure-similarity baseline.
+pub trait SimilaritySearch {
+    /// Short display name used in the experiment tables (`GR`, `SG`, `DVP`).
+    fn name(&self) -> &'static str;
+
+    /// Index footprint.
+    fn footprint(&self) -> IndexFootprint;
+
+    /// Evaluate a similarity query with distance threshold `sigma`.
+    fn search(&self, q: &Graph, sigma: usize, db: &GraphDb) -> BaselineAnswer;
+}
+
+/// Precomputed verifier: the connected subgraphs of `q` per level,
+/// largest-first, each with a reusable VF2 match order.
+pub struct LevelwiseVerifier {
+    q_size: usize,
+    /// levels[i] = distinct connected subgraphs with `q_size - i` edges
+    /// (i = 0 is the full query), deduplicated by CAM code.
+    levels: Vec<Vec<(Graph, MatchOrder)>>,
+}
+
+impl LevelwiseVerifier {
+    /// Build for distances `0..=sigma`.
+    pub fn new(q: &Graph, sigma: usize) -> Self {
+        let q_size = q.edge_count();
+        let by_size = connected_edge_subsets_by_size(q).expect("queries are at most 64 edges");
+        let mut levels = Vec::new();
+        for dist in 0..=sigma.min(q_size.saturating_sub(1)) {
+            let size = q_size - dist;
+            let mut seen = std::collections::HashSet::new();
+            let mut frags = Vec::new();
+            for &mask in &by_size[size] {
+                let (sub, _) = q.edge_subgraph(&mask_edges(mask));
+                let cam = prague_graph::cam_code(&sub);
+                if seen.insert(cam) {
+                    let order = MatchOrder::new(&sub);
+                    frags.push((sub, order));
+                }
+            }
+            levels.push(frags);
+        }
+        LevelwiseVerifier { q_size, levels }
+    }
+
+    /// The subgraph distance of `g` from the query, if within the verifier's
+    /// sigma: the smallest `dist` whose level has an embedding.
+    pub fn distance(&self, g: &Graph) -> Option<usize> {
+        for (dist, frags) in self.levels.iter().enumerate() {
+            if frags
+                .iter()
+                .any(|(sub, order)| is_subgraph_with_order(sub, g, order))
+            {
+                return Some(dist);
+            }
+        }
+        None
+    }
+
+    /// Query size.
+    pub fn q_size(&self) -> usize {
+        self.q_size
+    }
+}
+
+/// Verify a candidate list and produce the ranked answer tail.
+pub fn verify_candidates(
+    verifier: &LevelwiseVerifier,
+    candidates: &[GraphId],
+    db: &GraphDb,
+) -> Vec<(GraphId, usize)> {
+    let mut out: Vec<(GraphId, usize)> = candidates
+        .iter()
+        .filter_map(|&id| verifier.distance(db.graph(id)).map(|d| (id, d)))
+        .collect();
+    out.sort_by_key(|&(id, d)| (d, id));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_graph::Label;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn levelwise_distance_matches_mccs() {
+        let q = path(&[0, 1, 0, 1]);
+        let graphs = [
+            path(&[0, 1, 0, 1, 0]), // contains q: dist 0
+            path(&[0, 1, 0]),       // dist 1
+            path(&[0, 1]),          // dist 2
+            path(&[2, 2]),          // no overlap
+        ];
+        let v = LevelwiseVerifier::new(&q, 2);
+        let expect = [Some(0), Some(1), Some(2), None];
+        for (g, want) in graphs.iter().zip(expect) {
+            assert_eq!(v.distance(g), want);
+            if let Some(d) = want {
+                assert_eq!(prague_graph::mccs::subgraph_distance(&q, g).unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn verify_candidates_ranks() {
+        let q = path(&[0, 1, 0]);
+        let mut db = GraphDb::new();
+        db.push(path(&[0, 1])); // dist 1
+        db.push(path(&[0, 1, 0, 1])); // dist 0
+        db.push(path(&[5, 5])); // miss
+        let v = LevelwiseVerifier::new(&q, 1);
+        let got = verify_candidates(&v, &[0, 1, 2], &db);
+        assert_eq!(got, vec![(1, 0), (0, 1)]);
+    }
+}

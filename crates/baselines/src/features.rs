@@ -1,0 +1,272 @@
+//! The feature–graph matrix index shared by Grafil and SIGMA (the paper
+//! notes "GR and SG use the same indexing scheme").
+//!
+//! Features are frequent fragments up to a size cap; the index materializes
+//! Grafil's *feature–graph matrix* — a dense `|F| × |D|` table of (capped)
+//! embedding counts, exactly as the original system does (which is why the
+//! paper's Fig 10(a) shows the GR/SG index growing linearly with `|D|`).
+//! Both filters reason about how many feature embeddings at most σ edge
+//! deletions can destroy — they differ only in the bound (Grafil: additive
+//! per-edge bound; SIGMA: set-cover lower bound).
+
+use prague_graph::vf2::{count_embeddings, MatchOrder};
+use prague_graph::{Graph, GraphDb, GraphId};
+use prague_index::IndexFootprint;
+use prague_mining::MiningResult;
+use std::time::Instant;
+
+/// Embedding counts are capped: beyond this the exact count adds no
+/// filtering power but costs unbounded enumeration time.
+pub const COUNT_CAP: usize = 64;
+
+/// One feature: a frequent fragment with a reusable match order.
+#[derive(Debug)]
+pub struct Feature {
+    /// The fragment graph.
+    pub graph: Graph,
+    /// Reusable match order for counting embeddings in queries.
+    pub order: MatchOrder,
+}
+
+/// The feature–graph matrix.
+#[derive(Debug)]
+pub struct FeatureIndex {
+    features: Vec<Feature>,
+    /// Dense row-major counts: `counts[f * db_len + g]`.
+    counts: Vec<u16>,
+    db_len: usize,
+}
+
+/// Build parameters.
+#[derive(Debug, Clone)]
+pub struct FeatureIndexConfig {
+    /// Largest feature size (edges). Grafil's published setup uses small
+    /// features; large ones cost more to count than they prune.
+    pub max_feature_edges: usize,
+}
+
+impl Default for FeatureIndexConfig {
+    fn default() -> Self {
+        FeatureIndexConfig {
+            max_feature_edges: 3,
+        }
+    }
+}
+
+impl FeatureIndex {
+    /// Build from the mined frequent set (reusing PRAGUE's mining pass, as
+    /// the experiments do for fairness) and the database.
+    pub fn build(result: &MiningResult, db: &GraphDb, config: &FeatureIndexConfig) -> Self {
+        let mut features = Vec::new();
+        let mut counts: Vec<u16> = Vec::new();
+        for frag in &result.frequent {
+            if frag.size() > config.max_feature_edges {
+                continue;
+            }
+            let order = MatchOrder::new(&frag.graph);
+            let row_start = counts.len();
+            counts.resize(row_start + db.len(), 0);
+            for &gid in &frag.fsg_ids {
+                let c = count_embeddings(&frag.graph, db.graph(gid), COUNT_CAP);
+                counts[row_start + gid as usize] = c as u16;
+            }
+            features.push(Feature {
+                graph: frag.graph.clone(),
+                order,
+            });
+        }
+        FeatureIndex {
+            features,
+            counts,
+            db_len: db.len(),
+        }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the index holds no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The features.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Embedding count of feature `f` in graph `gid`.
+    pub fn count(&self, f: usize, gid: GraphId) -> u16 {
+        self.counts[f * self.db_len + gid as usize]
+    }
+
+    /// Database size the index was built over.
+    pub fn db_len(&self) -> usize {
+        self.db_len
+    }
+
+    /// Index footprint (the dense matrix dominates, as in Grafil).
+    pub fn footprint(&self) -> IndexFootprint {
+        let mut memory = self.counts.len() * std::mem::size_of::<u16>();
+        for f in &self.features {
+            memory += std::mem::size_of::<Feature>()
+                + f.graph.node_count() * 2
+                + f.graph.edge_count() * std::mem::size_of::<prague_graph::Edge>();
+        }
+        IndexFootprint {
+            memory_bytes: memory,
+            disk_bytes: 0,
+        }
+    }
+
+    /// For a query `q`: per-feature embedding counts in `q`, plus for every
+    /// query edge the number of feature embeddings covering it (the
+    /// edge-hit profile both filters bound with).
+    pub fn query_profile(&self, q: &Graph) -> QueryProfile {
+        let t0 = Instant::now();
+        let mut counts = Vec::with_capacity(self.features.len());
+        let mut edge_hits = vec![0usize; q.edge_count()];
+        // which features' embeddings cover each edge, for the set-cover bound
+        let mut edge_cover: Vec<Vec<usize>> = vec![Vec::new(); q.edge_count()];
+        for (fi, f) in self.features.iter().enumerate() {
+            if f.graph.edge_count() > q.edge_count() {
+                counts.push(0);
+                continue;
+            }
+            let embeddings = prague_graph::vf2::find_embeddings(&f.graph, q, COUNT_CAP);
+            counts.push(embeddings.len() as u32);
+            for emb in &embeddings {
+                for e in f.graph.edges() {
+                    let qu = emb[e.u as usize];
+                    let qv = emb[e.v as usize];
+                    if let Some(eid) = q.find_edge(qu, qv) {
+                        edge_hits[eid as usize] += 1;
+                        edge_cover[eid as usize].push(fi);
+                    }
+                }
+            }
+        }
+        QueryProfile {
+            counts,
+            edge_hits,
+            edge_cover,
+            profile_time: t0.elapsed(),
+        }
+    }
+
+    /// Total feature misses per data graph:
+    /// `misses(G) = Σ_f max(0, cnt_q(f) − cnt_G(f))`.
+    pub fn misses_per_graph(&self, profile: &QueryProfile) -> Vec<u32> {
+        let total_q: u32 = profile.counts.iter().sum();
+        let mut misses = vec![total_q; self.db_len];
+        for (f, &cnt_q) in profile.counts.iter().enumerate() {
+            if cnt_q == 0 {
+                continue;
+            }
+            let row = &self.counts[f * self.db_len..(f + 1) * self.db_len];
+            for (m, &cnt_g) in misses.iter_mut().zip(row) {
+                *m -= cnt_q.min(u32::from(cnt_g));
+            }
+        }
+        misses
+    }
+}
+
+/// Query-side feature information.
+#[derive(Debug)]
+pub struct QueryProfile {
+    /// Embedding count of each feature in the query (capped).
+    pub counts: Vec<u32>,
+    /// For each query edge: number of feature embeddings covering it.
+    pub edge_hits: Vec<usize>,
+    /// For each query edge: the feature indices of the covering embeddings
+    /// (with multiplicity).
+    pub edge_cover: Vec<Vec<usize>>,
+    /// Time to compute the profile.
+    pub profile_time: std::time::Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_graph::Label;
+    use prague_mining::mine_classified;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn db() -> GraphDb {
+        let mut d = GraphDb::new();
+        for _ in 0..3 {
+            d.push(path(&[0, 1, 0, 1]));
+        }
+        d.push(path(&[0, 0, 0]));
+        d.push(path(&[1, 1]));
+        d
+    }
+
+    #[test]
+    fn counts_match_direct_vf2() {
+        let db = db();
+        let result = mine_classified(&db, 0.3, 4);
+        let idx = FeatureIndex::build(&result, &db, &FeatureIndexConfig::default());
+        assert!(!idx.is_empty());
+        for (fi, f) in idx.features().iter().enumerate() {
+            for (gid, g) in db.iter() {
+                let direct = count_embeddings(&f.graph, g, COUNT_CAP);
+                assert_eq!(idx.count(fi, gid) as usize, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_dense_over_db() {
+        let db = db();
+        let result = mine_classified(&db, 0.3, 4);
+        let idx = FeatureIndex::build(&result, &db, &FeatureIndexConfig::default());
+        assert!(idx.footprint().memory_bytes >= idx.len() * db.len() * 2);
+        assert_eq!(idx.db_len(), db.len());
+    }
+
+    #[test]
+    fn misses_zero_for_containing_graph() {
+        let db = db();
+        let result = mine_classified(&db, 0.3, 4);
+        let idx = FeatureIndex::build(&result, &db, &FeatureIndexConfig::default());
+        // query = a subgraph of graph 0: graph 0 must have zero misses
+        let q = path(&[0, 1, 0]);
+        let profile = idx.query_profile(&q);
+        let misses = idx.misses_per_graph(&profile);
+        assert_eq!(misses[0], 0, "containing graph has no feature misses");
+    }
+
+    #[test]
+    fn edge_hits_cover_all_embeddings() {
+        let db = db();
+        let result = mine_classified(&db, 0.3, 4);
+        let idx = FeatureIndex::build(&result, &db, &FeatureIndexConfig::default());
+        let q = path(&[0, 1, 0]);
+        let profile = idx.query_profile(&q);
+        // each edge-hit entry corresponds to an edge_cover entry
+        for (hits, cover) in profile.edge_hits.iter().zip(&profile.edge_cover) {
+            assert_eq!(*hits, cover.len());
+        }
+        // total edge hits = sum over features of embeddings * feature size
+        let total: usize = profile.edge_hits.iter().sum();
+        let expect: usize = idx
+            .features()
+            .iter()
+            .zip(&profile.counts)
+            .map(|(f, &c)| c as usize * f.graph.edge_count())
+            .sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,33 @@
+//! # prague-baselines
+//!
+//! Faithful reimplementations of the systems the PRAGUE paper compares
+//! against (Section VIII):
+//!
+//! * [`gblender`] — GBLENDER, the exact-only blending predecessor that keeps
+//!   a single most-recent candidate set (Fig 9(a), Tables IV/V);
+//! * [`features`] + [`grafil`] — Grafil's feature–graph matrix with the
+//!   additive per-edge feature-miss bound;
+//! * [`sigma`] — SIGMA's set-cover lower bound over the same feature index;
+//! * [`distvp`] — DistVP's σ-dependent path-gram index (large, σ-scaling);
+//! * [`common`] — the shared traditional-paradigm answer shape and
+//!   MCCS-by-exact-subgraph-isomorphism verification.
+//!
+//! All three similarity baselines are *traditional paradigm*: the whole
+//! query is evaluated only after Run, so their SRT is the full filter +
+//! verify time.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod distvp;
+pub mod features;
+pub mod gblender;
+pub mod grafil;
+pub mod sigma;
+
+pub use common::{BaselineAnswer, LevelwiseVerifier, SimilaritySearch};
+pub use distvp::DistVp;
+pub use features::{FeatureIndex, FeatureIndexConfig};
+pub use gblender::GBlenderSession;
+pub use grafil::Grafil;
+pub use sigma::Sigma;

@@ -1,0 +1,112 @@
+//! Property tests for the baselines: on random databases and queries, no
+//! filter may prune a true match (completeness), verified answers must
+//! equal the MCCS oracle, and SIGMA's candidate set must be contained in
+//! Grafil's (its bound dominates).
+
+use prague_baselines::{DistVp, FeatureIndex, FeatureIndexConfig, Grafil, Sigma, SimilaritySearch};
+use prague_graph::{Graph, GraphDb, GraphId, Label, NodeId};
+use prague_mining::mine_classified;
+use proptest::prelude::*;
+
+fn connected_graph(max_n: usize, label_count: u16) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..label_count, n);
+        let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+        let extras = proptest::collection::vec((0..n, 0..n), 0..=2);
+        (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
+            let mut g = Graph::new();
+            for &l in &labels {
+                g.add_node(Label(l));
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                g.add_edge((i + 1) as NodeId, (p as usize % (i + 1)) as NodeId)
+                    .unwrap();
+            }
+            for &(a, b) in &extras {
+                if a != b {
+                    let _ = g.add_edge(a as NodeId, b as NodeId);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn small_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(connected_graph(6, 2), 4..9).prop_map(GraphDb::from_graphs)
+}
+
+fn oracle(q: &Graph, db: &GraphDb, sigma: usize) -> Vec<(GraphId, usize)> {
+    db.iter()
+        .filter_map(|(id, g)| {
+            let d = prague_graph::mccs::subgraph_distance(q, g).unwrap();
+            (d <= sigma && d < q.edge_count()).then_some((id, d))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grafil_and_sigma_are_exact(
+        db in small_db(),
+        q in connected_graph(5, 2),
+        sigma in 0usize..3,
+    ) {
+        if q.edge_count() > 8 { return Ok(()); }
+        let mining = mine_classified(&db, 0.4, 4);
+        let features = FeatureIndex::build(&mining, &db, &FeatureIndexConfig::default());
+        let want = {
+            let mut w = oracle(&q, &db, sigma);
+            w.sort_unstable();
+            w
+        };
+        for answer in [
+            Grafil::new(&features).search(&q, sigma, &db),
+            Sigma::new(&features).search(&q, sigma, &db),
+        ] {
+            // completeness of the filter
+            for &(id, _) in &want {
+                prop_assert!(answer.candidates.contains(&id), "filter pruned a match");
+            }
+            // exactness after verification
+            let mut got = answer.matches.clone();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn sigma_candidates_subset_of_grafil(
+        db in small_db(),
+        q in connected_graph(5, 2),
+        sigma in 0usize..3,
+    ) {
+        let mining = mine_classified(&db, 0.4, 4);
+        let features = FeatureIndex::build(&mining, &db, &FeatureIndexConfig::default());
+        let gr = Grafil::new(&features).search(&q, sigma, &db);
+        let sg = Sigma::new(&features).search(&q, sigma, &db);
+        for id in &sg.candidates {
+            prop_assert!(gr.candidates.contains(id), "SIGMA bound weaker than Grafil's");
+        }
+    }
+
+    #[test]
+    fn distvp_is_exact(
+        db in small_db(),
+        q in connected_graph(4, 2),
+        sigma in 0usize..3,
+    ) {
+        let dvp = DistVp::build(&db, sigma);
+        let answer = dvp.search(&q, sigma, &db);
+        let mut want = oracle(&q, &db, sigma);
+        want.sort_unstable();
+        for &(id, _) in &want {
+            prop_assert!(answer.candidates.contains(&id), "DVP pruned a match");
+        }
+        let mut got = answer.matches.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

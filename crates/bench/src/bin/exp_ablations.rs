@@ -1,0 +1,5 @@
+//! Ablations: delId storage, verification-free fast path, SPIG dedup.
+fn main() {
+    let wb = prague_bench::build_aids_workbench(prague_bench::Scale::from_env());
+    prague_bench::experiments::ablations(&wb);
+}

@@ -1,0 +1,4 @@
+//! Run the full experiment suite (every table and figure).
+fn main() {
+    prague_bench::experiments::run_all(prague_bench::Scale::from_env());
+}

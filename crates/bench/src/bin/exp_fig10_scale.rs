@@ -1,0 +1,4 @@
+//! Fig 10(b)-(e) (and the rest of the synthetic suite, which shares builds).
+fn main() {
+    prague_bench::experiments::synthetic_suite(prague_bench::Scale::from_env());
+}

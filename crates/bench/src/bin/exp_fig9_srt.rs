@@ -1,0 +1,5 @@
+//! Fig 9(f)-(i): SRT vs sigma.
+fn main() {
+    let wb = prague_bench::build_aids_workbench(prague_bench::Scale::from_env());
+    prague_bench::experiments::fig9_srt(&wb);
+}

@@ -1,0 +1,5 @@
+//! Fig 9(a): containment-query SRT, PRG vs GBR.
+fn main() {
+    let wb = prague_bench::build_aids_workbench(prague_bench::Scale::from_env());
+    prague_bench::experiments::fig9a_containment(&wb);
+}

@@ -1,0 +1,4 @@
+//! Fig 9(j): effect of alpha on PRG SRT.
+fn main() {
+    prague_bench::experiments::fig9j_alpha(prague_bench::Scale::from_env());
+}

@@ -1,0 +1,5 @@
+//! Table II: index size comparison.
+fn main() {
+    let wb = prague_bench::build_aids_workbench(prague_bench::Scale::from_env());
+    prague_bench::experiments::table2_index_sizes(&wb);
+}

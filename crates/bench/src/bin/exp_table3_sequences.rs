@@ -1,0 +1,5 @@
+//! Table III: formulation-sequence effect on SPIG construction.
+fn main() {
+    let wb = prague_bench::build_aids_workbench(prague_bench::Scale::from_env());
+    prague_bench::experiments::table3_sequences(&wb);
+}

@@ -1,0 +1,5 @@
+//! Table IV: query modification cost on the AIDS-like dataset.
+fn main() {
+    let wb = prague_bench::build_aids_workbench(prague_bench::Scale::from_env());
+    prague_bench::experiments::table4_modify(&wb);
+}

@@ -1,0 +1,4 @@
+//! Table V + Fig 10: the synthetic suite (modification + scaling).
+fn main() {
+    prague_bench::experiments::synthetic_suite(prague_bench::Scale::from_env());
+}

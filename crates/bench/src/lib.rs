@@ -1,0 +1,275 @@
+//! # prague-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's Section VIII (see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded results).
+//!
+//! Scale: paper-scale datasets (40K AIDS / 10K–80K synthetic) take a while
+//! to mine; the default harness scale is **0.1** (4K AIDS-like, 1K–8K
+//! synthetic). Set `PRAGUE_SCALE=full` (or any float, e.g. `0.25`) to
+//! change it. All candidate-set and index-size *ratios* the paper's claims
+//! rest on are scale-stable.
+//!
+//! Run everything: `cargo run --release -p prague-bench --bin exp_all`
+//! Or one experiment: `cargo run --release -p prague-bench --bin exp_table2`
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use prague::{PragueSystem, Session, StepOutcome, SystemParams};
+use prague_baselines::{FeatureIndex, FeatureIndexConfig};
+use prague_datagen::{
+    derive_containment_query, derive_similarity_query, DeriveConfig, GraphGenConfig,
+    MoleculeConfig, QueryKind, QuerySpec,
+};
+use prague_graph::{Graph, GraphDb, LabelTable};
+use prague_mining::mine_classified;
+use std::time::Duration;
+
+/// The GUI latency available per formulation step (the paper observes at
+/// least ~2 s per drawn edge).
+pub const GUI_LATENCY: Duration = Duration::from_secs(2);
+
+/// Largest query size in the workloads (the paper caps queries at 10;
+/// our derived Q1–Q8 are 7–9 edges). Mining to this size is lossless for
+/// query processing — no index lookup ever exceeds |q|.
+pub const MAX_QUERY_EDGES: usize = 9;
+
+/// Harness scale factor relative to the paper's dataset sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Read `PRAGUE_SCALE` (`full` = 1.0; any float accepted; default 0.1).
+    pub fn from_env() -> Self {
+        match std::env::var("PRAGUE_SCALE").ok().as_deref() {
+            Some("full") => Scale(1.0),
+            Some(v) => Scale(v.parse().unwrap_or(0.1)),
+            None => Scale(0.1),
+        }
+    }
+
+    /// Scaled count with a sane floor.
+    pub fn apply(&self, paper_count: usize) -> usize {
+        ((paper_count as f64 * self.0).round() as usize).max(200)
+    }
+}
+
+/// Everything the AIDS-side experiments need, built once.
+pub struct Workbench {
+    /// The PRAGUE system (db + indexes).
+    pub system: PragueSystem,
+    /// Grafil/SIGMA shared feature index.
+    pub features: FeatureIndex,
+    /// The similarity queries Q1–Q4 (Q1 best case, Q2–Q4 worst case).
+    pub queries: Vec<QuerySpec>,
+    /// Build parameter α used.
+    pub alpha: f64,
+}
+
+/// Generate the AIDS-like database at a given scale.
+pub fn aids_db(scale: Scale) -> (GraphDb, LabelTable) {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: scale.apply(40_000),
+        ..Default::default()
+    });
+    (ds.db, ds.labels)
+}
+
+/// Build the AIDS workbench (paper settings: α = 0.1, β = 8; queries of
+/// 7–9 edges as in Figure 8).
+pub fn build_aids_workbench(scale: Scale) -> Workbench {
+    let (db, labels) = aids_db(scale);
+    build_workbench(db, labels, 0.1, 8, "Q")
+}
+
+/// Build a workbench over any database.
+pub fn build_workbench(
+    db: GraphDb,
+    labels: LabelTable,
+    alpha: f64,
+    beta: usize,
+    query_prefix: &str,
+) -> Workbench {
+    let t0 = std::time::Instant::now();
+    let mining = mine_classified(&db, alpha, MAX_QUERY_EDGES);
+    eprintln!(
+        "[build] |D|={} α={alpha}: {} frequent + {} DIFs in {:.1?}",
+        db.len(),
+        mining.frequent.len(),
+        mining.difs.len(),
+        t0.elapsed()
+    );
+    let features = FeatureIndex::build(&mining, &db, &FeatureIndexConfig::default());
+    let frequent_graphs: Vec<Graph> = mining.frequent.iter().map(|f| f.graph.clone()).collect();
+    let system = PragueSystem::from_mining_result(
+        db,
+        labels,
+        mining,
+        SystemParams {
+            alpha,
+            beta,
+            max_fragment_edges: MAX_QUERY_EDGES,
+            ..Default::default()
+        },
+    )
+    .expect("index build");
+    system.warm();
+    let queries = derive_queries(&system, &frequent_graphs, query_prefix);
+    Workbench {
+        system,
+        features,
+        queries,
+        alpha,
+    }
+}
+
+/// Derive the four similarity queries: `<prefix>1` best case (all
+/// candidates verification-free), `<prefix>2..4` worst case, sizes 7–9.
+pub fn derive_queries(system: &PragueSystem, frequent: &[Graph], prefix: &str) -> Vec<QuerySpec> {
+    let mut queries = Vec::new();
+    // Q1: best case — try decreasing sizes until a frequent fragment of
+    // size-1 exists; datasets whose frequent set is all tiny (sparse
+    // synthetic graphs) fall back to a worst-case query, as the paper's
+    // synthetic queries Q5-Q8 are all worst case anyway.
+    let q1 = (3..=9)
+        .rev()
+        .find_map(|size| {
+            derive_similarity_query(
+                system.db(),
+                frequent,
+                &DeriveConfig {
+                    size,
+                    kind: QueryKind::BestCase,
+                    seed: 0xBE57,
+                },
+                &format!("{prefix}1"),
+            )
+        })
+        .or_else(|| {
+            (0..20u64).find_map(|attempt| {
+                derive_similarity_query(
+                    system.db(),
+                    &[],
+                    &DeriveConfig {
+                        size: 7,
+                        kind: QueryKind::WorstCase,
+                        seed: 0xBE57 + attempt * 104729,
+                    },
+                    &format!("{prefix}1"),
+                )
+            })
+        })
+        .expect("query derivable");
+    queries.push(q1);
+    for (i, (size, seed)) in [(8usize, 0x2222u64), (8, 0x3333), (9, 0x4444)]
+        .iter()
+        .enumerate()
+    {
+        let mut found = None;
+        for attempt in 0..12u64 {
+            if let Some(q) = derive_similarity_query(
+                system.db(),
+                &[],
+                &DeriveConfig {
+                    size: *size,
+                    kind: QueryKind::WorstCase,
+                    seed: seed + attempt * 7919,
+                },
+                &format!("{prefix}{}", i + 2),
+            ) {
+                found = Some(q);
+                break;
+            }
+        }
+        queries.push(found.expect("worst-case query derivable"));
+    }
+    queries
+}
+
+/// Replay a query spec into a session (default formulation order),
+/// returning per-step outcomes.
+pub fn replay(session: &mut Session<'_>, spec: &QuerySpec) -> Vec<StepOutcome> {
+    let order: Vec<usize> = (0..spec.edges.len()).collect();
+    replay_sequence(session, spec, &order)
+}
+
+/// Replay in a custom edge order.
+pub fn replay_sequence(
+    session: &mut Session<'_>,
+    spec: &QuerySpec,
+    order: &[usize],
+) -> Vec<StepOutcome> {
+    let nodes: Vec<_> = spec
+        .node_labels
+        .iter()
+        .map(|&l| session.add_node(l))
+        .collect();
+    order
+        .iter()
+        .map(|&i| {
+            let (u, v) = spec.edges[i];
+            session
+                .add_edge(nodes[u as usize], nodes[v as usize])
+                .expect("spec edges valid")
+        })
+        .collect()
+}
+
+/// Run `f` the paper's way: five times, first run discarded, average of
+/// the rest.
+pub fn timed_avg<F: FnMut() -> Duration>(mut f: F) -> Duration {
+    let _ = f();
+    let runs: Vec<Duration> = (0..4).map(|_| f()).collect();
+    runs.iter().sum::<Duration>() / runs.len() as u32
+}
+
+/// Derive containment queries C1..Cn of the given sizes.
+pub fn containment_queries(db: &GraphDb, sizes: &[usize]) -> Vec<QuerySpec> {
+    sizes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &size)| {
+            (0..10u64).find_map(|attempt| {
+                derive_containment_query(
+                    db,
+                    size,
+                    0xC0DE + i as u64 * 31 + attempt,
+                    &format!("C{}", i + 1),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Pretty duration for table cells.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Mebibytes with two decimals.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Build the synthetic dataset family (paper: 10K–80K), scaled.
+pub fn synthetic_family(scale: Scale) -> Vec<(String, GraphDb, LabelTable)> {
+    [10_000usize, 20_000, 40_000, 60_000, 80_000]
+        .iter()
+        .map(|&base| {
+            let (db, labels) = prague_datagen::graphgen_generate(&GraphGenConfig {
+                graphs: scale.apply(base),
+                seed: 0x5EED ^ base as u64,
+                ..Default::default()
+            });
+            (format!("{}K", base / 1000), db, labels)
+        })
+        .collect()
+}

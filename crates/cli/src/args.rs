@@ -1,0 +1,329 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::path::PathBuf;
+
+/// Usage text.
+pub const USAGE: &str = "\
+prague — practical visual subgraph query blending (PRAGUE, ICDE 2012)
+
+USAGE:
+  prague generate --kind <molecules|synthetic> --graphs <N> --out <FILE.lg>
+                  [--seed <S>] [--labels <L>]
+  prague build    --data <FILE.lg> --out <FILE.prgc>
+                  [--alpha <A=0.1>] [--max-edges <M=10>]
+  prague stats    --catalog <FILE.prgc>
+  prague query    --catalog <FILE.prgc> --query <FILE.lg>
+                  [--sigma <K=2>] [--beta <B=8>] [--similar] [--trace]
+  prague interactive --catalog <FILE.prgc> [--sigma <K=2>] [--beta <B=8>]
+  prague help
+";
+
+/// Parsed `generate` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// `molecules` or `synthetic`.
+    pub kind: String,
+    /// Number of graphs.
+    pub graphs: usize,
+    /// Output `.lg` path.
+    pub out: PathBuf,
+    /// RNG seed.
+    pub seed: u64,
+    /// Label-alphabet size (synthetic only).
+    pub labels: u16,
+}
+
+/// Parsed `build` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildArgs {
+    /// Input `.lg` dataset.
+    pub data: PathBuf,
+    /// Output catalog path.
+    pub out: PathBuf,
+    /// Minimum support ratio α.
+    pub alpha: f64,
+    /// Mining size cap.
+    pub max_edges: usize,
+}
+
+/// Parsed `stats` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// Catalog path.
+    pub catalog: PathBuf,
+}
+
+/// Parsed `query` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Catalog path.
+    pub catalog: PathBuf,
+    /// Query `.lg` file (first graph used).
+    pub query: PathBuf,
+    /// Distance threshold σ.
+    pub sigma: usize,
+    /// Fragment size threshold β for the rebuilt index.
+    pub beta: usize,
+    /// Force similarity mode even when exact matches exist.
+    pub similar: bool,
+    /// Print the per-step formulation trace.
+    pub trace: bool,
+}
+
+/// Parsed `interactive` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractiveArgs {
+    /// Catalog path.
+    pub catalog: PathBuf,
+    /// Distance threshold σ.
+    pub sigma: usize,
+    /// Fragment size threshold β for the rebuilt index.
+    pub beta: usize,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset.
+    Generate(GenerateArgs),
+    /// Mine + save a catalog.
+    Build(BuildArgs),
+    /// Print catalog statistics.
+    Stats(StatsArgs),
+    /// Run a query.
+    Query(QueryArgs),
+    /// Formulate a query interactively on stdin.
+    Interactive(InteractiveArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Argument errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// No subcommand or an unknown one.
+    UnknownCommand(String),
+    /// A flag without its value, or an unknown flag.
+    BadFlag(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A required flag was not given.
+    Missing(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownCommand(c) => write!(f, "unknown command {c:?}\n{USAGE}"),
+            ParseError::BadFlag(x) => write!(f, "unknown or incomplete flag {x:?}"),
+            ParseError::BadValue { flag, value } => {
+                write!(f, "bad value {value:?} for {flag}")
+            }
+            ParseError::Missing(flag) => write!(f, "missing required flag {flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Split `args` (without the program name) into flag/value pairs and lone
+/// switches.
+fn flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, ParseError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") {
+            return Err(ParseError::BadFlag(a.clone()));
+        }
+        let is_switch = matches!(a.as_str(), "--similar" | "--trace");
+        if is_switch {
+            out.push((a.clone(), None));
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ParseError::BadFlag(a.clone()))?;
+            out.push((a.clone(), Some(value.clone())));
+            i += 2;
+        }
+    }
+    Ok(out)
+}
+
+fn get<'a>(pairs: &'a [(String, Option<String>)], flag: &str) -> Option<&'a str> {
+    pairs
+        .iter()
+        .find(|(f, _)| f == flag)
+        .and_then(|(_, v)| v.as_deref())
+}
+
+fn has(pairs: &[(String, Option<String>)], flag: &str) -> bool {
+    pairs.iter().any(|(f, _)| f == flag)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    pairs: &[(String, Option<String>)],
+    flag: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match get(pairs, flag) {
+        Some(v) => v.parse().map_err(|_| ParseError::BadValue {
+            flag: flag.to_string(),
+            value: v.to_string(),
+        }),
+        None => Ok(default),
+    }
+}
+
+fn required(pairs: &[(String, Option<String>)], flag: &'static str) -> Result<PathBuf, ParseError> {
+    get(pairs, flag)
+        .map(PathBuf::from)
+        .ok_or(ParseError::Missing(flag))
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let pairs = flags(rest)?;
+            Ok(Command::Generate(GenerateArgs {
+                kind: get(&pairs, "--kind").unwrap_or("molecules").to_string(),
+                graphs: parse_num(&pairs, "--graphs", 1000usize)?,
+                out: required(&pairs, "--out")?,
+                seed: parse_num(&pairs, "--seed", 42u64)?,
+                labels: parse_num(&pairs, "--labels", 20u16)?,
+            }))
+        }
+        "build" => {
+            let pairs = flags(rest)?;
+            Ok(Command::Build(BuildArgs {
+                data: required(&pairs, "--data")?,
+                out: required(&pairs, "--out")?,
+                alpha: parse_num(&pairs, "--alpha", 0.1f64)?,
+                max_edges: parse_num(&pairs, "--max-edges", 10usize)?,
+            }))
+        }
+        "stats" => {
+            let pairs = flags(rest)?;
+            Ok(Command::Stats(StatsArgs {
+                catalog: required(&pairs, "--catalog")?,
+            }))
+        }
+        "query" => {
+            let pairs = flags(rest)?;
+            Ok(Command::Query(QueryArgs {
+                catalog: required(&pairs, "--catalog")?,
+                query: required(&pairs, "--query")?,
+                sigma: parse_num(&pairs, "--sigma", 2usize)?,
+                beta: parse_num(&pairs, "--beta", 8usize)?,
+                similar: has(&pairs, "--similar"),
+                trace: has(&pairs, "--trace"),
+            }))
+        }
+        "interactive" => {
+            let pairs = flags(rest)?;
+            Ok(Command::Interactive(InteractiveArgs {
+                catalog: required(&pairs, "--catalog")?,
+                sigma: parse_num(&pairs, "--sigma", 2usize)?,
+                beta: parse_num(&pairs, "--beta", 8usize)?,
+            }))
+        }
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse_args(&argv(
+            "generate --kind synthetic --graphs 500 --out d.lg --seed 7 --labels 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.kind, "synthetic");
+                assert_eq!(g.graphs, 500);
+                assert_eq!(g.seed, 7);
+                assert_eq!(g.labels, 5);
+                assert_eq!(g.out, PathBuf::from("d.lg"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cmd = parse_args(&argv("build --data d.lg --out c.prgc")).unwrap();
+        match cmd {
+            Command::Build(b) => {
+                assert!((b.alpha - 0.1).abs() < 1e-12);
+                assert_eq!(b.max_edges, 10);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn switches_without_values() {
+        let cmd = parse_args(&argv(
+            "query --catalog c.prgc --query q.lg --similar --trace --sigma 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Query(q) => {
+                assert!(q.similar);
+                assert!(q.trace);
+                assert_eq!(q.sigma, 3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        assert_eq!(
+            parse_args(&argv("stats")),
+            Err(ParseError::Missing("--catalog"))
+        );
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        assert!(matches!(
+            parse_args(&argv("build --data d.lg --out c --alpha xyz")),
+            Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(matches!(
+            parse_args(&argv("frobnicate")),
+            Err(ParseError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,314 @@
+//! Interactive formulation mode — the paper's visual query interface in
+//! terminal form.
+//!
+//! The GUI of the paper (Fig. 2) lets a user drop labeled nodes, draw edges
+//! one at a time, watch the fragment status evolve, accept deletion
+//! suggestions, opt into similarity search and press Run. `prague
+//! interactive` is the same loop over stdin:
+//!
+//! ```text
+//! > node C          # drop a node; prints its id
+//! > node S
+//! > edge 0 1        # New action: SPIG built, candidates refreshed
+//! > delete 1        # Modify action (accepts the edge label ℓ)
+//! > similar         # SimQuery action
+//! > suggest         # show the system's deletion suggestion
+//! > run             # Run action: results + SRT
+//! > log             # the Figure-3 step table so far
+//! > quit
+//! ```
+//!
+//! The loop is written against generic `BufRead`/`Write` so tests drive it
+//! with scripted input.
+
+use prague::{PragueSystem, QueryResults, Session, StepStatus};
+use std::io::{BufRead, Write};
+
+/// Help text printed by `help`.
+const REPL_HELP: &str = "\
+commands:
+  node <LABEL>     drop a node with the given label (name or numeric id)
+  edge <u> <v>     draw an edge between canvas nodes u and v
+  delete <l>       delete edge e<l> (query must stay connected)
+  relabel <n> <L>  relabel canvas node n to label L
+  similar          switch to similarity search (sigma set at startup)
+  suggest          show which edge deletion would restore most candidates
+  candidates       show the current candidate count
+  log              print the formulation trace so far
+  run              execute the query
+  help             this text
+  quit             leave
+";
+
+/// Run the interactive loop. Returns the number of commands processed.
+pub fn run_repl<R: BufRead, W: Write>(
+    system: &PragueSystem,
+    sigma: usize,
+    input: R,
+    out: &mut W,
+) -> std::io::Result<usize> {
+    let mut session = system.session(sigma);
+    let mut processed = 0usize;
+    writeln!(
+        out,
+        "prague interactive — |D| = {}, σ = {} (type 'help')",
+        system.db().len(),
+        sigma
+    )?;
+    for line in input.lines() {
+        let line = line?;
+        let mut tokens = line.split_whitespace();
+        let Some(cmd) = tokens.next() else { continue };
+        processed += 1;
+        match cmd {
+            "quit" | "exit" | "q" => break,
+            "help" => write!(out, "{REPL_HELP}")?,
+            "node" => match tokens.next() {
+                Some(label) => match resolve_label(system, label) {
+                    Some(l) => {
+                        let id = session.add_node(l);
+                        writeln!(out, "node {id} ({label})")?;
+                    }
+                    None => writeln!(out, "error: unknown label {label:?}")?,
+                },
+                None => writeln!(out, "usage: node <LABEL>")?,
+            },
+            "edge" => {
+                let (Some(u), Some(v)) = (parse(tokens.next()), parse(tokens.next())) else {
+                    writeln!(out, "usage: edge <u> <v>")?;
+                    continue;
+                };
+                match session.add_edge(u, v) {
+                    Ok(step) => {
+                        writeln!(
+                            out,
+                            "e{}: {} — {} candidates ({:?})",
+                            step.edge,
+                            status_name(step.status),
+                            step.candidate_count,
+                            step.total_time()
+                        )?;
+                        if let Some(s) = &step.suggestion {
+                            writeln!(
+                                out,
+                                "  no exact match; deleting e{} would restore {} candidates \
+                                 (or type 'similar')",
+                                s.edge,
+                                s.candidates.len()
+                            )?;
+                        }
+                    }
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
+            }
+            "delete" => {
+                let Some(l) = parse(tokens.next()) else {
+                    writeln!(out, "usage: delete <edge label>")?;
+                    continue;
+                };
+                match session.delete_edge(l) {
+                    Ok(o) => writeln!(
+                        out,
+                        "deleted e{}: {} candidates ({:?})",
+                        o.edge, o.candidate_count, o.modify_time
+                    )?,
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
+            }
+            "relabel" => {
+                let (Some(n), Some(label)) = (parse(tokens.next()), tokens.next()) else {
+                    writeln!(out, "usage: relabel <node> <LABEL>")?;
+                    continue;
+                };
+                let Some(l) = resolve_label(system, label) else {
+                    writeln!(out, "error: unknown label {label:?}")?;
+                    continue;
+                };
+                match session.relabel_node(n, l) {
+                    Ok(edges) => {
+                        writeln!(out, "relabeled node {n}; re-drew {} edge(s)", edges.len())?
+                    }
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
+            }
+            "similar" => {
+                let n = session.choose_similarity();
+                writeln!(out, "similarity mode: {n} candidates")?;
+            }
+            "suggest" => match session.suggest_deletion() {
+                Some(s) => writeln!(
+                    out,
+                    "delete e{} → {} candidates",
+                    s.edge,
+                    s.candidates.len()
+                )?,
+                None => writeln!(out, "no deletable edge")?,
+            },
+            "candidates" => {
+                let n = if session.is_similarity() {
+                    session
+                        .similarity_candidates()
+                        .map_or(0, |c| c.distinct_candidates())
+                } else {
+                    session.exact_candidates().len()
+                };
+                writeln!(out, "{n} candidates")?;
+            }
+            "log" => write!(out, "{}", session.log().render())?,
+            "run" => match session.run() {
+                Ok(o) => print_results(out, &o.results, o.srt, &session)?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            },
+            other => writeln!(out, "unknown command {other:?} (try 'help')")?,
+        }
+    }
+    Ok(processed)
+}
+
+fn parse(token: Option<&str>) -> Option<u32> {
+    token.and_then(|t| {
+        // accept both "3" and "e3"
+        t.strip_prefix('e').unwrap_or(t).parse().ok()
+    })
+}
+
+fn resolve_label(system: &PragueSystem, token: &str) -> Option<prague_graph::Label> {
+    system
+        .labels()
+        .get(token)
+        .or_else(|| token.parse::<u16>().ok().map(prague_graph::Label))
+}
+
+fn status_name(s: StepStatus) -> &'static str {
+    match s {
+        StepStatus::Frequent => "frequent",
+        StepStatus::Infrequent => "infrequent",
+        StepStatus::Similar => "similar",
+    }
+}
+
+fn print_results<W: Write>(
+    out: &mut W,
+    results: &QueryResults,
+    srt: std::time::Duration,
+    session: &Session<'_>,
+) -> std::io::Result<()> {
+    match results {
+        QueryResults::Exact(ids) => {
+            writeln!(out, "{} exact matches (SRT {srt:?})", ids.len())?;
+            for id in ids.iter().take(10) {
+                writeln!(out, "  graph {id}")?;
+            }
+            if ids.len() > 10 {
+                writeln!(out, "  … and {} more", ids.len() - 10)?;
+            }
+        }
+        QueryResults::Similar(r) => {
+            writeln!(
+                out,
+                "{} approximate matches within σ = {} (SRT {srt:?})",
+                r.matches.len(),
+                session.sigma
+            )?;
+            for m in r.matches.iter().take(10) {
+                writeln!(out, "  graph {:>6}  distance {}", m.graph_id, m.distance)?;
+            }
+            if r.matches.len() > 10 {
+                writeln!(out, "  … and {} more", r.matches.len() - 10)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague::SystemParams;
+    use prague_graph::{Graph, GraphDb, Label, LabelTable};
+
+    fn chain(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn system() -> PragueSystem {
+        let mut db = GraphDb::new();
+        for _ in 0..5 {
+            db.push(chain(&[0, 1, 0]));
+        }
+        db.push(chain(&[0, 1, 2]));
+        PragueSystem::build_with_labels(
+            db,
+            LabelTable::from_names(["C", "S", "O"]),
+            SystemParams {
+                alpha: 0.3,
+                beta: 2,
+                max_fragment_edges: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn drive(script: &str) -> String {
+        let system = system();
+        let mut out = Vec::new();
+        run_repl(&system, 1, script.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn scripted_exact_session() {
+        let out = drive("node C\nnode S\nnode C\nedge 0 1\nedge 1 2\nrun\nquit\n");
+        assert!(out.contains("node 0 (C)"));
+        assert!(out.contains("e1: frequent"));
+        assert!(out.contains("e2: frequent"));
+        assert!(out.contains("5 exact matches"));
+    }
+
+    #[test]
+    fn similarity_and_log() {
+        let out = drive(
+            "node C\nnode S\nnode S\nedge 0 1\nedge 1 2\nsimilar\ncandidates\nrun\nlog\nquit\n",
+        );
+        // S-S never occurs: second edge goes similar and suggests
+        assert!(out.contains("e2: similar"));
+        assert!(out.contains("deleting e2 would restore"));
+        assert!(out.contains("similarity mode"));
+        assert!(out.contains("approximate matches"));
+        assert!(out.contains("draw e1"));
+        assert!(out.contains("RUN"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out =
+            drive("node Xx\nnode C\nedge 0 9\nedge zero one\ndelete 7\nfrobnicate\nrun\nquit\n");
+        assert!(out.contains("unknown label \"Xx\""));
+        assert!(out.contains("error:"));
+        assert!(out.contains("usage: edge"));
+        assert!(out.contains("unknown command"));
+        // run on an empty query also errors gracefully
+        assert!(out.contains("cannot run an empty query"));
+    }
+
+    #[test]
+    fn delete_flow() {
+        let out = drive(
+            "node C\nnode S\nnode C\nedge 0 1\nedge 1 2\nsuggest\ndelete e2\ncandidates\nquit\n",
+        );
+        assert!(out.contains("deleted e2"));
+        assert!(out.contains("candidates"));
+    }
+
+    #[test]
+    fn numeric_labels_accepted() {
+        let out = drive("node 0\nnode 1\nedge 0 1\nrun\nquit\n");
+        assert!(out.contains("exact matches"));
+    }
+}

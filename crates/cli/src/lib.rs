@@ -1,0 +1,38 @@
+//! # prague-cli
+//!
+//! The `prague` command-line tool:
+//!
+//! ```text
+//! prague generate --kind molecules --graphs 2000 --out corpus.lg
+//! prague build    --data corpus.lg --alpha 0.1 --beta 8 --out corpus.prgc
+//! prague stats    --catalog corpus.prgc
+//! prague query    --catalog corpus.prgc --query q.lg --sigma 2
+//! ```
+//!
+//! `query` replays the query file's edges as a visual formulation session
+//! (re-ordered so every prefix is connected, as the GUI guarantees) and
+//! prints the step table, the final results and the SRT — falling back to
+//! similarity search when no exact match exists, exactly like the GUI flow.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod interactive;
+
+pub use args::{parse_args, Command, ParseError};
+
+/// Run a parsed command; returns a human-readable error on failure.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Generate(g) => commands::generate(&g),
+        Command::Build(b) => commands::build(&b),
+        Command::Stats(s) => commands::stats(&s),
+        Command::Query(q) => commands::query(&q),
+        Command::Interactive(i) => commands::interactive(&i),
+        Command::Help => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The `prague` binary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match prague_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = prague_cli::run(command) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

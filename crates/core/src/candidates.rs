@@ -1,0 +1,296 @@
+//! Candidate generation: `ExactSubCandidates` (Algorithm 3) and
+//! `SimilarSubCandidates` (Algorithm 4).
+//!
+//! Both operate purely on SPIG vertices and the action-aware indexes — no
+//! data graph is touched until verification. Exact candidates for an indexed
+//! fragment are its FSG ids (verification-free when the query *is* the
+//! fragment); for a NIF they are the intersection of the FSG ids of its
+//! frequent Φ-subgraphs and DIF Υ-subgraphs, a superset of the true answer.
+
+use prague_graph::GraphId;
+use prague_index::{A2fIndex, A2iIndex};
+use prague_spig::{SpigSet, SpigVertex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Intersect several sorted ascending id lists (smallest list first for
+/// early exit).
+pub fn intersect_sorted(mut lists: Vec<Arc<Vec<GraphId>>>) -> Vec<GraphId> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    lists.sort_by_key(|l| l.len());
+    let mut acc: Vec<GraphId> = lists[0].as_ref().clone();
+    for list in &lists[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        let mut out = Vec::with_capacity(acc.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let b = list.as_slice();
+        while i < acc.len() && j < b.len() {
+            match acc[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(acc[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc = out;
+    }
+    acc
+}
+
+/// Union two sorted ascending id lists.
+pub fn union_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Sorted difference `a \ b`.
+pub fn difference_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// `ExactSubCandidates` (Algorithm 3): the candidate FSG ids for the
+/// fragment represented by SPIG vertex `v`.
+///
+/// * indexed frequent fragment → its exact `fsgIds` from A²F;
+/// * indexed DIF → its exact `fsgIds` from A²I;
+/// * NIF → intersection over Φ (A²F lookups) and Υ (A²I lookups), a
+///   superset that needs verification;
+/// * dead (contains a zero-support edge) → `∅`, exactly.
+///
+/// `db_len` bounds the degenerate no-information case (never produced by a
+/// well-formed SPIG over complete indexes, but handled defensively).
+pub fn exact_sub_candidates(
+    v: &SpigVertex,
+    a2f: &A2fIndex,
+    a2i: &A2iIndex,
+    db_len: usize,
+) -> Vec<GraphId> {
+    let fl = &v.fragment_list;
+    if fl.dead {
+        return Vec::new();
+    }
+    if let Some(fid) = fl.freq_id {
+        return a2f.fsg_ids(fid).as_ref().clone();
+    }
+    if let Some(did) = fl.dif_id {
+        return a2i.fsg_ids(did).as_ref().clone();
+    }
+    let mut lists: Vec<Arc<Vec<GraphId>>> = Vec::with_capacity(fl.phi.len() + fl.upsilon.len());
+    for &fid in &fl.phi {
+        lists.push(a2f.fsg_ids(fid));
+    }
+    for &did in &fl.upsilon {
+        lists.push(a2i.fsg_ids(did));
+    }
+    if lists.is_empty() {
+        // No pruning information at all: fall back to the full id range.
+        return (0..db_len as GraphId).collect();
+    }
+    intersect_sorted(lists)
+}
+
+/// Whether the fragment of `v` is *exactly* indexed, making its candidate
+/// set verification-free for containment of that fragment.
+pub fn is_verification_free(v: &SpigVertex) -> bool {
+    v.fragment_list.is_indexed()
+}
+
+/// Per-level output of `SimilarSubCandidates`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelCandidates {
+    /// `R_free(i)`: verification-free candidates (from indexed fragments).
+    pub free: Vec<GraphId>,
+    /// `R_ver(i)`: candidates needing verification (from NIF fragments),
+    /// already excluding `free`.
+    pub ver: Vec<GraphId>,
+}
+
+impl LevelCandidates {
+    /// `|R_free(i) ∪ R_ver(i)|` (the sets are disjoint by construction).
+    pub fn total(&self) -> usize {
+        self.free.len() + self.ver.len()
+    }
+}
+
+/// Output of `SimilarSubCandidates` (Algorithm 4): candidates per SPIG
+/// level `i`, for `|q|−σ ≤ i ≤ |q|−1`.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarCandidates {
+    /// Level → candidates. Higher level = more similar (distance `|q|−i`).
+    pub levels: BTreeMap<usize, LevelCandidates>,
+}
+
+impl SimilarCandidates {
+    /// `|⋃_i R_free(i) ∪ R_ver(i)|` — the candidate-set size reported in the
+    /// paper's Figures 9(b)–(e) and 10(d)–(e).
+    pub fn distinct_candidates(&self) -> usize {
+        let mut all: Vec<GraphId> = Vec::new();
+        for lc in self.levels.values() {
+            all.extend_from_slice(&lc.free);
+            all.extend_from_slice(&lc.ver);
+        }
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// Distinct verification-free candidates across levels.
+    pub fn distinct_free(&self) -> usize {
+        let mut all: Vec<GraphId> = Vec::new();
+        for lc in self.levels.values() {
+            all.extend_from_slice(&lc.free);
+        }
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+/// `SimilarSubCandidates` (Algorithm 4): gather candidates for the levels
+/// `|q|` down to `|q|−σ` of the SPIG set.
+///
+/// The paper's pseudo-code starts at level `|q|−1` because its similarity
+/// path is only entered once `R_q = ∅` (no exact match can exist). This
+/// implementation also processes level `|q|` so that a user who opts into
+/// similarity early still receives exact matches ranked first (distance 0),
+/// as Definition 3 requires; when `R_q = ∅` the extra level contributes
+/// nothing, and every level-`|q|` candidate is also a level-`|q|−1`
+/// candidate, so reported candidate-set sizes are unchanged.
+pub fn similar_sub_candidates(
+    q_size: usize,
+    sigma: usize,
+    set: &SpigSet,
+    a2f: &A2fIndex,
+    a2i: &A2iIndex,
+    db_len: usize,
+) -> SimilarCandidates {
+    let mut out = SimilarCandidates::default();
+    if q_size == 0 {
+        return out;
+    }
+    let lowest = q_size.saturating_sub(sigma).max(1);
+    for i in (lowest..=q_size).rev() {
+        let mut free: Vec<GraphId> = Vec::new();
+        let mut ver: Vec<GraphId> = Vec::new();
+        // Deduplicate by isomorphism class: candidates of identical
+        // fragments are identical.
+        let mut seen = std::collections::HashSet::new();
+        for (v, _mask) in set.level_fragments(i) {
+            if !seen.insert(v.cam.clone()) {
+                continue;
+            }
+            let cands = exact_sub_candidates(v, a2f, a2i, db_len);
+            if is_verification_free(v) {
+                free = union_sorted(&free, &cands);
+            } else {
+                ver = union_sorted(&ver, &cands);
+            }
+        }
+        let ver = difference_sorted(&ver, &free);
+        out.levels.insert(i, LevelCandidates { free, ver });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arcs(lists: &[&[GraphId]]) -> Vec<Arc<Vec<GraphId>>> {
+        lists.iter().map(|l| Arc::new(l.to_vec())).collect()
+    }
+
+    #[test]
+    fn intersect_basics() {
+        assert_eq!(
+            intersect_sorted(arcs(&[&[1, 2, 3, 5], &[2, 3, 7], &[0, 2, 3]])),
+            vec![2, 3]
+        );
+        assert_eq!(intersect_sorted(arcs(&[&[1, 2]])), vec![1, 2]);
+        assert_eq!(intersect_sorted(vec![]), Vec::<GraphId>::new());
+        assert_eq!(intersect_sorted(arcs(&[&[1], &[2]])), Vec::<GraphId>::new());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        assert_eq!(union_sorted(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(union_sorted(&[], &[1]), vec![1]);
+        assert_eq!(difference_sorted(&[1, 2, 3], &[2]), vec![1, 3]);
+        assert_eq!(difference_sorted(&[], &[2]), Vec::<GraphId>::new());
+        assert_eq!(difference_sorted(&[1, 2], &[]), vec![1, 2]);
+    }
+
+    #[test]
+    fn level_candidates_total() {
+        let lc = LevelCandidates {
+            free: vec![1, 2],
+            ver: vec![3],
+        };
+        assert_eq!(lc.total(), 3);
+    }
+
+    #[test]
+    fn similar_candidates_distinct_counts() {
+        let mut sc = SimilarCandidates::default();
+        sc.levels.insert(
+            3,
+            LevelCandidates {
+                free: vec![1, 2],
+                ver: vec![3],
+            },
+        );
+        sc.levels.insert(
+            2,
+            LevelCandidates {
+                free: vec![2, 4],
+                ver: vec![3, 5],
+            },
+        );
+        assert_eq!(sc.distinct_candidates(), 5);
+        assert_eq!(sc.distinct_free(), 3);
+    }
+}

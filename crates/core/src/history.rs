@@ -1,0 +1,167 @@
+//! Session history — a machine-readable version of the paper's Figure 3
+//! step table.
+//!
+//! Every GUI action a [`crate::Session`] processes is recorded with its
+//! status, candidate count and processing time, so front-ends can render
+//! the formulation trace (and tests/experiments can assert on latency
+//! budgets) without re-instrumenting the session.
+
+use crate::session::StepStatus;
+use prague_spig::EdgeLabelId;
+use std::time::Duration;
+
+/// What the user did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionKind {
+    /// `New`: drew edge `eℓ`.
+    New {
+        /// The new edge's label ℓ.
+        edge: EdgeLabelId,
+    },
+    /// `Modify`: deleted edge(s).
+    Delete {
+        /// The deleted edges, in application order.
+        edges: Vec<EdgeLabelId>,
+    },
+    /// Relabeled a canvas node (decomposed into delete + re-add).
+    Relabel {
+        /// The canvas node.
+        node: u32,
+        /// Labels of the re-drawn incident edges.
+        new_edges: Vec<EdgeLabelId>,
+    },
+    /// `SimQuery`: opted into similarity search.
+    SimQuery,
+    /// `Run`: executed the query.
+    Run,
+}
+
+/// One processed action.
+#[derive(Debug, Clone)]
+pub struct ActionRecord {
+    /// What happened.
+    pub kind: ActionKind,
+    /// Fragment status after the action (`Run` keeps the prior status).
+    pub status: StepStatus,
+    /// Candidate count after the action (result count for `Run`).
+    pub candidates: usize,
+    /// Processing time charged against GUI latency (SRT for `Run`).
+    pub elapsed: Duration,
+}
+
+/// The full trace of a session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionLog {
+    records: Vec<ActionRecord>,
+}
+
+impl SessionLog {
+    /// Append a record.
+    pub(crate) fn push(&mut self, record: ActionRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[ActionRecord] {
+        &self.records
+    }
+
+    /// Number of recorded actions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total processing time across all actions.
+    pub fn total_processing(&self) -> Duration {
+        self.records.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// The slowest single action, if any.
+    pub fn max_step(&self) -> Option<&ActionRecord> {
+        self.records.iter().max_by_key(|r| r.elapsed)
+    }
+
+    /// Whether every action fit within `budget` (the GUI latency check the
+    /// paper's Table III makes).
+    pub fn fits_latency(&self, budget: Duration) -> bool {
+        self.records.iter().all(|r| r.elapsed <= budget)
+    }
+
+    /// Render a Figure-3-style text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("step | action            | status     | candidates | time\n");
+        out.push_str("-----+-------------------+------------+------------+---------\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let action = match &r.kind {
+                ActionKind::New { edge } => format!("draw e{edge}"),
+                ActionKind::Delete { edges } => {
+                    let labels: Vec<String> = edges.iter().map(|e| format!("e{e}")).collect();
+                    format!("delete {}", labels.join(","))
+                }
+                ActionKind::Relabel { node, .. } => format!("relabel n{node}"),
+                ActionKind::SimQuery => "similarity on".to_string(),
+                ActionKind::Run => "RUN".to_string(),
+            };
+            let status = match r.status {
+                StepStatus::Frequent => "frequent",
+                StepStatus::Infrequent => "infrequent",
+                StepStatus::Similar => "similar",
+            };
+            out.push_str(&format!(
+                "{:>4} | {:<17} | {:<10} | {:>10} | {:>7.1?}\n",
+                i + 1,
+                action,
+                status,
+                r.candidates,
+                r.elapsed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: ActionKind, micros: u64) -> ActionRecord {
+        ActionRecord {
+            kind,
+            status: StepStatus::Frequent,
+            candidates: 5,
+            elapsed: Duration::from_micros(micros),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut log = SessionLog::default();
+        assert!(log.is_empty());
+        log.push(record(ActionKind::New { edge: 1 }, 10));
+        log.push(record(ActionKind::New { edge: 2 }, 30));
+        log.push(record(ActionKind::Run, 5));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_processing(), Duration::from_micros(45));
+        assert_eq!(log.max_step().unwrap().elapsed, Duration::from_micros(30));
+        assert!(log.fits_latency(Duration::from_millis(1)));
+        assert!(!log.fits_latency(Duration::from_micros(20)));
+    }
+
+    #[test]
+    fn render_contains_actions() {
+        let mut log = SessionLog::default();
+        log.push(record(ActionKind::New { edge: 1 }, 10));
+        log.push(record(ActionKind::Delete { edges: vec![1] }, 3));
+        log.push(record(ActionKind::SimQuery, 7));
+        let table = log.render();
+        assert!(table.contains("draw e1"));
+        assert!(table.contains("delete e1"));
+        assert!(table.contains("similarity on"));
+    }
+}

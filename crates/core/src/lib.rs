@@ -1,0 +1,249 @@
+//! # prague (prague-core)
+//!
+//! PRAGUE — *PRactical visuAl Graph QUery blEnder* (Jin, Bhowmick, Choi,
+//! Zhou; ICDE 2012): a unified framework that blends visual subgraph query
+//! **formulation** with query **processing**. Instead of waiting for the
+//! user to finish drawing, PRAGUE processes the query fragment after every
+//! drawn edge, exploiting GUI latency to keep the system response time
+//! (SRT) at Run-click near zero — and, unlike its predecessor GBLENDER,
+//! seamlessly supports subgraph *similarity* queries and cheap query
+//! *modification* through the spindle-shaped graph (SPIG) set.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use prague::{PragueSystem, SystemParams};
+//! use prague_graph::{Graph, GraphDb, Label};
+//!
+//! // a tiny database of labeled graphs
+//! let mut db = GraphDb::new();
+//! for _ in 0..4 {
+//!     let mut g = Graph::new();
+//!     let c1 = g.add_node(Label(0));
+//!     let s = g.add_node(Label(1));
+//!     let c2 = g.add_node(Label(0));
+//!     g.add_edge(c1, s).unwrap();
+//!     g.add_edge(s, c2).unwrap();
+//!     db.push(g);
+//! }
+//!
+//! // offline: mine fragments and build the action-aware indexes
+//! let system = PragueSystem::build(db, SystemParams::default()).unwrap();
+//!
+//! // online: a user formulates a query edge-at-a-time
+//! let mut session = system.session(2);
+//! let c1 = session.add_node(Label(0));
+//! let s = session.add_node(Label(1));
+//! let step = session.add_edge(c1, s).unwrap();
+//! assert!(step.candidate_count > 0);
+//! let outcome = session.run().unwrap();
+//! assert!(!outcome.results.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod history;
+pub mod modify;
+pub mod persist;
+pub mod results;
+pub mod session;
+pub mod verify;
+
+pub use candidates::{
+    exact_sub_candidates, similar_sub_candidates, LevelCandidates, SimilarCandidates,
+};
+pub use history::{ActionKind, ActionRecord, SessionLog};
+pub use modify::{deletion_options, suggest_deletion, DeletionSuggestion};
+pub use results::{similar_results_gen, SimilarMatch, SimilarResults};
+pub use session::{
+    ModifyOutcome, QueryResults, RunOutcome, Session, SessionError, StepOutcome, StepStatus,
+};
+pub use verify::{exact_verification, SimVerifier};
+
+use prague_graph::{GraphDb, LabelTable};
+use prague_index::{A2fConfig, ActionAwareIndexes, DfBacking, IndexFootprint, StoreError};
+use prague_mining::{mine_classified, MiningResult};
+
+/// Offline construction parameters (defaults follow the paper's real-dataset
+/// settings: α = 0.1, β = 8, fragments capped at the maximum query size 10).
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Minimum support ratio α.
+    pub alpha: f64,
+    /// Fragment size threshold β (MF/DF split).
+    pub beta: usize,
+    /// Mining size cap (≥ the largest query you intend to formulate).
+    pub max_fragment_edges: usize,
+    /// DF-index storage backing.
+    pub backing: DfBacking,
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams {
+            alpha: 0.1,
+            beta: 8,
+            max_fragment_edges: 10,
+            backing: DfBacking::TempDisk,
+        }
+    }
+}
+
+/// Offline build statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildStats {
+    /// Number of frequent fragments mined.
+    pub frequent_fragments: usize,
+    /// Number of DIFs indexed.
+    pub difs: usize,
+    /// Number of non-discriminative infrequent fragments touched by mining.
+    pub nifs_seen: usize,
+    /// Offline build wall time.
+    pub build_time: std::time::Duration,
+}
+
+/// A built PRAGUE system: the database plus its action-aware indexes.
+/// Create interactive [`Session`]s with [`PragueSystem::session`].
+pub struct PragueSystem {
+    db: GraphDb,
+    labels: LabelTable,
+    indexes: ActionAwareIndexes,
+    params: SystemParams,
+    stats: BuildStats,
+    /// Graphs inserted since construction (see `insert_graph`).
+    inserted: usize,
+}
+
+impl PragueSystem {
+    /// Mine `db` and build both indexes.
+    pub fn build(db: GraphDb, params: SystemParams) -> Result<Self, StoreError> {
+        Self::build_with_labels(db, LabelTable::new(), params)
+    }
+
+    /// [`PragueSystem::build`] keeping a label table for name-based lookups
+    /// (the GUI's label panel).
+    pub fn build_with_labels(
+        db: GraphDb,
+        labels: LabelTable,
+        params: SystemParams,
+    ) -> Result<Self, StoreError> {
+        let t0 = std::time::Instant::now();
+        let result = mine_classified(&db, params.alpha, params.max_fragment_edges);
+        Self::from_mining(db, labels, result, params, t0)
+    }
+
+    /// Build from an existing mining result (lets callers reuse one mining
+    /// pass across several index configurations, as the α/β sweeps in the
+    /// experiment harness do).
+    pub fn from_mining_result(
+        db: GraphDb,
+        labels: LabelTable,
+        result: MiningResult,
+        params: SystemParams,
+    ) -> Result<Self, StoreError> {
+        Self::from_mining(db, labels, result, params, std::time::Instant::now())
+    }
+
+    fn from_mining(
+        db: GraphDb,
+        labels: LabelTable,
+        result: MiningResult,
+        params: SystemParams,
+        t0: std::time::Instant,
+    ) -> Result<Self, StoreError> {
+        let indexes = ActionAwareIndexes::build(
+            &result,
+            &A2fConfig {
+                beta: params.beta,
+                backing: params.backing.clone(),
+                store_full_ids: false,
+            },
+        )?;
+        let stats = BuildStats {
+            frequent_fragments: result.frequent.len(),
+            difs: result.difs.len(),
+            nifs_seen: result.nif_count,
+            build_time: t0.elapsed(),
+        };
+        Ok(PragueSystem {
+            db,
+            labels,
+            indexes,
+            params,
+            stats,
+            inserted: 0,
+        })
+    }
+
+    /// Start a formulation session with subgraph distance threshold σ.
+    pub fn session(&self, sigma: usize) -> Session<'_> {
+        Session::new(self, sigma)
+    }
+
+    /// The data graphs.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The label table (empty unless provided at build time).
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// The action-aware indexes.
+    pub fn indexes(&self) -> &ActionAwareIndexes {
+        &self.indexes
+    }
+
+    /// Build parameters.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Offline build statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Combined index footprint (Table II / Fig 10(a) accounting).
+    pub fn index_footprint(&self) -> IndexFootprint {
+        self.indexes.footprint()
+    }
+
+    /// Pre-resolve all FSG-id lists (see [`prague_index::A2fIndex::warm`]).
+    /// Call once after build when steady-state step latencies matter.
+    pub fn warm(&self) {
+        self.indexes.a2f.warm();
+    }
+
+    /// Insert a data graph into the running system, maintaining both
+    /// indexes so that query answers stay exact (the paper's future-work
+    /// item). Fragment *classification* is not revisited — a fragment that
+    /// crosses the α·|D| threshold keeps its old role until a rebuild — so
+    /// pruning quality (not correctness) drifts; rebuild via
+    /// [`PragueSystem::build`] once [`PragueSystem::inserted_fraction`]
+    /// gets large (a few percent is a good trigger).
+    ///
+    /// Returns the new graph's id.
+    pub fn insert_graph(&mut self, g: prague_graph::Graph) -> prague_graph::GraphId {
+        let gid = self.db.push(g);
+        let g = self.db.graph(gid).clone();
+        self.indexes.a2f.register_graph(gid, &g);
+        let a2f = &self.indexes.a2f;
+        self.indexes
+            .a2i
+            .register_graph(gid, &g, |cam| a2f.lookup(cam).is_some());
+        self.inserted += 1;
+        gid
+    }
+
+    /// Fraction of the database inserted since the last full build.
+    pub fn inserted_fraction(&self) -> f64 {
+        if self.db.is_empty() {
+            0.0
+        } else {
+            self.inserted as f64 / self.db.len() as f64
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Query modification support (Algorithm 6, Section VII).
+//!
+//! When the exact candidate set becomes empty, PRAGUE can *suggest* which
+//! edge to delete so that the remaining query fragment has matches again:
+//! for every deletable edge `e_i`, the fragment `q − e_i` is already a SPIG
+//! vertex at level `|q|−1`, so its candidate count is available without any
+//! recomputation — the suggestion is the edge whose deletion leaves the
+//! largest candidate set. The user is free to delete any other edge; either
+//! way the SPIG set is updated by dropping `S_d` and every vertex whose
+//! Edge List contains `e_d` — no per-step recomputation, unlike GBLENDER.
+
+use crate::candidates::exact_sub_candidates;
+use prague_graph::GraphId;
+use prague_index::{A2fIndex, A2iIndex};
+use prague_spig::{EdgeLabelId, SpigSet, VisualQuery};
+
+/// A deletion suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeletionSuggestion {
+    /// The edge whose deletion maximizes the remaining candidate set.
+    pub edge: EdgeLabelId,
+    /// Candidate FSG ids of `q − edge`.
+    pub candidates: Vec<GraphId>,
+}
+
+/// Evaluate every deletable edge and return the best suggestion
+/// (Algorithm 6, lines 3–8). Returns `None` when no single-edge deletion
+/// keeps the query connected, or the query is trivial.
+pub fn suggest_deletion(
+    query: &VisualQuery,
+    set: &SpigSet,
+    a2f: &A2fIndex,
+    a2i: &A2iIndex,
+    db_len: usize,
+) -> Option<DeletionSuggestion> {
+    let live = query.live_mask();
+    let mut best: Option<DeletionSuggestion> = None;
+    for label in query.live_labels() {
+        if !query.edge_is_deletable(label) {
+            continue;
+        }
+        let mask = live & !(1u64 << (label - 1));
+        // q − e_i is a connected (|q|−1)-edge fragment: find its SPIG vertex.
+        let Some(vertex) = set.vertex_by_mask(mask) else {
+            continue;
+        };
+        let candidates = exact_sub_candidates(vertex, a2f, a2i, db_len);
+        let better = match &best {
+            None => true,
+            Some(b) => candidates.len() > b.candidates.len(),
+        };
+        if better {
+            best = Some(DeletionSuggestion {
+                edge: label,
+                candidates,
+            });
+        }
+    }
+    best
+}
+
+/// Candidate count for each deletable edge (diagnostics / UI display).
+pub fn deletion_options(
+    query: &VisualQuery,
+    set: &SpigSet,
+    a2f: &A2fIndex,
+    a2i: &A2iIndex,
+    db_len: usize,
+) -> Vec<(EdgeLabelId, usize)> {
+    let live = query.live_mask();
+    let mut out = Vec::new();
+    for label in query.live_labels() {
+        if !query.edge_is_deletable(label) {
+            continue;
+        }
+        let mask = live & !(1u64 << (label - 1));
+        if let Some(vertex) = set.vertex_by_mask(mask) {
+            out.push((label, exact_sub_candidates(vertex, a2f, a2i, db_len).len()));
+        }
+    }
+    out
+}

@@ -1,0 +1,120 @@
+//! `SimilarResultsGen` (Algorithm 5): turn per-level candidate sets into a
+//! ranked approximate result list.
+//!
+//! Candidates associated with SPIG level `i` have subgraph distance
+//! `|q| − i`; levels are processed from the most similar (`|q|−1`) down so
+//! every graph receives its *minimal* distance, and the final list is
+//! ordered by increasing distance (Section VI-C ranking rule: `dist(g1,q) <
+//! dist(g2,q) ⇒ Rank(g1) < Rank(g2)`).
+
+use crate::candidates::{difference_sorted, SimilarCandidates};
+use crate::verify::SimVerifier;
+use prague_graph::{GraphDb, GraphId};
+
+/// One approximate match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimilarMatch {
+    /// The matched data graph.
+    pub graph_id: GraphId,
+    /// Subgraph distance `dist(q, g) = |q| − level` (0 would be exact).
+    pub distance: usize,
+    /// Whether the match was verification-free (`R_free`).
+    pub verification_free: bool,
+}
+
+/// Ranked approximate results.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarResults {
+    /// Matches ordered by increasing distance, then graph id.
+    pub matches: Vec<SimilarMatch>,
+    /// How many candidate graphs went through `SimVerify`.
+    pub verified_count: usize,
+}
+
+impl SimilarResults {
+    /// Matched graph ids in rank order.
+    pub fn ids(&self) -> Vec<GraphId> {
+        self.matches.iter().map(|m| m.graph_id).collect()
+    }
+
+    /// Matches within a given distance.
+    pub fn within(&self, distance: usize) -> impl Iterator<Item = &SimilarMatch> {
+        self.matches.iter().filter(move |m| m.distance <= distance)
+    }
+}
+
+/// `SimilarResultsGen`: verify and rank.
+///
+/// `q_size` is `|q|`; `candidates` the Algorithm 4 output; `verifier` the
+/// level-fragment verifier built from the SPIG set.
+pub fn similar_results_gen(
+    q_size: usize,
+    candidates: &SimilarCandidates,
+    verifier: &SimVerifier,
+    db: &GraphDb,
+) -> SimilarResults {
+    let mut results = SimilarResults::default();
+    let mut found: Vec<GraphId> = Vec::new(); // sorted ids already reported
+                                              // Highest level first: minimal distance wins.
+    for (&level, lc) in candidates.levels.iter().rev() {
+        let distance = q_size - level;
+        // R_free(i): verification-free, minus already-found.
+        let fresh_free = difference_sorted(&lc.free, &found);
+        // R_ver(i): remove already-found, then verify.
+        let to_verify = difference_sorted(&lc.ver, &found);
+        results.verified_count += to_verify.len();
+        let verified = verifier.verify(&to_verify, level, db);
+        for &id in &fresh_free {
+            results.matches.push(SimilarMatch {
+                graph_id: id,
+                distance,
+                verification_free: true,
+            });
+        }
+        for &id in &verified {
+            results.matches.push(SimilarMatch {
+                graph_id: id,
+                distance,
+                verification_free: false,
+            });
+        }
+        let mut newly = fresh_free;
+        newly.extend_from_slice(&verified);
+        newly.sort_unstable();
+        found = crate::candidates::union_sorted(&found, &newly);
+    }
+    results.matches.sort_by_key(|m| (m.distance, m.graph_id));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_ordering_and_within() {
+        let r = SimilarResults {
+            matches: vec![
+                SimilarMatch {
+                    graph_id: 1,
+                    distance: 1,
+                    verification_free: true,
+                },
+                SimilarMatch {
+                    graph_id: 5,
+                    distance: 1,
+                    verification_free: false,
+                },
+                SimilarMatch {
+                    graph_id: 2,
+                    distance: 2,
+                    verification_free: false,
+                },
+            ],
+            verified_count: 2,
+        };
+        assert_eq!(r.ids(), vec![1, 5, 2]);
+        assert_eq!(r.within(1).count(), 2);
+        assert_eq!(r.within(0).count(), 0);
+    }
+}

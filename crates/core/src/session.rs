@@ -1,0 +1,663 @@
+//! The PRAGUE formulation session — Algorithm 1 as a state machine.
+//!
+//! A [`Session`] tracks one user's visual query formulation over a built
+//! [`crate::PragueSystem`]. The GUI actions of the paper map to methods:
+//!
+//! | paper action | method |
+//! |--------------|--------|
+//! | `New` (draw edge)        | [`Session::add_edge`] |
+//! | `Modify` (delete edge)   | [`Session::delete_edge`] / [`Session::delete_suggested`] |
+//! | `SimQuery` (opt in)      | [`Session::choose_similarity`] |
+//! | `Run`                    | [`Session::run`] |
+//!
+//! After every action the session refreshes its candidate state (exact
+//! `R_q`, or the per-level similarity candidates once `simFlag` is set) by
+//! exploiting the SPIG set — the work the paper hides inside GUI latency.
+//! Each action reports its processing time so the experiment harness can
+//! check it fits the latency budget, and [`Session::run`] reports the SRT
+//! (the only work the user actually waits for).
+
+use crate::candidates::{exact_sub_candidates, similar_sub_candidates, SimilarCandidates};
+use crate::history::{ActionKind, ActionRecord, SessionLog};
+use crate::modify::{suggest_deletion, DeletionSuggestion};
+use crate::results::{similar_results_gen, SimilarResults};
+use crate::verify::{exact_verification, SimVerifier};
+use crate::PragueSystem;
+use prague_graph::{GraphId, Label};
+use prague_spig::{EdgeLabelId, QueryError, SpigError, SpigSet, VNodeId, VisualQuery};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by session actions.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Invalid canvas operation.
+    Query(QueryError),
+    /// SPIG maintenance failure (internal invariant).
+    Spig(SpigError),
+    /// `Run` on an empty query.
+    EmptyQuery,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Query(e) => write!(f, "{e}"),
+            SessionError::Spig(e) => write!(f, "{e}"),
+            SessionError::EmptyQuery => write!(f, "cannot run an empty query"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<QueryError> for SessionError {
+    fn from(e: QueryError) -> Self {
+        SessionError::Query(e)
+    }
+}
+
+impl From<SpigError> for SessionError {
+    fn from(e: SpigError) -> Self {
+        SessionError::Spig(e)
+    }
+}
+
+/// The `Status` column of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The query fragment is an indexed frequent fragment with matches.
+    Frequent,
+    /// The query fragment is infrequent (DIF or NIF) but `R_q` is non-empty.
+    Infrequent,
+    /// No exact match exists (or the session is already in similarity mode).
+    Similar,
+}
+
+/// Outcome of one `New` (edge addition) action.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Label ℓ of the new edge.
+    pub edge: EdgeLabelId,
+    /// Fragment status after this step.
+    pub status: StepStatus,
+    /// `|R_q|` (exact mode) or the distinct similarity candidate count.
+    pub candidate_count: usize,
+    /// Time spent constructing the SPIG.
+    pub spig_time: Duration,
+    /// Time spent refreshing candidates.
+    pub candidate_time: Duration,
+    /// When `R_q` just became empty in exact mode: the system's deletion
+    /// suggestion (the paper's option dialogue, Algorithm 1 line 8).
+    pub suggestion: Option<DeletionSuggestion>,
+}
+
+impl StepOutcome {
+    /// Total processing charged against GUI latency for this step.
+    pub fn total_time(&self) -> Duration {
+        self.spig_time + self.candidate_time
+    }
+}
+
+/// Outcome of a `Modify` (edge deletion) action.
+#[derive(Debug, Clone)]
+pub struct ModifyOutcome {
+    /// The deleted edge.
+    pub edge: EdgeLabelId,
+    /// Candidate count after deletion.
+    pub candidate_count: usize,
+    /// Time to update the SPIG set and refresh candidates — the paper's
+    /// query modification cost (Tables IV and V).
+    pub modify_time: Duration,
+}
+
+/// Final query results.
+#[derive(Debug, Clone)]
+pub enum QueryResults {
+    /// Exact matches (subgraph containment), ascending graph id.
+    Exact(Vec<GraphId>),
+    /// Ranked approximate matches.
+    Similar(SimilarResults),
+}
+
+impl QueryResults {
+    /// Number of result graphs.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResults::Exact(v) => v.len(),
+            QueryResults::Similar(r) => r.matches.len(),
+        }
+    }
+
+    /// Whether no graph matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of the `Run` action.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The results.
+    pub results: QueryResults,
+    /// System response time: everything the user waits for after pressing
+    /// Run (final verification and, if needed, the fallback similarity
+    /// search).
+    pub srt: Duration,
+}
+
+/// One user's formulation session.
+pub struct Session<'a> {
+    system: &'a PragueSystem,
+    /// Subgraph distance threshold σ for similarity search.
+    pub sigma: usize,
+    query: VisualQuery,
+    spigs: SpigSet,
+    sim_flag: bool,
+    rq: Vec<GraphId>,
+    rq_empty: bool,
+    sim_candidates: Option<SimilarCandidates>,
+    log: SessionLog,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(system: &'a PragueSystem, sigma: usize) -> Self {
+        Session {
+            system,
+            sigma,
+            query: VisualQuery::new(),
+            spigs: SpigSet::new(),
+            sim_flag: false,
+            rq: Vec::new(),
+            rq_empty: false,
+            sim_candidates: None,
+            log: SessionLog::default(),
+        }
+    }
+
+    /// The fragment status implied by the current session state.
+    fn current_status(&self) -> StepStatus {
+        if self.sim_flag || (self.rq_empty && !self.query.is_empty()) {
+            StepStatus::Similar
+        } else if self
+            .spigs
+            .target_vertex(&self.query)
+            .is_some_and(|v| v.fragment_list.freq_id.is_some())
+        {
+            StepStatus::Frequent
+        } else {
+            StepStatus::Infrequent
+        }
+    }
+
+    /// Drop a node onto the canvas (no processing — nodes only matter once
+    /// wired, exactly as in the paper's edge-at-a-time model).
+    pub fn add_node(&mut self, label: Label) -> VNodeId {
+        self.query.add_node(label)
+    }
+
+    /// Convenience: add a node by label name resolved against the system's
+    /// label table.
+    pub fn add_named_node(&mut self, name: &str) -> Option<VNodeId> {
+        self.system.labels().get(name).map(|l| self.add_node(l))
+    }
+
+    /// `New` action: draw an edge and process the grown fragment.
+    pub fn add_edge(&mut self, u: VNodeId, v: VNodeId) -> Result<StepOutcome, SessionError> {
+        let edge = self.query.add_edge(u, v)?;
+        let t0 = Instant::now();
+        if let Err(e) = self.spigs.on_new_edge(
+            &self.query,
+            &self.system.indexes().a2f,
+            &self.system.indexes().a2i,
+        ) {
+            // roll the canvas back so the session stays consistent
+            let _ = self.query.delete_edge(edge);
+            return Err(e.into());
+        }
+        let spig_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (status, candidate_count, suggestion) = if self.sim_flag {
+            self.refresh_similar();
+            (
+                StepStatus::Similar,
+                self.sim_candidates
+                    .as_ref()
+                    .map_or(0, SimilarCandidates::distinct_candidates),
+                None,
+            )
+        } else {
+            self.refresh_exact();
+            if self.rq_empty {
+                // Algorithm 1 lines 7–8: offer modification or similarity.
+                let suggestion = suggest_deletion(
+                    &self.query,
+                    &self.spigs,
+                    &self.system.indexes().a2f,
+                    &self.system.indexes().a2i,
+                    self.system.db().len(),
+                );
+                (StepStatus::Similar, 0, suggestion)
+            } else {
+                let target = self.spigs.target_vertex(&self.query);
+                let status = match target {
+                    Some(v) if v.fragment_list.freq_id.is_some() => StepStatus::Frequent,
+                    _ => StepStatus::Infrequent,
+                };
+                (status, self.rq.len(), None)
+            }
+        };
+        let candidate_time = t1.elapsed();
+        self.log.push(ActionRecord {
+            kind: ActionKind::New { edge },
+            status,
+            candidates: candidate_count,
+            elapsed: spig_time + candidate_time,
+        });
+        Ok(StepOutcome {
+            edge,
+            status,
+            candidate_count,
+            spig_time,
+            candidate_time,
+            suggestion,
+        })
+    }
+
+    /// `SimQuery` action: continue as a subgraph *similarity* query
+    /// (Algorithm 1 lines 13–15).
+    pub fn choose_similarity(&mut self) -> usize {
+        let t0 = Instant::now();
+        self.sim_flag = true;
+        self.refresh_similar();
+        let candidates = self
+            .sim_candidates
+            .as_ref()
+            .map_or(0, SimilarCandidates::distinct_candidates);
+        self.log.push(ActionRecord {
+            kind: ActionKind::SimQuery,
+            status: StepStatus::Similar,
+            candidates,
+            elapsed: t0.elapsed(),
+        });
+        candidates
+    }
+
+    /// `Modify` action: delete edge `eℓ` (any live edge the user picks,
+    /// provided the query stays connected).
+    pub fn delete_edge(&mut self, edge: EdgeLabelId) -> Result<ModifyOutcome, SessionError> {
+        self.query.delete_edge(edge)?;
+        let t0 = Instant::now();
+        self.spigs.on_delete_edge(edge);
+        let candidate_count = self.refresh_after_modify();
+        let modify_time = t0.elapsed();
+        self.log.push(ActionRecord {
+            kind: ActionKind::Delete { edges: vec![edge] },
+            status: self.current_status(),
+            candidates: candidate_count,
+            elapsed: modify_time,
+        });
+        Ok(ModifyOutcome {
+            edge,
+            candidate_count,
+            modify_time,
+        })
+    }
+
+    /// `Modify` action, batched: delete several edges at once. The *final*
+    /// query must stay connected and non-empty; intermediate states need
+    /// not be (any superset of a connected edge set is connected, so the
+    /// per-edge application below cannot transiently disconnect). The paper
+    /// notes single-edge deletion "is trivial to extend to multiple edge
+    /// deletions" — this is that extension.
+    pub fn delete_edges(&mut self, edges: &[EdgeLabelId]) -> Result<ModifyOutcome, SessionError> {
+        // validate on a trial canvas first so the session never half-applies
+        let mut trial = self.query.clone();
+        for &e in edges {
+            trial.delete_edge(e)?;
+        }
+        let t0 = Instant::now();
+        for &e in edges {
+            self.query
+                .delete_edge(e)
+                .expect("validated on trial canvas");
+            self.spigs.on_delete_edge(e);
+        }
+        let candidate_count = self.refresh_after_modify();
+        let modify_time = t0.elapsed();
+        self.log.push(ActionRecord {
+            kind: ActionKind::Delete {
+                edges: edges.to_vec(),
+            },
+            status: self.current_status(),
+            candidates: candidate_count,
+            elapsed: modify_time,
+        });
+        Ok(ModifyOutcome {
+            edge: edges.last().copied().unwrap_or(0),
+            candidate_count,
+            modify_time,
+        })
+    }
+
+    /// Relabel a canvas node (the paper's footnote 5: "node relabeling can
+    /// be expressed as deletion of edge(s) followed by insertion of new
+    /// edge(s) and node"). Incident edges are deleted, the node's label
+    /// changed, and the edges re-drawn under fresh labels ℓ — each re-drawn
+    /// edge gets a new SPIG, exactly as if the user had drawn it. Returns
+    /// the new edge labels in re-insertion order.
+    pub fn relabel_node(
+        &mut self,
+        node: VNodeId,
+        new_label: Label,
+    ) -> Result<Vec<EdgeLabelId>, SessionError> {
+        let incident: Vec<(EdgeLabelId, VNodeId, VNodeId)> = self
+            .query
+            .live_edges()
+            .into_iter()
+            .filter(|&(_, u, v)| u == node || v == node)
+            .collect();
+        for &(label, _, _) in &incident {
+            self.query.delete_edge_unchecked(label)?;
+            self.spigs.on_delete_edge(label);
+        }
+        self.query.set_node_label(node, new_label)?;
+        let t0 = Instant::now();
+        let mut new_edges = Vec::with_capacity(incident.len());
+        for &(_, u, v) in &incident {
+            let l = self.query.add_edge(u, v)?;
+            self.spigs.on_new_edge(
+                &self.query,
+                &self.system.indexes().a2f,
+                &self.system.indexes().a2i,
+            )?;
+            new_edges.push(l);
+        }
+        let candidates = self.refresh_after_modify();
+        self.log.push(ActionRecord {
+            kind: ActionKind::Relabel {
+                node,
+                new_edges: new_edges.clone(),
+            },
+            status: self.current_status(),
+            candidates,
+            elapsed: t0.elapsed(),
+        });
+        Ok(new_edges)
+    }
+
+    fn refresh_after_modify(&mut self) -> usize {
+        if self.sim_flag {
+            self.refresh_similar();
+            self.sim_candidates
+                .as_ref()
+                .map_or(0, SimilarCandidates::distinct_candidates)
+        } else {
+            self.refresh_exact();
+            self.rq.len()
+        }
+    }
+
+    /// Apply the system's current deletion suggestion, if any.
+    pub fn delete_suggested(&mut self) -> Result<Option<ModifyOutcome>, SessionError> {
+        match self.suggest_deletion() {
+            Some(s) => Ok(Some(self.delete_edge(s.edge)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The system's deletion suggestion for the current query.
+    pub fn suggest_deletion(&self) -> Option<DeletionSuggestion> {
+        suggest_deletion(
+            &self.query,
+            &self.spigs,
+            &self.system.indexes().a2f,
+            &self.system.indexes().a2i,
+            self.system.db().len(),
+        )
+    }
+
+    /// `Run` action: produce final results (Algorithm 1 lines 16–23).
+    pub fn run(&mut self) -> Result<RunOutcome, SessionError> {
+        if self.query.is_empty() {
+            return Err(SessionError::EmptyQuery);
+        }
+        let t0 = Instant::now();
+        let results = if !self.sim_flag {
+            let verification_free = self
+                .spigs
+                .target_vertex(&self.query)
+                .is_some_and(|v| v.fragment_list.is_indexed());
+            let exact = exact_verification(
+                self.query.graph(),
+                &self.rq,
+                self.system.db(),
+                verification_free,
+            );
+            if exact.is_empty() {
+                // Algorithm 1 lines 19–21: fall back to similarity search.
+                self.refresh_similar();
+                QueryResults::Similar(self.generate_similar())
+            } else {
+                QueryResults::Exact(exact)
+            }
+        } else {
+            if self.sim_candidates.is_none() {
+                self.refresh_similar();
+            }
+            QueryResults::Similar(self.generate_similar())
+        };
+        let srt = t0.elapsed();
+        self.log.push(ActionRecord {
+            kind: ActionKind::Run,
+            status: self.current_status(),
+            candidates: results.len(),
+            elapsed: srt,
+        });
+        Ok(RunOutcome { results, srt })
+    }
+
+    fn refresh_exact(&mut self) {
+        self.rq = match self.spigs.target_vertex(&self.query) {
+            Some(v) => exact_sub_candidates(
+                v,
+                &self.system.indexes().a2f,
+                &self.system.indexes().a2i,
+                self.system.db().len(),
+            ),
+            None => Vec::new(),
+        };
+        self.rq_empty = self.rq.is_empty();
+    }
+
+    fn refresh_similar(&mut self) {
+        self.sim_candidates = Some(similar_sub_candidates(
+            self.query.size(),
+            self.sigma,
+            &self.spigs,
+            &self.system.indexes().a2f,
+            &self.system.indexes().a2i,
+            self.system.db().len(),
+        ));
+    }
+
+    fn generate_similar(&self) -> SimilarResults {
+        let q_size = self.query.size();
+        let lowest = q_size.saturating_sub(self.sigma).max(1);
+        let verifier = SimVerifier::from_spigs(&self.query, &self.spigs, lowest, q_size);
+        let empty = SimilarCandidates::default();
+        let candidates = self.sim_candidates.as_ref().unwrap_or(&empty);
+        similar_results_gen(q_size, candidates, &verifier, self.system.db())
+    }
+
+    /// The query canvas.
+    pub fn query(&self) -> &VisualQuery {
+        &self.query
+    }
+
+    /// The SPIG set.
+    pub fn spigs(&self) -> &SpigSet {
+        &self.spigs
+    }
+
+    /// Whether the session switched to similarity mode.
+    pub fn is_similarity(&self) -> bool {
+        self.sim_flag
+    }
+
+    /// Current exact candidate set `R_q` (meaningful in exact mode).
+    pub fn exact_candidates(&self) -> &[GraphId] {
+        &self.rq
+    }
+
+    /// Current similarity candidates, if computed.
+    pub fn similarity_candidates(&self) -> Option<&SimilarCandidates> {
+        self.sim_candidates.as_ref()
+    }
+
+    /// The session's action trace (the paper's Figure 3 table).
+    pub fn log(&self) -> &SessionLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PragueSystem, SystemParams};
+    use prague_graph::{Graph, GraphDb};
+
+    fn chain(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    /// C=0, S=1, O=2: C-S-C frequent; C-S-O rare; S-S absent.
+    fn system() -> PragueSystem {
+        let mut db = GraphDb::new();
+        for _ in 0..6 {
+            db.push(chain(&[0, 1, 0]));
+        }
+        for _ in 0..4 {
+            db.push(chain(&[0, 0, 0, 0]));
+        }
+        db.push(chain(&[0, 1, 2]));
+        PragueSystem::build(
+            db,
+            SystemParams {
+                alpha: 0.3,
+                beta: 2,
+                max_fragment_edges: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn statuses_track_fragment_nature() {
+        let s = system();
+        let mut session = s.session(1);
+        let c1 = session.add_node(Label(0));
+        let sx = session.add_node(Label(1));
+        let c2 = session.add_node(Label(0));
+        let step = session.add_edge(c1, sx).unwrap();
+        assert_eq!(step.status, StepStatus::Frequent);
+        let step = session.add_edge(sx, c2).unwrap();
+        assert_eq!(step.status, StepStatus::Frequent);
+        assert_eq!(step.candidate_count, 6);
+    }
+
+    #[test]
+    fn dead_edge_triggers_similar_and_suggestion() {
+        let s = system();
+        let mut session = s.session(1);
+        let c1 = session.add_node(Label(0));
+        let s1 = session.add_node(Label(1));
+        let c2 = session.add_node(Label(0));
+        let s2 = session.add_node(Label(1));
+        session.add_edge(c1, s1).unwrap();
+        session.add_edge(s1, c2).unwrap();
+        let step = session.add_edge(s1, s2).unwrap(); // S-S: absent
+        assert_eq!(step.status, StepStatus::Similar);
+        assert_eq!(step.candidate_count, 0);
+        let sug = step.suggestion.expect("suggestion offered");
+        assert_eq!(sug.edge, 3);
+        assert_eq!(sug.candidates.len(), 6);
+    }
+
+    #[test]
+    fn run_is_repeatable_and_logged() {
+        let s = system();
+        let mut session = s.session(1);
+        let c1 = session.add_node(Label(0));
+        let sx = session.add_node(Label(1));
+        session.add_edge(c1, sx).unwrap();
+        let a = session.run().unwrap();
+        let b = session.run().unwrap();
+        assert_eq!(a.results.len(), b.results.len());
+        // log: 1 New + 2 Runs
+        assert_eq!(session.log().len(), 3);
+        assert!(session.log().fits_latency(Duration::from_secs(2)));
+        let table = session.log().render();
+        assert!(table.contains("draw e1"));
+        assert!(table.contains("RUN"));
+    }
+
+    #[test]
+    fn choose_similarity_then_more_edges() {
+        let s = system();
+        let mut session = s.session(2);
+        let c1 = session.add_node(Label(0));
+        let sx = session.add_node(Label(1));
+        let c2 = session.add_node(Label(0));
+        session.add_edge(c1, sx).unwrap();
+        let n = session.choose_similarity();
+        assert!(n > 0);
+        assert!(session.is_similarity());
+        // further edges refresh similarity candidates (Alg 1 line 15)
+        let step = session.add_edge(sx, c2).unwrap();
+        assert_eq!(step.status, StepStatus::Similar);
+        assert!(session.similarity_candidates().is_some());
+    }
+
+    #[test]
+    fn named_nodes_resolve_via_label_table() {
+        let mut db = GraphDb::new();
+        db.push(chain(&[0, 1]));
+        db.push(chain(&[0, 1]));
+        let labels = prague_graph::LabelTable::from_names(["C", "S"]);
+        let s = PragueSystem::build_with_labels(
+            db,
+            labels,
+            SystemParams {
+                alpha: 0.5,
+                beta: 2,
+                max_fragment_edges: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut session = s.session(1);
+        assert!(session.add_named_node("C").is_some());
+        assert!(session.add_named_node("Xx").is_none());
+    }
+
+    #[test]
+    fn add_edge_errors_do_not_corrupt_state() {
+        let s = system();
+        let mut session = s.session(1);
+        let c1 = session.add_node(Label(0));
+        let sx = session.add_node(Label(1));
+        session.add_edge(c1, sx).unwrap();
+        // duplicate edge rejected, session unchanged
+        assert!(session.add_edge(sx, c1).is_err());
+        assert_eq!(session.query().size(), 1);
+        assert_eq!(session.log().len(), 1);
+        assert!(session.run().is_ok());
+    }
+}

@@ -1,0 +1,112 @@
+//! Verification: exact candidate verification (subgraph-isomorphism tests)
+//! and `SimVerify` — the paper's VF2 extension to MCCS-based similarity
+//! verification (Section VI-C).
+//!
+//! `SimVerify(q, R_ver(i), i)` checks, for each candidate graph, whether
+//! *some* connected `i`-edge subgraph of `q` embeds in it — equivalently
+//! `|mccs(G, q)| ≥ i`. The SPIG set already materializes every connected
+//! subgraph of `q` per level, so verification reuses those fragments
+//! (deduplicated by CAM code) instead of re-enumerating subgraphs.
+
+use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
+use prague_graph::{Graph, GraphDb, GraphId};
+use prague_spig::{SpigSet, VisualQuery};
+use std::collections::HashMap;
+
+/// Exact verification of `R_q`: keep candidates in which `q` actually
+/// embeds. `verification_free` short-circuits the test (the paper skips
+/// verification when the query fragment is itself an indexed fragment —
+/// "by performing subgraph isomorphism test *if necessary*").
+pub fn exact_verification(
+    q: &Graph,
+    candidates: &[GraphId],
+    db: &GraphDb,
+    verification_free: bool,
+) -> Vec<GraphId> {
+    if verification_free || q.edge_count() == 0 {
+        return candidates.to_vec();
+    }
+    let order = MatchOrder::new(q);
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| is_subgraph_with_order(q, db.graph(id), &order))
+        .collect()
+}
+
+/// A reusable verifier for one query's similarity levels: the distinct
+/// level-`i` fragments of the query with prebuilt VF2 match orders.
+pub struct SimVerifier {
+    /// level -> distinct fragments (graph + match order)
+    fragments: HashMap<usize, Vec<(Graph, MatchOrder)>>,
+}
+
+impl SimVerifier {
+    /// Collect the distinct fragments of levels `[lowest, q_size)` from the
+    /// SPIG set.
+    pub fn from_spigs(query: &VisualQuery, set: &SpigSet, lowest: usize, q_size: usize) -> Self {
+        let mut fragments = HashMap::new();
+        for i in lowest.max(1)..=q_size {
+            let mut seen = std::collections::HashSet::new();
+            let mut frags = Vec::new();
+            for (v, mask) in set.level_fragments(i) {
+                if seen.insert(v.cam.clone()) {
+                    let g = query.fragment(mask);
+                    let order = MatchOrder::new(&g);
+                    frags.push((g, order));
+                }
+            }
+            fragments.insert(i, frags);
+        }
+        SimVerifier { fragments }
+    }
+
+    /// `SimVerify`: of `candidates`, the graphs containing at least one
+    /// level-`i` fragment of the query.
+    pub fn verify(&self, candidates: &[GraphId], level: usize, db: &GraphDb) -> Vec<GraphId> {
+        let Some(frags) = self.fragments.get(&level) else {
+            return Vec::new();
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let g = db.graph(id);
+                frags
+                    .iter()
+                    .any(|(frag, order)| is_subgraph_with_order(frag, g, order))
+            })
+            .collect()
+    }
+
+    /// Number of distinct fragments at a level (diagnostics).
+    pub fn fragment_count(&self, level: usize) -> usize {
+        self.fragments.get(&level).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_graph::Label;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn exact_verification_filters() {
+        let mut db = GraphDb::new();
+        db.push(path(&[0, 1, 0])); // contains C-S
+        db.push(path(&[0, 0])); // does not
+        let q = path(&[0, 1]);
+        assert_eq!(exact_verification(&q, &[0, 1], &db, false), vec![0]);
+        // verification-free passes through
+        assert_eq!(exact_verification(&q, &[0, 1], &db, true), vec![0, 1]);
+    }
+}

@@ -1,0 +1,184 @@
+//! GraphGen-style synthetic dataset generator.
+//!
+//! The paper's synthetic datasets come from the GraphGen tool shipped with
+//! FG-Index: `|D|` graphs with a target average edge count (30) and average
+//! density 0.1 (density = 2|E| / (|V|·(|V|−1))), with node labels drawn
+//! uniformly from a configurable alphabet. This module reproduces those
+//! knobs: sizes are jittered around the mean, the node count is derived
+//! from the density target, and each graph is a uniform random connected
+//! simple graph (spanning tree + random extra edges).
+
+use prague_graph::{Graph, GraphDb, Label, LabelTable, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GraphGenConfig {
+    /// Number of graphs `|D|`.
+    pub graphs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Average edge count per graph (paper: 30).
+    pub avg_edges: f64,
+    /// Average density `2|E| / (|V|(|V|−1))` (paper: 0.1).
+    pub density: f64,
+    /// Distinct node labels (uniform).
+    pub label_count: u16,
+}
+
+impl Default for GraphGenConfig {
+    fn default() -> Self {
+        GraphGenConfig {
+            graphs: 10_000,
+            seed: 0x5EED_1000,
+            avg_edges: 30.0,
+            density: 0.1,
+            label_count: 20,
+        }
+    }
+}
+
+/// Derived from density: `|V|(|V|−1) = 2|E| / density`.
+fn node_count_for(edges: usize, density: f64) -> usize {
+    let target = 2.0 * edges as f64 / density;
+    // solve v^2 - v - target = 0
+    let v = (1.0 + (1.0 + 4.0 * target).sqrt()) / 2.0;
+    (v.round() as usize).max(2)
+}
+
+fn generate_graph(rng: &mut SmallRng, config: &GraphGenConfig) -> Graph {
+    // jitter edges ±40% around the mean
+    let jitter = 0.6 + 0.8 * rng.random::<f64>();
+    let mut edges = ((config.avg_edges * jitter).round() as usize).max(1);
+    let mut nodes = node_count_for(edges, config.density);
+    // a connected simple graph needs |V|−1 ≤ |E| ≤ |V|(|V|−1)/2
+    if edges < nodes - 1 {
+        nodes = edges + 1;
+    }
+    let max_edges = nodes * (nodes - 1) / 2;
+    edges = edges.min(max_edges);
+
+    let mut g = Graph::new();
+    for _ in 0..nodes {
+        g.add_node(Label(rng.random_range(0..config.label_count)));
+    }
+    // random spanning tree
+    for i in 1..nodes {
+        let p = rng.random_range(0..i) as NodeId;
+        g.add_edge(i as NodeId, p).expect("tree edges are simple");
+    }
+    // extra random edges
+    let mut attempts = 0usize;
+    while g.edge_count() < edges && attempts < edges * 20 {
+        attempts += 1;
+        let a = rng.random_range(0..nodes) as NodeId;
+        let b = rng.random_range(0..nodes) as NodeId;
+        if a != b && g.find_edge(a, b).is_none() {
+            g.add_edge(a, b).expect("checked simple");
+        }
+    }
+    g
+}
+
+/// Generate a synthetic dataset; returns the database and a label table
+/// with names `"L0"`, `"L1"`, ….
+pub fn generate(config: &GraphGenConfig) -> (GraphDb, LabelTable) {
+    let labels = LabelTable::from_names((0..config.label_count).map(|i| format!("L{i}")));
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut db = GraphDb::new();
+    for _ in 0..config.graphs {
+        db.push(generate_graph(&mut rng, config));
+    }
+    (db, labels)
+}
+
+/// Generate the paper's family of synthetic datasets (10K–80K) scaled by
+/// `scale` (1.0 = paper scale): sizes `⌈scale·{10K, 20K, 40K, 60K, 80K}⌉`.
+pub fn paper_family(scale: f64, label_count: u16) -> Vec<(String, GraphDb)> {
+    [10_000usize, 20_000, 40_000, 60_000, 80_000]
+        .iter()
+        .map(|&base| {
+            let n = ((base as f64 * scale).round() as usize).max(100);
+            let (db, _) = generate(&GraphGenConfig {
+                graphs: n,
+                seed: 0x5EED ^ base as u64,
+                label_count,
+                ..Default::default()
+            });
+            (format!("{}K", base / 1000), db)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GraphGenConfig {
+            graphs: 10,
+            ..Default::default()
+        };
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg);
+        for (x, y) in a.graphs().iter().zip(b.graphs()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn average_edges_near_target() {
+        let (db, _) = generate(&GraphGenConfig {
+            graphs: 300,
+            ..Default::default()
+        });
+        let avg = db.avg_edges();
+        assert!((24.0..36.0).contains(&avg), "avg edges {avg}");
+    }
+
+    #[test]
+    fn density_near_target() {
+        let (db, _) = generate(&GraphGenConfig {
+            graphs: 200,
+            ..Default::default()
+        });
+        let densities: Vec<f64> = db
+            .graphs()
+            .iter()
+            .map(|g| {
+                let v = g.node_count() as f64;
+                2.0 * g.edge_count() as f64 / (v * (v - 1.0))
+            })
+            .collect();
+        let avg = densities.iter().sum::<f64>() / densities.len() as f64;
+        assert!((0.05..0.2).contains(&avg), "avg density {avg}");
+    }
+
+    #[test]
+    fn connected_and_labeled() {
+        let cfg = GraphGenConfig {
+            graphs: 50,
+            label_count: 5,
+            ..Default::default()
+        };
+        let (db, labels) = generate(&cfg);
+        assert_eq!(labels.len(), 5);
+        for (_, g) in db.iter() {
+            assert!(g.is_connected());
+            for &l in g.labels() {
+                assert!(l.0 < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn family_scales() {
+        let family = paper_family(0.01, 10);
+        assert_eq!(family.len(), 5);
+        assert_eq!(family[0].0, "10K");
+        assert_eq!(family[0].1.len(), 100);
+        assert_eq!(family[4].1.len(), 800);
+    }
+}

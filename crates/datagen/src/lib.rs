@@ -1,0 +1,23 @@
+//! # prague-datagen
+//!
+//! Dataset and workload generation for the PRAGUE experiments:
+//!
+//! * [`molecules`] — an AIDS-Antiviral-like molecular graph generator
+//!   (the real dataset is not redistributable; see DESIGN.md);
+//! * [`graphgen`] — a GraphGen-style synthetic generator (the paper's
+//!   10K–80K family: avg 30 edges, density 0.1);
+//! * [`queries`] — query workloads: paper-shape Q1–Q8 specs, guaranteed
+//!   best-/worst-case similarity query derivation, containment queries and
+//!   formulation-sequence generation.
+
+#![warn(missing_docs)]
+
+pub mod graphgen;
+pub mod molecules;
+pub mod queries;
+
+pub use graphgen::{generate as graphgen_generate, GraphGenConfig};
+pub use molecules::{generate as molecules_generate, MoleculeConfig, MoleculeDataset};
+pub use queries::{
+    derive_containment_query, derive_similarity_query, DeriveConfig, QueryKind, QuerySpec,
+};

@@ -1,0 +1,282 @@
+//! AIDS-like molecular graph generator.
+//!
+//! The paper evaluates on the AIDS Antiviral dataset (40 000 compound
+//! graphs, average 25 vertices / 27 edges, maximum 222 / 251). That dataset
+//! is not redistributable here, so this module generates a *statistically
+//! similar* substitute: node labels are atom symbols with a realistic
+//! frequency skew (carbon-dominated), structure is built from chains and
+//! rings under valence limits, and the size distribution is heavy-tailed
+//! with the paper's mean and max. What the algorithms actually consume —
+//! a rich frequent-fragment lattice over a small alphabet plus a long
+//! infrequent tail — is preserved (see DESIGN.md, substitution 1).
+
+use prague_graph::{Graph, GraphDb, Label, LabelTable, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Atom table used by the generator: `(symbol, weight, max valence)`.
+/// Weights approximate the atom distribution of small organic molecules.
+pub const ATOMS: &[(&str, f64, usize)] = &[
+    ("C", 0.720, 4),
+    ("O", 0.095, 2),
+    ("N", 0.080, 3),
+    ("S", 0.035, 2),
+    ("Cl", 0.020, 1),
+    ("F", 0.015, 1),
+    ("P", 0.012, 3),
+    ("Br", 0.010, 1),
+    ("I", 0.008, 1),
+    ("Hg", 0.005, 2),
+];
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct MoleculeConfig {
+    /// Number of graphs to generate.
+    pub graphs: usize,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Mean node count (paper: 25).
+    pub mean_nodes: f64,
+    /// Maximum node count (paper: 222).
+    pub max_nodes: usize,
+    /// Probability that a growth step attaches a ring instead of a chain
+    /// atom (rings are what make fragment lattices interesting).
+    pub ring_prob: f64,
+}
+
+impl Default for MoleculeConfig {
+    fn default() -> Self {
+        MoleculeConfig {
+            graphs: 1000,
+            seed: 0xA1D5_2012,
+            mean_nodes: 25.0,
+            max_nodes: 222,
+            ring_prob: 0.25,
+        }
+    }
+}
+
+/// Output of the generator: the database and the shared label table whose
+/// ids the graphs use.
+#[derive(Debug)]
+pub struct MoleculeDataset {
+    /// The generated graphs.
+    pub db: GraphDb,
+    /// Atom-symbol labels.
+    pub labels: LabelTable,
+}
+
+/// Sample an atom label, honoring the weight table.
+fn sample_atom(rng: &mut SmallRng) -> (usize, usize) {
+    let total: f64 = ATOMS.iter().map(|a| a.1).sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, &(_, w, val)) in ATOMS.iter().enumerate() {
+        if x < w {
+            return (i, val);
+        }
+        x -= w;
+    }
+    (0, ATOMS[0].2)
+}
+
+/// Heavy-tailed size sample: exponential around the mean, clamped.
+fn sample_size(rng: &mut SmallRng, mean: f64, max: usize) -> usize {
+    // mixture: mostly near the mean, occasional large molecules
+    let base = if rng.random::<f64>() < 0.92 {
+        // triangular-ish around the mean
+        let u: f64 = rng.random::<f64>() + rng.random::<f64>();
+        (mean * u).round()
+    } else {
+        // tail
+        let u: f64 = rng.random::<f64>();
+        (mean * (2.0 + 6.0 * u * u)).round()
+    };
+    (base as usize).clamp(3, max)
+}
+
+/// Generate one molecule with roughly `target_nodes` atoms.
+fn generate_molecule(rng: &mut SmallRng, target_nodes: usize, ring_prob: f64) -> Graph {
+    let mut g = Graph::new();
+    let mut valence: Vec<usize> = Vec::new();
+
+    let add_atom = |g: &mut Graph, valence: &mut Vec<usize>, rng: &mut SmallRng| -> NodeId {
+        let (atom, val) = sample_atom(rng);
+        let id = g.add_node(Label(atom as u16));
+        valence.push(val);
+        id
+    };
+
+    // seed atom (every atom in the table can bond at least once)
+    add_atom(&mut g, &mut valence, rng);
+
+    while g.node_count() < target_nodes {
+        // pick an attachment point with spare valence
+        let candidates: Vec<NodeId> = (0..g.node_count() as NodeId)
+            .filter(|&n| g.degree(n) < valence[n as usize])
+            .collect();
+        let Some(&anchor) = candidates.get(rng.random_range(0..candidates.len().max(1))) else {
+            break; // fully saturated molecule
+        };
+        if candidates.is_empty() {
+            break;
+        }
+
+        if rng.random::<f64>() < ring_prob && g.node_count() + 5 <= target_nodes {
+            // attach a 5- or 6-ring (mostly carbon, maybe one heteroatom)
+            let ring_size = if rng.random::<f64>() < 0.7 { 6 } else { 5 };
+            let mut ring: Vec<NodeId> = vec![anchor];
+            for i in 0..ring_size - 1 {
+                let id = if i == 2 && rng.random::<f64>() < 0.2 {
+                    // heteroatom position
+                    let (atom, val) = sample_atom(rng);
+                    let id = g.add_node(Label(atom as u16));
+                    valence.push(val.max(2)); // must close the ring
+                    id
+                } else {
+                    let id = g.add_node(Label(0)); // carbon
+                    valence.push(4);
+                    id
+                };
+                ring.push(id);
+            }
+            let ok = ring.windows(2).all(|w| g.find_edge(w[0], w[1]).is_none());
+            if ok {
+                for w in 0..ring.len() {
+                    let u = ring[w];
+                    let v = ring[(w + 1) % ring.len()];
+                    let _ = g.add_edge(u, v);
+                }
+            }
+        } else {
+            // chain growth: one new atom bonded to the anchor
+            let (atom, val) = sample_atom(rng);
+            let id = g.add_node(Label(atom as u16));
+            valence.push(val);
+            let _ = g.add_edge(anchor, id);
+        }
+    }
+
+    // occasionally close one extra ring between existing atoms
+    if g.node_count() >= 6 && rng.random::<f64>() < 0.3 {
+        for _ in 0..4 {
+            let a = rng.random_range(0..g.node_count()) as NodeId;
+            let b = rng.random_range(0..g.node_count()) as NodeId;
+            if a != b
+                && g.find_edge(a, b).is_none()
+                && g.degree(a) < valence[a as usize]
+                && g.degree(b) < valence[b as usize]
+            {
+                let _ = g.add_edge(a, b);
+                break;
+            }
+        }
+    }
+
+    // keep only the main connected component (ring attachment always bonds
+    // to the anchor so the graph is connected by construction, but be safe)
+    debug_assert!(g.is_connected());
+    g
+}
+
+/// Generate a molecular dataset.
+pub fn generate(config: &MoleculeConfig) -> MoleculeDataset {
+    let labels = LabelTable::from_names(ATOMS.iter().map(|a| a.0));
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut db = GraphDb::new();
+    for _ in 0..config.graphs {
+        let target = sample_size(&mut rng, config.mean_nodes, config.max_nodes);
+        let mut g = generate_molecule(&mut rng, target, config.ring_prob);
+        if g.edge_count() == 0 {
+            // degenerate single-atom molecule: force a C-C bond
+            let a = g.add_node(Label(0));
+            let b = if g.node_count() >= 2 {
+                0
+            } else {
+                g.add_node(Label(0))
+            };
+            let _ = g.add_edge(a, b);
+        }
+        db.push(g);
+    }
+    MoleculeDataset { db, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = MoleculeConfig {
+            graphs: 20,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        for (x, y) in a.db.graphs().iter().zip(b.db.graphs()) {
+            assert_eq!(x, y);
+        }
+        let c = generate(&MoleculeConfig { seed: 7, ..cfg });
+        assert!(a.db.graphs().iter().zip(c.db.graphs()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn statistics_resemble_aids() {
+        let ds = generate(&MoleculeConfig {
+            graphs: 300,
+            ..Default::default()
+        });
+        let avg_nodes: f64 = ds
+            .db
+            .graphs()
+            .iter()
+            .map(|g| g.node_count() as f64)
+            .sum::<f64>()
+            / ds.db.len() as f64;
+        let avg_edges = ds.db.avg_edges();
+        assert!((15.0..35.0).contains(&avg_nodes), "avg nodes {avg_nodes}");
+        assert!(
+            avg_edges >= avg_nodes - 2.0,
+            "edges {avg_edges} vs nodes {avg_nodes}"
+        );
+        let max_nodes = ds.db.graphs().iter().map(Graph::node_count).max().unwrap();
+        assert!(max_nodes <= 222);
+    }
+
+    #[test]
+    fn graphs_are_connected_and_simple() {
+        let ds = generate(&MoleculeConfig {
+            graphs: 100,
+            ..Default::default()
+        });
+        for (_, g) in ds.db.iter() {
+            assert!(g.is_connected());
+            assert!(g.edge_count() >= 1);
+            // simplicity is enforced by the model; spot-check degrees vs valence
+            for n in 0..g.node_count() as NodeId {
+                assert!(g.degree(n) <= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn carbon_dominates() {
+        let ds = generate(&MoleculeConfig {
+            graphs: 200,
+            ..Default::default()
+        });
+        let mut counts = vec![0usize; ATOMS.len()];
+        for (_, g) in ds.db.iter() {
+            for &l in g.labels() {
+                counts[l.0 as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert!(
+            counts[0] as f64 / total as f64 > 0.5,
+            "carbon share too low"
+        );
+        assert_eq!(ds.labels.name(Label(0)), Some("C"));
+    }
+}

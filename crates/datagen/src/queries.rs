@@ -1,0 +1,563 @@
+//! Query workloads: the paper's Q1–Q8 style queries and deterministic
+//! derivation of best-/worst-case similarity queries from a dataset.
+//!
+//! The paper's queries were drawn by human participants against the AIDS
+//! and GraphGen datasets (Figure 8), chosen so that each query has *no
+//! exact match* from a known formulation step onward ("Similar" status),
+//! with Q1 a best case (all candidates verification-free) and Q2–Q8 worst
+//! cases (all candidates need verification). Because our datasets are
+//! generated substitutes, the harness derives queries with exactly those
+//! guaranteed properties from the data itself:
+//!
+//! * **best case** — the query is an indexed *frequent* fragment plus one
+//!   edge whose label pair never occurs in `D`: every live similarity level
+//!   consists of indexed fragments → all candidates land in `R_free`;
+//! * **worst case** — the query is a large *infrequent* (support ≥ 1)
+//!   subgraph of a real data graph plus one absent-pair edge: the high
+//!   SPIG levels are NIFs → candidates land in `R_ver`.
+
+use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
+use prague_graph::{Graph, GraphDb, GraphId, Label};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A query specification: node labels plus edges in default formulation
+/// order (every prefix of the edge list induces a connected graph).
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Display name (e.g. `"Q3"`).
+    pub name: String,
+    /// Canvas node labels.
+    pub node_labels: Vec<Label>,
+    /// Edges as canvas-node index pairs, in default formulation order.
+    pub edges: Vec<(u32, u32)>,
+    /// Step (1-based) at which the fragment first has no exact match, if
+    /// known (the paper's bold edge). `None` for pure containment queries.
+    pub similar_at: Option<usize>,
+}
+
+impl QuerySpec {
+    /// Materialize the full query graph.
+    pub fn graph(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.node_labels.iter().copied());
+        for &(u, v) in &self.edges {
+            g.add_edge(u, v).expect("query specs are simple graphs");
+        }
+        g
+    }
+
+    /// Query size (edge count).
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Check the spec invariant: simple and connected at every prefix.
+    pub fn validate(&self) -> bool {
+        let mut g = Graph::with_nodes(self.node_labels.iter().copied());
+        let mut wired: HashSet<u32> = HashSet::new();
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            if g.add_edge(u, v).is_err() {
+                return false;
+            }
+            if i == 0 {
+                wired.insert(u);
+                wired.insert(v);
+            } else {
+                if !wired.contains(&u) && !wired.contains(&v) {
+                    return false; // disconnected prefix
+                }
+                wired.insert(u);
+                wired.insert(v);
+            }
+        }
+        !self.edges.is_empty()
+    }
+
+    /// Generate `count` alternative valid formulation sequences (edge-index
+    /// permutations whose every prefix is connected) — used by the paper's
+    /// Table III sequence-variation study. The default order is *not*
+    /// included.
+    pub fn alternative_sequences(&self, count: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let default: Vec<usize> = (0..self.edges.len()).collect();
+        let mut guard = 0usize;
+        while out.len() < count && guard < count * 200 {
+            guard += 1;
+            let seq = self.random_valid_sequence(&mut rng);
+            if seq != default && !out.contains(&seq) {
+                out.push(seq);
+            }
+        }
+        out
+    }
+
+    fn random_valid_sequence(&self, rng: &mut SmallRng) -> Vec<usize> {
+        let n = self.edges.len();
+        let mut seq = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let mut wired: HashSet<u32> = HashSet::new();
+        for step in 0..n {
+            let frontier: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    if used[i] {
+                        return false;
+                    }
+                    if step == 0 {
+                        return true;
+                    }
+                    let (u, v) = self.edges[i];
+                    wired.contains(&u) || wired.contains(&v)
+                })
+                .collect();
+            let &pick = &frontier[rng.random_range(0..frontier.len())];
+            used[pick] = true;
+            let (u, v) = self.edges[pick];
+            wired.insert(u);
+            wired.insert(v);
+            seq.push(pick);
+        }
+        seq
+    }
+}
+
+/// A label pair `(a, b)` (unordered) that never occurs as an edge in `D`.
+/// Falls back to a pair with a fresh label id beyond the dataset alphabet.
+pub fn absent_label_pair(db: &GraphDb) -> (Label, Label) {
+    let mut present: HashSet<(u16, u16)> = HashSet::new();
+    let mut max_label = 0u16;
+    for (_, g) in db.iter() {
+        for e in g.edges() {
+            let (a, b) = (g.label(e.u).0, g.label(e.v).0);
+            present.insert((a.min(b), a.max(b)));
+            max_label = max_label.max(a).max(b);
+        }
+    }
+    for a in 0..=max_label {
+        for b in a..=max_label {
+            if !present.contains(&(a, b)) {
+                return (Label(a), Label(b));
+            }
+        }
+    }
+    (Label(0), Label(max_label + 1))
+}
+
+/// A random connected edge-subgraph of `g` with `size` edges, returned as
+/// edge indices in growth order (every prefix connected). `None` if `g` is
+/// smaller than `size`.
+pub fn random_connected_edges(g: &Graph, size: usize, rng: &mut SmallRng) -> Option<Vec<u32>> {
+    if g.edge_count() < size {
+        return None;
+    }
+    let start = rng.random_range(0..g.edge_count()) as u32;
+    let mut chosen = vec![start];
+    let mut in_set: HashSet<u32> = chosen.iter().copied().collect();
+    while chosen.len() < size {
+        // boundary edges
+        let mut boundary: Vec<u32> = Vec::new();
+        for &e in &chosen {
+            let edge = g.edge(e);
+            for &n in &[edge.u, edge.v] {
+                for &(_, ne) in g.neighbors(n) {
+                    if !in_set.contains(&ne) && !boundary.contains(&ne) {
+                        boundary.push(ne);
+                    }
+                }
+            }
+        }
+        if boundary.is_empty() {
+            return None; // component exhausted
+        }
+        let pick = boundary[rng.random_range(0..boundary.len())];
+        in_set.insert(pick);
+        chosen.push(pick);
+    }
+    Some(chosen)
+}
+
+/// Build a [`QuerySpec`] from a host graph and an edge list in growth order.
+fn spec_from_edges(name: &str, g: &Graph, edges: &[u32]) -> QuerySpec {
+    let mut node_map: Vec<Option<u32>> = vec![None; g.node_count()];
+    let mut node_labels: Vec<Label> = Vec::new();
+    let mut spec_edges: Vec<(u32, u32)> = Vec::new();
+    for &e in edges {
+        let edge = g.edge(e);
+        for &n in &[edge.u, edge.v] {
+            if node_map[n as usize].is_none() {
+                node_map[n as usize] = Some(node_labels.len() as u32);
+                node_labels.push(g.label(n));
+            }
+        }
+        spec_edges.push((
+            node_map[edge.u as usize].unwrap(),
+            node_map[edge.v as usize].unwrap(),
+        ));
+    }
+    QuerySpec {
+        name: name.to_string(),
+        node_labels,
+        edges: spec_edges,
+        similar_at: None,
+    }
+}
+
+/// Support of `q` in `db` (number of containing graphs), with a cheap
+/// edge-label-multiset prefilter; stops at `limit` if non-zero.
+pub fn support_of(q: &Graph, db: &GraphDb, limit: usize) -> usize {
+    let order = MatchOrder::new(q);
+    let q_pairs = q.edge_label_multiset();
+    let mut count = 0usize;
+    for (_, g) in db.iter() {
+        if g.edge_count() < q.edge_count() {
+            continue;
+        }
+        // prefilter: every query edge-label triple must appear in g
+        let g_pairs = g.edge_label_multiset();
+        if !multiset_contains(&g_pairs, &q_pairs) {
+            continue;
+        }
+        if is_subgraph_with_order(q, g, &order) {
+            count += 1;
+            if limit != 0 && count >= limit {
+                return count;
+            }
+        }
+    }
+    count
+}
+
+fn multiset_contains<T: Ord>(haystack: &[T], needle: &[T]) -> bool {
+    let mut i = 0usize;
+    for n in needle {
+        while i < haystack.len() && haystack[i] < *n {
+            i += 1;
+        }
+        if i >= haystack.len() || haystack[i] != *n {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Kind of derived similarity query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// All similarity candidates verification-free (paper's Q1).
+    BestCase,
+    /// All similarity candidates need verification (paper's Q2–Q8).
+    WorstCase,
+}
+
+/// Parameters for query derivation.
+#[derive(Debug, Clone)]
+pub struct DeriveConfig {
+    /// Total query size (edges), including the forced-miss edge.
+    pub size: usize,
+    /// Best or worst case.
+    pub kind: QueryKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Derive a similarity query of `cfg.size` edges with a guaranteed-empty
+/// final exact candidate set.
+///
+/// `frequent` supplies mined frequent fragment graphs for the best case
+/// (pass the A²F contents); the worst case only needs `db`.
+pub fn derive_similarity_query(
+    db: &GraphDb,
+    frequent: &[Graph],
+    cfg: &DeriveConfig,
+    name: &str,
+) -> Option<QuerySpec> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let prefix_size = cfg.size - 1;
+    let (absent_a, absent_b) = absent_label_pair(db);
+
+    for _attempt in 0..200 {
+        let mut spec = match cfg.kind {
+            QueryKind::BestCase => {
+                // an indexed frequent fragment of the right size
+                let candidates: Vec<&Graph> = frequent
+                    .iter()
+                    .filter(|g| g.edge_count() == prefix_size)
+                    .collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                let g = candidates[rng.random_range(0..candidates.len())];
+                let edges = random_connected_edges(g, prefix_size, &mut rng)?;
+                spec_from_edges(name, g, &edges)
+            }
+            QueryKind::WorstCase => {
+                // an infrequent (but existing) subgraph of a data graph
+                let gid = rng.random_range(0..db.len()) as GraphId;
+                let g = db.graph(gid);
+                match random_connected_edges(g, prefix_size, &mut rng) {
+                    Some(edges) => spec_from_edges(name, g, &edges),
+                    None => continue,
+                }
+            }
+        };
+        // For the worst case, require the prefix to be infrequent-but-present
+        // (support in [1, 5% of |D|]) so its SPIG vertex is a NIF.
+        if cfg.kind == QueryKind::WorstCase {
+            let limit = (db.len() / 20).max(2);
+            let sup = support_of(&spec.graph(), db, limit);
+            if sup == 0 || sup >= limit {
+                continue;
+            }
+        }
+        // Attach the absent-pair edge: one endpoint must exist in the prefix
+        // with the right label, the other is a fresh node.
+        let host_label = if spec.node_labels.contains(&absent_a) {
+            absent_a
+        } else if spec.node_labels.contains(&absent_b) {
+            absent_b
+        } else {
+            continue;
+        };
+        let partner = if host_label == absent_a {
+            absent_b
+        } else {
+            absent_a
+        };
+        let host = spec
+            .node_labels
+            .iter()
+            .position(|&l| l == host_label)
+            .unwrap() as u32;
+        let fresh = spec.node_labels.len() as u32;
+        spec.node_labels.push(partner);
+        spec.edges.push((host, fresh));
+        spec.similar_at = Some(spec.edges.len());
+        debug_assert!(spec.validate());
+        return Some(spec);
+    }
+    None
+}
+
+/// Derive a pure subgraph-*containment* query (non-empty final answer):
+/// a random connected subgraph of a data graph.
+pub fn derive_containment_query(
+    db: &GraphDb,
+    size: usize,
+    seed: u64,
+    name: &str,
+) -> Option<QuerySpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..100 {
+        let gid = rng.random_range(0..db.len()) as GraphId;
+        let g = db.graph(gid);
+        if let Some(edges) = random_connected_edges(g, size, &mut rng) {
+            let spec = spec_from_edges(name, g, &edges);
+            debug_assert!(spec.validate());
+            return Some(spec);
+        }
+    }
+    None
+}
+
+/// Paper-shape queries over the molecular alphabet (Figure 8,
+/// best-effort reconstructions — the published figure is partially
+/// illegible). Labels refer to [`crate::molecules::ATOMS`] indices:
+/// C=0, O=1, N=2, S=3, Hg=9.
+pub fn paper_shape_queries() -> Vec<QuerySpec> {
+    let c = Label(0);
+    let o = Label(1);
+    let n = Label(2);
+    let s = Label(3);
+    let hg = Label(9);
+    vec![
+        // Q1: carbon/sulfur ring with a tail, 9 edges
+        QuerySpec {
+            name: "Q1".into(),
+            node_labels: vec![c, c, s, c, c, c, s, c, c],
+            edges: vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // 5-ring closed at step 5
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+            similar_at: Some(4),
+        },
+        // Q2: branched carbon skeleton with N, 8 edges
+        QuerySpec {
+            name: "Q2".into(),
+            node_labels: vec![c, c, c, n, c, c, c, c, c],
+            edges: vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (1, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+            similar_at: Some(5),
+        },
+        // Q3: Hg-O chain into an N-rich tail, 8 edges
+        QuerySpec {
+            name: "Q3".into(),
+            node_labels: vec![hg, o, c, n, n, n, n, c, n],
+            edges: vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+            similar_at: Some(4),
+        },
+        // Q4: carbon ring with O and N substituents, 9 edges
+        QuerySpec {
+            name: "Q4".into(),
+            node_labels: vec![c, c, c, c, c, c, o, n, hg],
+            edges: vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0), // 6-ring
+                (0, 6),
+                (2, 7),
+                (7, 8),
+            ],
+            similar_at: Some(7),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphgen::{generate, GraphGenConfig};
+
+    fn tiny_db() -> GraphDb {
+        let (db, _) = generate(&GraphGenConfig {
+            graphs: 120,
+            avg_edges: 12.0,
+            label_count: 6,
+            seed: 99,
+            ..Default::default()
+        });
+        db
+    }
+
+    #[test]
+    fn paper_shapes_are_valid() {
+        for q in paper_shape_queries() {
+            assert!(q.validate(), "{} invalid", q.name);
+            assert!(q.graph().is_connected());
+            assert!(q.size() <= 10);
+        }
+    }
+
+    #[test]
+    fn alternative_sequences_are_valid_and_distinct() {
+        let q = &paper_shape_queries()[0];
+        let seqs = q.alternative_sequences(3, 42);
+        assert!(!seqs.is_empty());
+        for seq in &seqs {
+            // permutation of 0..n
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..q.size()).collect::<Vec<_>>());
+            // every prefix connected
+            let mut wired: HashSet<u32> = HashSet::new();
+            for (i, &e) in seq.iter().enumerate() {
+                let (u, v) = q.edges[e];
+                if i > 0 {
+                    assert!(wired.contains(&u) || wired.contains(&v));
+                }
+                wired.insert(u);
+                wired.insert(v);
+            }
+        }
+    }
+
+    #[test]
+    fn absent_pair_is_really_absent() {
+        let db = tiny_db();
+        let (a, b) = absent_label_pair(&db);
+        for (_, g) in db.iter() {
+            for e in g.edges() {
+                let (x, y) = (g.label(e.u), g.label(e.v));
+                assert!(!((x, y) == (a, b) || (x, y) == (b, a)));
+            }
+        }
+    }
+
+    #[test]
+    fn derived_worst_case_has_no_exact_match_but_near_misses() {
+        let db = tiny_db();
+        let spec = derive_similarity_query(
+            &db,
+            &[],
+            &DeriveConfig {
+                size: 6,
+                kind: QueryKind::WorstCase,
+                seed: 7,
+            },
+            "W",
+        )
+        .expect("derivable");
+        assert!(spec.validate());
+        assert_eq!(spec.size(), 6);
+        // full query has no exact match
+        assert_eq!(support_of(&spec.graph(), &db, 1), 0);
+        // prefix (all but the forced edge) does
+        let mut prefix = spec.clone();
+        prefix.edges.pop();
+        prefix.node_labels.pop();
+        assert!(support_of(&prefix.graph(), &db, 1) >= 1);
+    }
+
+    #[test]
+    fn derived_containment_query_matches() {
+        let db = tiny_db();
+        let spec = derive_containment_query(&db, 5, 3, "C").expect("derivable");
+        assert!(spec.validate());
+        assert!(support_of(&spec.graph(), &db, 1) >= 1);
+    }
+
+    #[test]
+    fn random_connected_edges_are_connected() {
+        let db = tiny_db();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = db.graph(0);
+        for size in 1..=g.edge_count().min(6) {
+            let edges = random_connected_edges(g, size, &mut rng).unwrap();
+            assert_eq!(edges.len(), size);
+            assert!(g.edge_subset_is_connected(&edges));
+            // growth order: every prefix connected
+            for k in 1..=size {
+                assert!(g.edge_subset_is_connected(&edges[..k]));
+            }
+        }
+    }
+
+    #[test]
+    fn support_of_agrees_with_plain_vf2() {
+        let db = tiny_db();
+        let q = derive_containment_query(&db, 3, 11, "S").unwrap().graph();
+        let brute = db
+            .iter()
+            .filter(|(_, g)| prague_graph::vf2::is_subgraph(&q, g))
+            .count();
+        assert_eq!(support_of(&q, &db, 0), brute);
+    }
+}

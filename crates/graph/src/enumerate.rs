@@ -1,0 +1,234 @@
+//! Enumeration of connected edge-induced subgraphs of a (small) graph.
+//!
+//! SPIG construction, similarity verification and the brute-force oracles in
+//! the test suite all need "every connected subgraph of the query with `k`
+//! edges", optionally restricted to subgraphs containing one distinguished
+//! edge (the SPIG's new edge `e_ℓ`). Queries are small (≤ 10 edges in the
+//! paper's study, ≤ 64 here), so subgraphs are represented as edge bitmasks.
+
+use crate::model::{EdgeId, Graph, GraphError};
+
+/// An edge subset of a host graph, as a bitmask over edge indices.
+pub type EdgeMask = u64;
+
+/// Enumerate all connected edge subsets of `g`, grouped by size: the result
+/// `levels[k]` holds every connected subset with exactly `k` edges
+/// (`levels[0]` is empty by convention — a fragment has at least one edge).
+///
+/// Uses the standard recursive extension scheme: grow each subset only by
+/// edges adjacent to it, and avoid duplicates by forbidding edges smaller
+/// than the subset's minimal edge once excluded. This enumerates each
+/// connected subset exactly once without any isomorphism checks.
+///
+/// # Errors
+/// [`GraphError::TooManyEdges`] when `g` has more than 64 edges.
+pub fn connected_edge_subsets_by_size(g: &Graph) -> Result<Vec<Vec<EdgeMask>>, GraphError> {
+    let m = g.edge_count();
+    if m > 64 {
+        return Err(GraphError::TooManyEdges { edges: m, max: 64 });
+    }
+    let mut levels: Vec<Vec<EdgeMask>> = vec![Vec::new(); m + 1];
+    // Start one enumeration per edge e; forbid all edges < e so each subset
+    // is generated exactly once, rooted at its minimal edge.
+    for e in 0..m as EdgeId {
+        let forbidden: EdgeMask = (1u64 << e) - 1;
+        grow(g, 1u64 << e, forbidden, &mut levels);
+    }
+    Ok(levels)
+}
+
+/// Enumerate all connected edge subsets of `g` that *contain* edge `anchor`,
+/// grouped by size. This is exactly the vertex set of the SPIG for a new
+/// edge `anchor` (Definition 4).
+pub fn connected_edge_subsets_containing(
+    g: &Graph,
+    anchor: EdgeId,
+) -> Result<Vec<Vec<EdgeMask>>, GraphError> {
+    let m = g.edge_count();
+    if m > 64 {
+        return Err(GraphError::TooManyEdges { edges: m, max: 64 });
+    }
+    let mut levels: Vec<Vec<EdgeMask>> = vec![Vec::new(); m + 1];
+    grow(g, 1u64 << anchor, 0, &mut levels);
+    Ok(levels)
+}
+
+/// Recursive extension: record `mask`, then extend by each boundary edge not
+/// in `forbidden`, forbidding previously-tried extensions to kill duplicates.
+fn grow(g: &Graph, mask: EdgeMask, forbidden: EdgeMask, levels: &mut [Vec<EdgeMask>]) {
+    levels[mask.count_ones() as usize].push(mask);
+    let boundary = boundary_edges(g, mask) & !forbidden & !mask;
+    let mut remaining = boundary;
+    let mut tried: EdgeMask = 0;
+    while remaining != 0 {
+        let e = remaining.trailing_zeros() as EdgeId;
+        let bit = 1u64 << e;
+        remaining &= !bit;
+        grow(g, mask | bit, forbidden | tried, levels);
+        tried |= bit;
+    }
+}
+
+/// Edges of `g` sharing at least one endpoint with an edge in `mask`.
+fn boundary_edges(g: &Graph, mask: EdgeMask) -> EdgeMask {
+    let mut out: EdgeMask = 0;
+    let mut rem = mask;
+    while rem != 0 {
+        let e = rem.trailing_zeros() as EdgeId;
+        rem &= rem - 1;
+        let edge = g.edge(e);
+        for &n in &[edge.u, edge.v] {
+            for &(_, ne) in g.neighbors(n) {
+                out |= 1u64 << ne;
+            }
+        }
+    }
+    out
+}
+
+/// Edge indices set in `mask`, ascending.
+pub fn mask_edges(mask: EdgeMask) -> Vec<EdgeId> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut rem = mask;
+    while rem != 0 {
+        out.push(rem.trailing_zeros() as EdgeId);
+        rem &= rem - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Label;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..n).map(|_| g.add_node(Label(0))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn triangle() -> Graph {
+        let mut g = path(3);
+        g.add_edge(2, 0).unwrap();
+        g
+    }
+
+    /// Brute-force oracle: all connected subsets via 2^m scan.
+    fn oracle(g: &Graph) -> Vec<Vec<EdgeMask>> {
+        let m = g.edge_count();
+        let mut levels = vec![Vec::new(); m + 1];
+        for mask in 1u64..(1u64 << m) {
+            let edges = mask_edges(mask);
+            if g.edge_subset_is_connected(&edges) {
+                levels[mask.count_ones() as usize].push(mask);
+            }
+        }
+        for l in &mut levels {
+            l.sort_unstable();
+        }
+        levels
+    }
+
+    #[test]
+    fn path_subsets_match_oracle() {
+        for n in 2..7 {
+            let g = path(n);
+            let mut got = connected_edge_subsets_by_size(&g).unwrap();
+            for l in &mut got {
+                l.sort_unstable();
+            }
+            assert_eq!(got, oracle(&g), "path with {n} nodes");
+        }
+    }
+
+    #[test]
+    fn triangle_subsets_match_oracle() {
+        let g = triangle();
+        let mut got = connected_edge_subsets_by_size(&g).unwrap();
+        for l in &mut got {
+            l.sort_unstable();
+        }
+        assert_eq!(got, oracle(&g));
+        // triangle: 3 single edges, 3 pairs, 1 triple
+        assert_eq!(got[1].len(), 3);
+        assert_eq!(got[2].len(), 3);
+        assert_eq!(got[3].len(), 1);
+    }
+
+    #[test]
+    fn dense_graph_subsets_match_oracle() {
+        // K4
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(Label(0))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(n[i], n[j]).unwrap();
+            }
+        }
+        let mut got = connected_edge_subsets_by_size(&g).unwrap();
+        for l in &mut got {
+            l.sort_unstable();
+        }
+        assert_eq!(got, oracle(&g));
+    }
+
+    #[test]
+    fn anchored_subsets_all_contain_anchor() {
+        let g = triangle();
+        for anchor in 0..3 {
+            let levels = connected_edge_subsets_containing(&g, anchor).unwrap();
+            for level in &levels {
+                for &mask in level {
+                    assert!(mask & (1u64 << anchor) != 0);
+                }
+            }
+            // top level: whole triangle
+            assert_eq!(levels[3], vec![0b111]);
+        }
+    }
+
+    #[test]
+    fn anchored_subsets_match_filtered_oracle() {
+        let g = path(6);
+        for anchor in 0..g.edge_count() as EdgeId {
+            let mut got = connected_edge_subsets_containing(&g, anchor).unwrap();
+            for l in &mut got {
+                l.sort_unstable();
+            }
+            let mut want = oracle(&g);
+            for l in &mut want {
+                l.retain(|&m| m & (1u64 << anchor) != 0);
+            }
+            assert_eq!(got, want, "anchor {anchor}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let g = triangle();
+        let levels = connected_edge_subsets_by_size(&g).unwrap();
+        for level in &levels {
+            let mut seen = std::collections::HashSet::new();
+            for &m in level {
+                assert!(seen.insert(m), "duplicate mask {m:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_edges_rejected() {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..70).map(|_| g.add_node(Label(0))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        assert!(matches!(
+            connected_edge_subsets_by_size(&g),
+            Err(GraphError::TooManyEdges { .. })
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Label interning for node and edge labels.
+//!
+//! Graphs in PRAGUE are node-labeled (e.g. atom symbols `C`, `N`, `O`) and
+//! optionally edge-labeled (e.g. bond types). Labels are interned into dense
+//! `u16` ids so that graph algorithms compare integers rather than strings,
+//! and so canonical codes are compact.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense interned label id.
+///
+/// `Label(0)` is a perfectly ordinary label; the *default* edge label used by
+/// unlabeled datasets is [`Label::UNLABELED`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// Conventional label for edges in datasets that do not label edges.
+    pub const UNLABELED: Label = Label(0);
+
+    /// Raw id.
+    #[inline]
+    pub fn id(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u16> for Label {
+    fn from(v: u16) -> Self {
+        Label(v)
+    }
+}
+
+/// A bidirectional mapping between human-readable label strings and
+/// interned [`Label`] ids.
+///
+/// A `LabelTable` is shared by a dataset and every query formulated over it:
+/// the visual interface of the paper (Panel 2 in Fig. 2) lists exactly the
+/// distinct labels recorded here.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelTable {
+    names: Vec<String>,
+    ids: HashMap<String, Label>,
+}
+
+impl LabelTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table pre-populated with the given names, in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut t = Self::new();
+        for n in names {
+            t.intern(&n.into());
+        }
+        t
+    }
+
+    /// Intern `name`, returning its stable id. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if more than `u16::MAX` distinct labels are interned; real
+    /// graph databases (AIDS has ~60 atom types) are far below this.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.ids.get(name) {
+            return l;
+        }
+        let id = u16::try_from(self.names.len()).expect("label table overflow (> u16::MAX labels)");
+        let l = Label(id);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), l);
+        l
+    }
+
+    /// Look up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolve a label id back to its name, if it was interned here.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Label, name)` pairs in id order (lexicographic if the
+    /// table was built from sorted input, as the GUI's label panel requires).
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u16), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let c1 = t.intern("C");
+        let n = t.intern("N");
+        let c2 = t.intern("C");
+        assert_eq!(c1, c2);
+        assert_ne!(c1, n);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut t = LabelTable::new();
+        let c = t.intern("C");
+        let s = t.intern("S");
+        assert_eq!(t.name(c), Some("C"));
+        assert_eq!(t.name(s), Some("S"));
+        assert_eq!(t.name(Label(99)), None);
+    }
+
+    #[test]
+    fn get_finds_only_interned() {
+        let mut t = LabelTable::new();
+        t.intern("O");
+        assert!(t.get("O").is_some());
+        assert!(t.get("Hg").is_none());
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let t = LabelTable::from_names(["C", "Cl", "N"]);
+        assert_eq!(t.get("C"), Some(Label(0)));
+        assert_eq!(t.get("Cl"), Some(Label(1)));
+        assert_eq!(t.get("N"), Some(Label(2)));
+        let collected: Vec<_> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, vec!["C", "Cl", "N"]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Label(7).to_string(), "L7");
+    }
+}

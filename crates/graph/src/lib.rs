@@ -1,0 +1,32 @@
+//! # prague-graph
+//!
+//! Graph substrate for the PRAGUE visual subgraph query system (Jin,
+//! Bhowmick, Choi, Zhou — ICDE 2012): a compact labeled-graph model for
+//! databases of many small graphs, plus the graph-theoretic machinery the
+//! paper builds on:
+//!
+//! * [`model`] — undirected labeled simple graphs and graph databases;
+//! * [`cam`] — Canonical Adjacency Matrix (CAM) codes, the canonical form
+//!   used to key fragments in indexes and SPIGs;
+//! * [`vf2`] — VF2 subgraph isomorphism (non-induced), with reusable match
+//!   orders for one-query-many-graphs workloads;
+//! * [`enumerate`] — duplicate-free enumeration of connected edge subsets
+//!   (the vertex sets of SPIGs);
+//! * [`mccs`] — maximum connected common subgraph, subgraph similarity
+//!   degree and subgraph distance (Definitions 1–3 of the paper);
+//! * [`io`] — the LineGraph (`.lg`) interchange format used by the gSpan
+//!   tool family, so real datasets load directly.
+
+#![warn(missing_docs)]
+
+pub mod cam;
+pub mod enumerate;
+pub mod io;
+pub mod label;
+pub mod mccs;
+pub mod model;
+pub mod vf2;
+
+pub use cam::{are_isomorphic, cam_code, CamCode};
+pub use label::{Label, LabelTable};
+pub use model::{Edge, EdgeId, Graph, GraphDb, GraphError, GraphId, NodeId};

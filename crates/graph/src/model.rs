@@ -1,0 +1,633 @@
+//! The labeled-graph model shared by data graphs, query fragments and index
+//! fragments.
+//!
+//! Following the paper (Section III) graphs are connected, undirected,
+//! node-labeled (edge labels supported, defaulting to
+//! [`Label::UNLABELED`](crate::Label::UNLABELED)), with at least one edge and
+//! size defined as the number of edges `|G| = |E|`.
+
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data graph within a [`GraphDb`].
+pub type GraphId = u32;
+
+/// A node index local to one graph.
+pub type NodeId = u32;
+
+/// An edge index local to one graph (position in [`Graph::edges`]).
+pub type EdgeId = u32;
+
+/// An undirected labeled edge. Endpoints are normalized so `u <= v` never
+/// holds structurally — instead `u` and `v` are stored as given and
+/// [`Edge::key`] provides the normalized pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Edge label ([`Label::UNLABELED`] for unlabeled datasets).
+    pub label: Label,
+}
+
+impl Edge {
+    /// Endpoints normalized as `(min, max)` — the identity of an undirected
+    /// edge.
+    #[inline]
+    pub fn key(&self) -> (NodeId, NodeId) {
+        if self.u <= self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        }
+    }
+
+    /// The endpoint opposite to `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.u {
+            self.v
+        } else {
+            debug_assert_eq!(n, self.v, "node {n} is not an endpoint");
+            self.u
+        }
+    }
+}
+
+/// Errors raised by graph construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node index that does not exist.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: NodeId,
+        /// The graph's node count.
+        len: usize,
+    },
+    /// A self-loop was added; the model forbids them.
+    SelfLoop {
+        /// The node the loop was attempted on.
+        node: NodeId,
+    },
+    /// A parallel edge (same endpoint pair) was added.
+    ParallelEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// An operation required a connected graph but the graph is disconnected.
+    Disconnected,
+    /// An operation on edge subsets requires at most 64 edges.
+    TooManyEdges {
+        /// The graph's edge count.
+        edges: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range (graph has {len} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} not allowed"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge ({u}, {v}) not allowed")
+            }
+            GraphError::Disconnected => write!(f, "graph must be connected"),
+            GraphError::TooManyEdges { edges, max } => {
+                write!(
+                    f,
+                    "operation supports at most {max} edges, graph has {edges}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected, labeled, simple graph.
+///
+/// Data graphs in the paper's setting are small (AIDS averages 25 nodes / 27
+/// edges) and numerous, so the representation favours compactness and cheap
+/// cloning of *fragments*: a node-label vector, an edge vector and a CSR-free
+/// adjacency list rebuilt on demand.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    labels: Vec<Label>,
+    edges: Vec<Edge>,
+    /// adjacency[n] = list of (neighbor, edge index)
+    #[serde(skip)]
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a graph with the given node labels and no edges.
+    pub fn with_nodes<I: IntoIterator<Item = Label>>(labels: I) -> Self {
+        let labels: Vec<Label> = labels.into_iter().collect();
+        let adjacency = vec![Vec::new(); labels.len()];
+        Graph {
+            labels,
+            edges: Vec::new(),
+            adjacency,
+        }
+    }
+
+    /// Add a node with `label`, returning its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add an undirected edge `(u, v)` with [`Label::UNLABELED`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        self.add_labeled_edge(u, v, Label::UNLABELED)
+    }
+
+    /// Add an undirected labeled edge `(u, v)`.
+    pub fn add_labeled_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        label: Label,
+    ) -> Result<EdgeId, GraphError> {
+        let n = self.labels.len();
+        for &node in &[u, v] {
+            if node as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node, len: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.find_edge(u, v).is_some() {
+            return Err(GraphError::ParallelEdge { u, v });
+        }
+        let id = self.edges.len() as EdgeId;
+        self.edges.push(Edge { u, v, label });
+        self.adjacency[u as usize].push((v, id));
+        self.adjacency[v as usize].push((u, id));
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges — the paper's `|G|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Alias for [`Graph::edge_count`] matching the paper's `|G|` notation.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edge_count()
+    }
+
+    /// Label of node `n`.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> Label {
+        self.labels[n as usize]
+    }
+
+    /// All node labels in node-id order.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The edge with index `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e as usize]
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Degree of node `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n as usize].len()
+    }
+
+    /// Neighbors of `n` as `(neighbor, edge index)` pairs.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[n as usize]
+    }
+
+    /// Find the edge between `u` and `v`, if present.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if (u as usize) >= self.adjacency.len() {
+            return None;
+        }
+        self.adjacency[u as usize]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Rebuild the adjacency list (needed after deserialization, which skips
+    /// the derived adjacency field).
+    pub fn rebuild_adjacency(&mut self) {
+        self.adjacency = vec![Vec::new(); self.labels.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            self.adjacency[e.u as usize].push((e.v, i as EdgeId));
+            self.adjacency[e.v as usize].push((e.u, i as EdgeId));
+        }
+    }
+
+    /// Whether the graph is connected (single connected component). The empty
+    /// graph and a single node count as connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether removing edge `e` keeps the graph connected (and leaves no
+    /// isolated node). Used by query modification: the paper requires the
+    /// modified query graph to stay connected at all times.
+    pub fn edge_is_removable(&self, e: EdgeId) -> bool {
+        let edge = *self.edge(e);
+        // Deleting the only incident edge of an endpoint would orphan a node;
+        // the model then drops that node, which is fine as long as the rest
+        // stays connected. Build the residual edge set and check.
+        let residual: Vec<EdgeId> = (0..self.edges.len() as EdgeId)
+            .filter(|&i| i != e)
+            .collect();
+        if residual.is_empty() {
+            return false; // would leave a graph without edges
+        }
+        // Nodes covered by residual edges must form one connected component.
+        let mut present = vec![false; self.node_count()];
+        for &i in &residual {
+            let ed = self.edge(i);
+            present[ed.u as usize] = true;
+            present[ed.v as usize] = true;
+        }
+        let _ = edge;
+        self.edge_subset_is_connected(&residual) && {
+            // no node may be stranded with zero residual edges *and* still be
+            // required: stranded endpoints are dropped, which is acceptable.
+            true
+        }
+    }
+
+    /// Whether the given set of edge indices induces a connected subgraph
+    /// (over the nodes those edges touch). An empty set is not connected.
+    pub fn edge_subset_is_connected(&self, edges: &[EdgeId]) -> bool {
+        if edges.is_empty() {
+            return false;
+        }
+        let mut in_set = vec![false; self.edges.len()];
+        for &e in edges {
+            in_set[e as usize] = true;
+        }
+        let start = self.edge(edges[0]).u;
+        let mut seen_nodes = vec![false; self.node_count()];
+        let mut seen_edges = 0usize;
+        let mut used = vec![false; self.edges.len()];
+        let mut stack = vec![start];
+        seen_nodes[start as usize] = true;
+        while let Some(u) = stack.pop() {
+            for &(v, e) in self.neighbors(u) {
+                if in_set[e as usize] && !used[e as usize] {
+                    used[e as usize] = true;
+                    seen_edges += 1;
+                    if !seen_nodes[v as usize] {
+                        seen_nodes[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        seen_edges == edges.len()
+    }
+
+    /// Extract the subgraph induced by a set of edge indices. Nodes touched
+    /// by those edges are renumbered densely; the mapping from new node id to
+    /// old node id is returned alongside.
+    pub fn edge_subgraph(&self, edges: &[EdgeId]) -> (Graph, Vec<NodeId>) {
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        let mut new_to_old: Vec<NodeId> = Vec::new();
+        let mut g = Graph::new();
+        for &e in edges {
+            let edge = self.edge(e);
+            for &n in &[edge.u, edge.v] {
+                if old_to_new[n as usize].is_none() {
+                    let id = g.add_node(self.label(n));
+                    old_to_new[n as usize] = Some(id);
+                    new_to_old.push(n);
+                }
+            }
+            let u = old_to_new[edge.u as usize].unwrap();
+            let v = old_to_new[edge.v as usize].unwrap();
+            g.add_labeled_edge(u, v, edge.label)
+                .expect("edge subset of a simple graph is simple");
+        }
+        (g, new_to_old)
+    }
+
+    /// Extract the subgraph induced by an edge bitmask (bit `i` = edge `i`).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::TooManyEdges`] if the graph has more than 64
+    /// edges; masks are only used on query fragments, which are small.
+    pub fn mask_subgraph(&self, mask: u64) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        if self.edge_count() > 64 {
+            return Err(GraphError::TooManyEdges {
+                edges: self.edge_count(),
+                max: 64,
+            });
+        }
+        let edges: Vec<EdgeId> = (0..self.edge_count() as EdgeId)
+            .filter(|&e| mask & (1u64 << e) != 0)
+            .collect();
+        Ok(self.edge_subgraph(&edges))
+    }
+
+    /// Multiset of node labels, sorted. A cheap necessary condition for
+    /// subgraph isomorphism used as a pre-filter.
+    pub fn label_multiset(&self) -> Vec<Label> {
+        let mut v = self.labels.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted multiset of `(min(label_u, label_v), max(..), edge_label)`
+    /// triples — a stronger pre-filter.
+    pub fn edge_label_multiset(&self) -> Vec<(Label, Label, Label)> {
+        let mut v: Vec<(Label, Label, Label)> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let (a, b) = (self.label(e.u), self.label(e.v));
+                if a <= b {
+                    (a, b, e.label)
+                } else {
+                    (b, a, e.label)
+                }
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A database of many small data graphs — the "large number of small graphs"
+/// stream the paper targets (footnote 3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+}
+
+impl GraphDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector of graphs; ids are assigned by position.
+    pub fn from_graphs(graphs: Vec<Graph>) -> Self {
+        GraphDb { graphs }
+    }
+
+    /// Append a graph, returning its id.
+    pub fn push(&mut self, g: Graph) -> GraphId {
+        let id = self.graphs.len() as GraphId;
+        self.graphs.push(g);
+        id
+    }
+
+    /// Number of data graphs `|D|`.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph with identifier `id`.
+    pub fn graph(&self, id: GraphId) -> &Graph {
+        &self.graphs[id as usize]
+    }
+
+    /// Iterate `(GraphId, &Graph)`.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
+        self.graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i as GraphId, g))
+    }
+
+    /// All graphs as a slice.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Rebuild adjacency lists of all graphs (after deserialization).
+    pub fn rebuild_adjacency(&mut self) {
+        for g in &mut self.graphs {
+            g.rebuild_adjacency();
+        }
+    }
+
+    /// Total number of edges across the database.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(Graph::edge_count).sum()
+    }
+
+    /// Average edges per graph.
+    pub fn avg_edges(&self) -> f64 {
+        if self.graphs.is_empty() {
+            0.0
+        } else {
+            self.total_edges() as f64 / self.graphs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        // C - S - C
+        let mut g = Graph::new();
+        let a = g.add_node(Label(0));
+        let b = g.add_node(Label(1));
+        let c = g.add_node(Label(0));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_query_basics() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.size(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.label(1), Label(1));
+        assert!(g.find_edge(0, 1).is_some());
+        assert!(g.find_edge(0, 2).is_none());
+    }
+
+    #[test]
+    fn rejects_self_loop_and_parallel() {
+        let mut g = path3();
+        assert_eq!(g.add_edge(0, 0), Err(GraphError::SelfLoop { node: 0 }));
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::ParallelEdge { u: 1, v: 0 })
+        );
+        assert!(matches!(
+            g.add_edge(0, 9),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = path3();
+        assert!(g.is_connected());
+        let d = g.add_node(Label(2));
+        assert!(!g.is_connected());
+        g.add_edge(2, d).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edge_subset_connectivity() {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(Label(0))).collect();
+        let e01 = g.add_edge(n[0], n[1]).unwrap();
+        let e12 = g.add_edge(n[1], n[2]).unwrap();
+        let e23 = g.add_edge(n[2], n[3]).unwrap();
+        assert!(g.edge_subset_is_connected(&[e01, e12]));
+        assert!(!g.edge_subset_is_connected(&[e01, e23]));
+        assert!(g.edge_subset_is_connected(&[e01, e12, e23]));
+        assert!(!g.edge_subset_is_connected(&[]));
+    }
+
+    #[test]
+    fn edge_subgraph_renumbers_densely() {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..4).map(|i| g.add_node(Label(i as u16))).collect();
+        g.add_edge(n[0], n[1]).unwrap();
+        g.add_edge(n[1], n[2]).unwrap();
+        let e = g.add_edge(n[2], n[3]).unwrap();
+        let (sub, map) = g.edge_subgraph(&[e]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(map, vec![2, 3]);
+        assert_eq!(sub.label(0), Label(2));
+        assert_eq!(sub.label(1), Label(3));
+    }
+
+    #[test]
+    fn mask_subgraph_matches_edge_subgraph() {
+        let g = path3();
+        let (a, _) = g.mask_subgraph(0b01).unwrap();
+        assert_eq!(a.edge_count(), 1);
+        let (b, _) = g.mask_subgraph(0b11).unwrap();
+        assert_eq!(b.edge_count(), 2);
+        assert_eq!(b.node_count(), 3);
+    }
+
+    #[test]
+    fn removable_edges() {
+        // triangle: every edge removable; path: middle edge not removable
+        let mut tri = Graph::new();
+        let t: Vec<_> = (0..3).map(|_| tri.add_node(Label(0))).collect();
+        let e0 = tri.add_edge(t[0], t[1]).unwrap();
+        tri.add_edge(t[1], t[2]).unwrap();
+        tri.add_edge(t[2], t[0]).unwrap();
+        assert!(tri.edge_is_removable(e0));
+
+        let mut p = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| p.add_node(Label(0))).collect();
+        let a = p.add_edge(n[0], n[1]).unwrap();
+        let b = p.add_edge(n[1], n[2]).unwrap();
+        let c = p.add_edge(n[2], n[3]).unwrap();
+        // deleting an end edge keeps remaining edges connected
+        assert!(p.edge_is_removable(a));
+        assert!(p.edge_is_removable(c));
+        // deleting the middle edge disconnects
+        assert!(!p.edge_is_removable(b));
+    }
+
+    #[test]
+    fn single_edge_not_removable() {
+        let mut g = Graph::new();
+        let a = g.add_node(Label(0));
+        let b = g.add_node(Label(1));
+        let e = g.add_edge(a, b).unwrap();
+        assert!(!g.edge_is_removable(e));
+    }
+
+    #[test]
+    fn graphdb_roundtrip() {
+        let mut db = GraphDb::new();
+        let id0 = db.push(path3());
+        let id1 = db.push(path3());
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_edges(), 4);
+        assert!((db.avg_edges() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_multisets() {
+        let g = path3();
+        assert_eq!(g.label_multiset(), vec![Label(0), Label(0), Label(1)]);
+        let m = g.edge_label_multiset();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], (Label(0), Label(1), Label::UNLABELED));
+    }
+}

@@ -1,0 +1,399 @@
+//! VF2-style subgraph isomorphism (Cordella, Foggia, Sansone, Vento 2001).
+//!
+//! The substructure-search semantics of the paper are *non-induced* subgraph
+//! isomorphism (subgraph monomorphism): `q ⊆ g` iff there is an injective
+//! mapping of the nodes of `q` into the nodes of `g` preserving node labels
+//! and mapping every edge of `q` onto an equally-labeled edge of `g`.
+//!
+//! This module provides existence tests, embedding counting and embedding
+//! enumeration over one matcher core. [`crate::mccs`] and the PRAGUE
+//! `SimVerify` procedure extend it to MCCS-based similarity verification as
+//! the paper describes (Section VI-C).
+
+use crate::model::{Graph, NodeId};
+use std::ops::ControlFlow;
+
+/// Precomputed matching order for a (small, connected) query graph.
+///
+/// The order is a BFS-like sequence in which every node after the first is
+/// adjacent to at least one earlier node, so candidate generation can always
+/// expand from an already-mapped anchor (the key VF2 trick). Nodes with rarer
+/// labels and higher degree are preferred early to shrink the search tree.
+#[derive(Debug, Clone)]
+pub struct MatchOrder {
+    /// order[i] = query node matched at depth i
+    order: Vec<NodeId>,
+    /// anchor[i] = Some((earlier query node, its position)) adjacent to order[i]
+    anchor: Vec<Option<(NodeId, usize)>>,
+}
+
+impl MatchOrder {
+    /// Build a matching order for `q`.
+    ///
+    /// For a disconnected query (not produced by the visual interface, but
+    /// tolerated for library robustness) the order restarts the BFS per
+    /// component, with anchorless entries falling back to label-scan
+    /// candidate generation.
+    pub fn new(q: &Graph) -> Self {
+        let n = q.node_count();
+        let mut order = Vec::with_capacity(n);
+        let mut anchor = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        let mut pos_of = vec![usize::MAX; n];
+
+        // score: prefer high degree (more constraining)
+        let score = |v: NodeId| q.degree(v);
+
+        while order.len() < n {
+            // seed: best-scoring unplaced node
+            let seed = (0..n as NodeId)
+                .filter(|&v| !placed[v as usize])
+                .max_by_key(|&v| score(v))
+                .expect("unplaced node exists");
+            placed[seed as usize] = true;
+            pos_of[seed as usize] = order.len();
+            order.push(seed);
+            anchor.push(None);
+
+            loop {
+                // frontier: unplaced node adjacent to a placed one, best score
+                let mut best: Option<(NodeId, NodeId)> = None; // (node, anchor)
+                for &p in &order {
+                    for &(nb, _) in q.neighbors(p) {
+                        if !placed[nb as usize] {
+                            let better = match best {
+                                None => true,
+                                Some((cur, _)) => score(nb) > score(cur),
+                            };
+                            if better {
+                                best = Some((nb, p));
+                            }
+                        }
+                    }
+                }
+                match best {
+                    Some((node, anc)) => {
+                        placed[node as usize] = true;
+                        pos_of[node as usize] = order.len();
+                        order.push(node);
+                        anchor.push(Some((anc, pos_of[anc as usize])));
+                    }
+                    None => break,
+                }
+            }
+        }
+        MatchOrder { order, anchor }
+    }
+}
+
+/// Subgraph-isomorphism matcher from query `q` into data graph `g`.
+pub struct Matcher<'a> {
+    q: &'a Graph,
+    g: &'a Graph,
+    order: &'a MatchOrder,
+    /// mapping query node -> data node (NodeId::MAX = unmapped)
+    map_q: Vec<NodeId>,
+    /// whether a data node is used
+    used_g: Vec<bool>,
+}
+
+const UNMAPPED: NodeId = NodeId::MAX;
+
+impl<'a> Matcher<'a> {
+    /// Create a matcher; `order` must have been built for `q`.
+    pub fn new(q: &'a Graph, g: &'a Graph, order: &'a MatchOrder) -> Self {
+        Matcher {
+            q,
+            g,
+            order,
+            map_q: vec![UNMAPPED; q.node_count()],
+            used_g: vec![false; g.node_count()],
+        }
+    }
+
+    /// Quick necessary conditions; callers may skip the search entirely when
+    /// this returns false.
+    pub fn prefilter(q: &Graph, g: &Graph) -> bool {
+        q.node_count() <= g.node_count() && q.edge_count() <= g.edge_count()
+    }
+
+    /// Run the search, invoking `on_match` for every complete embedding
+    /// (query-node -> data-node). Returning `ControlFlow::Break(())` stops
+    /// the enumeration.
+    pub fn search<F>(&mut self, on_match: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&[NodeId]) -> ControlFlow<()>,
+    {
+        if self.q.node_count() == 0 {
+            return on_match(&[]);
+        }
+        if !Self::prefilter(self.q, self.g) {
+            return ControlFlow::Continue(());
+        }
+        self.extend(0, on_match)
+    }
+
+    fn feasible(&self, qn: NodeId, gn: NodeId) -> bool {
+        if self.used_g[gn as usize] {
+            return false;
+        }
+        if self.q.label(qn) != self.g.label(gn) {
+            return false;
+        }
+        if self.q.degree(qn) > self.g.degree(gn) {
+            return false;
+        }
+        // every already-mapped neighbor of qn must be adjacent (with matching
+        // edge label) to gn in g
+        for &(qnb, qe) in self.q.neighbors(qn) {
+            let img = self.map_q[qnb as usize];
+            if img != UNMAPPED {
+                match self.g.find_edge(gn, img) {
+                    Some(ge) => {
+                        if self.g.edge(ge).label != self.q.edge(qe).label {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+
+    fn extend<F>(&mut self, depth: usize, on_match: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&[NodeId]) -> ControlFlow<()>,
+    {
+        if depth == self.order.order.len() {
+            return on_match(&self.map_q);
+        }
+        let qn = self.order.order[depth];
+        match self.order.anchor[depth] {
+            Some((q_anchor, _)) => {
+                let g_anchor = self.map_q[q_anchor as usize];
+                debug_assert_ne!(g_anchor, UNMAPPED);
+                // candidates: g-neighbors of the anchor image
+                for i in 0..self.g.neighbors(g_anchor).len() {
+                    let (gn, _) = self.g.neighbors(g_anchor)[i];
+                    if self.feasible(qn, gn) {
+                        self.map_q[qn as usize] = gn;
+                        self.used_g[gn as usize] = true;
+                        let flow = self.extend(depth + 1, on_match);
+                        self.used_g[gn as usize] = false;
+                        self.map_q[qn as usize] = UNMAPPED;
+                        flow?;
+                    }
+                }
+            }
+            None => {
+                // seed of a component: scan all data nodes with the label
+                for gn in 0..self.g.node_count() as NodeId {
+                    if self.feasible(qn, gn) {
+                        self.map_q[qn as usize] = gn;
+                        self.used_g[gn as usize] = true;
+                        let flow = self.extend(depth + 1, on_match);
+                        self.used_g[gn as usize] = false;
+                        self.map_q[qn as usize] = UNMAPPED;
+                        flow?;
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Whether `q` is (non-induced) subgraph-isomorphic to `g` — the paper's
+/// `q ⊆ g`.
+pub fn is_subgraph(q: &Graph, g: &Graph) -> bool {
+    let order = MatchOrder::new(q);
+    is_subgraph_with_order(q, g, &order)
+}
+
+/// [`is_subgraph`] with a caller-supplied (reusable) matching order — use
+/// this when testing one query against many data graphs.
+pub fn is_subgraph_with_order(q: &Graph, g: &Graph, order: &MatchOrder) -> bool {
+    let mut found = false;
+    let mut m = Matcher::new(q, g, order);
+    let _ = m.search(&mut |_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Count embeddings of `q` in `g`, stopping at `limit` (0 = unlimited).
+pub fn count_embeddings(q: &Graph, g: &Graph, limit: usize) -> usize {
+    let order = MatchOrder::new(q);
+    let mut count = 0usize;
+    let mut m = Matcher::new(q, g, &order);
+    let _ = m.search(&mut |_| {
+        count += 1;
+        if limit != 0 && count >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    count
+}
+
+/// Collect up to `limit` embeddings (0 = unlimited) as query-node → data-node
+/// maps.
+pub fn find_embeddings(q: &Graph, g: &Graph, limit: usize) -> Vec<Vec<NodeId>> {
+    let order = MatchOrder::new(q);
+    let mut out = Vec::new();
+    let mut m = Matcher::new(q, g, &order);
+    let _ = m.search(&mut |map| {
+        out.push(map.to_vec());
+        if limit != 0 && out.len() >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Label;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn cycle(labels: &[u16]) -> Graph {
+        let mut g = path(labels);
+        g.add_edge(labels.len() as NodeId - 1, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn edge_in_path() {
+        let q = path(&[0, 1]);
+        let g = path(&[1, 0, 1, 0]);
+        assert!(is_subgraph(&q, &g));
+    }
+
+    #[test]
+    fn label_mismatch_fails() {
+        let q = path(&[2, 2]);
+        let g = path(&[0, 1, 0]);
+        assert!(!is_subgraph(&q, &g));
+    }
+
+    #[test]
+    fn path_in_cycle_noninduced() {
+        // P3 is a (non-induced) subgraph of C3
+        let q = path(&[0, 0, 0]);
+        let g = cycle(&[0, 0, 0]);
+        assert!(is_subgraph(&q, &g));
+        // but C3 is not a subgraph of P3
+        assert!(!is_subgraph(&g, &q));
+    }
+
+    #[test]
+    fn count_embeddings_path_in_path() {
+        // P2 (one edge, both label 0) in P4 all-zero: 3 edges * 2 directions
+        let q = path(&[0, 0]);
+        let g = path(&[0, 0, 0, 0]);
+        assert_eq!(count_embeddings(&q, &g, 0), 6);
+        assert_eq!(count_embeddings(&q, &g, 2), 2);
+    }
+
+    #[test]
+    fn embeddings_are_valid() {
+        let q = path(&[0, 1, 0]);
+        let g = cycle(&[0, 1, 0, 1]);
+        let embs = find_embeddings(&q, &g, 0);
+        assert!(!embs.is_empty());
+        for emb in &embs {
+            // injective
+            let mut seen = std::collections::HashSet::new();
+            for &x in emb {
+                assert!(seen.insert(x));
+            }
+            // label preserving
+            for (qi, &gi) in emb.iter().enumerate() {
+                assert_eq!(q.label(qi as NodeId), g.label(gi));
+            }
+            // edge preserving
+            for e in q.edges() {
+                assert!(g.find_edge(emb[e.u as usize], emb[e.v as usize]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn edge_label_respected() {
+        let mut q = Graph::new();
+        let a = q.add_node(Label(0));
+        let b = q.add_node(Label(0));
+        q.add_labeled_edge(a, b, Label(2)).unwrap();
+
+        let mut g = Graph::new();
+        let x = g.add_node(Label(0));
+        let y = g.add_node(Label(0));
+        g.add_labeled_edge(x, y, Label(1)).unwrap();
+        assert!(!is_subgraph(&q, &g));
+
+        let mut g2 = Graph::new();
+        let x = g2.add_node(Label(0));
+        let y = g2.add_node(Label(0));
+        g2.add_labeled_edge(x, y, Label(2)).unwrap();
+        assert!(is_subgraph(&q, &g2));
+    }
+
+    #[test]
+    fn star_needs_degree() {
+        // K1,3 does not embed in P4 (max degree 2)
+        let mut star = Graph::new();
+        let c = star.add_node(Label(0));
+        for _ in 0..3 {
+            let l = star.add_node(Label(0));
+            star.add_edge(c, l).unwrap();
+        }
+        let g = path(&[0, 0, 0, 0]);
+        assert!(!is_subgraph(&star, &g));
+    }
+
+    #[test]
+    fn bigger_query_than_graph() {
+        let q = path(&[0, 0, 0, 0]);
+        let g = path(&[0, 0]);
+        assert!(!is_subgraph(&q, &g));
+    }
+
+    #[test]
+    fn triangle_in_k4() {
+        let mut k4 = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| k4.add_node(Label(0))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                k4.add_edge(n[i], n[j]).unwrap();
+            }
+        }
+        let tri = cycle(&[0, 0, 0]);
+        assert!(is_subgraph(&tri, &k4));
+        // 4 triangles * 6 automorphisms
+        assert_eq!(count_embeddings(&tri, &k4, 0), 24);
+    }
+
+    #[test]
+    fn reusable_order_across_graphs() {
+        let q = path(&[0, 1]);
+        let order = MatchOrder::new(&q);
+        let g1 = path(&[0, 1, 0]);
+        let g2 = path(&[1, 1, 1]);
+        assert!(is_subgraph_with_order(&q, &g1, &order));
+        assert!(!is_subgraph_with_order(&q, &g2, &order));
+    }
+}

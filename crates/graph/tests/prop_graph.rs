@@ -1,0 +1,179 @@
+//! Property-based tests for the graph substrate: CAM canonicalization,
+//! VF2, connected-subset enumeration and MCCS, checked against brute-force
+//! oracles on random small connected graphs.
+
+use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
+use prague_graph::mccs::{mccs_size, subgraph_distance, within_distance};
+use prague_graph::vf2::{count_embeddings, find_embeddings, is_subgraph};
+use prague_graph::{are_isomorphic, cam_code, Graph, Label, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random connected labeled graph with `n` in 1..=max_n nodes,
+/// labels drawn from 0..label_count, built as a random spanning tree plus a
+/// random set of extra edges.
+fn connected_graph(max_n: usize, label_count: u16) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..label_count, n);
+        // parent[i] in 0..i attaches node i to the tree (i >= 1)
+        let parents = proptest::collection::vec(proptest::num::u32::ANY, n.saturating_sub(1));
+        // extra edge proposals as (a, b) index pairs
+        let extras = proptest::collection::vec((0..n, 0..n), 0..=n);
+        (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
+            let mut g = Graph::new();
+            for &l in &labels {
+                g.add_node(Label(l));
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                let child = (i + 1) as NodeId;
+                let parent = (p as usize % (i + 1)) as NodeId;
+                g.add_edge(child, parent).unwrap();
+            }
+            for &(a, b) in &extras {
+                if a != b {
+                    let _ = g.add_edge(a as NodeId, b as NodeId); // ignore duplicates
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Apply a node permutation to a graph, producing an isomorphic copy.
+fn permute(g: &Graph, perm: &[usize]) -> Graph {
+    let mut h = Graph::new();
+    // inverse: new index of old node i is pos[i]
+    let mut pos = vec![0usize; g.node_count()];
+    for (new_idx, &old) in perm.iter().enumerate() {
+        pos[old] = new_idx;
+    }
+    // add nodes in permuted order
+    for &old in perm {
+        h.add_node(g.label(old as NodeId));
+    }
+    for e in g.edges() {
+        h.add_labeled_edge(
+            pos[e.u as usize] as NodeId,
+            pos[e.v as usize] as NodeId,
+            e.label,
+        )
+        .unwrap();
+    }
+    h
+}
+
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<_>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cam_invariant_under_permutation(g in connected_graph(7, 3)) {
+        let base = cam_code(&g);
+        // test a few deterministic rotations of the identity permutation
+        let n = g.node_count();
+        for rot in 1..n.min(4) {
+            let perm: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+            let h = permute(&g, &perm);
+            prop_assert_eq!(&cam_code(&h), &base);
+            prop_assert!(are_isomorphic(&g, &h));
+        }
+    }
+
+    #[test]
+    fn cam_invariant_under_random_permutation(
+        (g, perm) in connected_graph(7, 3).prop_flat_map(|g| {
+            let n = g.node_count();
+            (Just(g), permutation(n))
+        })
+    ) {
+        let h = permute(&g, &perm);
+        prop_assert_eq!(cam_code(&h), cam_code(&g));
+    }
+
+    #[test]
+    fn graph_is_subgraph_of_itself(g in connected_graph(7, 3)) {
+        prop_assert!(is_subgraph(&g, &g));
+    }
+
+    #[test]
+    fn connected_subsets_embed_in_host(g in connected_graph(6, 3)) {
+        if g.edge_count() == 0 { return Ok(()); }
+        let levels = connected_edge_subsets_by_size(&g).unwrap();
+        for level in &levels {
+            for &mask in level {
+                let (sub, _) = g.mask_subgraph(mask).unwrap();
+                prop_assert!(sub.is_connected());
+                prop_assert!(is_subgraph(&sub, &g));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_bruteforce(g in connected_graph(5, 2)) {
+        let m = g.edge_count();
+        if m == 0 || m > 16 { return Ok(()); }
+        let mut got = connected_edge_subsets_by_size(&g).unwrap();
+        for l in &mut got { l.sort_unstable(); }
+        let mut want: Vec<Vec<u64>> = vec![Vec::new(); m + 1];
+        for mask in 1u64..(1u64 << m) {
+            if g.edge_subset_is_connected(&mask_edges(mask)) {
+                want[mask.count_ones() as usize].push(mask);
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mccs_of_self_is_size(g in connected_graph(6, 3)) {
+        if g.edge_count() == 0 || g.edge_count() > 12 { return Ok(()); }
+        prop_assert_eq!(mccs_size(&g, &g, 0).unwrap(), g.edge_count());
+        prop_assert_eq!(subgraph_distance(&g, &g).unwrap(), 0);
+    }
+
+    #[test]
+    fn distance_vs_within_distance_consistent(
+        q in connected_graph(5, 2),
+        g in connected_graph(6, 2),
+    ) {
+        if q.edge_count() == 0 || q.edge_count() > 10 { return Ok(()); }
+        let d = subgraph_distance(&q, &g).unwrap();
+        for sigma in 0..=q.edge_count() {
+            prop_assert_eq!(within_distance(&q, &g, sigma).unwrap(), d <= sigma,
+                "sigma={} d={}", sigma, d);
+        }
+    }
+
+    #[test]
+    fn subgraph_implies_distance_zero(g in connected_graph(6, 2)) {
+        if g.edge_count() == 0 || g.edge_count() > 10 { return Ok(()); }
+        // take the first half of edges if connected
+        let k = (g.edge_count() / 2).max(1);
+        let edges: Vec<_> = (0..k as u32).collect();
+        if !g.edge_subset_is_connected(&edges) { return Ok(()); }
+        let (sub, _) = g.edge_subgraph(&edges);
+        prop_assert!(is_subgraph(&sub, &g));
+        prop_assert_eq!(subgraph_distance(&sub, &g).unwrap(), 0);
+    }
+
+    #[test]
+    fn embeddings_agree_with_count(q in connected_graph(3, 2), g in connected_graph(5, 2)) {
+        let c = count_embeddings(&q, &g, 0);
+        let e = find_embeddings(&q, &g, 0);
+        prop_assert_eq!(c, e.len());
+        prop_assert_eq!(c > 0, is_subgraph(&q, &g));
+    }
+
+    #[test]
+    fn cam_equality_iff_isomorphic_vf2(
+        a in connected_graph(5, 2),
+        b in connected_graph(5, 2),
+    ) {
+        // Cross-validate the canonical form against a VF2-based isomorphism
+        // decision: same sizes + mutual subgraph containment == isomorphism.
+        let same_shape = a.node_count() == b.node_count() && a.edge_count() == b.edge_count();
+        let vf2_iso = same_shape && is_subgraph(&a, &b) && is_subgraph(&b, &a);
+        prop_assert_eq!(are_isomorphic(&a, &b), vf2_iso);
+    }
+}

@@ -1,0 +1,752 @@
+//! The action-aware frequent index (A²F) — Section III of the paper.
+//!
+//! A²F indexes every mined frequent fragment, split by the fragment-size
+//! threshold β into:
+//!
+//! * **MF-index** — a memory-resident DAG over fragments with `|f| ≤ β`
+//!   (small, frequently-probed); an edge `f' → f` exists iff `f' ⊂ f` and
+//!   `|f| = |f'| + 1`;
+//! * **DF-index** — fragment *clusters* of fragments with `|f| > β`, kept on
+//!   disk ([`crate::store::BlobStore`]) and loaded on demand. Each cluster is
+//!   rooted at a size-(β+1) fragment; MF leaf vertices (size β) carry a
+//!   cluster list pointing at the clusters whose root they are contained in.
+//!
+//! Instead of the full FSG-id list, each vertex stores only
+//! `delId(f) = fsgIds(f) \ ⋃_{f ⊂ c, |c|=|f|+1} fsgIds(c)`, exploiting
+//! `f' ⊂ f ⇒ fsgIds(f) ⊆ fsgIds(f')` (FG-Index property): the full list is
+//! reconstructed by unioning delIds over the fragment's descendants, and
+//! memoized.
+
+use crate::codec;
+use crate::store::{BlobHandle, BlobStore, StoreError};
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
+use prague_graph::{cam_code, CamCode, Graph, GraphId};
+use prague_mining::MiningResult;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Identifier of a vertex in the A²F index (the paper's `a2fId`).
+pub type A2fId = u32;
+
+/// Where the DF-index blob file lives.
+#[derive(Debug, Clone)]
+pub enum DfBacking {
+    /// A fresh unique file under the system temp dir (removed on drop).
+    TempDisk,
+    /// A caller-chosen path (kept on drop).
+    Disk(PathBuf),
+}
+
+/// A²F construction parameters.
+#[derive(Debug, Clone)]
+pub struct A2fConfig {
+    /// Fragment size threshold β: fragments with `|f| ≤ β` go to the
+    /// MF-index, larger ones to the disk-resident DF-index.
+    pub beta: usize,
+    /// DF-index storage location.
+    pub backing: DfBacking,
+    /// Ablation switch: store every vertex's *full* FSG-id list instead of
+    /// the `delId` delta (the space optimization the paper adopts from
+    /// FG-Index). Lookups skip the descendant-union reconstruction; the
+    /// index gets much larger. Used by the `exp_ablations` experiment.
+    pub store_full_ids: bool,
+}
+
+impl Default for A2fConfig {
+    fn default() -> Self {
+        A2fConfig {
+            beta: 4,
+            backing: DfBacking::TempDisk,
+            store_full_ids: false,
+        }
+    }
+}
+
+/// Where a fragment's payload (graph + delIds) lives.
+#[derive(Debug, Clone, Copy)]
+enum Location {
+    /// Payload held inline in [`A2fIndex::mf_payloads`].
+    Mf { payload: u32 },
+    /// Payload in cluster `cluster`, at position `slot` within the blob.
+    Df { cluster: u32, slot: u32 },
+}
+
+/// In-memory metadata for every indexed fragment (MF and DF alike).
+#[derive(Debug, Clone)]
+struct VertexMeta {
+    cam: CamCode,
+    size: u16,
+    support: u32,
+    /// Frequent supergraphs with exactly one more edge.
+    children: Vec<A2fId>,
+    /// Frequent subgraphs with exactly one less edge.
+    parents: Vec<A2fId>,
+    location: Location,
+}
+
+/// Inline payload of an MF vertex.
+#[derive(Debug, Clone)]
+struct MfPayload {
+    graph: Graph,
+    del_ids: Vec<GraphId>,
+    /// For leaf vertices (size == β): clusters whose root contains this
+    /// fragment (the paper's fragment cluster list `L`).
+    cluster_list: Vec<u32>,
+}
+
+/// One DF cluster: its root and members (root first), blob handle assigned
+/// at serialization time.
+#[derive(Debug)]
+struct Cluster {
+    members: Vec<A2fId>,
+    handle: BlobHandle,
+}
+
+/// Memory/disk footprint of an index, for the paper's Table II / Fig 10(a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexFootprint {
+    /// Resident bytes (estimated).
+    pub memory_bytes: usize,
+    /// On-disk bytes.
+    pub disk_bytes: usize,
+}
+
+impl IndexFootprint {
+    /// Total footprint.
+    pub fn total(&self) -> usize {
+        self.memory_bytes + self.disk_bytes
+    }
+
+    /// Total in mebibytes.
+    pub fn total_mb(&self) -> f64 {
+        self.total() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// The action-aware frequent index.
+pub struct A2fIndex {
+    beta: usize,
+    full_ids: bool,
+    vertices: Vec<VertexMeta>,
+    mf_payloads: Vec<MfPayload>,
+    clusters: Vec<Cluster>,
+    store: BlobStore,
+    cam_to_id: HashMap<CamCode, A2fId>,
+    /// Memoized full FSG-id lists.
+    fsg_cache: Mutex<HashMap<A2fId, Arc<Vec<GraphId>>>>,
+    /// Incremental-insert appendix: ids of data graphs registered after
+    /// construction that contain each fragment (see
+    /// [`A2fIndex::register_graph`]). Sorted ascending per fragment.
+    appendix: Vec<Vec<GraphId>>,
+}
+
+impl std::fmt::Debug for A2fIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("A2fIndex")
+            .field("beta", &self.beta)
+            .field("vertices", &self.vertices.len())
+            .field("clusters", &self.clusters.len())
+            .finish()
+    }
+}
+
+/// Sorted-set difference `a \ b` (both ascending).
+fn sorted_difference(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Merge a sorted list into another sorted list, deduplicating.
+fn merge_sorted_into(base: &mut Vec<GraphId>, extra: &[GraphId]) {
+    if extra.is_empty() {
+        return;
+    }
+    base.extend_from_slice(extra);
+    base.sort_unstable();
+    base.dedup();
+}
+
+/// Sorted-set union of many ascending lists.
+fn sorted_union(lists: &[&[GraphId]]) -> Vec<GraphId> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        _ => {
+            let mut all: Vec<GraphId> = lists.iter().flat_map(|l| l.iter().copied()).collect();
+            all.sort_unstable();
+            all.dedup();
+            all
+        }
+    }
+}
+
+impl A2fIndex {
+    /// Build the index from a mining result.
+    pub fn build(result: &MiningResult, config: &A2fConfig) -> Result<Self, StoreError> {
+        let store = match &config.backing {
+            DfBacking::TempDisk => BlobStore::create_temp("a2f")?,
+            DfBacking::Disk(path) => BlobStore::create(path)?,
+        };
+
+        // Assign ids in ascending fragment-size order so parents precede
+        // children.
+        let mut order: Vec<usize> = (0..result.frequent.len()).collect();
+        order.sort_by_key(|&i| result.frequent[i].size());
+
+        let mut cam_to_id: HashMap<CamCode, A2fId> = HashMap::with_capacity(order.len());
+        let mut vertices: Vec<VertexMeta> = Vec::with_capacity(order.len());
+        for &src in &order {
+            let frag = &result.frequent[src];
+            let id = vertices.len() as A2fId;
+            cam_to_id.insert(frag.cam.clone(), id);
+            vertices.push(VertexMeta {
+                cam: frag.cam.clone(),
+                size: frag.size() as u16,
+                support: frag.support() as u32,
+                children: Vec::new(),
+                parents: Vec::new(),
+                location: Location::Mf { payload: u32::MAX }, // fixed below
+            });
+        }
+
+        // Lattice edges: enumerate each fragment's largest proper connected
+        // subgraphs and link by CAM lookup.
+        for (pos, &src) in order.iter().enumerate() {
+            let frag = &result.frequent[src];
+            let size = frag.size();
+            if size < 2 {
+                continue;
+            }
+            let id = pos as A2fId;
+            let levels = connected_edge_subsets_by_size(&frag.graph)
+                .expect("fragments bounded by mining cap");
+            let mut parent_ids: Vec<A2fId> = levels[size - 1]
+                .iter()
+                .filter_map(|&mask| {
+                    let (sub, _) = frag.graph.edge_subgraph(&mask_edges(mask));
+                    cam_to_id.get(&cam_code(&sub)).copied()
+                })
+                .collect();
+            parent_ids.sort_unstable();
+            parent_ids.dedup();
+            for &p in &parent_ids {
+                vertices[p as usize].children.push(id);
+            }
+            vertices[id as usize].parents = parent_ids;
+        }
+
+        // delIds: fsgIds(f) minus union of children's full fsgIds (which are
+        // available from the mining result).
+        let full_ids: Vec<&Vec<GraphId>> = order
+            .iter()
+            .map(|&src| &result.frequent[src].fsg_ids)
+            .collect();
+        let mut del_ids: Vec<Vec<GraphId>> = Vec::with_capacity(vertices.len());
+        for (pos, v) in vertices.iter().enumerate() {
+            if config.store_full_ids {
+                del_ids.push(full_ids[pos].clone());
+                continue;
+            }
+            let child_lists: Vec<&[GraphId]> = v
+                .children
+                .iter()
+                .map(|&c| full_ids[c as usize].as_slice())
+                .collect();
+            let covered = sorted_union(&child_lists);
+            del_ids.push(sorted_difference(full_ids[pos], &covered));
+        }
+
+        // Partition into MF payloads and DF clusters.
+        let beta = config.beta;
+        let mut mf_payloads: Vec<MfPayload> = Vec::new();
+        // DF cluster assignment: roots are size β+1; deeper fragments join
+        // the cluster of their first DF parent.
+        let mut cluster_of: HashMap<A2fId, u32> = HashMap::new();
+        let mut cluster_members: Vec<Vec<A2fId>> = Vec::new();
+        for (pos, &src) in order.iter().enumerate() {
+            let frag = &result.frequent[src];
+            let id = pos as A2fId;
+            let size = frag.size();
+            if size <= beta {
+                let payload = mf_payloads.len() as u32;
+                mf_payloads.push(MfPayload {
+                    graph: frag.graph.clone(),
+                    del_ids: std::mem::take(&mut del_ids[pos]),
+                    cluster_list: Vec::new(),
+                });
+                vertices[id as usize].location = Location::Mf { payload };
+            } else {
+                let cluster = if size == beta + 1 {
+                    // new cluster rooted here
+                    cluster_members.push(vec![id]);
+                    (cluster_members.len() - 1) as u32
+                } else {
+                    let parent_df = vertices[id as usize]
+                        .parents
+                        .iter()
+                        .copied()
+                        .find(|&p| vertices[p as usize].size as usize > beta)
+                        .expect("fragment of size > beta+1 has a DF parent");
+                    let c = cluster_of[&parent_df];
+                    cluster_members[c as usize].push(id);
+                    c
+                };
+                cluster_of.insert(id, cluster);
+                vertices[id as usize].location = Location::Df {
+                    cluster,
+                    slot: (cluster_members[cluster as usize].len() - 1) as u32,
+                };
+            }
+        }
+
+        // Serialize clusters: [n, then per member: graph, delIds].
+        // Slot lookup decodes sequentially.
+        let mut clusters: Vec<Cluster> = Vec::with_capacity(cluster_members.len());
+        for members in &cluster_members {
+            let mut buf = BytesMut::new();
+            codec::put_uvarint(&mut buf, members.len() as u64);
+            for &id in members {
+                // find original source index (order[pos] where pos == id)
+                let src = order[id as usize];
+                codec::put_graph(&mut buf, &result.frequent[src].graph);
+                codec::put_sorted_ids(&mut buf, &del_ids[id as usize]);
+            }
+            let handle = store.append(&buf)?;
+            clusters.push(Cluster {
+                members: members.clone(),
+                handle,
+            });
+        }
+        store.sync()?;
+
+        // MF leaf cluster lists: a leaf (size == β) points at every cluster
+        // whose root contains it.
+        for (cid, cluster) in clusters.iter().enumerate() {
+            let root = cluster.members[0];
+            let root_parents = vertices[root as usize].parents.clone();
+            for p in root_parents {
+                if vertices[p as usize].size as usize == beta {
+                    if let Location::Mf { payload } = vertices[p as usize].location {
+                        mf_payloads[payload as usize].cluster_list.push(cid as u32);
+                    }
+                }
+            }
+        }
+
+        let appendix = vec![Vec::new(); vertices.len()];
+        Ok(A2fIndex {
+            beta,
+            full_ids: config.store_full_ids,
+            vertices,
+            mf_payloads,
+            clusters,
+            store,
+            cam_to_id,
+            fsg_cache: Mutex::new(HashMap::new()),
+            appendix,
+        })
+    }
+
+    /// Fragment size threshold β.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Number of indexed frequent fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of DF clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Look up a fragment by CAM code, returning its `a2fId`.
+    pub fn lookup(&self, cam: &CamCode) -> Option<A2fId> {
+        self.cam_to_id.get(cam).copied()
+    }
+
+    /// Fragment size `|f|`.
+    pub fn size(&self, id: A2fId) -> usize {
+        self.vertices[id as usize].size as usize
+    }
+
+    /// Support `|fsgIds(f)|` (kept in memory; no disk access).
+    pub fn support(&self, id: A2fId) -> usize {
+        self.vertices[id as usize].support as usize
+    }
+
+    /// CAM code of fragment `id`.
+    pub fn cam(&self, id: A2fId) -> &CamCode {
+        &self.vertices[id as usize].cam
+    }
+
+    /// Frequent supergraphs of `id` with one more edge.
+    pub fn children(&self, id: A2fId) -> &[A2fId] {
+        &self.vertices[id as usize].children
+    }
+
+    /// Frequent subgraphs of `id` with one less edge.
+    pub fn parents(&self, id: A2fId) -> &[A2fId] {
+        &self.vertices[id as usize].parents
+    }
+
+    /// Decode the payload (graph, delIds) of a vertex, hitting the DF store
+    /// if necessary.
+    fn payload(&self, id: A2fId) -> Result<(Graph, Vec<GraphId>), StoreError> {
+        match self.vertices[id as usize].location {
+            Location::Mf { payload } => {
+                let p = &self.mf_payloads[payload as usize];
+                Ok((p.graph.clone(), p.del_ids.clone()))
+            }
+            Location::Df { cluster, slot } => {
+                let c = &self.clusters[cluster as usize];
+                let bytes = self.store.read(c.handle)?;
+                let mut slice: &[u8] = &bytes;
+                let n = codec::get_uvarint(&mut slice)
+                    .map_err(|_| StoreError::BadHandle(c.handle))? as usize;
+                debug_assert_eq!(n, c.members.len());
+                for i in 0..n {
+                    let graph = codec::get_graph(&mut slice)
+                        .map_err(|_| StoreError::BadHandle(c.handle))?;
+                    let ids = codec::get_sorted_ids(&mut slice)
+                        .map_err(|_| StoreError::BadHandle(c.handle))?;
+                    if i == slot as usize {
+                        return Ok((graph, ids));
+                    }
+                }
+                Err(StoreError::BadHandle(c.handle))
+            }
+        }
+    }
+
+    /// The fragment graph of `id` (may read from disk).
+    pub fn fragment(&self, id: A2fId) -> Graph {
+        self.payload(id).expect("index store readable").0
+    }
+
+    /// The full FSG-id list `fsgIds(f)` of fragment `id`, reconstructed from
+    /// delIds over the descendant lattice and memoized.
+    pub fn fsg_ids(&self, id: A2fId) -> Arc<Vec<GraphId>> {
+        if let Some(hit) = self.fsg_cache.lock().get(&id) {
+            return hit.clone();
+        }
+        if self.full_ids {
+            // ablation mode: the stored list already is the full list
+            let (_, mut ids) = self.payload(id).expect("index store readable");
+            merge_sorted_into(&mut ids, &self.appendix[id as usize]);
+            let full = Arc::new(ids);
+            self.fsg_cache.lock().insert(id, full.clone());
+            return full;
+        }
+        // Resolve children first (sizes strictly increase, so recursion
+        // terminates); then union with own delIds.
+        let child_arcs: Vec<Arc<Vec<GraphId>>> = self.vertices[id as usize]
+            .children
+            .clone()
+            .into_iter()
+            .map(|c| self.fsg_ids(c))
+            .collect();
+        let (_, mut del) = self.payload(id).expect("index store readable");
+        merge_sorted_into(&mut del, &self.appendix[id as usize]);
+        let mut lists: Vec<&[GraphId]> = Vec::with_capacity(child_arcs.len() + 1);
+        lists.push(&del);
+        for a in &child_arcs {
+            lists.push(a.as_slice());
+        }
+        let full = Arc::new(sorted_union(&lists));
+        self.fsg_cache.lock().insert(id, full.clone());
+        full
+    }
+
+    /// Pre-resolve every fragment's full FSG-id list into the memo cache.
+    /// Index *construction* stores only delIds (the space the paper's
+    /// Table II accounts); a deployed system resolves the lists once at
+    /// load time so that the first formulation step is not charged the
+    /// recursive reconstruction (the experiment harness calls this before
+    /// timed runs).
+    pub fn warm(&self) {
+        for id in 0..self.vertices.len() as A2fId {
+            let _ = self.fsg_ids(id);
+        }
+    }
+
+    /// Register a data graph inserted *after* index construction: every
+    /// indexed fragment contained in `g` gains `gid` in its FSG-id list.
+    /// Containment is tested lattice-aware (a fragment is skipped when one
+    /// of its parents is already known absent — support anti-monotonicity),
+    /// so a typical insert costs far fewer VF2 tests than there are
+    /// fragments.
+    ///
+    /// This keeps *answers* exact; fragment classification (frequent vs
+    /// DIF) is not revisited, so pruning quality drifts as the database
+    /// grows — rebuild periodically (see `PragueSystem::insert_graph`).
+    pub fn register_graph(&mut self, gid: GraphId, g: &Graph) -> usize {
+        use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
+        let n = self.vertices.len();
+        let mut contained = vec![false; n];
+        let mut updated = 0usize;
+        for id in 0..n as A2fId {
+            // ids are size-ordered: parents precede children
+            let parents_ok = self.vertices[id as usize]
+                .parents
+                .iter()
+                .all(|&p| contained[p as usize]);
+            if !parents_ok {
+                continue;
+            }
+            let frag = self.fragment(id);
+            let order = MatchOrder::new(&frag);
+            if is_subgraph_with_order(&frag, g, &order) {
+                contained[id as usize] = true;
+                let app = &mut self.appendix[id as usize];
+                if app.last().is_none_or(|&l| l < gid) {
+                    app.push(gid);
+                } else if !app.contains(&gid) {
+                    app.push(gid);
+                    app.sort_unstable();
+                }
+                self.vertices[id as usize].support += 1;
+                updated += 1;
+            }
+        }
+        if updated > 0 {
+            self.fsg_cache.lock().clear();
+        }
+        updated
+    }
+
+    /// Clusters listed on an MF leaf (size == β) — the paper's cluster list
+    /// `L`. Empty for non-leaf vertices.
+    pub fn leaf_cluster_list(&self, id: A2fId) -> &[u32] {
+        match self.vertices[id as usize].location {
+            Location::Mf { payload } => &self.mf_payloads[payload as usize].cluster_list,
+            Location::Df { .. } => &[],
+        }
+    }
+
+    /// Iterate all `(A2fId, size, support)` triples.
+    pub fn iter_meta(&self) -> impl Iterator<Item = (A2fId, usize, usize)> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as A2fId, v.size as usize, v.support as usize))
+    }
+
+    /// Estimated footprint: MF structures and metadata in memory, DF blob
+    /// file on disk. Excludes the transient fsg-id memo cache (query-time
+    /// working memory, not index size).
+    pub fn footprint(&self) -> IndexFootprint {
+        let mut memory = 0usize;
+        for v in &self.vertices {
+            memory += std::mem::size_of::<VertexMeta>()
+                + v.cam.byte_size()
+                + v.children.len() * 4
+                + v.parents.len() * 4;
+        }
+        for p in &self.mf_payloads {
+            memory += std::mem::size_of::<MfPayload>()
+                + p.graph.node_count() * 2
+                + p.graph.edge_count() * std::mem::size_of::<prague_graph::Edge>()
+                + p.del_ids.len() * 4
+                + p.cluster_list.len() * 4;
+        }
+        for c in &self.clusters {
+            memory += std::mem::size_of::<Cluster>() + c.members.len() * 4;
+        }
+        // cam map entries
+        memory += self.cam_to_id.len() * (std::mem::size_of::<(CamCode, A2fId)>() + 16);
+        IndexFootprint {
+            memory_bytes: memory,
+            disk_bytes: self.store.file_len() as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_graph::{Graph, GraphDb, Label};
+    use prague_mining::mine_classified;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn db() -> GraphDb {
+        let mut d = GraphDb::new();
+        for _ in 0..4 {
+            d.push(path(&[0, 1, 0, 1, 0]));
+        }
+        for _ in 0..3 {
+            d.push(path(&[0, 1, 1]));
+        }
+        d.push(path(&[2, 0, 1]));
+        d
+    }
+
+    fn build(beta: usize) -> (A2fIndex, MiningResult) {
+        let result = mine_classified(&db(), 0.3, 6);
+        let idx = A2fIndex::build(
+            &result,
+            &A2fConfig {
+                beta,
+                backing: DfBacking::TempDisk,
+                store_full_ids: false,
+            },
+        )
+        .unwrap();
+        (idx, result)
+    }
+
+    #[test]
+    fn every_frequent_fragment_indexed_with_exact_ids() {
+        for beta in [1, 2, 3, 10] {
+            let (idx, result) = build(beta);
+            assert_eq!(idx.fragment_count(), result.frequent.len());
+            for f in &result.frequent {
+                let id = idx.lookup(&f.cam).expect("fragment indexed");
+                assert_eq!(idx.size(id), f.size());
+                assert_eq!(idx.support(id), f.support());
+                assert_eq!(*idx.fsg_ids(id), f.fsg_ids, "fsgIds reconstruction");
+                assert!(prague_graph::are_isomorphic(&idx.fragment(id), &f.graph));
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_edges_are_subgraph_relations() {
+        let (idx, _) = build(2);
+        for (id, size, _) in idx.iter_meta() {
+            for &c in idx.children(id) {
+                assert_eq!(idx.size(c), size + 1);
+                assert!(prague_graph::vf2::is_subgraph(
+                    &idx.fragment(id),
+                    &idx.fragment(c)
+                ));
+                assert!(idx.parents(c).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn fsgids_shrink_up_the_lattice() {
+        let (idx, _) = build(2);
+        for (id, _, _) in idx.iter_meta() {
+            let mine = idx.fsg_ids(id);
+            for &c in idx.children(id) {
+                let child = idx.fsg_ids(c);
+                for g in child.iter() {
+                    assert!(mine.contains(g), "fsgIds(child) ⊆ fsgIds(parent)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn df_clusters_cover_large_fragments() {
+        let (idx, result) = build(2);
+        let large = result.frequent.iter().filter(|f| f.size() > 2).count();
+        if large > 0 {
+            assert!(idx.cluster_count() > 0);
+        }
+        // roots are size beta+1
+        for cid in 0..idx.cluster_count() {
+            let root = idx.clusters[cid].members[0];
+            assert_eq!(idx.size(root), 3);
+        }
+    }
+
+    #[test]
+    fn leaf_cluster_lists_point_at_containing_roots() {
+        let (idx, _) = build(2);
+        for (id, size, _) in idx.iter_meta() {
+            let list = idx.leaf_cluster_list(id);
+            if size != 2 {
+                assert!(list.is_empty());
+            }
+            for &cid in list {
+                let root = idx.clusters[cid as usize].members[0];
+                assert!(prague_graph::vf2::is_subgraph(
+                    &idx.fragment(id),
+                    &idx.fragment(root)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_cam_lookup_misses() {
+        let (idx, _) = build(2);
+        let rare = cam_code(&path(&[9, 9, 9]));
+        assert_eq!(idx.lookup(&rare), None);
+    }
+
+    #[test]
+    fn footprint_accounts_disk_for_df() {
+        let (idx_small_beta, _) = build(1); // most fragments on disk
+        let (idx_big_beta, _) = build(10); // all in memory
+        assert!(idx_small_beta.footprint().disk_bytes > 0);
+        assert_eq!(idx_big_beta.footprint().disk_bytes, 0);
+        assert!(idx_big_beta.footprint().memory_bytes > 0);
+    }
+
+    #[test]
+    fn full_id_ablation_same_answers_bigger_index() {
+        let result = mine_classified(&db(), 0.3, 6);
+        let delta = A2fIndex::build(
+            &result,
+            &A2fConfig {
+                beta: 2,
+                backing: DfBacking::TempDisk,
+                store_full_ids: false,
+            },
+        )
+        .unwrap();
+        let full = A2fIndex::build(
+            &result,
+            &A2fConfig {
+                beta: 2,
+                backing: DfBacking::TempDisk,
+                store_full_ids: true,
+            },
+        )
+        .unwrap();
+        for f in &result.frequent {
+            let a = delta.lookup(&f.cam).unwrap();
+            let b = full.lookup(&f.cam).unwrap();
+            assert_eq!(*delta.fsg_ids(a), *full.fsg_ids(b));
+            assert_eq!(*delta.fsg_ids(a), f.fsg_ids);
+        }
+        assert!(
+            full.footprint().total() >= delta.footprint().total(),
+            "full-id storage should not be smaller"
+        );
+    }
+
+    #[test]
+    fn sorted_set_helpers() {
+        assert_eq!(sorted_difference(&[1, 2, 3, 5], &[2, 5]), vec![1, 3]);
+        assert_eq!(sorted_difference(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(sorted_union(&[&[1, 3], &[2, 3], &[]]), vec![1, 2, 3]);
+        assert_eq!(sorted_union(&[]), Vec::<GraphId>::new());
+    }
+}

@@ -1,0 +1,232 @@
+//! The action-aware infrequent index (A²I) — Section III of the paper.
+//!
+//! A²I is an array of discriminative infrequent fragments (DIFs) in
+//! ascending size order. Each entry stores the DIF's CAM code and the full
+//! list of FSG identifiers. DIFs have strong pruning power for infrequent
+//! query fragments: every infrequent fragment contains a DIF, so the FSG
+//! list of any contained DIF upper-bounds the candidate set.
+
+use crate::a2f::IndexFootprint;
+use prague_graph::{CamCode, Graph, GraphId};
+use prague_mining::MiningResult;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of an entry in the A²I array (the paper's `a2iId`).
+pub type A2iId = u32;
+
+/// One DIF entry.
+#[derive(Debug, Clone)]
+pub struct DifEntry {
+    /// Canonical CAM code (array key).
+    pub cam: CamCode,
+    /// The DIF graph.
+    pub graph: Graph,
+    /// Sorted FSG identifiers.
+    pub fsg_ids: Arc<Vec<GraphId>>,
+}
+
+/// The action-aware infrequent index.
+#[derive(Debug, Default)]
+pub struct A2iIndex {
+    entries: Vec<DifEntry>,
+    cam_to_id: HashMap<CamCode, A2iId>,
+}
+
+impl A2iIndex {
+    /// Register a data graph inserted after construction: every DIF
+    /// contained in `g` gains `gid`, and any of `g`'s edge label pairs that
+    /// no index knows yet is appended as a fresh size-1 DIF (a single
+    /// infrequent edge is a DIF by definition) — this keeps the SPIG's
+    /// zero-support ("dead") reasoning correct after inserts. `known_edge`
+    /// reports whether a single-edge CAM code is already indexed elsewhere
+    /// (the A²F index).
+    pub fn register_graph<F>(&mut self, gid: GraphId, g: &Graph, known_edge: F) -> usize
+    where
+        F: Fn(&CamCode) -> bool,
+    {
+        use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
+        let mut updated = 0usize;
+        for e in &mut self.entries {
+            let order = MatchOrder::new(&e.graph);
+            if is_subgraph_with_order(&e.graph, g, &order) {
+                let ids = Arc::make_mut(&mut e.fsg_ids);
+                if ids.last().is_none_or(|&l| l < gid) {
+                    ids.push(gid);
+                    updated += 1;
+                } else if !ids.contains(&gid) {
+                    ids.push(gid);
+                    ids.sort_unstable();
+                    updated += 1;
+                }
+            }
+        }
+        // fresh single-edge fragments
+        let mut seen = std::collections::HashSet::new();
+        for edge in g.edges() {
+            let mut single = Graph::new();
+            let u = single.add_node(g.label(edge.u));
+            let v = single.add_node(g.label(edge.v));
+            single.add_labeled_edge(u, v, edge.label).expect("simple");
+            let cam = prague_graph::cam_code(&single);
+            if !seen.insert(cam.clone()) {
+                continue;
+            }
+            if known_edge(&cam) || self.cam_to_id.contains_key(&cam) {
+                continue;
+            }
+            let id = self.entries.len() as A2iId;
+            self.cam_to_id.insert(cam.clone(), id);
+            self.entries.push(DifEntry {
+                cam,
+                graph: single,
+                fsg_ids: Arc::new(vec![gid]),
+            });
+            updated += 1;
+        }
+        updated
+    }
+}
+
+impl A2iIndex {
+    /// Build from a mining result (DIFs arrive pre-sorted by size).
+    pub fn build(result: &MiningResult) -> Self {
+        let mut entries = Vec::with_capacity(result.difs.len());
+        let mut cam_to_id = HashMap::with_capacity(result.difs.len());
+        for dif in &result.difs {
+            let id = entries.len() as A2iId;
+            cam_to_id.insert(dif.cam.clone(), id);
+            entries.push(DifEntry {
+                cam: dif.cam.clone(),
+                graph: dif.graph.clone(),
+                fsg_ids: Arc::new(dif.fsg_ids.clone()),
+            });
+        }
+        A2iIndex { entries, cam_to_id }
+    }
+
+    /// Number of indexed DIFs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a DIF by CAM code.
+    pub fn lookup(&self, cam: &CamCode) -> Option<A2iId> {
+        self.cam_to_id.get(cam).copied()
+    }
+
+    /// The entry with identifier `id`.
+    pub fn entry(&self, id: A2iId) -> &DifEntry {
+        &self.entries[id as usize]
+    }
+
+    /// FSG ids of DIF `id`.
+    pub fn fsg_ids(&self, id: A2iId) -> Arc<Vec<GraphId>> {
+        self.entries[id as usize].fsg_ids.clone()
+    }
+
+    /// DIF size `|g|`.
+    pub fn size(&self, id: A2iId) -> usize {
+        self.entries[id as usize].graph.edge_count()
+    }
+
+    /// Iterate entries in array (ascending size) order.
+    pub fn iter(&self) -> impl Iterator<Item = (A2iId, &DifEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i as A2iId, e))
+    }
+
+    /// Estimated footprint (entirely memory-resident).
+    pub fn footprint(&self) -> IndexFootprint {
+        let mut memory = 0usize;
+        for e in &self.entries {
+            memory += std::mem::size_of::<DifEntry>()
+                + e.cam.byte_size()
+                + e.graph.node_count() * 2
+                + e.graph.edge_count() * std::mem::size_of::<prague_graph::Edge>()
+                + e.fsg_ids.len() * 4;
+        }
+        memory += self.cam_to_id.len() * (std::mem::size_of::<(CamCode, A2iId)>() + 16);
+        IndexFootprint {
+            memory_bytes: memory,
+            disk_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_graph::{cam_code, GraphDb, Label};
+    use prague_mining::mine_classified;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn db() -> GraphDb {
+        let mut d = GraphDb::new();
+        d.push(path(&[0, 1]));
+        d.push(path(&[0, 1]));
+        d.push(path(&[0, 1, 0]));
+        d.push(path(&[0, 0]));
+        d.push(path(&[0, 0]));
+        d.push(path(&[0, 0, 0]));
+        d
+    }
+
+    #[test]
+    fn all_difs_indexed_in_size_order() {
+        let result = mine_classified(&db(), 0.5, 3);
+        let idx = A2iIndex::build(&result);
+        assert_eq!(idx.len(), result.difs.len());
+        let sizes: Vec<_> = idx.iter().map(|(_, e)| e.graph.edge_count()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for dif in &result.difs {
+            let id = idx.lookup(&dif.cam).expect("DIF present");
+            assert_eq!(*idx.fsg_ids(id), dif.fsg_ids);
+            assert_eq!(idx.size(id), dif.size());
+        }
+    }
+
+    #[test]
+    fn lookup_miss_for_frequent_fragment() {
+        let result = mine_classified(&db(), 0.5, 3);
+        let idx = A2iIndex::build(&result);
+        let frequent_cam = cam_code(&path(&[0, 1]));
+        assert_eq!(idx.lookup(&frequent_cam), None);
+    }
+
+    #[test]
+    fn footprint_is_positive_when_nonempty() {
+        let result = mine_classified(&db(), 0.5, 3);
+        let idx = A2iIndex::build(&result);
+        if !idx.is_empty() {
+            assert!(idx.footprint().memory_bytes > 0);
+            assert_eq!(idx.footprint().disk_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let result = mine_classified(&db(), 0.01, 3); // everything frequent
+        let idx = A2iIndex::build(&result);
+        // min support 1 -> nothing infrequent is ever projected
+        assert!(idx.is_empty());
+        assert_eq!(idx.footprint().memory_bytes, 0);
+    }
+}

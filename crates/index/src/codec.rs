@@ -1,0 +1,362 @@
+//! Compact binary encoding for index persistence.
+//!
+//! The paper's DF-index is *disk-resident*; this module provides the
+//! varint-based wire format its fragment clusters are stored in. No external
+//! serialization format is used — the encoding is a small, fully-tested
+//! little-endian varint codec with length-prefixed composites.
+//!
+//! Format primitives:
+//! * `uvarint` — LEB128-style unsigned varint (u64);
+//! * `u16_slice` / `u32_slice` — uvarint length followed by uvarint items;
+//! * graphs — node-label list + edge triple list;
+//! * delta-coded sorted id lists (ascending `GraphId`s stored as gaps).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use prague_graph::{Graph, GraphId, Label, NodeId};
+use std::fmt;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended inside a value.
+    UnexpectedEof,
+    /// A varint ran over 10 bytes (not a valid u64).
+    VarintOverflow,
+    /// A decoded value was out of range for its target type.
+    ValueOutOfRange,
+    /// A decoded graph was structurally invalid.
+    InvalidGraph(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            CodecError::ValueOutOfRange => write!(f, "decoded value out of range"),
+            CodecError::InvalidGraph(msg) => write!(f, "invalid encoded graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append a u64 as a LEB128 varint.
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint.
+pub fn get_uvarint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::VarintOverflow);
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::VarintOverflow);
+        }
+    }
+}
+
+/// Append a slice of u16s (length-prefixed).
+pub fn put_u16_slice(buf: &mut BytesMut, vals: &[u16]) {
+    put_uvarint(buf, vals.len() as u64);
+    for &v in vals {
+        put_uvarint(buf, u64::from(v));
+    }
+}
+
+/// Read a slice of u16s.
+pub fn get_u16_slice(buf: &mut &[u8]) -> Result<Vec<u16>, CodecError> {
+    let len = get_uvarint(buf)? as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        let v = get_uvarint(buf)?;
+        out.push(u16::try_from(v).map_err(|_| CodecError::ValueOutOfRange)?);
+    }
+    Ok(out)
+}
+
+/// Append a slice of u32s (length-prefixed).
+pub fn put_u32_slice(buf: &mut BytesMut, vals: &[u32]) {
+    put_uvarint(buf, vals.len() as u64);
+    for &v in vals {
+        put_uvarint(buf, u64::from(v));
+    }
+}
+
+/// Read a slice of u32s.
+pub fn get_u32_slice(buf: &mut &[u8]) -> Result<Vec<u32>, CodecError> {
+    let len = get_uvarint(buf)? as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        let v = get_uvarint(buf)?;
+        out.push(u32::try_from(v).map_err(|_| CodecError::ValueOutOfRange)?);
+    }
+    Ok(out)
+}
+
+/// Append a *sorted ascending* id list, delta-coded (first value, then gaps).
+/// Sorted FSG-id lists compress very well under this scheme.
+pub fn put_sorted_ids(buf: &mut BytesMut, ids: &[GraphId]) {
+    debug_assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ids must be strictly ascending"
+    );
+    put_uvarint(buf, ids.len() as u64);
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        let v = u64::from(id);
+        if i == 0 {
+            put_uvarint(buf, v);
+        } else {
+            put_uvarint(buf, v - prev);
+        }
+        prev = v;
+    }
+}
+
+/// Read a delta-coded sorted id list.
+pub fn get_sorted_ids(buf: &mut &[u8]) -> Result<Vec<GraphId>, CodecError> {
+    let len = get_uvarint(buf)? as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 22));
+    let mut prev = 0u64;
+    for i in 0..len {
+        let d = get_uvarint(buf)?;
+        let v = if i == 0 { d } else { prev + d };
+        out.push(GraphId::try_from(v).map_err(|_| CodecError::ValueOutOfRange)?);
+        prev = v;
+    }
+    Ok(out)
+}
+
+/// Append a graph: node labels, then `(u, v, edge_label)` triples.
+pub fn put_graph(buf: &mut BytesMut, g: &Graph) {
+    put_uvarint(buf, g.node_count() as u64);
+    for &l in g.labels() {
+        put_uvarint(buf, u64::from(l.0));
+    }
+    put_uvarint(buf, g.edge_count() as u64);
+    for e in g.edges() {
+        put_uvarint(buf, u64::from(e.u));
+        put_uvarint(buf, u64::from(e.v));
+        put_uvarint(buf, u64::from(e.label.0));
+    }
+}
+
+/// Read a graph.
+pub fn get_graph(buf: &mut &[u8]) -> Result<Graph, CodecError> {
+    let n = get_uvarint(buf)? as usize;
+    let mut g = Graph::new();
+    for _ in 0..n {
+        let l = get_uvarint(buf)?;
+        g.add_node(Label(
+            u16::try_from(l).map_err(|_| CodecError::ValueOutOfRange)?,
+        ));
+    }
+    let m = get_uvarint(buf)? as usize;
+    for _ in 0..m {
+        let u = get_uvarint(buf)?;
+        let v = get_uvarint(buf)?;
+        let l = get_uvarint(buf)?;
+        let u = NodeId::try_from(u).map_err(|_| CodecError::ValueOutOfRange)?;
+        let v = NodeId::try_from(v).map_err(|_| CodecError::ValueOutOfRange)?;
+        let l = u16::try_from(l).map_err(|_| CodecError::ValueOutOfRange)?;
+        g.add_labeled_edge(u, v, Label(l))
+            .map_err(|e| CodecError::InvalidGraph(e.to_string()))?;
+    }
+    Ok(g)
+}
+
+/// Append a UTF-8 string (length-prefixed).
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a UTF-8 string.
+pub fn get_string(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let bytes = &buf[..len];
+    let s = std::str::from_utf8(bytes)
+        .map_err(|_| CodecError::ValueOutOfRange)?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Freeze a builder into immutable bytes.
+pub fn freeze(buf: BytesMut) -> Bytes {
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_uvarint(v: u64) {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, v);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_uvarint(&mut slice).unwrap(), v);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn uvarint_round_trips() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            round_trip_uvarint(v);
+        }
+    }
+
+    #[test]
+    fn uvarint_boundaries_are_compact() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut slice: &[u8] = &[0x80]; // continuation bit but no next byte
+        assert_eq!(get_uvarint(&mut slice), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let bytes = [0xffu8; 11];
+        let mut slice: &[u8] = &bytes;
+        assert_eq!(get_uvarint(&mut slice), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut buf = BytesMut::new();
+        put_u16_slice(&mut buf, &[0, 7, 65535]);
+        put_u32_slice(&mut buf, &[1, 2, u32::MAX]);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_u16_slice(&mut slice).unwrap(), vec![0, 7, 65535]);
+        assert_eq!(get_u32_slice(&mut slice).unwrap(), vec![1, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn sorted_ids_round_trip_and_compress() {
+        let ids: Vec<GraphId> = (0..1000).map(|i| i * 3).collect();
+        let mut buf = BytesMut::new();
+        put_sorted_ids(&mut buf, &ids);
+        // dense gaps of 3 -> 1 byte each (plus header)
+        assert!(buf.len() < 1100);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_sorted_ids(&mut slice).unwrap(), ids);
+    }
+
+    #[test]
+    fn empty_ids() {
+        let mut buf = BytesMut::new();
+        put_sorted_ids(&mut buf, &[]);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_sorted_ids(&mut slice).unwrap(), Vec::<GraphId>::new());
+    }
+
+    #[test]
+    fn graph_round_trips() {
+        let mut g = Graph::new();
+        let a = g.add_node(Label(3));
+        let b = g.add_node(Label(0));
+        let c = g.add_node(Label(7));
+        g.add_labeled_edge(a, b, Label(1)).unwrap();
+        g.add_labeled_edge(b, c, Label(0)).unwrap();
+        let mut buf = BytesMut::new();
+        put_graph(&mut buf, &g);
+        let mut slice: &[u8] = &buf;
+        let h = get_graph(&mut slice).unwrap();
+        assert_eq!(g, h);
+        // adjacency rebuilt correctly
+        assert_eq!(h.degree(1), 2);
+    }
+
+    #[test]
+    fn corrupt_graph_rejected() {
+        // graph with an edge pointing at a nonexistent node
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 1); // 1 node
+        put_uvarint(&mut buf, 0); // label 0
+        put_uvarint(&mut buf, 1); // 1 edge
+        put_uvarint(&mut buf, 0);
+        put_uvarint(&mut buf, 5); // node 5 missing
+        put_uvarint(&mut buf, 0);
+        let mut slice: &[u8] = &buf;
+        assert!(matches!(
+            get_graph(&mut slice),
+            Err(CodecError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "");
+        put_string(&mut buf, "C–S bond α=0.1");
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_string(&mut slice).unwrap(), "");
+        assert_eq!(get_string(&mut slice).unwrap(), "C–S bond α=0.1");
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn truncated_string_rejected() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 10); // claims 10 bytes
+        buf.put_slice(b"abc"); // only 3
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_string(&mut slice), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn sequential_values_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 42);
+        put_sorted_ids(&mut buf, &[5, 10, 20]);
+        put_uvarint(&mut buf, 7);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(get_uvarint(&mut slice).unwrap(), 42);
+        assert_eq!(get_sorted_ids(&mut slice).unwrap(), vec![5, 10, 20]);
+        assert_eq!(get_uvarint(&mut slice).unwrap(), 7);
+        assert!(slice.is_empty());
+    }
+}

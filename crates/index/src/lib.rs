@@ -1,0 +1,56 @@
+//! # prague-index
+//!
+//! The action-aware indexing layer of PRAGUE (shared with GBLENDER,
+//! Section III of the paper):
+//!
+//! * [`a2f`] — the action-aware frequent index: memory-resident MF-index
+//!   DAG for fragments `|f| ≤ β` and a disk-resident DF-index of fragment
+//!   clusters for larger fragments, storing `delId` deltas instead of full
+//!   FSG lists;
+//! * [`a2i`] — the action-aware infrequent index: an array of
+//!   discriminative infrequent fragments with full FSG-id lists;
+//! * [`codec`] / [`store`] — the varint wire format and append-only blob
+//!   store that make the DF-index genuinely disk-resident.
+
+#![warn(missing_docs)]
+
+pub mod a2f;
+pub mod a2i;
+pub mod codec;
+pub mod store;
+
+pub use a2f::{A2fConfig, A2fId, A2fIndex, DfBacking, IndexFootprint};
+pub use a2i::{A2iId, A2iIndex, DifEntry};
+pub use store::{BlobHandle, BlobStore, StoreError};
+
+/// Both action-aware indexes, built together over one mining result.
+#[derive(Debug)]
+pub struct ActionAwareIndexes {
+    /// The frequent-fragment index.
+    pub a2f: A2fIndex,
+    /// The DIF index.
+    pub a2i: A2iIndex,
+}
+
+impl ActionAwareIndexes {
+    /// Build both indexes.
+    pub fn build(
+        result: &prague_mining::MiningResult,
+        config: &A2fConfig,
+    ) -> Result<Self, StoreError> {
+        Ok(ActionAwareIndexes {
+            a2f: A2fIndex::build(result, config)?,
+            a2i: A2iIndex::build(result),
+        })
+    }
+
+    /// Combined footprint.
+    pub fn footprint(&self) -> IndexFootprint {
+        let a = self.a2f.footprint();
+        let b = self.a2i.footprint();
+        IndexFootprint {
+            memory_bytes: a.memory_bytes + b.memory_bytes,
+            disk_bytes: a.disk_bytes + b.disk_bytes,
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Disk-resident blob store with an LRU read cache — the storage layer of
+//! the DF-index.
+//!
+//! The paper's action-aware frequent index keeps large, rarely-used frequent
+//! fragments on disk as *fragment clusters* (Section III). This store holds
+//! one serialized blob per cluster: blobs are appended once during index
+//! construction and read back (with caching) during query processing.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Handle to one stored blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlobHandle {
+    /// Byte offset in the store file.
+    pub offset: u64,
+    /// Blob length in bytes.
+    pub len: u32,
+}
+
+/// Store I/O errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A handle pointed outside the file.
+    BadHandle(BlobHandle),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadHandle(h) => write!(f, "bad blob handle {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+struct CacheInner {
+    map: HashMap<u64, (Bytes, u64)>, // offset -> (bytes, last-use tick)
+    tick: u64,
+    bytes: usize,
+    capacity_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheInner {
+    fn get(&mut self, offset: u64) -> Option<Bytes> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&offset) {
+            Some((b, last)) => {
+                *last = tick;
+                self.hits += 1;
+                Some(b.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, offset: u64, bytes: Bytes) {
+        self.bytes += bytes.len();
+        self.tick += 1;
+        self.map.insert(offset, (bytes, self.tick));
+        while self.bytes > self.capacity_bytes && self.map.len() > 1 {
+            // evict least-recently-used
+            let (&victim, _) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .expect("non-empty cache");
+            if let Some((b, _)) = self.map.remove(&victim) {
+                self.bytes -= b.len();
+            }
+        }
+    }
+}
+
+/// Append-only blob store backed by a single file.
+pub struct BlobStore {
+    path: PathBuf,
+    file: Mutex<File>,
+    len: Mutex<u64>,
+    cache: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for BlobStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlobStore")
+            .field("path", &self.path)
+            .field("len", &*self.len.lock())
+            .finish()
+    }
+}
+
+/// Default read-cache budget (16 MiB) — mirrors the paper's premise that
+/// DF-index clusters are large and only a working set stays in memory.
+pub const DEFAULT_CACHE_BYTES: usize = 16 << 20;
+
+impl BlobStore {
+    /// Create (truncating) a store at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(BlobStore {
+            path,
+            file: Mutex::new(file),
+            len: Mutex::new(0),
+            cache: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                capacity_bytes: DEFAULT_CACHE_BYTES,
+                hits: 0,
+                misses: 0,
+            }),
+        })
+    }
+
+    /// Create a store in a fresh unique file under the system temp dir.
+    pub fn create_temp(tag: &str) -> Result<Self, StoreError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("prague-{tag}-{}-{n}.store", std::process::id()));
+        Self::create(path)
+    }
+
+    /// Limit the read cache to `bytes`.
+    pub fn set_cache_capacity(&self, bytes: usize) {
+        let mut c = self.cache.lock();
+        c.capacity_bytes = bytes.max(1);
+        while c.bytes > c.capacity_bytes && c.map.len() > 1 {
+            let (&victim, _) = c.map.iter().min_by_key(|(_, (_, last))| *last).unwrap();
+            if let Some((b, _)) = c.map.remove(&victim) {
+                c.bytes -= b.len();
+            }
+        }
+    }
+
+    /// Append a blob, returning its handle.
+    pub fn append(&self, data: &[u8]) -> Result<BlobHandle, StoreError> {
+        let mut file = self.file.lock();
+        let mut len = self.len.lock();
+        file.seek(SeekFrom::Start(*len))?;
+        file.write_all(data)?;
+        let handle = BlobHandle {
+            offset: *len,
+            len: data.len() as u32,
+        };
+        *len += data.len() as u64;
+        Ok(handle)
+    }
+
+    /// Read a blob (cached).
+    pub fn read(&self, handle: BlobHandle) -> Result<Bytes, StoreError> {
+        if let Some(bytes) = self.cache.lock().get(handle.offset) {
+            return Ok(bytes);
+        }
+        let total = *self.len.lock();
+        if handle.offset + u64::from(handle.len) > total {
+            return Err(StoreError::BadHandle(handle));
+        }
+        let mut buf = vec![0u8; handle.len as usize];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(handle.offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        let bytes = Bytes::from(buf);
+        self.cache.lock().insert(handle.offset, bytes.clone());
+        Ok(bytes)
+    }
+
+    /// Total bytes stored (the on-disk footprint of the DF-index payload).
+    pub fn file_len(&self) -> u64 {
+        *self.len.lock()
+    }
+
+    /// `(hits, misses)` of the read cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock();
+        (c.hits, c.misses)
+    }
+
+    /// Flush pending writes to disk.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for BlobStore {
+    fn drop(&mut self) {
+        // Best-effort cleanup of temp stores; persistent stores are the
+        // caller's responsibility (they chose the path).
+        if self
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("prague-") && n.ends_with(".store"))
+            && self.path.starts_with(std::env::temp_dir())
+        {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let store = BlobStore::create_temp("test").unwrap();
+        let h1 = store.append(b"hello").unwrap();
+        let h2 = store.append(b"world!").unwrap();
+        assert_eq!(&store.read(h1).unwrap()[..], b"hello");
+        assert_eq!(&store.read(h2).unwrap()[..], b"world!");
+        assert_eq!(store.file_len(), 11);
+    }
+
+    #[test]
+    fn cache_hits_on_reread() {
+        let store = BlobStore::create_temp("test").unwrap();
+        let h = store.append(b"data").unwrap();
+        let _ = store.read(h).unwrap();
+        let _ = store.read(h).unwrap();
+        let (hits, misses) = store.cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_bounded() {
+        let store = BlobStore::create_temp("test").unwrap();
+        store.set_cache_capacity(32);
+        let handles: Vec<_> = (0..10)
+            .map(|i| store.append(&[i as u8; 16]).unwrap())
+            .collect();
+        for &h in &handles {
+            let _ = store.read(h).unwrap();
+        }
+        // all still readable after eviction
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(&store.read(h).unwrap()[..], &[i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn bad_handle_rejected() {
+        let store = BlobStore::create_temp("test").unwrap();
+        store.append(b"x").unwrap();
+        let bad = BlobHandle {
+            offset: 100,
+            len: 10,
+        };
+        assert!(matches!(store.read(bad), Err(StoreError::BadHandle(_))));
+    }
+
+    #[test]
+    fn empty_blob() {
+        let store = BlobStore::create_temp("test").unwrap();
+        let h = store.append(b"").unwrap();
+        assert_eq!(store.read(h).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_reads() {
+        let store = std::sync::Arc::new(BlobStore::create_temp("test").unwrap());
+        let handles: Vec<_> = (0..50)
+            .map(|i| store.append(format!("blob-{i}").as_bytes()).unwrap())
+            .collect();
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            let handles = handles.clone();
+            joins.push(std::thread::spawn(move || {
+                for (i, &h) in handles.iter().enumerate() {
+                    let b = store.read(h).unwrap();
+                    assert_eq!(&b[..], format!("blob-{i}").as_bytes(), "thread {t}");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! DFS codes — gSpan's canonical form (Yan & Han, ICDM 2002).
+//!
+//! A DFS code is a sequence of edge 5-tuples `(from, to, from_label,
+//! edge_label, to_label)` describing a depth-first construction of a graph.
+//! The *minimum* DFS code under gSpan's extension order is a canonical form:
+//! two graphs are isomorphic iff their minimum DFS codes are equal. gSpan
+//! enumerates each frequent fragment exactly once by growing only minimum
+//! codes along rightmost-path extensions.
+//!
+//! The paper keys index entries by CAM codes ([`prague_graph::cam`]); this
+//! module is the mining-internal canonical form, and the two are
+//! cross-validated in tests (equal CAM ⟺ equal min DFS code).
+
+use prague_graph::{Graph, Label, NodeId};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// One edge of a DFS code. `from`/`to` are DFS discovery indices (0-based);
+/// a *forward* edge has `to == max_so_far + 1`, a *backward* edge has
+/// `to < from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DfsEdge {
+    /// DFS index of the source vertex.
+    pub from: u16,
+    /// DFS index of the target vertex.
+    pub to: u16,
+    /// Label of the source vertex.
+    pub from_label: Label,
+    /// Label of the edge.
+    pub edge_label: Label,
+    /// Label of the target vertex.
+    pub to_label: Label,
+}
+
+impl DfsEdge {
+    /// Whether this is a forward (tree) edge.
+    #[inline]
+    pub fn is_forward(&self) -> bool {
+        self.to > self.from
+    }
+}
+
+/// A DFS code: a sequence of [`DfsEdge`]s. Valid codes start with
+/// `(0, 1, ..)` and every forward edge introduces vertex `max+1`.
+pub type DfsCode = Vec<DfsEdge>;
+
+/// A rightmost-path extension of a DFS code, in gSpan's canonical order:
+/// backward extensions sort before forward ones; backward by `(to,
+/// edge_label)`; forward by *descending* `from` (deeper on the rightmost
+/// path first), then `(edge_label, to_label)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extension {
+    /// Back edge from the rightmost vertex to a rightmost-path vertex `to`.
+    Backward {
+        /// DFS index of the target (on the rightmost path).
+        to: u16,
+        /// Label of the new edge.
+        edge_label: Label,
+    },
+    /// Tree edge from rightmost-path vertex `from` to a brand-new vertex.
+    Forward {
+        /// DFS index of the source (on the rightmost path).
+        from: u16,
+        /// Label of the new edge.
+        edge_label: Label,
+        /// Label of the new vertex.
+        to_label: Label,
+    },
+}
+
+impl Ord for Extension {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Extension::*;
+        match (self, other) {
+            (Backward { .. }, Forward { .. }) => Ordering::Less,
+            (Forward { .. }, Backward { .. }) => Ordering::Greater,
+            (
+                Backward {
+                    to: t1,
+                    edge_label: e1,
+                },
+                Backward {
+                    to: t2,
+                    edge_label: e2,
+                },
+            ) => t1.cmp(t2).then(e1.cmp(e2)),
+            (
+                Forward {
+                    from: f1,
+                    edge_label: e1,
+                    to_label: l1,
+                },
+                Forward {
+                    from: f2,
+                    edge_label: e2,
+                    to_label: l2,
+                },
+            ) => f2.cmp(f1).then(e1.cmp(e2)).then(l1.cmp(l2)),
+        }
+    }
+}
+
+impl PartialOrd for Extension {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Extension {
+    /// Materialize this extension as the next [`DfsEdge`] of `code`.
+    pub fn to_dfs_edge(&self, code: &[DfsEdge]) -> DfsEdge {
+        match *self {
+            Extension::Backward { to, edge_label } => {
+                let rm = rightmost_vertex(code);
+                DfsEdge {
+                    from: rm,
+                    to,
+                    from_label: vertex_label(code, rm),
+                    edge_label,
+                    to_label: vertex_label(code, to),
+                }
+            }
+            Extension::Forward {
+                from,
+                edge_label,
+                to_label,
+            } => {
+                let new = vertex_count(code) as u16;
+                DfsEdge {
+                    from,
+                    to: new,
+                    from_label: vertex_label(code, from),
+                    edge_label,
+                    to_label,
+                }
+            }
+        }
+    }
+}
+
+/// Number of vertices named by a DFS code.
+pub fn vertex_count(code: &[DfsEdge]) -> usize {
+    code.iter()
+        .map(|e| e.from.max(e.to) as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// DFS index of the rightmost vertex (largest discovered index).
+pub fn rightmost_vertex(code: &[DfsEdge]) -> u16 {
+    code.iter()
+        .filter(|e| e.is_forward())
+        .map(|e| e.to)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The rightmost path: DFS indices from the root (0) to the rightmost
+/// vertex, inclusive, following forward edges.
+pub fn rightmost_path(code: &[DfsEdge]) -> Vec<u16> {
+    let mut path = Vec::new();
+    let mut cur = rightmost_vertex(code);
+    path.push(cur);
+    while cur != 0 {
+        let parent = code
+            .iter()
+            .find(|e| e.is_forward() && e.to == cur)
+            .map(|e| e.from)
+            .expect("valid DFS code: every non-root vertex has a forward parent");
+        path.push(parent);
+        cur = parent;
+    }
+    path.reverse();
+    path
+}
+
+/// Label of DFS vertex `v` as recorded by the code.
+pub fn vertex_label(code: &[DfsEdge], v: u16) -> Label {
+    for e in code {
+        if e.from == v {
+            return e.from_label;
+        }
+        if e.to == v {
+            return e.to_label;
+        }
+    }
+    panic!("vertex {v} not named by code");
+}
+
+/// Build the graph a DFS code describes.
+pub fn graph_from_code(code: &[DfsEdge]) -> Graph {
+    let n = vertex_count(code);
+    let mut g = Graph::new();
+    for v in 0..n as u16 {
+        g.add_node(vertex_label(code, v));
+    }
+    for e in code {
+        g.add_labeled_edge(e.from as NodeId, e.to as NodeId, e.edge_label)
+            .expect("DFS code describes a simple graph");
+    }
+    g
+}
+
+/// One embedding step: graph edge `eid` of graph `gid` realizes the code
+/// edge at this level, with graph node `gu` playing the code's `from` and
+/// `gv` the code's `to`. `prev` indexes the parent level's projections
+/// (`u32::MAX` at the root level).
+#[derive(Debug, Clone, Copy)]
+pub struct Proj {
+    /// Data graph id (index into the slice passed to projection routines).
+    pub gid: u32,
+    /// Graph node mapped to the code edge's `from`.
+    pub gu: u32,
+    /// Graph node mapped to the code edge's `to`.
+    pub gv: u32,
+    /// Graph edge realizing the code edge.
+    pub eid: u32,
+    /// Index into the previous projection level (`u32::MAX` at the root).
+    pub prev: u32,
+}
+
+/// Sentinel for "no parent projection".
+pub const NO_PREV: u32 = u32::MAX;
+
+/// Reusable scratch buffers for embedding reconstruction, to keep
+/// extension gathering allocation-free in the hot loop.
+#[derive(Default)]
+pub struct ProjScratch {
+    /// code vertex -> graph node (u32::MAX = unset)
+    vmap: Vec<u32>,
+    /// graph node -> mapped? (sized per graph, lazily grown)
+    mapped: Vec<bool>,
+    /// graph edge -> used? (sized per graph, lazily grown)
+    used: Vec<bool>,
+    /// nodes/edges touched, for O(k) cleanup
+    touched_nodes: Vec<u32>,
+    touched_edges: Vec<u32>,
+}
+
+impl ProjScratch {
+    fn reset(&mut self, nverts: usize, g: &Graph) {
+        self.vmap.clear();
+        self.vmap.resize(nverts, u32::MAX);
+        if self.mapped.len() < g.node_count() {
+            self.mapped.resize(g.node_count(), false);
+        }
+        if self.used.len() < g.edge_count() {
+            self.used.resize(g.edge_count(), false);
+        }
+        for &n in &self.touched_nodes {
+            self.mapped[n as usize] = false;
+        }
+        for &e in &self.touched_edges {
+            self.used[e as usize] = false;
+        }
+        self.touched_nodes.clear();
+        self.touched_edges.clear();
+    }
+}
+
+/// Walk a projection chain and reconstruct the embedding into `scratch`.
+fn load_embedding(
+    code: &[DfsEdge],
+    levels: &[Vec<Proj>],
+    mut level: usize,
+    mut idx: usize,
+    g: &Graph,
+    scratch: &mut ProjScratch,
+) {
+    scratch.reset(vertex_count(code), g);
+    loop {
+        let p = levels[level][idx];
+        let e = &code[level];
+        scratch.vmap[e.from as usize] = p.gu;
+        scratch.vmap[e.to as usize] = p.gv;
+        if !scratch.mapped[p.gu as usize] {
+            scratch.mapped[p.gu as usize] = true;
+            scratch.touched_nodes.push(p.gu);
+        }
+        if !scratch.mapped[p.gv as usize] {
+            scratch.mapped[p.gv as usize] = true;
+            scratch.touched_nodes.push(p.gv);
+        }
+        scratch.used[p.eid as usize] = true;
+        scratch.touched_edges.push(p.eid);
+        if p.prev == NO_PREV {
+            break;
+        }
+        idx = p.prev as usize;
+        level -= 1;
+    }
+}
+
+/// Gather all rightmost-path extensions of `code` over the projections at
+/// the top of `levels`, grouped (and canonically ordered) by [`Extension`].
+pub fn gather_extensions(
+    graphs: &[Graph],
+    code: &[DfsEdge],
+    levels: &[Vec<Proj>],
+    scratch: &mut ProjScratch,
+) -> BTreeMap<Extension, Vec<Proj>> {
+    let mut out: BTreeMap<Extension, Vec<Proj>> = BTreeMap::new();
+    let level = levels.len() - 1;
+    let rmpath = rightmost_path(code);
+    let rm = *rmpath.last().expect("non-empty code has a rightmost path");
+    for (idx, p) in levels[level].iter().enumerate() {
+        let g = &graphs[p.gid as usize];
+        load_embedding(code, levels, level, idx, g, scratch);
+        let grm = scratch.vmap[rm as usize];
+        // Backward extensions: rightmost vertex -> earlier rightmost-path
+        // vertex, over an unused graph edge.
+        for &(nb, eid) in g.neighbors(grm as NodeId) {
+            if scratch.used[eid as usize] {
+                continue;
+            }
+            for &v in &rmpath[..rmpath.len() - 1] {
+                if scratch.vmap[v as usize] == nb {
+                    let ext = Extension::Backward {
+                        to: v,
+                        edge_label: g.edge(eid).label,
+                    };
+                    out.entry(ext).or_default().push(Proj {
+                        gid: p.gid,
+                        gu: grm,
+                        gv: nb,
+                        eid,
+                        prev: idx as u32,
+                    });
+                }
+            }
+        }
+        // Forward extensions: rightmost-path vertex -> unmapped graph node.
+        for &u in &rmpath {
+            let gu = scratch.vmap[u as usize];
+            for &(nb, eid) in g.neighbors(gu as NodeId) {
+                if scratch.used[eid as usize] || scratch.mapped[nb as usize] {
+                    continue;
+                }
+                let ext = Extension::Forward {
+                    from: u,
+                    edge_label: g.edge(eid).label,
+                    to_label: g.label(nb),
+                };
+                out.entry(ext).or_default().push(Proj {
+                    gid: p.gid,
+                    gu,
+                    gv: nb,
+                    eid,
+                    prev: idx as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Root projections: all embeddings of every distinct 1-edge code
+/// `(0, 1, l_min, e, l_max)`, keyed by `(from_label, edge_label, to_label)`.
+/// When the endpoint labels are equal, both orientations are projected.
+pub fn root_projections(graphs: &[Graph]) -> BTreeMap<(Label, Label, Label), Vec<Proj>> {
+    let mut out: BTreeMap<(Label, Label, Label), Vec<Proj>> = BTreeMap::new();
+    for (gid, g) in graphs.iter().enumerate() {
+        for (eid, e) in g.edges().iter().enumerate() {
+            let (lu, lv) = (g.label(e.u), g.label(e.v));
+            let mut push = |a: NodeId, b: NodeId, la: Label, lb: Label| {
+                out.entry((la, e.label, lb)).or_default().push(Proj {
+                    gid: gid as u32,
+                    gu: a,
+                    gv: b,
+                    eid: eid as u32,
+                    prev: NO_PREV,
+                });
+            };
+            match lu.cmp(&lv) {
+                Ordering::Less => push(e.u, e.v, lu, lv),
+                Ordering::Greater => push(e.v, e.u, lv, lu),
+                Ordering::Equal => {
+                    push(e.u, e.v, lu, lv);
+                    push(e.v, e.u, lv, lu);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compute the minimum DFS code of a connected graph by greedy minimal
+/// extension: the canonical form gSpan is built on.
+pub fn min_dfs_code(g: &Graph) -> DfsCode {
+    assert!(
+        g.edge_count() > 0,
+        "minimum DFS code needs at least one edge"
+    );
+    let graphs = std::slice::from_ref(g);
+    let roots = root_projections(graphs);
+    let (&(l0, le, l1), projs) = roots.iter().next().expect("graph has an edge");
+    let mut code: DfsCode = vec![DfsEdge {
+        from: 0,
+        to: 1,
+        from_label: l0,
+        edge_label: le,
+        to_label: l1,
+    }];
+    let mut levels: Vec<Vec<Proj>> = vec![projs.clone()];
+    let mut scratch = ProjScratch::default();
+    while code.len() < g.edge_count() {
+        let exts = gather_extensions(graphs, &code, &levels, &mut scratch);
+        let (ext, projs) = exts.into_iter().next().expect("connected graph extends");
+        code.push(ext.to_dfs_edge(&code));
+        levels.push(projs);
+    }
+    code
+}
+
+/// Whether `code` is the minimum DFS code of the graph it describes.
+pub fn is_min(code: &[DfsEdge]) -> bool {
+    let g = graph_from_code(code);
+    min_dfs_code(&g) == code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_graph::cam_code;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn single_edge_min_code() {
+        let g = path(&[2, 1]);
+        let code = min_dfs_code(&g);
+        assert_eq!(code.len(), 1);
+        assert_eq!(code[0].from_label, Label(1));
+        assert_eq!(code[0].to_label, Label(2));
+        assert!(is_min(&code));
+    }
+
+    #[test]
+    fn min_code_is_permutation_invariant() {
+        let g1 = path(&[0, 1, 2, 0]);
+        let g2 = path(&[0, 2, 1, 0]);
+        assert_eq!(min_dfs_code(&g1), min_dfs_code(&g2));
+    }
+
+    #[test]
+    fn min_code_distinguishes_nonisomorphic() {
+        let p = path(&[0, 0, 0, 0]);
+        let mut star = Graph::new();
+        let c = star.add_node(Label(0));
+        for _ in 0..3 {
+            let l = star.add_node(Label(0));
+            star.add_edge(c, l).unwrap();
+        }
+        assert_ne!(min_dfs_code(&p), min_dfs_code(&star));
+    }
+
+    #[test]
+    fn round_trip_graph_code_graph() {
+        let mut g = path(&[0, 1, 0, 1]);
+        g.add_edge(3, 0).unwrap(); // cycle
+        let code = min_dfs_code(&g);
+        let h = graph_from_code(&code);
+        assert!(prague_graph::are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn min_code_agrees_with_cam() {
+        // Build several random-ish small graphs; equal CAM <=> equal min code.
+        let graphs = vec![
+            path(&[0, 0, 0]),
+            path(&[0, 0, 0]),
+            path(&[0, 1, 0]),
+            path(&[1, 0, 0]),
+            {
+                let mut g = path(&[0, 0, 0]);
+                g.add_edge(2, 0).unwrap();
+                g
+            },
+        ];
+        for a in &graphs {
+            for b in &graphs {
+                assert_eq!(
+                    cam_code(a) == cam_code(b),
+                    min_dfs_code(a) == min_dfs_code(b),
+                    "CAM/DFS canonical disagreement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rightmost_path_of_chain() {
+        let g = path(&[0, 0, 0, 0]);
+        let code = min_dfs_code(&g);
+        // chain: rightmost path is the whole spine
+        assert_eq!(rightmost_path(&code), vec![0, 1, 2, 3]);
+        assert_eq!(rightmost_vertex(&code), 3);
+        assert_eq!(vertex_count(&code), 4);
+    }
+
+    #[test]
+    fn extension_order_backward_before_forward() {
+        let b = Extension::Backward {
+            to: 2,
+            edge_label: Label(0),
+        };
+        let f = Extension::Forward {
+            from: 3,
+            edge_label: Label(0),
+            to_label: Label(0),
+        };
+        assert!(b < f);
+        // deeper forward first
+        let f1 = Extension::Forward {
+            from: 3,
+            edge_label: Label(0),
+            to_label: Label(0),
+        };
+        let f2 = Extension::Forward {
+            from: 1,
+            edge_label: Label(0),
+            to_label: Label(0),
+        };
+        assert!(f1 < f2);
+        // backward: smaller target first
+        let b1 = Extension::Backward {
+            to: 0,
+            edge_label: Label(5),
+        };
+        let b2 = Extension::Backward {
+            to: 2,
+            edge_label: Label(0),
+        };
+        assert!(b1 < b2);
+    }
+
+    #[test]
+    fn non_min_code_detected() {
+        // A path 0-0-1: min code starts from label-0 end adjacent to 0.
+        // Construct the code that starts from the label-1 end: (0,1,1,_,0)(1,2,0,_,0)
+        let bad: DfsCode = vec![
+            DfsEdge {
+                from: 0,
+                to: 1,
+                from_label: Label(1),
+                edge_label: Label(0),
+                to_label: Label(0),
+            },
+            DfsEdge {
+                from: 1,
+                to: 2,
+                from_label: Label(0),
+                edge_label: Label(0),
+                to_label: Label(0),
+            },
+        ];
+        assert!(!is_min(&bad));
+        let good: DfsCode = vec![
+            DfsEdge {
+                from: 0,
+                to: 1,
+                from_label: Label(0),
+                edge_label: Label(0),
+                to_label: Label(0),
+            },
+            DfsEdge {
+                from: 1,
+                to: 2,
+                from_label: Label(0),
+                edge_label: Label(0),
+                to_label: Label(1),
+            },
+        ];
+        assert!(is_min(&good));
+    }
+
+    #[test]
+    fn triangle_min_code_has_backward_edge() {
+        let mut g = path(&[0, 0, 0]);
+        g.add_edge(2, 0).unwrap();
+        let code = min_dfs_code(&g);
+        assert_eq!(code.len(), 3);
+        assert!(code.iter().any(|e| !e.is_forward()));
+        assert!(is_min(&code));
+    }
+}

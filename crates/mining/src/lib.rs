@@ -1,0 +1,24 @@
+//! # prague-mining
+//!
+//! Frequent-subgraph mining substrate for PRAGUE: a full gSpan
+//! implementation ([`gspan`]) over databases of small labeled graphs, the
+//! minimum-DFS-code canonical form it is built on ([`dfscode`]), and
+//! discriminative infrequent fragment (DIF) extraction ([`dif`]) feeding
+//! the action-aware A²F / A²I indexes.
+
+#![warn(missing_docs)]
+
+pub mod dfscode;
+pub mod dif;
+pub mod gspan;
+
+pub use dif::MiningResult;
+pub use gspan::{mine, mine_parallel, MinedFragment, MiningConfig, MiningOutput};
+
+/// Mine `db` at support ratio `alpha` with fragments capped at `max_edges`,
+/// returning the classified result (frequent set + DIFs) in one call.
+pub fn mine_classified(db: &prague_graph::GraphDb, alpha: f64, max_edges: usize) -> MiningResult {
+    let config = MiningConfig::from_ratio(db.len(), alpha, max_edges);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    MiningResult::from_output(mine_parallel(db, &config, threads))
+}

@@ -1,0 +1,18 @@
+//! # prague-spig
+//!
+//! The spindle-shaped graph (SPIG) — the core data structure of PRAGUE —
+//! plus the visual-query canvas model it is built over:
+//!
+//! * [`query`] — the edge-at-a-time visual query with stable user edge
+//!   labels and deletion support;
+//! * [`spig`] — SPIG vertices/levels, Fragment Lists tied to the A²F/A²I
+//!   indexes, Algorithm 2 construction with cross-SPIG inheritance, and
+//!   SPIG-set maintenance under query modification.
+
+#![warn(missing_docs)]
+
+pub mod query;
+pub mod spig;
+
+pub use query::{mask_labels, EdgeLabelId, LabelMask, QueryError, VNodeId, VisualQuery};
+pub use spig::{construct_spig, FragmentList, Spig, SpigError, SpigSet, SpigVertex};

@@ -1,0 +1,515 @@
+//! The visual query under formulation.
+//!
+//! The paper's GUI builds a query *edge at a time*: every edge gets a unique
+//! label ℓ in formulation order (`e1, e2, …`), the edge with the largest ℓ is
+//! the "new edge", and edges may later be deleted (query modification) —
+//! labels are never reused. [`VisualQuery`] tracks this evolving graph and
+//! exposes a compact [`Graph`] view of the currently-live edges plus stable
+//! per-edge labels, which SPIGs reference as bitmasks (bit `ℓ-1`).
+
+use prague_graph::{Graph, GraphError, Label, NodeId};
+
+/// A stable identifier for a node placed on the query canvas.
+pub type VNodeId = u32;
+
+/// A user-assigned edge label ℓ (1-based, formulation order).
+pub type EdgeLabelId = u32;
+
+/// Bitmask over edge labels: bit `ℓ-1` set ⟺ edge `eℓ` in the set.
+pub type LabelMask = u64;
+
+/// Errors from query-canvas operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Propagated graph-model error.
+    Graph(GraphError),
+    /// More than 64 edges were drawn over the session (mask capacity).
+    TooManyEdges,
+    /// The referenced edge label does not exist (or is already deleted).
+    NoSuchEdge(EdgeLabelId),
+    /// The referenced canvas node does not exist.
+    NoSuchNode(VNodeId),
+    /// Deleting this edge would disconnect the query (the paper requires
+    /// the modified query graph to stay connected at all times).
+    WouldDisconnect(EdgeLabelId),
+    /// The query has no edges.
+    Empty,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Graph(e) => write!(f, "{e}"),
+            QueryError::TooManyEdges => write!(f, "at most 64 edges per formulation session"),
+            QueryError::NoSuchEdge(l) => write!(f, "no live edge e{l}"),
+            QueryError::NoSuchNode(n) => write!(f, "no canvas node {n}"),
+            QueryError::WouldDisconnect(l) => {
+                write!(f, "deleting e{l} would disconnect the query")
+            }
+            QueryError::Empty => write!(f, "query has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<GraphError> for QueryError {
+    fn from(e: GraphError) -> Self {
+        QueryError::Graph(e)
+    }
+}
+
+/// One live edge on the canvas.
+#[derive(Debug, Clone, Copy)]
+struct CanvasEdge {
+    label_id: EdgeLabelId,
+    u: VNodeId,
+    v: VNodeId,
+    edge_label: Label,
+}
+
+/// The query graph being formulated on the visual canvas.
+#[derive(Debug, Clone, Default)]
+pub struct VisualQuery {
+    node_labels: Vec<Label>,
+    edges: Vec<CanvasEdge>,
+    next_edge_label: EdgeLabelId,
+    /// Compact view (only nodes incident to live edges), rebuilt on change.
+    view: Graph,
+    /// view node -> canvas node
+    view_to_canvas: Vec<VNodeId>,
+    /// canvas node -> view node (u32::MAX = not in view)
+    canvas_to_view: Vec<NodeId>,
+    /// view edge slot -> edge label id (parallel to `view.edges()`)
+    slot_labels: Vec<EdgeLabelId>,
+}
+
+impl VisualQuery {
+    /// Empty canvas.
+    pub fn new() -> Self {
+        VisualQuery {
+            next_edge_label: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Drop a node with `label` onto the canvas.
+    pub fn add_node(&mut self, label: Label) -> VNodeId {
+        let id = self.node_labels.len() as VNodeId;
+        self.node_labels.push(label);
+        id
+    }
+
+    /// Draw an edge between two canvas nodes; returns its label ℓ. This is
+    /// the GUI's `New` action.
+    pub fn add_edge(&mut self, u: VNodeId, v: VNodeId) -> Result<EdgeLabelId, QueryError> {
+        self.add_labeled_edge(u, v, Label::UNLABELED)
+    }
+
+    /// Draw a labeled edge.
+    pub fn add_labeled_edge(
+        &mut self,
+        u: VNodeId,
+        v: VNodeId,
+        edge_label: Label,
+    ) -> Result<EdgeLabelId, QueryError> {
+        for &n in &[u, v] {
+            if n as usize >= self.node_labels.len() {
+                return Err(QueryError::NoSuchNode(n));
+            }
+        }
+        if self.next_edge_label > 64 {
+            return Err(QueryError::TooManyEdges);
+        }
+        if u == v {
+            return Err(QueryError::Graph(GraphError::SelfLoop { node: u }));
+        }
+        if self
+            .edges
+            .iter()
+            .any(|e| (e.u, e.v) == (u, v) || (e.u, e.v) == (v, u))
+        {
+            return Err(QueryError::Graph(GraphError::ParallelEdge { u, v }));
+        }
+        let label_id = self.next_edge_label;
+        self.next_edge_label += 1;
+        self.edges.push(CanvasEdge {
+            label_id,
+            u,
+            v,
+            edge_label,
+        });
+        self.rebuild_view();
+        Ok(label_id)
+    }
+
+    /// Delete edge `eℓ` (the GUI's `Modify` action). Fails if the remainder
+    /// would be disconnected or empty.
+    pub fn delete_edge(&mut self, label_id: EdgeLabelId) -> Result<(), QueryError> {
+        let pos = self
+            .edges
+            .iter()
+            .position(|e| e.label_id == label_id)
+            .ok_or(QueryError::NoSuchEdge(label_id))?;
+        if self.edges.len() == 1 {
+            return Err(QueryError::WouldDisconnect(label_id));
+        }
+        let removed = self.edges.remove(pos);
+        self.rebuild_view();
+        if !self.view.is_connected() {
+            // roll back
+            self.edges.insert(pos, removed);
+            self.rebuild_view();
+            return Err(QueryError::WouldDisconnect(label_id));
+        }
+        Ok(())
+    }
+
+    fn rebuild_view(&mut self) {
+        self.view = Graph::new();
+        self.view_to_canvas.clear();
+        self.canvas_to_view = vec![NodeId::MAX; self.node_labels.len()];
+        self.slot_labels.clear();
+        for e in &self.edges {
+            for &n in &[e.u, e.v] {
+                if self.canvas_to_view[n as usize] == NodeId::MAX {
+                    let vid = self.view.add_node(self.node_labels[n as usize]);
+                    self.canvas_to_view[n as usize] = vid;
+                    self.view_to_canvas.push(n);
+                }
+            }
+            self.view
+                .add_labeled_edge(
+                    self.canvas_to_view[e.u as usize],
+                    self.canvas_to_view[e.v as usize],
+                    e.edge_label,
+                )
+                .expect("canvas rejects duplicates/self-loops");
+            self.slot_labels.push(e.label_id);
+        }
+    }
+
+    /// The compact graph view of the live query (nodes incident to at least
+    /// one live edge).
+    pub fn graph(&self) -> &Graph {
+        &self.view
+    }
+
+    /// Number of live edges `|q|`.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether any edge is live.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Edge labels of the live edges, in view-slot order (parallel to
+    /// [`Graph::edges`] of [`VisualQuery::graph`]).
+    pub fn slot_labels(&self) -> &[EdgeLabelId] {
+        &self.slot_labels
+    }
+
+    /// The view edge slot of `eℓ`.
+    pub fn slot_of(&self, label_id: EdgeLabelId) -> Option<usize> {
+        self.slot_labels.iter().position(|&l| l == label_id)
+    }
+
+    /// Largest live edge label — the current "new edge".
+    pub fn newest_edge(&self) -> Option<EdgeLabelId> {
+        self.edges.iter().map(|e| e.label_id).max()
+    }
+
+    /// All live edge labels, ascending.
+    pub fn live_labels(&self) -> Vec<EdgeLabelId> {
+        let mut v: Vec<_> = self.edges.iter().map(|e| e.label_id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mask of all live edges.
+    pub fn live_mask(&self) -> LabelMask {
+        self.edges
+            .iter()
+            .fold(0, |m, e| m | (1u64 << (e.label_id - 1)))
+    }
+
+    /// Convert a view-slot bitmask to a label mask.
+    pub fn slot_mask_to_label_mask(&self, slot_mask: u64) -> LabelMask {
+        let mut out = 0u64;
+        for (slot, &l) in self.slot_labels.iter().enumerate() {
+            if slot_mask & (1u64 << slot) != 0 {
+                out |= 1u64 << (l - 1);
+            }
+        }
+        out
+    }
+
+    /// Convert a label mask back to a view-slot bitmask. Labels not live are
+    /// ignored.
+    pub fn label_mask_to_slot_mask(&self, label_mask: LabelMask) -> u64 {
+        let mut out = 0u64;
+        for (slot, &l) in self.slot_labels.iter().enumerate() {
+            if label_mask & (1u64 << (l - 1)) != 0 {
+                out |= 1u64 << slot;
+            }
+        }
+        out
+    }
+
+    /// The subgraph induced by a label mask.
+    pub fn fragment(&self, label_mask: LabelMask) -> Graph {
+        let slots = self.label_mask_to_slot_mask(label_mask);
+        let (g, _) = self
+            .view
+            .mask_subgraph(slots)
+            .expect("query has at most 64 edges");
+        g
+    }
+
+    /// Delete edge `eℓ` *without* the connectivity check. For composite
+    /// modifications (multi-edge deletion, node relabeling) whose *final*
+    /// state is connected even though intermediate states are not; the
+    /// caller is responsible for restoring connectivity before the next
+    /// query evaluation.
+    pub fn delete_edge_unchecked(&mut self, label_id: EdgeLabelId) -> Result<(), QueryError> {
+        let pos = self
+            .edges
+            .iter()
+            .position(|e| e.label_id == label_id)
+            .ok_or(QueryError::NoSuchEdge(label_id))?;
+        self.edges.remove(pos);
+        self.rebuild_view();
+        Ok(())
+    }
+
+    /// Change the label of a canvas node. Only valid while the node has no
+    /// live edges (the paper expresses relabeling as edge deletions followed
+    /// by re-insertion — see `Session::relabel_node`).
+    pub fn set_node_label(&mut self, node: VNodeId, label: Label) -> Result<(), QueryError> {
+        if node as usize >= self.node_labels.len() {
+            return Err(QueryError::NoSuchNode(node));
+        }
+        if self.edges.iter().any(|e| e.u == node || e.v == node) {
+            return Err(QueryError::Graph(GraphError::Disconnected));
+        }
+        self.node_labels[node as usize] = label;
+        self.rebuild_view();
+        Ok(())
+    }
+
+    /// The live edges as `(label ℓ, canvas u, canvas v)`, ascending by ℓ.
+    pub fn live_edges(&self) -> Vec<(EdgeLabelId, VNodeId, VNodeId)> {
+        let mut v: Vec<_> = self.edges.iter().map(|e| (e.label_id, e.u, e.v)).collect();
+        v.sort_unstable_by_key(|&(l, _, _)| l);
+        v
+    }
+
+    /// Label of a canvas node.
+    pub fn node_label(&self, node: VNodeId) -> Option<Label> {
+        self.node_labels.get(node as usize).copied()
+    }
+
+    /// Number of canvas nodes (wired or not).
+    pub fn canvas_node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Whether deleting `eℓ` keeps the query connected and non-empty.
+    pub fn edge_is_deletable(&self, label_id: EdgeLabelId) -> bool {
+        match self.slot_of(label_id) {
+            Some(slot) if self.edges.len() > 1 => self.view.edge_is_removable(slot as u32),
+            _ => false,
+        }
+    }
+}
+
+/// Labels of the set bits of a label mask (ascending edge labels ℓ).
+pub fn mask_labels(mask: LabelMask) -> Vec<EdgeLabelId> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut rem = mask;
+    while rem != 0 {
+        out.push(rem.trailing_zeros() as EdgeLabelId + 1);
+        rem &= rem - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas_csc() -> (VisualQuery, Vec<VNodeId>) {
+        // C - S - C (labels: C=0, S=1)
+        let mut q = VisualQuery::new();
+        let a = q.add_node(Label(0));
+        let b = q.add_node(Label(1));
+        let c = q.add_node(Label(0));
+        (q, vec![a, b, c])
+    }
+
+    #[test]
+    fn edge_labels_sequential() {
+        let (mut q, n) = canvas_csc();
+        let e1 = q.add_edge(n[0], n[1]).unwrap();
+        let e2 = q.add_edge(n[1], n[2]).unwrap();
+        assert_eq!((e1, e2), (1, 2));
+        assert_eq!(q.size(), 2);
+        assert_eq!(q.newest_edge(), Some(2));
+        assert_eq!(q.live_mask(), 0b11);
+    }
+
+    #[test]
+    fn view_only_includes_connected_nodes() {
+        let (mut q, n) = canvas_csc();
+        q.add_node(Label(5)); // dangling node, never wired
+        q.add_edge(n[0], n[1]).unwrap();
+        assert_eq!(q.graph().node_count(), 2);
+        assert_eq!(q.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn delete_middle_edge_rejected() {
+        let (mut q, n) = canvas_csc();
+        let d = q.add_node(Label(0));
+        q.add_edge(n[0], n[1]).unwrap();
+        let e2 = q.add_edge(n[1], n[2]).unwrap();
+        q.add_edge(n[2], d).unwrap();
+        assert!(!q.edge_is_deletable(e2));
+        assert_eq!(q.delete_edge(e2), Err(QueryError::WouldDisconnect(e2)));
+        // canvas intact after rollback
+        assert_eq!(q.size(), 3);
+        assert!(q.graph().is_connected());
+    }
+
+    #[test]
+    fn delete_end_edge_keeps_labels() {
+        let (mut q, n) = canvas_csc();
+        let e1 = q.add_edge(n[0], n[1]).unwrap();
+        let e2 = q.add_edge(n[1], n[2]).unwrap();
+        q.delete_edge(e1).unwrap();
+        assert_eq!(q.size(), 1);
+        assert_eq!(q.live_labels(), vec![e2]);
+        // labels not reused
+        let e3 = q.add_edge(n[0], n[1]).unwrap();
+        assert_eq!(e3, 3);
+        assert_eq!(q.live_mask(), 0b110);
+    }
+
+    #[test]
+    fn last_edge_not_deletable() {
+        let (mut q, n) = canvas_csc();
+        let e1 = q.add_edge(n[0], n[1]).unwrap();
+        assert!(!q.edge_is_deletable(e1));
+        assert!(q.delete_edge(e1).is_err());
+    }
+
+    #[test]
+    fn fragment_extraction_by_label_mask() {
+        let (mut q, n) = canvas_csc();
+        q.add_edge(n[0], n[1]).unwrap(); // e1: C-S
+        q.add_edge(n[1], n[2]).unwrap(); // e2: S-C
+        let f1 = q.fragment(0b01);
+        assert_eq!(f1.edge_count(), 1);
+        assert_eq!(f1.label_multiset(), vec![Label(0), Label(1)]);
+        let whole = q.fragment(0b11);
+        assert_eq!(whole.edge_count(), 2);
+        assert_eq!(whole.node_count(), 3);
+    }
+
+    #[test]
+    fn mask_conversions_round_trip() {
+        let (mut q, n) = canvas_csc();
+        let d = q.add_node(Label(0));
+        let e1 = q.add_edge(n[0], n[1]).unwrap();
+        q.add_edge(n[1], n[2]).unwrap();
+        q.add_edge(n[2], d).unwrap();
+        q.delete_edge(e1).unwrap();
+        // live: e2, e3
+        let lm = q.live_mask();
+        assert_eq!(lm, 0b110);
+        let sm = q.label_mask_to_slot_mask(lm);
+        assert_eq!(q.slot_mask_to_label_mask(sm), lm);
+    }
+
+    #[test]
+    fn mask_labels_helper() {
+        assert_eq!(mask_labels(0b101), vec![1, 3]);
+        assert_eq!(mask_labels(0), Vec::<EdgeLabelId>::new());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_nodes() {
+        let (mut q, n) = canvas_csc();
+        q.add_edge(n[0], n[1]).unwrap();
+        assert!(matches!(
+            q.add_edge(n[1], n[0]),
+            Err(QueryError::Graph(GraphError::ParallelEdge { .. }))
+        ));
+        assert_eq!(q.add_edge(n[0], 99), Err(QueryError::NoSuchNode(99)));
+        assert!(matches!(
+            q.add_edge(n[0], n[0]),
+            Err(QueryError::Graph(GraphError::SelfLoop { .. }))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn set_node_label_requires_isolation() {
+        let mut q = VisualQuery::new();
+        let a = q.add_node(Label(0));
+        let b = q.add_node(Label(1));
+        q.add_edge(a, b).unwrap();
+        // wired node cannot be relabeled in place
+        assert!(q.set_node_label(a, Label(5)).is_err());
+        // out-of-range node rejected
+        assert_eq!(
+            q.set_node_label(99, Label(0)),
+            Err(QueryError::NoSuchNode(99))
+        );
+        // isolated node can
+        let c = q.add_node(Label(2));
+        q.set_node_label(c, Label(7)).unwrap();
+        assert_eq!(q.node_label(c), Some(Label(7)));
+    }
+
+    #[test]
+    fn delete_edge_unchecked_allows_disconnection() {
+        let mut q = VisualQuery::new();
+        let n: Vec<_> = (0..4).map(|_| q.add_node(Label(0))).collect();
+        q.add_edge(n[0], n[1]).unwrap();
+        let mid = q.add_edge(n[1], n[2]).unwrap();
+        q.add_edge(n[2], n[3]).unwrap();
+        // checked deletion refuses (would disconnect)…
+        assert!(q.delete_edge(mid).is_err());
+        // …unchecked obliges
+        q.delete_edge_unchecked(mid).unwrap();
+        assert_eq!(q.size(), 2);
+        assert!(!q.graph().is_connected());
+        // missing edge still reported
+        assert_eq!(
+            q.delete_edge_unchecked(mid),
+            Err(QueryError::NoSuchEdge(mid))
+        );
+    }
+
+    #[test]
+    fn live_edges_sorted_by_label() {
+        let mut q = VisualQuery::new();
+        let n: Vec<_> = (0..3).map(|_| q.add_node(Label(0))).collect();
+        let e1 = q.add_edge(n[0], n[1]).unwrap();
+        let e2 = q.add_edge(n[1], n[2]).unwrap();
+        let e3 = q.add_edge(n[2], n[0]).unwrap();
+        q.delete_edge(e1).unwrap();
+        let live = q.live_edges();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].0, e2);
+        assert_eq!(live[1].0, e3);
+        assert_eq!(q.canvas_node_count(), 3);
+    }
+}

@@ -1,0 +1,452 @@
+//! The spindle-shaped graph (SPIG) — Section V of the paper.
+//!
+//! For every new edge `eℓ` the user draws, a SPIG `Sℓ` records *all*
+//! connected subgraphs of the current query fragment that contain `eℓ`,
+//! organized in levels by edge count: one source vertex (the edge itself),
+//! one target vertex (the whole query fragment), and a spindle-shaped bulge
+//! of intermediate levels. Each vertex carries the fragment's CAM code, its
+//! Edge List (user edge labels) and a *Fragment List* tying it to the
+//! action-aware indexes:
+//!
+//! * `freqId`  — the fragment's `a2fId`, if it is an indexed frequent fragment;
+//! * `difId`   — the fragment's `a2iId`, if it is an indexed DIF;
+//! * `Φ`       — otherwise, `a2fId`s of its largest proper subgraphs in A²F;
+//! * `Υ`       — otherwise, `a2iId`s of *all* its subgraphs in A²I.
+//!
+//! Construction (Algorithm 2) never decomposes fragments against the
+//! indexes: Fragment Lists are *inherited* from SPIG parents (subgraphs that
+//! still contain `eℓ`) and from the counterpart vertex `g − eℓ` found in an
+//! earlier SPIG — which is why the SPIG *set* is maintained across all
+//! formulation steps.
+//!
+//! As the paper notes, vertices within a level are deduplicated by
+//! isomorphism (CAM code); a vertex therefore carries every edge subset
+//! (`LabelMask`) in its class, which is what makes edge deletion exact.
+
+use crate::query::{mask_labels, EdgeLabelId, LabelMask, VisualQuery};
+use prague_graph::{cam_code, CamCode};
+use prague_index::{A2fId, A2fIndex, A2iId, A2iIndex};
+use std::collections::{BTreeMap, HashMap};
+
+/// Errors from SPIG construction / maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpigError {
+    /// The query has no live edge with the requested label.
+    NoSuchEdge(EdgeLabelId),
+    /// A counterpart vertex expected in an earlier SPIG was missing —
+    /// indicates SPIG-set corruption (should be unreachable).
+    MissingCounterpart {
+        /// The SPIG that should own the counterpart.
+        spig: EdgeLabelId,
+        /// The fragment mask that was not found.
+        mask: LabelMask,
+    },
+    /// A SPIG for this edge already exists in the set.
+    DuplicateSpig(EdgeLabelId),
+}
+
+impl std::fmt::Display for SpigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpigError::NoSuchEdge(l) => write!(f, "no live edge e{l}"),
+            SpigError::MissingCounterpart { spig, mask } => {
+                write!(f, "counterpart {mask:#b} missing from SPIG S{spig}")
+            }
+            SpigError::DuplicateSpig(l) => write!(f, "SPIG S{l} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for SpigError {}
+
+/// The Fragment List `L_frag(g)` of a SPIG vertex (Definition 4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FragmentList {
+    /// `a2fId(g)` if `g` is an indexed frequent fragment.
+    pub freq_id: Option<A2fId>,
+    /// `a2iId(g)` if `g` is an indexed DIF.
+    pub dif_id: Option<A2iId>,
+    /// Φ(g): `a2fId`s of the largest proper subgraphs of `g` in A²F
+    /// (only populated for non-indexed fragments). Sorted, deduplicated.
+    pub phi: Vec<A2fId>,
+    /// Υ(g): `a2iId`s of all subgraphs of `g` in A²I (only populated for
+    /// non-indexed fragments). Sorted, deduplicated.
+    pub upsilon: Vec<A2iId>,
+    /// Whether some subgraph of `g` has *zero* support in the database
+    /// (an unindexed single edge), which forces `fsgIds(g) = ∅` without any
+    /// index probe.
+    pub dead: bool,
+}
+
+impl FragmentList {
+    /// Whether the fragment itself is indexed (frequent or DIF) — such
+    /// candidates are verification-free in similarity search.
+    pub fn is_indexed(&self) -> bool {
+        self.freq_id.is_some() || self.dif_id.is_some()
+    }
+}
+
+/// A vertex of a SPIG: one isomorphism class of connected subgraphs
+/// containing the SPIG's anchor edge, at one level.
+#[derive(Debug, Clone)]
+pub struct SpigVertex {
+    /// Canonical code of the fragment.
+    pub cam: CamCode,
+    /// Every edge subset (over user edge labels) in this class. Emptied
+    /// (tombstoned) when query modification deletes all of them.
+    pub masks: Vec<LabelMask>,
+    /// The Fragment List.
+    pub fragment_list: FragmentList,
+    /// Indices of parent vertices in the previous level of *this* SPIG.
+    pub parents: Vec<usize>,
+}
+
+impl SpigVertex {
+    /// The paper's Edge List `LE(g)`: user edge labels of a representative
+    /// subset (the first mask).
+    pub fn edge_list(&self) -> Vec<EdgeLabelId> {
+        self.masks
+            .first()
+            .map(|&m| mask_labels(m))
+            .unwrap_or_default()
+    }
+
+    /// Fragment size (edge count).
+    pub fn size(&self) -> usize {
+        self.masks.first().map_or(0, |m| m.count_ones() as usize)
+    }
+
+    /// Whether the vertex was tombstoned by query modification.
+    pub fn is_tombstone(&self) -> bool {
+        self.masks.is_empty()
+    }
+}
+
+/// A spindle-shaped graph for one new edge.
+#[derive(Debug, Clone)]
+pub struct Spig {
+    /// The anchor (new) edge label ℓ.
+    pub anchor: EdgeLabelId,
+    /// `levels[k]` = vertices whose fragments have `k` edges
+    /// (`levels[0]` is empty; `levels[1]` holds the source vertex).
+    pub levels: Vec<Vec<SpigVertex>>,
+    /// Per-level lookup: label mask -> vertex index.
+    mask_index: Vec<HashMap<LabelMask, usize>>,
+}
+
+impl Spig {
+    /// The source vertex (level 1) — the anchor edge itself.
+    pub fn source(&self) -> &SpigVertex {
+        self.levels[1]
+            .iter()
+            .find(|v| !v.is_tombstone())
+            .expect("source vertex exists while the anchor edge is live")
+    }
+
+    /// The vertex holding `mask` at its level, if present and live.
+    pub fn vertex_by_mask(&self, mask: LabelMask) -> Option<&SpigVertex> {
+        let level = mask.count_ones() as usize;
+        let idx = *self.mask_index.get(level)?.get(&mask)?;
+        let v = &self.levels[level][idx];
+        if v.masks.contains(&mask) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Live vertices at a level.
+    pub fn level(&self, k: usize) -> impl Iterator<Item = &SpigVertex> {
+        self.levels
+            .get(k)
+            .into_iter()
+            .flatten()
+            .filter(|v| !v.is_tombstone())
+    }
+
+    /// Number of levels with at least one live vertex.
+    pub fn height(&self) -> usize {
+        (1..self.levels.len())
+            .rev()
+            .find(|&k| self.level(k).next().is_some())
+            .unwrap_or(0)
+    }
+
+    /// Total live vertices.
+    pub fn vertex_count(&self) -> usize {
+        (1..self.levels.len()).map(|k| self.level(k).count()).sum()
+    }
+}
+
+/// Build the SPIG for edge `anchor` over the current query, inheriting
+/// Fragment Lists from `set` (Algorithm 2).
+pub fn construct_spig(
+    query: &VisualQuery,
+    anchor: EdgeLabelId,
+    set: &SpigSet,
+    a2f: &A2fIndex,
+    a2i: &A2iIndex,
+) -> Result<Spig, SpigError> {
+    let slot = query.slot_of(anchor).ok_or(SpigError::NoSuchEdge(anchor))?;
+    let anchor_bit: LabelMask = 1u64 << (anchor - 1);
+    let g = query.graph();
+    let slot_levels = prague_graph::enumerate::connected_edge_subsets_containing(g, slot as u32)
+        .expect("visual queries have at most 64 edges");
+
+    let q_size = query.size();
+    let mut levels: Vec<Vec<SpigVertex>> = vec![Vec::new(); q_size + 1];
+    let mut mask_index: Vec<HashMap<LabelMask, usize>> = vec![HashMap::new(); q_size + 1];
+
+    for (k, slot_masks) in slot_levels.iter().enumerate().skip(1) {
+        // Group this level's fragments by CAM code (the paper's per-level
+        // vertex deduplication).
+        let mut by_cam: HashMap<CamCode, usize> = HashMap::new();
+        for &slot_mask in slot_masks {
+            let label_mask = query.slot_mask_to_label_mask(slot_mask);
+            let frag = query.fragment(label_mask);
+            let cam = cam_code(&frag);
+            let idx = *by_cam.entry(cam.clone()).or_insert_with(|| {
+                levels[k].push(SpigVertex {
+                    cam,
+                    masks: Vec::new(),
+                    fragment_list: FragmentList::default(),
+                    parents: Vec::new(),
+                });
+                levels[k].len() - 1
+            });
+            levels[k][idx].masks.push(label_mask);
+            mask_index[k].insert(label_mask, idx);
+        }
+
+        // Parent links within this SPIG (drop one non-anchor edge).
+        for idx in 0..levels[k].len() {
+            let masks = levels[k][idx].masks.clone();
+            let mut parents: Vec<usize> = Vec::new();
+            for &m in &masks {
+                let mut rem = m & !anchor_bit;
+                while rem != 0 {
+                    let bit = rem & rem.wrapping_neg();
+                    rem &= rem - 1;
+                    let m2 = m & !bit;
+                    if let Some(&p) = mask_index[k - 1].get(&m2) {
+                        if !parents.contains(&p) {
+                            parents.push(p);
+                        }
+                    }
+                }
+            }
+            parents.sort_unstable();
+            levels[k][idx].parents = parents;
+        }
+
+        // Fragment Lists.
+        for idx in 0..levels[k].len() {
+            let cam = levels[k][idx].cam.clone();
+            let mut fl = FragmentList::default();
+            if let Some(fid) = a2f.lookup(&cam) {
+                fl.freq_id = Some(fid);
+            } else if let Some(did) = a2i.lookup(&cam) {
+                fl.dif_id = Some(did);
+            } else if k == 1 {
+                // Unindexed single edge: zero support in D.
+                fl.dead = true;
+            } else {
+                // Inherit from every largest proper connected subgraph:
+                // SPIG parents (contain the anchor)…
+                let parent_lists: Vec<FragmentList> = levels[k][idx]
+                    .parents
+                    .iter()
+                    .map(|&p| levels[k - 1][p].fragment_list.clone())
+                    .collect();
+                for pl in &parent_lists {
+                    inherit(&mut fl, pl);
+                }
+                // …and counterparts g − eℓ from earlier SPIGs.
+                for &m in &levels[k][idx].masks {
+                    let m2 = m & !anchor_bit;
+                    debug_assert_ne!(m2, 0);
+                    if !query
+                        .graph()
+                        .edge_subset_is_connected(&label_mask_slots(query, m2))
+                    {
+                        continue;
+                    }
+                    let owner = mask_labels(m2).into_iter().max().expect("non-empty mask");
+                    let counterpart = set.spig(owner).and_then(|s| s.vertex_by_mask(m2)).ok_or(
+                        SpigError::MissingCounterpart {
+                            spig: owner,
+                            mask: m2,
+                        },
+                    )?;
+                    inherit(&mut fl, &counterpart.fragment_list);
+                }
+                fl.phi.sort_unstable();
+                fl.phi.dedup();
+                fl.upsilon.sort_unstable();
+                fl.upsilon.dedup();
+            }
+            levels[k][idx].fragment_list = fl;
+        }
+    }
+
+    Ok(Spig {
+        anchor,
+        levels,
+        mask_index,
+    })
+}
+
+/// Merge a subgraph's Fragment List contribution into `fl` per Definition 4:
+/// an indexed frequent subgraph contributes its `a2fId` to Φ; an indexed DIF
+/// contributes its `a2iId` to Υ; a NIF passes through its own Υ (its DIF
+/// subgraphs are subgraphs of ours too) and its dead flag.
+fn inherit(fl: &mut FragmentList, src: &FragmentList) {
+    if let Some(fid) = src.freq_id {
+        fl.phi.push(fid);
+    } else if let Some(did) = src.dif_id {
+        fl.upsilon.push(did);
+    } else {
+        fl.upsilon.extend_from_slice(&src.upsilon);
+        fl.dead |= src.dead;
+    }
+}
+
+fn label_mask_slots(query: &VisualQuery, label_mask: LabelMask) -> Vec<prague_graph::EdgeId> {
+    let slot_mask = query.label_mask_to_slot_mask(label_mask);
+    prague_graph::enumerate::mask_edges(slot_mask)
+}
+
+/// The SPIG set `S` maintained across all formulation steps.
+#[derive(Debug, Default)]
+pub struct SpigSet {
+    spigs: BTreeMap<EdgeLabelId, Spig>,
+}
+
+impl SpigSet {
+    /// Empty set (start of formulation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle a `New` action: build and insert the SPIG for the query's
+    /// newest edge. Returns its anchor label.
+    pub fn on_new_edge(
+        &mut self,
+        query: &VisualQuery,
+        a2f: &A2fIndex,
+        a2i: &A2iIndex,
+    ) -> Result<EdgeLabelId, SpigError> {
+        let anchor = query.newest_edge().ok_or(SpigError::NoSuchEdge(0))?;
+        if self.spigs.contains_key(&anchor) {
+            return Err(SpigError::DuplicateSpig(anchor));
+        }
+        let spig = construct_spig(query, anchor, self, a2f, a2i)?;
+        self.spigs.insert(anchor, spig);
+        Ok(anchor)
+    }
+
+    /// Handle a `Modify` action: edge `eℓ` was deleted. Removes `Sℓ`
+    /// entirely and tombstones every vertex (mask) containing `eℓ` in the
+    /// remaining SPIGs (Algorithm 6, lines 12–14).
+    pub fn on_delete_edge(&mut self, deleted: EdgeLabelId) {
+        self.spigs.remove(&deleted);
+        let bit = 1u64 << (deleted - 1);
+        for spig in self.spigs.values_mut() {
+            for level in &mut spig.levels {
+                for v in level.iter_mut() {
+                    v.masks.retain(|&m| m & bit == 0);
+                }
+            }
+            for mi in &mut spig.mask_index {
+                mi.retain(|&m, _| m & bit == 0);
+            }
+        }
+    }
+
+    /// The SPIG anchored at `eℓ`.
+    pub fn spig(&self, anchor: EdgeLabelId) -> Option<&Spig> {
+        self.spigs.get(&anchor)
+    }
+
+    /// All SPIGs, ascending by anchor.
+    pub fn iter(&self) -> impl Iterator<Item = &Spig> {
+        self.spigs.values()
+    }
+
+    /// Number of SPIGs.
+    pub fn len(&self) -> usize {
+        self.spigs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spigs.is_empty()
+    }
+
+    /// Every distinct level-`k` fragment across the set, each edge subset
+    /// counted exactly once (owned by the SPIG of its largest edge label).
+    /// Yields `(owning vertex, owned mask)` pairs.
+    pub fn level_fragments(&self, k: usize) -> Vec<(&SpigVertex, LabelMask)> {
+        let mut out = Vec::new();
+        for (&anchor, spig) in &self.spigs {
+            for v in spig.level(k) {
+                for &m in &v.masks {
+                    let max_label = 64 - m.leading_zeros() as EdgeLabelId; // highest set bit + 1
+                    if max_label == anchor {
+                        out.push((v, m));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total live vertices at level `k` across the set — the paper's `N(k)`
+    /// (Lemma 1).
+    pub fn level_vertex_count(&self, k: usize) -> usize {
+        self.spigs.values().map(|s| s.level(k).count()).sum()
+    }
+
+    /// The target vertex: the whole current query fragment. Lives at level
+    /// `|q|` of the SPIG owning the query's full mask.
+    pub fn target_vertex(&self, query: &VisualQuery) -> Option<&SpigVertex> {
+        let mask = query.live_mask();
+        if mask == 0 {
+            return None;
+        }
+        let owner = query.live_labels().into_iter().max()?;
+        self.spigs.get(&owner)?.vertex_by_mask(mask)
+    }
+
+    /// Find the live vertex owning an arbitrary fragment mask.
+    pub fn vertex_by_mask(&self, mask: LabelMask) -> Option<&SpigVertex> {
+        let owner = mask_labels(mask).into_iter().max()?;
+        self.spigs.get(&owner)?.vertex_by_mask(mask)
+    }
+
+    /// Total live vertices across all SPIGs.
+    pub fn total_vertices(&self) -> usize {
+        self.spigs.values().map(Spig::vertex_count).sum()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        let mut total = 0usize;
+        for spig in self.spigs.values() {
+            for level in &spig.levels {
+                for v in level {
+                    total += std::mem::size_of::<SpigVertex>()
+                        + v.cam.byte_size()
+                        + v.masks.len() * 8
+                        + v.fragment_list.phi.len() * 4
+                        + v.fragment_list.upsilon.len() * 4
+                        + v.parents.len() * 8;
+                }
+            }
+            for mi in &spig.mask_index {
+                total += mi.len() * 24;
+            }
+        }
+        total
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests for the SPIG: on random databases and random query
+//! formulations, fragment lists must match direct computation from
+//! Definition 4, the level structure must hold exactly the anchored
+//! connected subsets, and deletion must equal a from-scratch rebuild.
+
+use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
+use prague_graph::{cam_code, Graph, GraphDb, Label, NodeId};
+use prague_index::{A2fConfig, ActionAwareIndexes, DfBacking};
+use prague_mining::mine_classified;
+use prague_spig::{SpigSet, VisualQuery};
+use proptest::prelude::*;
+
+fn connected_graph(max_n: usize, label_count: u16) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..label_count, n);
+        let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+        let extras = proptest::collection::vec((0..n, 0..n), 0..=2);
+        (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
+            let mut g = Graph::new();
+            for &l in &labels {
+                g.add_node(Label(l));
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                g.add_edge((i + 1) as NodeId, (p as usize % (i + 1)) as NodeId)
+                    .unwrap();
+            }
+            for &(a, b) in &extras {
+                if a != b {
+                    let _ = g.add_edge(a as NodeId, b as NodeId);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn small_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(connected_graph(6, 2), 4..9).prop_map(GraphDb::from_graphs)
+}
+
+/// Formulate a random connected query over the same label alphabet.
+fn formulate(q: &Graph, indexes: &ActionAwareIndexes) -> (VisualQuery, SpigSet) {
+    let mut query = VisualQuery::new();
+    for &l in q.labels() {
+        query.add_node(l);
+    }
+    let mut set = SpigSet::new();
+    // connected order
+    let mut order: Vec<u32> = Vec::new();
+    let mut wired = std::collections::HashSet::new();
+    while order.len() < q.edge_count() {
+        for e in 0..q.edge_count() as u32 {
+            if order.contains(&e) {
+                continue;
+            }
+            let edge = q.edge(e);
+            if order.is_empty() || wired.contains(&edge.u) || wired.contains(&edge.v) {
+                order.push(e);
+                wired.insert(edge.u);
+                wired.insert(edge.v);
+            }
+        }
+    }
+    for &e in &order {
+        let edge = q.edge(e);
+        query.add_edge(edge.u, edge.v).unwrap();
+        set.on_new_edge(&query, &indexes.a2f, &indexes.a2i).unwrap();
+    }
+    (query, set)
+}
+
+fn build_indexes(db: &GraphDb, alpha: f64) -> ActionAwareIndexes {
+    let result = mine_classified(db, alpha, 5);
+    ActionAwareIndexes::build(
+        &result,
+        &A2fConfig {
+            beta: 2,
+            backing: DfBacking::TempDisk,
+            store_full_ids: false,
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fragment_lists_match_definition(db in small_db(), q in connected_graph(5, 2)) {
+        let indexes = build_indexes(&db, 0.4);
+        let (query, set) = formulate(&q, &indexes);
+        for spig in set.iter() {
+            for k in 1..=query.size() {
+                for v in spig.level(k) {
+                    let frag = query.fragment(v.masks[0]);
+                    let cam = cam_code(&frag);
+                    prop_assert_eq!(&cam, &v.cam);
+                    let fl = &v.fragment_list;
+                    if let Some(fid) = indexes.a2f.lookup(&cam) {
+                        prop_assert_eq!(fl.freq_id, Some(fid));
+                    } else if let Some(did) = indexes.a2i.lookup(&cam) {
+                        prop_assert_eq!(fl.dif_id, Some(did));
+                    } else {
+                        let levels = connected_edge_subsets_by_size(&frag).unwrap();
+                        let mut phi: Vec<_> = levels[frag.edge_count() - 1]
+                            .iter()
+                            .filter_map(|&m| {
+                                let (sub, _) = frag.edge_subgraph(&mask_edges(m));
+                                indexes.a2f.lookup(&cam_code(&sub))
+                            })
+                            .collect();
+                        phi.sort_unstable();
+                        phi.dedup();
+                        prop_assert_eq!(&fl.phi, &phi);
+                        let mut upsilon: Vec<_> = levels
+                            .iter()
+                            .skip(1)
+                            .flatten()
+                            .filter_map(|&m| {
+                                let (sub, _) = frag.edge_subgraph(&mask_edges(m));
+                                indexes.a2i.lookup(&cam_code(&sub))
+                            })
+                            .collect();
+                        upsilon.sort_unstable();
+                        upsilon.dedup();
+                        prop_assert_eq!(&fl.upsilon, &upsilon);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn newest_spig_levels_are_anchored_subsets(db in small_db(), q in connected_graph(5, 2)) {
+        let indexes = build_indexes(&db, 0.4);
+        let (query, set) = formulate(&q, &indexes);
+        let newest = query.newest_edge().unwrap();
+        let spig = set.spig(newest).unwrap();
+        let slot = query.slot_of(newest).unwrap();
+        let want = prague_graph::enumerate::connected_edge_subsets_containing(
+            query.graph(),
+            slot as u32,
+        )
+        .unwrap();
+        for k in 1..=query.size() {
+            let mut got: Vec<u64> = spig.level(k).flat_map(|v| v.masks.iter().copied()).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u64> = want
+                .get(k)
+                .map(|level| level.iter().map(|&sm| query.slot_mask_to_label_mask(sm)).collect())
+                .unwrap_or_default();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "level {}", k);
+        }
+    }
+
+    #[test]
+    fn deletion_equals_rebuild(db in small_db(), q in connected_graph(5, 2)) {
+        let indexes = build_indexes(&db, 0.4);
+        let (mut query, mut set) = formulate(&q, &indexes);
+        // delete the first deletable edge, if any
+        let Some(&victim) = query
+            .live_labels()
+            .iter()
+            .find(|&&l| query.edge_is_deletable(l))
+        else {
+            return Ok(());
+        };
+        query.delete_edge(victim).unwrap();
+        set.on_delete_edge(victim);
+
+        // rebuild from scratch over the surviving edges (connected order)
+        let (query2, set2) = formulate(query.graph(), &indexes);
+        for k in 1..=query.size() {
+            let mut a: Vec<_> = set
+                .level_fragments(k)
+                .iter()
+                .map(|(_, m)| cam_code(&query.fragment(*m)))
+                .collect();
+            let mut b: Vec<_> = set2
+                .level_fragments(k)
+                .iter()
+                .map(|(_, m)| cam_code(&query2.fragment(*m)))
+                .collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "level {} differs after deletion", k);
+        }
+    }
+
+    #[test]
+    fn level_fragments_cover_each_subset_once(db in small_db(), q in connected_graph(5, 2)) {
+        let indexes = build_indexes(&db, 0.4);
+        let (query, set) = formulate(&q, &indexes);
+        let by_size = connected_edge_subsets_by_size(query.graph()).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for k in 1..=query.size() {
+            let mut got: Vec<u64> = set
+                .level_fragments(k)
+                .iter()
+                .map(|(_, m)| *m)
+                .collect();
+            got.sort_unstable();
+            // no duplicates
+            let mut dedup = got.clone();
+            dedup.dedup();
+            prop_assert_eq!(&got, &dedup, "duplicate fragments at level {}", k);
+            // exactly the connected subsets of the query
+            let mut expect: Vec<u64> = by_size[k]
+                .iter()
+                .map(|&sm| query.slot_mask_to_label_mask(sm))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "level {} coverage", k);
+        }
+    }
+}

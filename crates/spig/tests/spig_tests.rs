@@ -1,0 +1,343 @@
+//! SPIG construction and maintenance, validated against direct computation
+//! from the definitions (Definition 4, Lemma 1) rather than against the
+//! inheritance-based Algorithm 2 that produced them.
+
+use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
+use prague_graph::{cam_code, Graph, GraphDb, Label};
+use prague_index::{A2fConfig, ActionAwareIndexes, DfBacking};
+use prague_mining::mine_classified;
+use prague_spig::{SpigSet, VisualQuery};
+
+fn path(labels: &[u16]) -> Graph {
+    let mut g = Graph::new();
+    let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+    for w in nodes.windows(2) {
+        g.add_edge(w[0], w[1]).unwrap();
+    }
+    g
+}
+
+/// A small molecule-ish database: C=0, S=1, N=2.
+fn db() -> GraphDb {
+    let mut d = GraphDb::new();
+    for _ in 0..5 {
+        d.push(path(&[0, 1, 0, 0])); // C-S-C-C
+    }
+    for _ in 0..4 {
+        d.push({
+            let mut g = path(&[0, 0, 0, 0]);
+            g.add_edge(3, 0).unwrap(); // C4 ring
+            g
+        });
+    }
+    for _ in 0..3 {
+        d.push(path(&[0, 1, 1])); // C-S-S
+    }
+    d.push(path(&[2, 0, 1])); // N-C-S : makes N-C infrequent
+    d
+}
+
+fn indexes() -> ActionAwareIndexes {
+    let result = mine_classified(&db(), 0.3, 6);
+    ActionAwareIndexes::build(
+        &result,
+        &A2fConfig {
+            beta: 2,
+            backing: DfBacking::TempDisk,
+            store_full_ids: false,
+        },
+    )
+    .unwrap()
+}
+
+/// Formulate a C-S-C-C path query edge by edge, building SPIGs.
+fn formulate_cscc(idx: &ActionAwareIndexes) -> (VisualQuery, SpigSet) {
+    let mut q = VisualQuery::new();
+    let c1 = q.add_node(Label(0));
+    let s = q.add_node(Label(1));
+    let c2 = q.add_node(Label(0));
+    let c3 = q.add_node(Label(0));
+    let mut set = SpigSet::new();
+    for (u, v) in [(c1, s), (s, c2), (c2, c3)] {
+        q.add_edge(u, v).unwrap();
+        set.on_new_edge(&q, &idx.a2f, &idx.a2i).unwrap();
+    }
+    (q, set)
+}
+
+#[test]
+fn spig_levels_hold_exactly_the_anchored_connected_subsets() {
+    let idx = indexes();
+    let (q, set) = formulate_cscc(&idx);
+    // For the newest SPIG (anchor e3): its level-k masks must equal the
+    // connected subsets of q containing e3.
+    let spig = set.spig(3).unwrap();
+    let slot = q.slot_of(3).unwrap();
+    let want =
+        prague_graph::enumerate::connected_edge_subsets_containing(q.graph(), slot as u32).unwrap();
+    #[allow(clippy::needless_range_loop)]
+    for k in 1..=q.size() {
+        let mut got: Vec<u64> = spig
+            .level(k)
+            .flat_map(|v| v.masks.iter().copied())
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<u64> = want[k]
+            .iter()
+            .map(|&sm| q.slot_mask_to_label_mask(sm))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "level {k}");
+    }
+    // source and target
+    assert_eq!(spig.source().size(), 1);
+    assert_eq!(set.target_vertex(&q).unwrap().size(), q.size());
+}
+
+#[test]
+fn fragment_lists_match_direct_computation() {
+    let idx = indexes();
+    let (q, set) = formulate_cscc(&idx);
+    for spig in set.iter() {
+        for k in 1..=q.size() {
+            for v in spig.level(k) {
+                let frag = q.fragment(v.masks[0]);
+                let cam = cam_code(&frag);
+                assert_eq!(cam, v.cam);
+                let fl = &v.fragment_list;
+                if let Some(fid) = idx.a2f.lookup(&cam) {
+                    assert_eq!(fl.freq_id, Some(fid));
+                    assert_eq!(fl.dif_id, None);
+                    assert!(fl.phi.is_empty() && fl.upsilon.is_empty());
+                } else if let Some(did) = idx.a2i.lookup(&cam) {
+                    assert_eq!(fl.dif_id, Some(did));
+                    assert_eq!(fl.freq_id, None);
+                    assert!(fl.phi.is_empty() && fl.upsilon.is_empty());
+                } else {
+                    // Φ: a2fIds of all largest proper connected subgraphs.
+                    let levels = connected_edge_subsets_by_size(&frag).unwrap();
+                    let mut phi: Vec<_> = levels[frag.edge_count() - 1]
+                        .iter()
+                        .filter_map(|&m| {
+                            let (sub, _) = frag.edge_subgraph(&mask_edges(m));
+                            idx.a2f.lookup(&cam_code(&sub))
+                        })
+                        .collect();
+                    phi.sort_unstable();
+                    phi.dedup();
+                    assert_eq!(fl.phi, phi, "Φ mismatch for {frag:?}");
+                    // Υ: a2iIds of ALL subgraphs.
+                    let mut upsilon: Vec<_> = levels
+                        .iter()
+                        .skip(1)
+                        .flatten()
+                        .filter_map(|&m| {
+                            let (sub, _) = frag.edge_subgraph(&mask_edges(m));
+                            idx.a2i.lookup(&cam_code(&sub))
+                        })
+                        .collect();
+                    upsilon.sort_unstable();
+                    upsilon.dedup();
+                    assert_eq!(fl.upsilon, upsilon, "Υ mismatch for {frag:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma1_level_bound() {
+    let idx = indexes();
+    let (q, set) = formulate_cscc(&idx);
+    let n = q.size();
+    fn binom(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+    for k in 1..=n {
+        assert!(
+            set.level_vertex_count(k) <= binom(n, k) * set.len(),
+            "level {k} vertex count exceeds loose bound"
+        );
+        // the tighter Lemma 1 bound on distinct fragments
+        assert!(set.level_fragments(k).len() <= binom(n, k));
+    }
+}
+
+#[test]
+fn formulation_sequence_invariance() {
+    // Build the same C-S-C-C query with two different edge orders; the
+    // per-level distinct fragment sets must agree (paper, Section V-B).
+    let idx = indexes();
+
+    let build = |order: &[(usize, usize)]| {
+        let mut q = VisualQuery::new();
+        let nodes = [
+            q.add_node(Label(0)),
+            q.add_node(Label(1)),
+            q.add_node(Label(0)),
+            q.add_node(Label(0)),
+        ];
+        let mut set = SpigSet::new();
+        for &(u, v) in order {
+            q.add_edge(nodes[u], nodes[v]).unwrap();
+            set.on_new_edge(&q, &idx.a2f, &idx.a2i).unwrap();
+        }
+        (q, set)
+    };
+
+    let (_q1, s1) = build(&[(0, 1), (1, 2), (2, 3)]);
+    let (_q2, s2) = build(&[(2, 3), (1, 2), (0, 1)]);
+
+    for k in 1..=3 {
+        assert_eq!(
+            s1.level_fragments(k).len(),
+            s2.level_fragments(k).len(),
+            "distinct fragment count at level {k} differs by sequence"
+        );
+        // the fragment *graphs* must be the same multiset (compare CAM sets)
+        let cams = |set: &SpigSet, q: &VisualQuery| {
+            let mut v: Vec<_> = set
+                .level_fragments(k)
+                .iter()
+                .map(|(_, m)| cam_code(&q.fragment(*m)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(cams(&s1, &_q1), cams(&s2, &_q2));
+    }
+}
+
+#[test]
+fn deletion_matches_rebuild_from_scratch() {
+    let idx = indexes();
+    // Build 4-edge query (C-S-C-C plus ring edge), delete an edge, compare
+    // with formulating the modified query directly.
+    let mut q = VisualQuery::new();
+    let c1 = q.add_node(Label(0));
+    let s = q.add_node(Label(1));
+    let c2 = q.add_node(Label(0));
+    let c3 = q.add_node(Label(0));
+    let mut set = SpigSet::new();
+    for (u, v) in [(c1, s), (s, c2), (c2, c3), (c3, c1)] {
+        q.add_edge(u, v).unwrap();
+        set.on_new_edge(&q, &idx.a2f, &idx.a2i).unwrap();
+    }
+    // delete e1 (C-S): ring keeps the rest connected
+    q.delete_edge(1).unwrap();
+    set.on_delete_edge(1);
+    assert!(set.spig(1).is_none());
+
+    // Rebuild from scratch with edges e2, e3, e4 in that order.
+    let mut q2 = VisualQuery::new();
+    let b1 = q2.add_node(Label(1));
+    let b2 = q2.add_node(Label(0));
+    let b3 = q2.add_node(Label(0));
+    let b4 = q2.add_node(Label(0));
+    let mut set2 = SpigSet::new();
+    for (u, v) in [(b1, b2), (b2, b3), (b3, b4)] {
+        q2.add_edge(u, v).unwrap();
+        set2.on_new_edge(&q2, &idx.a2f, &idx.a2i).unwrap();
+    }
+    // Per-level distinct fragment multisets must agree.
+    for k in 1..=3 {
+        let mut a: Vec<_> = set
+            .level_fragments(k)
+            .iter()
+            .map(|(_, m)| cam_code(&q.fragment(*m)))
+            .collect();
+        let mut b: Vec<_> = set2
+            .level_fragments(k)
+            .iter()
+            .map(|(_, m)| cam_code(&q2.fragment(*m)))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "level {k} fragments differ after deletion");
+        // Fragment lists too.
+        let fl = |s: &SpigSet, mask: u64| s.vertex_by_mask(mask).unwrap().fragment_list.clone();
+        let mut fls_a: Vec<_> = set
+            .level_fragments(k)
+            .iter()
+            .map(|(_, m)| fl(&set, *m))
+            .collect();
+        let mut fls_b: Vec<_> = set2
+            .level_fragments(k)
+            .iter()
+            .map(|(_, m)| fl(&set2, *m))
+            .collect();
+        let key = |f: &prague_spig::FragmentList| {
+            (
+                f.freq_id,
+                f.dif_id,
+                f.phi.clone(),
+                f.upsilon.clone(),
+                f.dead,
+            )
+        };
+        fls_a.sort_by_key(key);
+        fls_b.sort_by_key(key);
+        assert_eq!(
+            fls_a, fls_b,
+            "fragment lists differ after deletion at level {k}"
+        );
+    }
+}
+
+#[test]
+fn dead_flag_for_zero_support_edges() {
+    let idx = indexes();
+    // An edge with labels never seen in D (e.g. N-S) has zero support.
+    let mut q = VisualQuery::new();
+    let n = q.add_node(Label(2));
+    let s = q.add_node(Label(1));
+    let mut set = SpigSet::new();
+    q.add_edge(n, s).unwrap();
+    set.on_new_edge(&q, &idx.a2f, &idx.a2i).unwrap();
+    let v = set.target_vertex(&q).unwrap();
+    assert!(v.fragment_list.dead);
+    assert!(!v.fragment_list.is_indexed());
+}
+
+#[test]
+fn dead_flag_propagates_to_supergraphs() {
+    let idx = indexes();
+    let mut q = VisualQuery::new();
+    let c = q.add_node(Label(0));
+    let n = q.add_node(Label(2));
+    let s = q.add_node(Label(1));
+    let mut set = SpigSet::new();
+    // C-N exists (once); N-S never
+    q.add_edge(c, n).unwrap();
+    set.on_new_edge(&q, &idx.a2f, &idx.a2i).unwrap();
+    q.add_edge(n, s).unwrap();
+    set.on_new_edge(&q, &idx.a2f, &idx.a2i).unwrap();
+    let target = set.target_vertex(&q).unwrap();
+    // the 2-edge fragment contains the zero-support N-S edge
+    assert!(
+        target.fragment_list.dead || target.fragment_list.is_indexed(),
+        "either inherited dead flag or (unexpectedly) indexed"
+    );
+    assert!(target.fragment_list.dead);
+}
+
+#[test]
+fn spig_set_bookkeeping() {
+    let idx = indexes();
+    let (_q, set) = formulate_cscc(&idx);
+    assert_eq!(set.len(), 3);
+    assert!(set.total_vertices() > 0);
+    assert!(set.byte_size() > 0);
+    // every SPIG's height equals the query size at its construction step...
+    // the final SPIG spans all 3 levels:
+    assert_eq!(set.spig(3).unwrap().height(), 3);
+    // S1 was built when |q|=1
+    assert_eq!(set.spig(1).unwrap().height(), 1);
+}

@@ -1,0 +1,131 @@
+//! Interactive-formulation walkthrough: replays the paper's Figure 3
+//! experience — a user drawing a query edge-at-a-time, the system
+//! processing each fragment inside the GUI latency, an option dialogue when
+//! exact matches run out, a modification, and finally Run.
+//!
+//! Run with: `cargo run --release --example interactive_formulation`
+
+use prague::{PragueSystem, QueryResults, StepStatus, SystemParams};
+use prague_datagen::{molecules_generate, MoleculeConfig};
+use std::time::Duration;
+
+/// The latency the GUI naturally offers between edges (the paper observes
+/// at least ~2 s per drawn edge, excluding thinking time).
+const GUI_LATENCY: Duration = Duration::from_secs(2);
+
+fn main() {
+    let ds = molecules_generate(&MoleculeConfig {
+        graphs: 1_500,
+        ..Default::default()
+    });
+    let system = PragueSystem::build_with_labels(
+        ds.db,
+        ds.labels,
+        SystemParams {
+            alpha: 0.1,
+            beta: 4,
+            max_fragment_edges: 8,
+            ..Default::default()
+        },
+    )
+    .expect("build");
+    system.warm();
+
+    println!("┌──────┬────────────┬────────────┬──────────────┬──────────┐");
+    println!("│ step │ status     │ candidates │ processing   │ headroom │");
+    println!("├──────┼────────────┼────────────┼──────────────┼──────────┤");
+
+    let mut session = system.session(2);
+    // Sketch: a carbon ring with an S tail, then one edge that kills the
+    // exact matches (mirrors Figure 3 Sequence 1's trajectory).
+    let c: Vec<_> = (0..5)
+        .map(|_| session.add_named_node("C").unwrap())
+        .collect();
+    let s = session.add_named_node("S").unwrap();
+    let hg = session.add_named_node("Hg").unwrap();
+    let sequence = [
+        (c[0], c[1]),
+        (c[1], c[2]),
+        (c[2], c[3]),
+        (c[3], c[4]),
+        (c[4], c[0]), // ring closes
+        (c[0], s),
+        (s, hg), // S-Hg bond: unlikely to have exact support
+    ];
+
+    let mut pending_suggestion = None;
+    for &(u, v) in &sequence {
+        let step = match session.add_edge(u, v) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("│  --  │ rejected: {e}");
+                continue;
+            }
+        };
+        let status = match step.status {
+            StepStatus::Frequent => "frequent",
+            StepStatus::Infrequent => "infrequent",
+            StepStatus::Similar => "similar",
+        };
+        let used = step.total_time();
+        let headroom = GUI_LATENCY.saturating_sub(used);
+        println!(
+            "│ e{:<4}│ {:<11}│ {:>10} │ {:>9} µs │ {:>6} ms │",
+            step.edge,
+            status,
+            step.candidate_count,
+            used.as_micros(),
+            headroom.as_millis()
+        );
+        if let Some(sug) = step.suggestion.clone() {
+            pending_suggestion = Some(sug);
+        }
+    }
+    println!("└──────┴────────────┴────────────┴──────────────┴──────────┘");
+
+    // Option dialogue: the user first tries the system's suggestion…
+    if let Some(sug) = pending_suggestion {
+        println!(
+            "\noption dialogue: no exact match. Suggestion: delete e{} (→ {} candidates)",
+            sug.edge,
+            sug.candidates.len()
+        );
+        let out = session
+            .delete_edge(sug.edge)
+            .expect("suggested edge deletable");
+        println!(
+            "user accepts: modification took {} µs, {} candidates",
+            out.modify_time.as_micros(),
+            out.candidate_count
+        );
+        // …then changes their mind, re-draws the bond, and opts for
+        // similarity search instead (the paper's SimQuery action).
+        let step = session.add_edge(s, hg).expect("re-draw");
+        println!(
+            "user re-draws the bond (e{}) and picks 'similar matches'",
+            step.edge
+        );
+        let n = session.choose_similarity();
+        println!("similarity candidates: {n}");
+    } else {
+        println!("\n(query had exact matches throughout — running as containment)");
+    }
+
+    let outcome = session.run().expect("run");
+    println!("\nRUN pressed. SRT = {:?}", outcome.srt);
+    match outcome.results {
+        QueryResults::Exact(ids) => println!("{} exact matches", ids.len()),
+        QueryResults::Similar(r) => {
+            println!("{} ranked approximate matches:", r.matches.len());
+            for m in r.matches.iter().take(8) {
+                println!("  graph {:>5}  missing {} edge(s)", m.graph_id, m.distance);
+            }
+        }
+    }
+    println!(
+        "\nSPIG set: {} SPIGs, {} vertices, {:.1} KiB",
+        session.spigs().len(),
+        session.spigs().total_vertices(),
+        session.spigs().byte_size() as f64 / 1024.0
+    );
+}

@@ -1,0 +1,128 @@
+//! Quickstart: build a PRAGUE system over a tiny hand-made graph database
+//! and run one visual query, exact and similar.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prague::{PragueSystem, QueryResults, SystemParams};
+use prague_graph::{Graph, GraphDb, Label, LabelTable};
+
+fn main() {
+    // Label alphabet: a miniature "chemistry".
+    let mut labels = LabelTable::new();
+    let c = labels.intern("C");
+    let s = labels.intern("S");
+    let o = labels.intern("O");
+
+    // A small database: C-S-C chains, C rings, one odd molecule.
+    let mut db = GraphDb::new();
+    for _ in 0..5 {
+        db.push(chain(&[c, s, c]));
+    }
+    for _ in 0..4 {
+        db.push(ring(&[c, c, c, c]));
+    }
+    db.push(chain(&[c, s, o]));
+
+    // Offline: mine frequent fragments and DIFs, build the A2F/A2I indexes.
+    let system = PragueSystem::build_with_labels(
+        db,
+        labels,
+        SystemParams {
+            alpha: 0.3,
+            beta: 2,
+            max_fragment_edges: 5,
+            ..Default::default()
+        },
+    )
+    .expect("build");
+    println!(
+        "built: {} frequent fragments, {} DIFs, index {:.2} MB",
+        system.stats().frequent_fragments,
+        system.stats().difs,
+        system.index_footprint().total_mb()
+    );
+
+    // Online: draw C-S-C edge by edge. After every edge PRAGUE refreshes
+    // its candidates inside the GUI latency.
+    let mut session = system.session(1);
+    let n1 = session.add_named_node("C").unwrap();
+    let n2 = session.add_named_node("S").unwrap();
+    let n3 = session.add_named_node("C").unwrap();
+    for (u, v) in [(n1, n2), (n2, n3)] {
+        let step = session.add_edge(u, v).expect("valid edge");
+        println!(
+            "drew e{} -> status {:?}, {} candidates ({:?} processing)",
+            step.edge,
+            step.status,
+            step.candidate_count,
+            step.total_time()
+        );
+    }
+
+    // Run: the SRT is just the residual verification work.
+    let outcome = session.run().expect("run");
+    match &outcome.results {
+        QueryResults::Exact(ids) => {
+            println!("exact matches: {ids:?}  (SRT {:?})", outcome.srt)
+        }
+        QueryResults::Similar(r) => {
+            println!(
+                "approximate matches: {:?}  (SRT {:?})",
+                r.ids(),
+                outcome.srt
+            )
+        }
+    }
+
+    // Now a query with NO exact match: C-S-C plus an S-S edge that never
+    // occurs. PRAGUE flags it and suggests what to delete.
+    let mut session = system.session(1);
+    let n1 = session.add_named_node("C").unwrap();
+    let n2 = session.add_named_node("S").unwrap();
+    let n3 = session.add_named_node("C").unwrap();
+    let n4 = session.add_named_node("S").unwrap();
+    session.add_edge(n1, n2).unwrap();
+    session.add_edge(n2, n3).unwrap();
+    let step = session.add_edge(n2, n4).unwrap(); // S-S bond: never occurs in D
+    println!("after e3: status {:?}", step.status);
+    if let Some(s) = &step.suggestion {
+        println!(
+            "PRAGUE suggests deleting e{} (restores {} candidates)",
+            s.edge,
+            s.candidates.len()
+        );
+    }
+    // ...but the user keeps the edge and asks for similar graphs instead.
+    let n = session.choose_similarity();
+    println!("similarity mode: {n} candidate graphs");
+    let outcome = session.run().expect("run");
+    if let QueryResults::Similar(r) = &outcome.results {
+        for m in &r.matches {
+            println!(
+                "  graph {} at distance {} ({})",
+                m.graph_id,
+                m.distance,
+                if m.verification_free {
+                    "verification-free"
+                } else {
+                    "verified"
+                }
+            );
+        }
+    }
+}
+
+fn chain(labels: &[Label]) -> Graph {
+    let mut g = Graph::new();
+    let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(l)).collect();
+    for w in nodes.windows(2) {
+        g.add_edge(w[0], w[1]).unwrap();
+    }
+    g
+}
+
+fn ring(labels: &[Label]) -> Graph {
+    let mut g = chain(labels);
+    g.add_edge(labels.len() as u32 - 1, 0).unwrap();
+    g
+}

@@ -1,0 +1,60 @@
+//! Shared helpers for the cross-crate integration tests.
+#![allow(dead_code)] // each [[test]] target uses a different subset
+
+use prague::{Session, StepOutcome};
+use prague_datagen::QuerySpec;
+use prague_graph::{GraphDb, GraphId};
+
+/// Replay a query spec into a session in default formulation order.
+pub fn replay(session: &mut Session<'_>, spec: &QuerySpec) -> Vec<StepOutcome> {
+    replay_sequence(session, spec, &(0..spec.edges.len()).collect::<Vec<_>>())
+}
+
+/// Replay a query spec in a custom edge order (indices into `spec.edges`).
+pub fn replay_sequence(
+    session: &mut Session<'_>,
+    spec: &QuerySpec,
+    order: &[usize],
+) -> Vec<StepOutcome> {
+    let nodes: Vec<_> = spec
+        .node_labels
+        .iter()
+        .map(|&l| session.add_node(l))
+        .collect();
+    order
+        .iter()
+        .map(|&i| {
+            let (u, v) = spec.edges[i];
+            session
+                .add_edge(nodes[u as usize], nodes[v as usize])
+                .expect("spec edges are valid")
+        })
+        .collect()
+}
+
+/// Brute-force exact containment answer.
+pub fn oracle_containment(q: &prague_graph::Graph, db: &GraphDb) -> Vec<GraphId> {
+    let order = prague_graph::vf2::MatchOrder::new(q);
+    db.iter()
+        .filter(|(_, g)| prague_graph::vf2::is_subgraph_with_order(q, g, &order))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Brute-force similarity answer: `(id, dist)` for every graph with
+/// `dist <= sigma` *and at least one common edge* (`dist < |q|`) —
+/// PRAGUE's similarity levels stop at 1, so a graph sharing nothing with
+/// the query is never reported even when `sigma >= |q|`. Exact matches
+/// appear at distance 0 and rank first.
+pub fn oracle_similarity(
+    q: &prague_graph::Graph,
+    db: &GraphDb,
+    sigma: usize,
+) -> Vec<(GraphId, usize)> {
+    db.iter()
+        .filter_map(|(id, g)| {
+            let d = prague_graph::mccs::subgraph_distance(q, g).expect("small query");
+            (d <= sigma && d < q.edge_count()).then_some((id, d))
+        })
+        .collect()
+}

@@ -1,0 +1,415 @@
+//! End-to-end pipeline tests: generate a dataset, mine + index, formulate
+//! queries edge-at-a-time, and check PRAGUE's answers against brute-force
+//! oracles.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use common::{oracle_containment, oracle_similarity, replay};
+use prague::{PragueSystem, QueryResults, StepStatus, SystemParams};
+use prague_datagen::{
+    derive_containment_query, derive_similarity_query, DeriveConfig, MoleculeConfig, QueryKind,
+};
+use prague_graph::Graph;
+
+fn build_system() -> PragueSystem {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 250,
+        mean_nodes: 12.0,
+        ..Default::default()
+    });
+    PragueSystem::build_with_labels(
+        ds.db,
+        ds.labels,
+        SystemParams {
+            alpha: 0.15,
+            beta: 3,
+            max_fragment_edges: 7,
+            ..Default::default()
+        },
+    )
+    .expect("system builds")
+}
+
+#[test]
+fn containment_query_matches_oracle() {
+    let system = build_system();
+    for seed in 0..6u64 {
+        let Some(spec) = derive_containment_query(system.db(), 4, seed, "C") else {
+            continue;
+        };
+        let mut session = system.session(2);
+        let steps = replay(&mut session, &spec);
+        // every step of a containment query has candidates
+        for s in &steps {
+            assert!(
+                s.candidate_count > 0,
+                "containment query lost candidates at step e{}",
+                s.edge
+            );
+        }
+        let outcome = session.run().expect("runnable");
+        match outcome.results {
+            QueryResults::Exact(ids) => {
+                assert_eq!(
+                    ids,
+                    oracle_containment(&spec.graph(), system.db()),
+                    "seed {seed}"
+                );
+            }
+            QueryResults::Similar(_) => panic!("containment query fell back to similarity"),
+        }
+    }
+}
+
+#[test]
+fn candidates_never_miss_answers() {
+    // R_q is a superset of the true answer at every step.
+    let system = build_system();
+    let spec = derive_containment_query(system.db(), 5, 42, "C").expect("derivable");
+    let mut session = system.session(2);
+    let nodes: Vec<_> = spec
+        .node_labels
+        .iter()
+        .map(|&l| session.add_node(l))
+        .collect();
+    for &(u, v) in &spec.edges {
+        session
+            .add_edge(nodes[u as usize], nodes[v as usize])
+            .unwrap();
+        let truth = oracle_containment(session.query().graph(), system.db());
+        let rq = session.exact_candidates();
+        for id in &truth {
+            assert!(rq.contains(id), "candidate set missed graph {id}");
+        }
+    }
+}
+
+#[test]
+fn similarity_query_matches_oracle() {
+    let system = build_system();
+    let frequent: Vec<Graph> = (0..system.indexes().a2f.fragment_count() as u32)
+        .map(|id| system.indexes().a2f.fragment(id))
+        .collect();
+    let sigma = 2;
+    let mut tested = 0;
+    for (seed, kind) in [
+        (1u64, QueryKind::WorstCase),
+        (2, QueryKind::WorstCase),
+        (3, QueryKind::BestCase),
+    ] {
+        let Some(spec) = derive_similarity_query(
+            system.db(),
+            &frequent,
+            &DeriveConfig {
+                size: 5,
+                kind,
+                seed,
+            },
+            "S",
+        ) else {
+            continue;
+        };
+        tested += 1;
+        let mut session = system.session(sigma);
+        let steps = replay(&mut session, &spec);
+        // the final step must report Similar (no exact match, by construction)
+        assert_eq!(steps.last().unwrap().status, StepStatus::Similar);
+        session.choose_similarity();
+        let outcome = session.run().expect("runnable");
+        let QueryResults::Similar(results) = outcome.results else {
+            panic!("similarity session returned exact results");
+        };
+        let mut got: Vec<(u32, usize)> = results
+            .matches
+            .iter()
+            .map(|m| (m.graph_id, m.distance))
+            .collect();
+        got.sort_unstable();
+        let mut want = oracle_similarity(&spec.graph(), system.db(), sigma);
+        want.sort_unstable();
+        assert_eq!(
+            got, want,
+            "similarity answer mismatch ({kind:?}, seed {seed})"
+        );
+        // results are rank-ordered by distance
+        for w in results.matches.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+    assert!(tested >= 2, "not enough derivable similarity queries");
+}
+
+#[test]
+fn best_case_candidates_are_verification_free() {
+    let system = build_system();
+    let frequent: Vec<Graph> = (0..system.indexes().a2f.fragment_count() as u32)
+        .map(|id| system.indexes().a2f.fragment(id))
+        .collect();
+    let Some(spec) = derive_similarity_query(
+        system.db(),
+        &frequent,
+        &DeriveConfig {
+            size: 4,
+            kind: QueryKind::BestCase,
+            seed: 9,
+        },
+        "Q1-like",
+    ) else {
+        return; // no frequent fragment of the needed size in this dataset
+    };
+    let mut session = system.session(2);
+    replay(&mut session, &spec);
+    session.choose_similarity();
+    let sc = session.similarity_candidates().expect("computed");
+    // best case: R_ver empty at every level (fragments are frequent or dead)
+    for (level, lc) in &sc.levels {
+        assert!(
+            lc.ver.is_empty(),
+            "best-case query has verification candidates at level {level}"
+        );
+    }
+}
+
+#[test]
+fn exact_fallback_to_similarity_on_run() {
+    // Run a query with no exact match *without* opting into similarity:
+    // Algorithm 1 lines 19-21 fall back automatically.
+    let system = build_system();
+    let spec = derive_similarity_query(
+        system.db(),
+        &[],
+        &DeriveConfig {
+            size: 4,
+            kind: QueryKind::WorstCase,
+            seed: 17,
+        },
+        "F",
+    )
+    .expect("derivable");
+    let mut session = system.session(2);
+    replay(&mut session, &spec);
+    assert!(!session.is_similarity());
+    let outcome = session.run().expect("runnable");
+    match outcome.results {
+        QueryResults::Similar(results) => {
+            let want = oracle_similarity(&spec.graph(), system.db(), 2);
+            assert_eq!(results.matches.len(), want.len());
+        }
+        QueryResults::Exact(ids) => {
+            panic!(
+                "query with no exact match returned {} exact results",
+                ids.len()
+            )
+        }
+    }
+}
+
+#[test]
+fn frequent_fragment_query_is_verification_free_and_exact() {
+    let system = build_system();
+    // pick an indexed frequent fragment of size >= 2 and formulate it
+    let a2f = &system.indexes().a2f;
+    let id = (0..a2f.fragment_count() as u32)
+        .find(|&id| a2f.size(id) >= 2)
+        .expect("some multi-edge frequent fragment");
+    let frag = a2f.fragment(id);
+    // build a connected edge order over the fragment
+    let mut order: Vec<u32> = Vec::new();
+    let mut wired: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    while order.len() < frag.edge_count() {
+        for e in 0..frag.edge_count() as u32 {
+            if order.contains(&e) {
+                continue;
+            }
+            let edge = frag.edge(e);
+            if order.is_empty() || wired.contains(&edge.u) || wired.contains(&edge.v) {
+                order.push(e);
+                wired.insert(edge.u);
+                wired.insert(edge.v);
+            }
+        }
+    }
+    let mut session = system.session(2);
+    let nodes: Vec<_> = frag.labels().iter().map(|&l| session.add_node(l)).collect();
+    for &e in &order {
+        let edge = frag.edge(e);
+        session
+            .add_edge(nodes[edge.u as usize], nodes[edge.v as usize])
+            .unwrap();
+    }
+    // R_q must equal fsgIds exactly — this is the verification-free case
+    let expect = a2f.fsg_ids(id);
+    assert_eq!(session.exact_candidates(), expect.as_slice());
+    let outcome = session.run().unwrap();
+    match outcome.results {
+        QueryResults::Exact(ids) => {
+            assert_eq!(&ids, expect.as_ref());
+            // cross-check against brute force
+            assert_eq!(ids, oracle_containment(&frag, system.db()));
+        }
+        _ => panic!("expected exact results"),
+    }
+}
+
+#[test]
+fn step_statuses_follow_fragment_nature() {
+    let system = build_system();
+    let spec = derive_similarity_query(
+        system.db(),
+        &[],
+        &DeriveConfig {
+            size: 5,
+            kind: QueryKind::WorstCase,
+            seed: 23,
+        },
+        "W",
+    )
+    .expect("derivable");
+    let mut session = system.session(2);
+    let steps = replay(&mut session, &spec);
+    // once Similar (empty R_q), later steps stay Similar — R_q only shrinks
+    if let Some(pos) = steps.iter().position(|s| s.status == StepStatus::Similar) {
+        for s in &steps[pos..] {
+            assert_eq!(s.status, StepStatus::Similar);
+            assert_eq!(s.candidate_count, 0);
+        }
+    }
+}
+
+#[test]
+fn empty_query_cannot_run() {
+    let system = build_system();
+    let mut session = system.session(2);
+    assert!(session.run().is_err());
+}
+
+#[test]
+fn build_stats_are_populated() {
+    let system = build_system();
+    let stats = system.stats();
+    assert!(stats.frequent_fragments > 0);
+    assert!(system.index_footprint().total() > 0);
+}
+
+#[test]
+fn incremental_insert_keeps_answers_exact() {
+    // Build over part of the data, insert the rest incrementally, and
+    // check both exact and similarity answers against brute force.
+    let ds = prague_datagen::molecules_generate(&prague_datagen::MoleculeConfig {
+        graphs: 160,
+        mean_nodes: 12.0,
+        ..Default::default()
+    });
+    let all: Vec<prague_graph::Graph> = ds.db.graphs().to_vec();
+    let (initial, inserts) = all.split_at(120);
+    let mut system = PragueSystem::build_with_labels(
+        prague_graph::GraphDb::from_graphs(initial.to_vec()),
+        ds.labels,
+        SystemParams {
+            alpha: 0.15,
+            beta: 3,
+            max_fragment_edges: 6,
+            ..Default::default()
+        },
+    )
+    .expect("builds");
+
+    for g in inserts {
+        system.insert_graph(g.clone());
+    }
+    assert_eq!(system.db().len(), 160);
+    assert!(system.inserted_fraction() > 0.2);
+
+    // exact containment query
+    for seed in [4u64, 8, 15] {
+        let Some(spec) = derive_containment_query(system.db(), 4, seed, "I") else {
+            continue;
+        };
+        let mut session = system.session(2);
+        replay(&mut session, &spec);
+        let truth = oracle_containment(&spec.graph(), system.db());
+        // completeness of the candidate set (includes inserted graphs)
+        for id in &truth {
+            assert!(
+                session.exact_candidates().contains(id),
+                "candidates miss graph {id} after insert (seed {seed})"
+            );
+        }
+        match session.run().unwrap().results {
+            QueryResults::Exact(ids) => assert_eq!(ids, truth, "seed {seed}"),
+            QueryResults::Similar(_) => assert!(truth.is_empty()),
+        }
+    }
+
+    // similarity query
+    let spec = derive_similarity_query(
+        system.db(),
+        &[],
+        &DeriveConfig {
+            size: 5,
+            kind: QueryKind::WorstCase,
+            seed: 77,
+        },
+        "I",
+    )
+    .expect("derivable");
+    let mut session = system.session(2);
+    replay(&mut session, &spec);
+    session.choose_similarity();
+    let QueryResults::Similar(results) = session.run().unwrap().results else {
+        panic!("similarity query");
+    };
+    let mut got: Vec<(u32, usize)> = results
+        .matches
+        .iter()
+        .map(|m| (m.graph_id, m.distance))
+        .collect();
+    got.sort_unstable();
+    let mut want = oracle_similarity(&spec.graph(), system.db(), 2);
+    want.sort_unstable();
+    assert_eq!(got, want, "similarity answers diverge after inserts");
+}
+
+#[test]
+fn insert_graph_with_entirely_new_labels() {
+    // A graph whose edges were never seen must not be lost: it is indexed
+    // as fresh size-1 DIF entries, so queries over its labels find it.
+    let ds = prague_datagen::molecules_generate(&prague_datagen::MoleculeConfig {
+        graphs: 80,
+        mean_nodes: 10.0,
+        ..Default::default()
+    });
+    let mut system = PragueSystem::build_with_labels(
+        ds.db,
+        ds.labels,
+        SystemParams {
+            alpha: 0.2,
+            beta: 3,
+            max_fragment_edges: 5,
+            ..Default::default()
+        },
+    )
+    .expect("builds");
+    // exotic molecule: X-Y-X chain with labels outside the atom table
+    let mut exotic = prague_graph::Graph::new();
+    let x1 = exotic.add_node(prague_graph::Label(40));
+    let y = exotic.add_node(prague_graph::Label(41));
+    let x2 = exotic.add_node(prague_graph::Label(40));
+    exotic.add_edge(x1, y).unwrap();
+    exotic.add_edge(y, x2).unwrap();
+    let gid = system.insert_graph(exotic);
+
+    let mut session = system.session(1);
+    let a = session.add_node(prague_graph::Label(40));
+    let b = session.add_node(prague_graph::Label(41));
+    let step = session.add_edge(a, b).unwrap();
+    assert_eq!(
+        step.candidate_count, 1,
+        "new-label edge should have one candidate"
+    );
+    match session.run().unwrap().results {
+        QueryResults::Exact(ids) => assert_eq!(ids, vec![gid]),
+        _ => panic!("expected the inserted graph as an exact match"),
+    }
+}
