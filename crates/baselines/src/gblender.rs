@@ -79,7 +79,12 @@ impl<'a> GBlenderSession<'a> {
         let cam = cam_code(g);
         // Whole fragment indexed: exact ids, no history needed.
         if let Some(fid) = self.a2f.lookup(&cam) {
-            return self.a2f.fsg_ids(fid).as_ref().clone();
+            return self
+                .a2f
+                .fsg_ids(fid)
+                .expect("DF store readable")
+                .as_ref()
+                .clone();
         }
         if let Some(did) = self.a2i.lookup(&cam) {
             return self.a2i.fsg_ids(did).as_ref().clone();
@@ -97,7 +102,7 @@ impl<'a> GBlenderSession<'a> {
         for &mask in &levels[size - 1] {
             let (sub, _) = g.edge_subgraph(&mask_edges(mask));
             if let Some(fid) = self.a2f.lookup(&cam_code(&sub)) {
-                lists.push(self.a2f.fsg_ids(fid));
+                lists.push(self.a2f.fsg_ids(fid).expect("DF store readable"));
             }
         }
         // DIFs among subgraphs containing the newest edge slot.

@@ -131,7 +131,7 @@ fn bench_spig_and_candidates(c: &mut Criterion) {
         },
     )
     .unwrap();
-    indexes.a2f.warm();
+    indexes.a2f.warm().unwrap();
 
     // formulate the bench query's first 8 edges, measure adding the 9th
     let q = bench_query();
@@ -199,7 +199,7 @@ fn bench_session_pipeline(c: &mut Criterion) {
         },
     )
     .unwrap();
-    system.warm();
+    system.warm().unwrap();
     let q = bench_query();
     c.bench_function("full_session_formulate_and_run", |b| {
         b.iter(|| {
@@ -210,7 +210,7 @@ fn bench_session_pipeline(c: &mut Criterion) {
                     .add_edge(nodes[e.u as usize], nodes[e.v as usize])
                     .unwrap();
             }
-            session.choose_similarity();
+            session.choose_similarity().unwrap();
             session.run().unwrap().results.len()
         })
     });

@@ -22,7 +22,9 @@ fn prepared_similarity_session<'a>(
 ) -> Session<'a> {
     let mut session = wb.system.session(sigma);
     replay(&mut session, spec);
-    session.choose_similarity();
+    session
+        .choose_similarity()
+        .expect("in-memory store reads cannot fail");
     session
 }
 
@@ -242,7 +244,9 @@ pub fn table3_sequences(wb: &Workbench) {
         for (si, seq) in sequences.iter().enumerate() {
             let mut session = wb.system.session(3);
             let steps = replay_sequence(&mut session, spec, seq);
-            session.choose_similarity();
+            session
+                .choose_similarity()
+                .expect("in-memory store reads cannot fail");
             let srt = timed_avg(|| session.run().expect("runnable").srt);
             let step_cells: Vec<String> = steps
                 .iter()

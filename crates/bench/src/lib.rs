@@ -115,7 +115,7 @@ pub fn build_workbench(
         },
     )
     .expect("index build");
-    system.warm();
+    system.warm().expect("warm a fresh in-memory store");
     let queries = derive_queries(&system, &frequent_graphs, query_prefix);
     Workbench {
         system,

@@ -149,7 +149,7 @@ pub fn query(args: &QueryArgs) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
-    system.warm();
+    system.warm().map_err(|e| e.to_string())?;
 
     // the query file's labels must resolve against the catalog's table
     let mut qlabels = labels.clone();
@@ -177,7 +177,7 @@ pub fn query(args: &QueryArgs) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     if args.similar {
-        session.choose_similarity();
+        session.choose_similarity().map_err(|e| e.to_string())?;
     }
     let outcome = session.run().map_err(|e| e.to_string())?;
     if args.trace {
@@ -227,7 +227,7 @@ pub fn interactive(args: &InteractiveArgs) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
-    system.warm();
+    system.warm().map_err(|e| e.to_string())?;
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     crate::interactive::run_repl(&system, args.sigma, stdin.lock(), &mut stdout)

@@ -131,18 +131,19 @@ pub fn run_repl<R: BufRead, W: Write>(
                     Err(e) => writeln!(out, "error: {e}")?,
                 }
             }
-            "similar" => {
-                let n = session.choose_similarity();
-                writeln!(out, "similarity mode: {n} candidates")?;
-            }
+            "similar" => match session.choose_similarity() {
+                Ok(n) => writeln!(out, "similarity mode: {n} candidates")?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            },
             "suggest" => match session.suggest_deletion() {
-                Some(s) => writeln!(
+                Ok(Some(s)) => writeln!(
                     out,
                     "delete e{} → {} candidates",
                     s.edge,
                     s.candidates.len()
                 )?,
-                None => writeln!(out, "no deletable edge")?,
+                Ok(None) => writeln!(out, "no deletable edge")?,
+                Err(e) => writeln!(out, "error: {e}")?,
             },
             "candidates" => {
                 let n = if session.is_similarity() {

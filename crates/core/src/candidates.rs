@@ -8,7 +8,7 @@
 //! frequent Φ-subgraphs and DIF Υ-subgraphs, a superset of the true answer.
 
 use prague_graph::GraphId;
-use prague_index::{A2fIndex, A2iIndex};
+use prague_index::{A2fIndex, A2iIndex, StoreError};
 use prague_spig::{SpigSet, SpigVertex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -48,32 +48,25 @@ pub fn intersect_sorted(mut lists: Vec<Arc<Vec<GraphId>>>) -> Vec<GraphId> {
 pub fn union_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() || j < b.len() {
-        match (a.get(i), b.get(j)) {
-            (Some(&x), Some(&y)) if x == y => {
-                out.push(x);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
                 i += 1;
                 j += 1;
             }
-            (Some(&x), Some(&y)) if x < y => {
-                out.push(x);
-                i += 1;
-            }
-            (Some(_), Some(&y)) => {
-                out.push(y);
-                j += 1;
-            }
-            (Some(&x), None) => {
-                out.push(x);
-                i += 1;
-            }
-            (None, Some(&y)) => {
-                out.push(y);
-                j += 1;
-            }
-            (None, None) => unreachable!(),
         }
     }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     out
 }
 
@@ -108,29 +101,29 @@ pub fn exact_sub_candidates(
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
-) -> Vec<GraphId> {
+) -> Result<Vec<GraphId>, StoreError> {
     let fl = &v.fragment_list;
     if fl.dead {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if let Some(fid) = fl.freq_id {
-        return a2f.fsg_ids(fid).as_ref().clone();
+        return Ok(a2f.fsg_ids(fid)?.as_ref().clone());
     }
     if let Some(did) = fl.dif_id {
-        return a2i.fsg_ids(did).as_ref().clone();
+        return Ok(a2i.fsg_ids(did).as_ref().clone());
     }
     let mut lists: Vec<Arc<Vec<GraphId>>> = Vec::with_capacity(fl.phi.len() + fl.upsilon.len());
     for &fid in &fl.phi {
-        lists.push(a2f.fsg_ids(fid));
+        lists.push(a2f.fsg_ids(fid)?);
     }
     for &did in &fl.upsilon {
         lists.push(a2i.fsg_ids(did));
     }
     if lists.is_empty() {
         // No pruning information at all: fall back to the full id range.
-        return (0..db_len as GraphId).collect();
+        return Ok((0..db_len as GraphId).collect());
     }
-    intersect_sorted(lists)
+    Ok(intersect_sorted(lists))
 }
 
 /// Whether the fragment of `v` is *exactly* indexed, making its candidate
@@ -207,10 +200,10 @@ pub fn similar_sub_candidates(
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
-) -> SimilarCandidates {
+) -> Result<SimilarCandidates, StoreError> {
     let mut out = SimilarCandidates::default();
     if q_size == 0 {
-        return out;
+        return Ok(out);
     }
     let lowest = q_size.saturating_sub(sigma).max(1);
     for i in (lowest..=q_size).rev() {
@@ -218,12 +211,12 @@ pub fn similar_sub_candidates(
         let mut ver: Vec<GraphId> = Vec::new();
         // Deduplicate by isomorphism class: candidates of identical
         // fragments are identical.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (v, _mask) in set.level_fragments(i) {
             if !seen.insert(v.cam.clone()) {
                 continue;
             }
-            let cands = exact_sub_candidates(v, a2f, a2i, db_len);
+            let cands = exact_sub_candidates(v, a2f, a2i, db_len)?;
             if is_verification_free(v) {
                 free = union_sorted(&free, &cands);
             } else {
@@ -233,7 +226,7 @@ pub fn similar_sub_candidates(
         let ver = difference_sorted(&ver, &free);
         out.levels.insert(i, LevelCandidates { free, ver });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

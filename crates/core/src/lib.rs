@@ -213,8 +213,8 @@ impl PragueSystem {
 
     /// Pre-resolve all FSG-id lists (see [`prague_index::A2fIndex::warm`]).
     /// Call once after build when steady-state step latencies matter.
-    pub fn warm(&self) {
-        self.indexes.a2f.warm();
+    pub fn warm(&self) -> Result<(), prague_index::StoreError> {
+        self.indexes.a2f.warm()
     }
 
     /// Insert a data graph into the running system, maintaining both
@@ -226,16 +226,19 @@ impl PragueSystem {
     /// gets large (a few percent is a good trigger).
     ///
     /// Returns the new graph's id.
-    pub fn insert_graph(&mut self, g: prague_graph::Graph) -> prague_graph::GraphId {
+    pub fn insert_graph(
+        &mut self,
+        g: prague_graph::Graph,
+    ) -> Result<prague_graph::GraphId, prague_index::StoreError> {
         let gid = self.db.push(g);
         let g = self.db.graph(gid).clone();
-        self.indexes.a2f.register_graph(gid, &g);
+        self.indexes.a2f.register_graph(gid, &g)?;
         let a2f = &self.indexes.a2f;
         self.indexes
             .a2i
             .register_graph(gid, &g, |cam| a2f.lookup(cam).is_some());
         self.inserted += 1;
-        gid
+        Ok(gid)
     }
 
     /// Fraction of the database inserted since the last full build.

@@ -11,7 +11,7 @@
 
 use crate::candidates::exact_sub_candidates;
 use prague_graph::GraphId;
-use prague_index::{A2fIndex, A2iIndex};
+use prague_index::{A2fIndex, A2iIndex, StoreError};
 use prague_spig::{EdgeLabelId, SpigSet, VisualQuery};
 
 /// A deletion suggestion.
@@ -32,7 +32,7 @@ pub fn suggest_deletion(
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
-) -> Option<DeletionSuggestion> {
+) -> Result<Option<DeletionSuggestion>, StoreError> {
     let live = query.live_mask();
     let mut best: Option<DeletionSuggestion> = None;
     for label in query.live_labels() {
@@ -44,7 +44,7 @@ pub fn suggest_deletion(
         let Some(vertex) = set.vertex_by_mask(mask) else {
             continue;
         };
-        let candidates = exact_sub_candidates(vertex, a2f, a2i, db_len);
+        let candidates = exact_sub_candidates(vertex, a2f, a2i, db_len)?;
         let better = match &best {
             None => true,
             Some(b) => candidates.len() > b.candidates.len(),
@@ -56,7 +56,7 @@ pub fn suggest_deletion(
             });
         }
     }
-    best
+    Ok(best)
 }
 
 /// Candidate count for each deletable edge (diagnostics / UI display).
@@ -66,7 +66,7 @@ pub fn deletion_options(
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
-) -> Vec<(EdgeLabelId, usize)> {
+) -> Result<Vec<(EdgeLabelId, usize)>, StoreError> {
     let live = query.live_mask();
     let mut out = Vec::new();
     for label in query.live_labels() {
@@ -75,8 +75,8 @@ pub fn deletion_options(
         }
         let mask = live & !(1u64 << (label - 1));
         if let Some(vertex) = set.vertex_by_mask(mask) {
-            out.push((label, exact_sub_candidates(vertex, a2f, a2i, db_len).len()));
+            out.push((label, exact_sub_candidates(vertex, a2f, a2i, db_len)?.len()));
         }
     }
-    out
+    Ok(out)
 }

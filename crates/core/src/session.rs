@@ -24,6 +24,7 @@ use crate::results::{similar_results_gen, SimilarResults};
 use crate::verify::{exact_verification, SimVerifier};
 use crate::PragueSystem;
 use prague_graph::{GraphId, Label};
+use prague_index::StoreError;
 use prague_spig::{EdgeLabelId, QueryError, SpigError, SpigSet, VNodeId, VisualQuery};
 use std::time::{Duration, Instant};
 
@@ -34,6 +35,8 @@ pub enum SessionError {
     Query(QueryError),
     /// SPIG maintenance failure (internal invariant).
     Spig(SpigError),
+    /// DF-index store I/O failure while resolving candidates.
+    Store(StoreError),
     /// `Run` on an empty query.
     EmptyQuery,
 }
@@ -43,6 +46,7 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::Query(e) => write!(f, "{e}"),
             SessionError::Spig(e) => write!(f, "{e}"),
+            SessionError::Store(e) => write!(f, "{e}"),
             SessionError::EmptyQuery => write!(f, "cannot run an empty query"),
         }
     }
@@ -59,6 +63,12 @@ impl From<QueryError> for SessionError {
 impl From<SpigError> for SessionError {
     fn from(e: SpigError) -> Self {
         SessionError::Spig(e)
+    }
+}
+
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> Self {
+        SessionError::Store(e)
     }
 }
 
@@ -218,7 +228,7 @@ impl<'a> Session<'a> {
 
         let t1 = Instant::now();
         let (status, candidate_count, suggestion) = if self.sim_flag {
-            self.refresh_similar();
+            self.refresh_similar()?;
             (
                 StepStatus::Similar,
                 self.sim_candidates
@@ -227,7 +237,7 @@ impl<'a> Session<'a> {
                 None,
             )
         } else {
-            self.refresh_exact();
+            self.refresh_exact()?;
             if self.rq_empty {
                 // Algorithm 1 lines 7–8: offer modification or similarity.
                 let suggestion = suggest_deletion(
@@ -236,7 +246,7 @@ impl<'a> Session<'a> {
                     &self.system.indexes().a2f,
                     &self.system.indexes().a2i,
                     self.system.db().len(),
-                );
+                )?;
                 (StepStatus::Similar, 0, suggestion)
             } else {
                 let target = self.spigs.target_vertex(&self.query);
@@ -266,10 +276,10 @@ impl<'a> Session<'a> {
 
     /// `SimQuery` action: continue as a subgraph *similarity* query
     /// (Algorithm 1 lines 13–15).
-    pub fn choose_similarity(&mut self) -> usize {
+    pub fn choose_similarity(&mut self) -> Result<usize, SessionError> {
         let t0 = Instant::now();
         self.sim_flag = true;
-        self.refresh_similar();
+        self.refresh_similar()?;
         let candidates = self
             .sim_candidates
             .as_ref()
@@ -280,7 +290,7 @@ impl<'a> Session<'a> {
             candidates,
             elapsed: t0.elapsed(),
         });
-        candidates
+        Ok(candidates)
     }
 
     /// `Modify` action: delete edge `eℓ` (any live edge the user picks,
@@ -289,7 +299,7 @@ impl<'a> Session<'a> {
         self.query.delete_edge(edge)?;
         let t0 = Instant::now();
         self.spigs.on_delete_edge(edge);
-        let candidate_count = self.refresh_after_modify();
+        let candidate_count = self.refresh_after_modify()?;
         let modify_time = t0.elapsed();
         self.log.push(ActionRecord {
             kind: ActionKind::Delete { edges: vec![edge] },
@@ -318,12 +328,12 @@ impl<'a> Session<'a> {
         }
         let t0 = Instant::now();
         for &e in edges {
-            self.query
-                .delete_edge(e)
-                .expect("validated on trial canvas");
+            // cannot fail: the same sequence was just validated on the trial
+            // canvas, but thread the error rather than panicking
+            self.query.delete_edge(e)?;
             self.spigs.on_delete_edge(e);
         }
-        let candidate_count = self.refresh_after_modify();
+        let candidate_count = self.refresh_after_modify()?;
         let modify_time = t0.elapsed();
         self.log.push(ActionRecord {
             kind: ActionKind::Delete {
@@ -373,7 +383,7 @@ impl<'a> Session<'a> {
             )?;
             new_edges.push(l);
         }
-        let candidates = self.refresh_after_modify();
+        let candidates = self.refresh_after_modify()?;
         self.log.push(ActionRecord {
             kind: ActionKind::Relabel {
                 node,
@@ -386,35 +396,36 @@ impl<'a> Session<'a> {
         Ok(new_edges)
     }
 
-    fn refresh_after_modify(&mut self) -> usize {
+    fn refresh_after_modify(&mut self) -> Result<usize, SessionError> {
         if self.sim_flag {
-            self.refresh_similar();
-            self.sim_candidates
+            self.refresh_similar()?;
+            Ok(self
+                .sim_candidates
                 .as_ref()
-                .map_or(0, SimilarCandidates::distinct_candidates)
+                .map_or(0, SimilarCandidates::distinct_candidates))
         } else {
-            self.refresh_exact();
-            self.rq.len()
+            self.refresh_exact()?;
+            Ok(self.rq.len())
         }
     }
 
     /// Apply the system's current deletion suggestion, if any.
     pub fn delete_suggested(&mut self) -> Result<Option<ModifyOutcome>, SessionError> {
-        match self.suggest_deletion() {
+        match self.suggest_deletion()? {
             Some(s) => Ok(Some(self.delete_edge(s.edge)?)),
             None => Ok(None),
         }
     }
 
     /// The system's deletion suggestion for the current query.
-    pub fn suggest_deletion(&self) -> Option<DeletionSuggestion> {
-        suggest_deletion(
+    pub fn suggest_deletion(&self) -> Result<Option<DeletionSuggestion>, SessionError> {
+        Ok(suggest_deletion(
             &self.query,
             &self.spigs,
             &self.system.indexes().a2f,
             &self.system.indexes().a2i,
             self.system.db().len(),
-        )
+        )?)
     }
 
     /// `Run` action: produce final results (Algorithm 1 lines 16–23).
@@ -436,14 +447,14 @@ impl<'a> Session<'a> {
             );
             if exact.is_empty() {
                 // Algorithm 1 lines 19–21: fall back to similarity search.
-                self.refresh_similar();
+                self.refresh_similar()?;
                 QueryResults::Similar(self.generate_similar())
             } else {
                 QueryResults::Exact(exact)
             }
         } else {
             if self.sim_candidates.is_none() {
-                self.refresh_similar();
+                self.refresh_similar()?;
             }
             QueryResults::Similar(self.generate_similar())
         };
@@ -457,20 +468,21 @@ impl<'a> Session<'a> {
         Ok(RunOutcome { results, srt })
     }
 
-    fn refresh_exact(&mut self) {
+    fn refresh_exact(&mut self) -> Result<(), SessionError> {
         self.rq = match self.spigs.target_vertex(&self.query) {
             Some(v) => exact_sub_candidates(
                 v,
                 &self.system.indexes().a2f,
                 &self.system.indexes().a2i,
                 self.system.db().len(),
-            ),
+            )?,
             None => Vec::new(),
         };
         self.rq_empty = self.rq.is_empty();
+        Ok(())
     }
 
-    fn refresh_similar(&mut self) {
+    fn refresh_similar(&mut self) -> Result<(), SessionError> {
         self.sim_candidates = Some(similar_sub_candidates(
             self.query.size(),
             self.sigma,
@@ -478,7 +490,8 @@ impl<'a> Session<'a> {
             &self.system.indexes().a2f,
             &self.system.indexes().a2i,
             self.system.db().len(),
-        ));
+        )?);
+        Ok(())
     }
 
     fn generate_similar(&self) -> SimilarResults {
@@ -616,7 +629,7 @@ mod tests {
         let sx = session.add_node(Label(1));
         let c2 = session.add_node(Label(0));
         session.add_edge(c1, sx).unwrap();
-        let n = session.choose_similarity();
+        let n = session.choose_similarity().unwrap();
         assert!(n > 0);
         assert!(session.is_similarity());
         // further edges refresh similarity candidates (Alg 1 line 15)

@@ -11,7 +11,7 @@
 use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
 use prague_graph::{Graph, GraphDb, GraphId};
 use prague_spig::{SpigSet, VisualQuery};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exact verification of `R_q`: keep candidates in which `q` actually
 /// embeds. `verification_free` short-circuits the test (the paper skips
@@ -38,16 +38,16 @@ pub fn exact_verification(
 /// level-`i` fragments of the query with prebuilt VF2 match orders.
 pub struct SimVerifier {
     /// level -> distinct fragments (graph + match order)
-    fragments: HashMap<usize, Vec<(Graph, MatchOrder)>>,
+    fragments: BTreeMap<usize, Vec<(Graph, MatchOrder)>>,
 }
 
 impl SimVerifier {
     /// Collect the distinct fragments of levels `[lowest, q_size)` from the
     /// SPIG set.
     pub fn from_spigs(query: &VisualQuery, set: &SpigSet, lowest: usize, q_size: usize) -> Self {
-        let mut fragments = HashMap::new();
+        let mut fragments = BTreeMap::new();
         for i in lowest.max(1)..=q_size {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             let mut frags = Vec::new();
             for (v, mask) in set.level_fragments(i) {
                 if seen.insert(v.cam.clone()) {

@@ -16,7 +16,6 @@
 //! pruning) canonicalizes them in microseconds.
 
 use crate::model::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A canonical adjacency matrix code.
@@ -27,7 +26,7 @@ use std::fmt;
 /// Labels are offset by one so `0` unambiguously means "no edge" and the
 /// code of a graph is never a prefix of the code of a different graph with
 /// the same node count.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CamCode(Box<[u16]>);
 
 impl CamCode {
@@ -235,6 +234,16 @@ pub fn cam_code(g: &Graph) -> CamCode {
         g.node_count() > 0,
         "CAM code of an empty graph is undefined"
     );
+    let code = cam_code_impl(g);
+    #[cfg(feature = "audit")]
+    crate::audit::assert_cam_permutation_invariant(g, &code);
+    code
+}
+
+/// The raw canonical search, shared by [`cam_code`] and the `audit`
+/// feature's permutation-invariance hook (which must not re-enter the
+/// hook itself).
+pub(crate) fn cam_code_impl(g: &Graph) -> CamCode {
     let mut search = CamSearch::new(g);
     search.recurse();
     CamCode(

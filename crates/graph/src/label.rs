@@ -5,15 +5,14 @@
 //! `u16` ids so that graph algorithms compare integers rather than strings,
 //! and so canonical codes are compact.
 
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A dense interned label id.
 ///
 /// `Label(0)` is a perfectly ordinary label; the *default* edge label used by
 /// unlabeled datasets is [`Label::UNLABELED`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(pub u16);
 
 impl Label {
@@ -45,10 +44,10 @@ impl From<u16> for Label {
 /// A `LabelTable` is shared by a dataset and every query formulated over it:
 /// the visual interface of the paper (Panel 2 in Fig. 2) lists exactly the
 /// distinct labels recorded here.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LabelTable {
     names: Vec<String>,
-    ids: HashMap<String, Label>,
+    ids: BTreeMap<String, Label>,
 }
 
 impl LabelTable {

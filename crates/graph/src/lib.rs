@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub(crate) mod audit;
 pub mod cam;
 pub mod enumerate;
 pub mod io;

@@ -7,7 +7,6 @@
 //! size defined as the number of edges `|G| = |E|`.
 
 use crate::label::Label;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a data graph within a [`GraphDb`].
@@ -22,7 +21,7 @@ pub type EdgeId = u32;
 /// An undirected labeled edge. Endpoints are normalized so `u <= v` never
 /// holds structurally — instead `u` and `v` are stored as given and
 /// [`Edge::key`] provides the normalized pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// One endpoint.
     pub u: NodeId,
@@ -121,12 +120,11 @@ impl std::error::Error for GraphError {}
 /// edges) and numerous, so the representation favours compactness and cheap
 /// cloning of *fragments*: a node-label vector, an edge vector and a CSR-free
 /// adjacency list rebuilt on demand.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
     labels: Vec<Label>,
     edges: Vec<Edge>,
     /// adjacency[n] = list of (neighbor, edge index)
-    #[serde(skip)]
     adjacency: Vec<Vec<(NodeId, EdgeId)>>,
 }
 
@@ -416,7 +414,7 @@ impl Graph {
 
 /// A database of many small data graphs — the "large number of small graphs"
 /// stream the paper targets (footnote 3).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GraphDb {
     graphs: Vec<Graph>,
 }

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
 use prague_graph::{cam_code, CamCode, Graph, GraphId};
 use prague_mining::MiningResult;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -134,9 +134,12 @@ pub struct A2fIndex {
     mf_payloads: Vec<MfPayload>,
     clusters: Vec<Cluster>,
     store: BlobStore,
-    cam_to_id: HashMap<CamCode, A2fId>,
+    /// Ordered so that any iteration over the index is deterministic
+    /// (CAM codes are canonical keys shared with the SPIG set and the
+    /// persisted catalog — see `cargo xtask audit`).
+    cam_to_id: BTreeMap<CamCode, A2fId>,
     /// Memoized full FSG-id lists.
-    fsg_cache: Mutex<HashMap<A2fId, Arc<Vec<GraphId>>>>,
+    fsg_cache: Mutex<BTreeMap<A2fId, Arc<Vec<GraphId>>>>,
     /// Incremental-insert appendix: ids of data graphs registered after
     /// construction that contain each fragment (see
     /// [`A2fIndex::register_graph`]). Sorted ascending per fragment.
@@ -205,7 +208,7 @@ impl A2fIndex {
         let mut order: Vec<usize> = (0..result.frequent.len()).collect();
         order.sort_by_key(|&i| result.frequent[i].size());
 
-        let mut cam_to_id: HashMap<CamCode, A2fId> = HashMap::with_capacity(order.len());
+        let mut cam_to_id: BTreeMap<CamCode, A2fId> = BTreeMap::new();
         let mut vertices: Vec<VertexMeta> = Vec::with_capacity(order.len());
         for &src in &order {
             let frag = &result.frequent[src];
@@ -231,6 +234,7 @@ impl A2fIndex {
             }
             let id = pos as A2fId;
             let levels = connected_edge_subsets_by_size(&frag.graph)
+                // audit:allow(panic-path): mined fragments are capped at MiningConfig::max_edges <= 64
                 .expect("fragments bounded by mining cap");
             let mut parent_ids: Vec<A2fId> = levels[size - 1]
                 .iter()
@@ -273,7 +277,7 @@ impl A2fIndex {
         let mut mf_payloads: Vec<MfPayload> = Vec::new();
         // DF cluster assignment: roots are size β+1; deeper fragments join
         // the cluster of their first DF parent.
-        let mut cluster_of: HashMap<A2fId, u32> = HashMap::new();
+        let mut cluster_of: BTreeMap<A2fId, u32> = BTreeMap::new();
         let mut cluster_members: Vec<Vec<A2fId>> = Vec::new();
         for (pos, &src) in order.iter().enumerate() {
             let frag = &result.frequent[src];
@@ -298,6 +302,7 @@ impl A2fIndex {
                         .iter()
                         .copied()
                         .find(|&p| vertices[p as usize].size as usize > beta)
+                        // audit:allow(panic-path): the frequent set is downward-closed, so every parent of a size > beta+1 fragment has size > beta
                         .expect("fragment of size > beta+1 has a DF parent");
                     let c = cluster_of[&parent_df];
                     cluster_members[c as usize].push(id);
@@ -354,7 +359,7 @@ impl A2fIndex {
             clusters,
             store,
             cam_to_id,
-            fsg_cache: Mutex::new(HashMap::new()),
+            fsg_cache: Mutex::new(BTreeMap::new()),
             appendix,
         })
     }
@@ -433,34 +438,37 @@ impl A2fIndex {
         }
     }
 
-    /// The fragment graph of `id` (may read from disk).
-    pub fn fragment(&self, id: A2fId) -> Graph {
-        self.payload(id).expect("index store readable").0
+    /// The fragment graph of `id`. DF fragments are read from the blob
+    /// store, so the lookup is fallible like any other disk access.
+    pub fn fragment(&self, id: A2fId) -> Result<Graph, StoreError> {
+        Ok(self.payload(id)?.0)
     }
 
     /// The full FSG-id list `fsgIds(f)` of fragment `id`, reconstructed from
-    /// delIds over the descendant lattice and memoized.
-    pub fn fsg_ids(&self, id: A2fId) -> Arc<Vec<GraphId>> {
+    /// delIds over the descendant lattice and memoized. Fallible because
+    /// delIds of DF fragments live in the blob store; once warmed (or after a
+    /// first successful call per fragment) the memo cache answers without
+    /// touching disk.
+    pub fn fsg_ids(&self, id: A2fId) -> Result<Arc<Vec<GraphId>>, StoreError> {
         if let Some(hit) = self.fsg_cache.lock().get(&id) {
-            return hit.clone();
+            return Ok(hit.clone());
         }
         if self.full_ids {
             // ablation mode: the stored list already is the full list
-            let (_, mut ids) = self.payload(id).expect("index store readable");
+            let (_, mut ids) = self.payload(id)?;
             merge_sorted_into(&mut ids, &self.appendix[id as usize]);
             let full = Arc::new(ids);
             self.fsg_cache.lock().insert(id, full.clone());
-            return full;
+            return Ok(full);
         }
         // Resolve children first (sizes strictly increase, so recursion
         // terminates); then union with own delIds.
-        let child_arcs: Vec<Arc<Vec<GraphId>>> = self.vertices[id as usize]
-            .children
-            .clone()
-            .into_iter()
-            .map(|c| self.fsg_ids(c))
-            .collect();
-        let (_, mut del) = self.payload(id).expect("index store readable");
+        let mut child_arcs: Vec<Arc<Vec<GraphId>>> =
+            Vec::with_capacity(self.vertices[id as usize].children.len());
+        for c in self.vertices[id as usize].children.clone() {
+            child_arcs.push(self.fsg_ids(c)?);
+        }
+        let (_, mut del) = self.payload(id)?;
         merge_sorted_into(&mut del, &self.appendix[id as usize]);
         let mut lists: Vec<&[GraphId]> = Vec::with_capacity(child_arcs.len() + 1);
         lists.push(&del);
@@ -469,7 +477,7 @@ impl A2fIndex {
         }
         let full = Arc::new(sorted_union(&lists));
         self.fsg_cache.lock().insert(id, full.clone());
-        full
+        Ok(full)
     }
 
     /// Pre-resolve every fragment's full FSG-id list into the memo cache.
@@ -478,10 +486,11 @@ impl A2fIndex {
     /// load time so that the first formulation step is not charged the
     /// recursive reconstruction (the experiment harness calls this before
     /// timed runs).
-    pub fn warm(&self) {
+    pub fn warm(&self) -> Result<(), StoreError> {
         for id in 0..self.vertices.len() as A2fId {
-            let _ = self.fsg_ids(id);
+            let _ = self.fsg_ids(id)?;
         }
+        Ok(())
     }
 
     /// Register a data graph inserted *after* index construction: every
@@ -494,7 +503,7 @@ impl A2fIndex {
     /// This keeps *answers* exact; fragment classification (frequent vs
     /// DIF) is not revisited, so pruning quality drifts as the database
     /// grows — rebuild periodically (see `PragueSystem::insert_graph`).
-    pub fn register_graph(&mut self, gid: GraphId, g: &Graph) -> usize {
+    pub fn register_graph(&mut self, gid: GraphId, g: &Graph) -> Result<usize, StoreError> {
         use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
         let n = self.vertices.len();
         let mut contained = vec![false; n];
@@ -508,7 +517,7 @@ impl A2fIndex {
             if !parents_ok {
                 continue;
             }
-            let frag = self.fragment(id);
+            let frag = self.fragment(id)?;
             let order = MatchOrder::new(&frag);
             if is_subgraph_with_order(&frag, g, &order) {
                 contained[id as usize] = true;
@@ -526,7 +535,7 @@ impl A2fIndex {
         if updated > 0 {
             self.fsg_cache.lock().clear();
         }
-        updated
+        Ok(updated)
     }
 
     /// Clusters listed on an MF leaf (size == β) — the paper's cluster list
@@ -536,6 +545,30 @@ impl A2fIndex {
             Location::Mf { payload } => &self.mf_payloads[payload as usize].cluster_list,
             Location::Df { .. } => &[],
         }
+    }
+
+    /// Serialize the full logical content of the index into a canonical
+    /// byte string: vertices in id order, each with its CAM entries, size,
+    /// support, children, parents, cluster list, fragment graph, and FSG
+    /// ids. Two builds over the same mining result must produce identical
+    /// bytes — the determinism regression test (`tests/determinism.rs`)
+    /// asserts exactly that.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        use crate::codec;
+        let mut buf = bytes::BytesMut::new();
+        codec::put_uvarint(&mut buf, self.vertices.len() as u64);
+        codec::put_uvarint(&mut buf, self.beta() as u64);
+        for id in 0..self.vertices.len() as A2fId {
+            codec::put_u16_slice(&mut buf, self.cam(id).entries());
+            codec::put_uvarint(&mut buf, self.size(id) as u64);
+            codec::put_uvarint(&mut buf, self.support(id) as u64);
+            codec::put_u32_slice(&mut buf, self.children(id));
+            codec::put_u32_slice(&mut buf, self.parents(id));
+            codec::put_u32_slice(&mut buf, self.leaf_cluster_list(id));
+            codec::put_graph(&mut buf, &self.fragment(id)?);
+            codec::put_sorted_ids(&mut buf, &self.fsg_ids(id)?);
+        }
+        Ok(buf.to_vec())
     }
 
     /// Iterate all `(A2fId, size, support)` triples.
@@ -626,8 +659,15 @@ mod tests {
                 let id = idx.lookup(&f.cam).expect("fragment indexed");
                 assert_eq!(idx.size(id), f.size());
                 assert_eq!(idx.support(id), f.support());
-                assert_eq!(*idx.fsg_ids(id), f.fsg_ids, "fsgIds reconstruction");
-                assert!(prague_graph::are_isomorphic(&idx.fragment(id), &f.graph));
+                assert_eq!(
+                    *idx.fsg_ids(id).unwrap(),
+                    f.fsg_ids,
+                    "fsgIds reconstruction"
+                );
+                assert!(prague_graph::are_isomorphic(
+                    &idx.fragment(id).unwrap(),
+                    &f.graph
+                ));
             }
         }
     }
@@ -639,8 +679,8 @@ mod tests {
             for &c in idx.children(id) {
                 assert_eq!(idx.size(c), size + 1);
                 assert!(prague_graph::vf2::is_subgraph(
-                    &idx.fragment(id),
-                    &idx.fragment(c)
+                    &idx.fragment(id).unwrap(),
+                    &idx.fragment(c).unwrap()
                 ));
                 assert!(idx.parents(c).contains(&id));
             }
@@ -651,9 +691,9 @@ mod tests {
     fn fsgids_shrink_up_the_lattice() {
         let (idx, _) = build(2);
         for (id, _, _) in idx.iter_meta() {
-            let mine = idx.fsg_ids(id);
+            let mine = idx.fsg_ids(id).unwrap();
             for &c in idx.children(id) {
-                let child = idx.fsg_ids(c);
+                let child = idx.fsg_ids(c).unwrap();
                 for g in child.iter() {
                     assert!(mine.contains(g), "fsgIds(child) ⊆ fsgIds(parent)");
                 }
@@ -686,8 +726,8 @@ mod tests {
             for &cid in list {
                 let root = idx.clusters[cid as usize].members[0];
                 assert!(prague_graph::vf2::is_subgraph(
-                    &idx.fragment(id),
-                    &idx.fragment(root)
+                    &idx.fragment(id).unwrap(),
+                    &idx.fragment(root).unwrap()
                 ));
             }
         }
@@ -733,8 +773,8 @@ mod tests {
         for f in &result.frequent {
             let a = delta.lookup(&f.cam).unwrap();
             let b = full.lookup(&f.cam).unwrap();
-            assert_eq!(*delta.fsg_ids(a), *full.fsg_ids(b));
-            assert_eq!(*delta.fsg_ids(a), f.fsg_ids);
+            assert_eq!(*delta.fsg_ids(a).unwrap(), *full.fsg_ids(b).unwrap());
+            assert_eq!(*delta.fsg_ids(a).unwrap(), f.fsg_ids);
         }
         assert!(
             full.footprint().total() >= delta.footprint().total(),

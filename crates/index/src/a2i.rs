@@ -9,7 +9,7 @@
 use crate::a2f::IndexFootprint;
 use prague_graph::{CamCode, Graph, GraphId};
 use prague_mining::MiningResult;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Identifier of an entry in the A²I array (the paper's `a2iId`).
@@ -30,7 +30,9 @@ pub struct DifEntry {
 #[derive(Debug, Default)]
 pub struct A2iIndex {
     entries: Vec<DifEntry>,
-    cam_to_id: HashMap<CamCode, A2iId>,
+    /// Ordered map so index iteration order is deterministic (see
+    /// `cargo xtask audit`).
+    cam_to_id: BTreeMap<CamCode, A2iId>,
 }
 
 impl A2iIndex {
@@ -62,12 +64,15 @@ impl A2iIndex {
             }
         }
         // fresh single-edge fragments
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for edge in g.edges() {
             let mut single = Graph::new();
             let u = single.add_node(g.label(edge.u));
             let v = single.add_node(g.label(edge.v));
-            single.add_labeled_edge(u, v, edge.label).expect("simple");
+            single
+                .add_labeled_edge(u, v, edge.label)
+                // audit:allow(panic-path): a fresh two-node graph has no duplicate edges or self-loops to reject
+                .expect("fresh two-node graph accepts any edge");
             let cam = prague_graph::cam_code(&single);
             if !seen.insert(cam.clone()) {
                 continue;
@@ -92,7 +97,7 @@ impl A2iIndex {
     /// Build from a mining result (DIFs arrive pre-sorted by size).
     pub fn build(result: &MiningResult) -> Self {
         let mut entries = Vec::with_capacity(result.difs.len());
-        let mut cam_to_id = HashMap::with_capacity(result.difs.len());
+        let mut cam_to_id = BTreeMap::new();
         for dif in &result.difs {
             let id = entries.len() as A2iId;
             cam_to_id.insert(dif.cam.clone(), id);

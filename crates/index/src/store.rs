@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -49,7 +49,7 @@ impl From<std::io::Error> for StoreError {
 }
 
 struct CacheInner {
-    map: HashMap<u64, (Bytes, u64)>, // offset -> (bytes, last-use tick)
+    map: BTreeMap<u64, (Bytes, u64)>, // offset -> (bytes, last-use tick)
     tick: u64,
     bytes: usize,
     capacity_bytes: usize,
@@ -78,15 +78,22 @@ impl CacheInner {
         self.bytes += bytes.len();
         self.tick += 1;
         self.map.insert(offset, (bytes, self.tick));
+        self.evict_to_capacity();
+    }
+
+    /// Evict least-recently-used blobs until the cache fits its budget
+    /// (always keeping at least one entry so a blob larger than the whole
+    /// budget still caches).
+    fn evict_to_capacity(&mut self) {
         while self.bytes > self.capacity_bytes && self.map.len() > 1 {
-            // evict least-recently-used
-            let (&victim, _) = self
+            let victim = self
                 .map
                 .iter()
                 .min_by_key(|(_, (_, last))| *last)
-                .expect("non-empty cache");
-            if let Some((b, _)) = self.map.remove(&victim) {
-                self.bytes -= b.len();
+                .map(|(&offset, _)| offset);
+            match victim.and_then(|offset| self.map.remove(&offset)) {
+                Some((b, _)) => self.bytes -= b.len(),
+                None => break,
             }
         }
     }
@@ -131,7 +138,7 @@ impl BlobStore {
             file: Mutex::new(file),
             len: Mutex::new(0),
             cache: Mutex::new(CacheInner {
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 tick: 0,
                 bytes: 0,
                 capacity_bytes: DEFAULT_CACHE_BYTES,
@@ -155,12 +162,7 @@ impl BlobStore {
     pub fn set_cache_capacity(&self, bytes: usize) {
         let mut c = self.cache.lock();
         c.capacity_bytes = bytes.max(1);
-        while c.bytes > c.capacity_bytes && c.map.len() > 1 {
-            let (&victim, _) = c.map.iter().min_by_key(|(_, (_, last))| *last).unwrap();
-            if let Some((b, _)) = c.map.remove(&victim) {
-                c.bytes -= b.len();
-            }
-        }
+        c.evict_to_capacity();
     }
 
     /// Append a blob, returning its handle.

@@ -1,0 +1,74 @@
+//! Determinism regression test (see `cargo xtask audit`).
+//!
+//! PRAGUE's indexes are keyed by canonical codes, so two offline builds
+//! over the same dataset must produce *identical* indexes — any divergence
+//! means nondeterministic container iteration (or thread scheduling)
+//! leaked into index construction, which would make persisted catalogs and
+//! benchmark runs irreproducible. This test runs the whole pipeline
+//! (parallel mining included) twice and compares canonical snapshots
+//! byte for byte.
+
+use prague_graph::{Graph, GraphDb, Label};
+use prague_index::{A2fConfig, A2fIndex, DfBacking};
+use prague_mining::mine_classified;
+
+/// A small mixed dataset: triangles, paths, and stars over three labels,
+/// with enough label symmetry that hash-ordering bugs have room to show.
+fn dataset() -> GraphDb {
+    let mut graphs = Vec::new();
+    for seed in 0..8u16 {
+        let mut g = Graph::new();
+        let a = g.add_node(Label(seed % 3));
+        let b = g.add_node(Label((seed + 1) % 3));
+        let c = g.add_node(Label((seed + 2) % 3));
+        let d = g.add_node(Label(seed % 2));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        if seed % 2 == 0 {
+            g.add_edge(c, a).unwrap();
+        }
+        g.add_edge(c, d).unwrap();
+        if seed % 3 == 0 {
+            g.add_edge(a, d).unwrap();
+        }
+        graphs.push(g);
+    }
+    GraphDb::from_graphs(graphs)
+}
+
+fn build_snapshot(db: &GraphDb, config: &A2fConfig) -> Vec<u8> {
+    // run mining from scratch each time: `mine_classified` is parallel, so
+    // this also covers thread-scheduling nondeterminism upstream of the index
+    let mining = mine_classified(db, 0.3, 4);
+    let idx = A2fIndex::build(&mining, config).unwrap();
+    idx.snapshot_bytes().unwrap()
+}
+
+#[test]
+fn a2f_double_build_is_byte_identical() {
+    let db = dataset();
+    let config = A2fConfig::default();
+    let first = build_snapshot(&db, &config);
+    let second = build_snapshot(&db, &config);
+    assert!(!first.is_empty(), "snapshot should cover a non-empty index");
+    assert_eq!(
+        first, second,
+        "two A2F builds over the same dataset serialized differently"
+    );
+}
+
+#[test]
+fn a2f_double_build_is_byte_identical_with_full_id_lists() {
+    let db = dataset();
+    let config = A2fConfig {
+        store_full_ids: true,
+        backing: DfBacking::TempDisk,
+        ..Default::default()
+    };
+    let first = build_snapshot(&db, &config);
+    let second = build_snapshot(&db, &config);
+    assert_eq!(
+        first, second,
+        "two full-id A2F builds over the same dataset serialized differently"
+    );
+}

@@ -53,7 +53,7 @@ proptest! {
         prop_assert_eq!(idx.fragment_count(), result.frequent.len());
         for f in &result.frequent {
             let id = idx.lookup(&f.cam).expect("indexed");
-            prop_assert_eq!(&*idx.fsg_ids(id), &f.fsg_ids);
+            prop_assert_eq!(&*idx.fsg_ids(id).unwrap(), &f.fsg_ids);
             prop_assert_eq!(idx.support(id), f.support());
             prop_assert_eq!(idx.size(id), f.size());
         }
@@ -125,9 +125,9 @@ proptest! {
         let idx = A2fIndex::build(&result, &A2fConfig::default()).unwrap();
         for f in &result.frequent {
             let id = idx.lookup(&f.cam).unwrap();
-            let mine: Vec<GraphId> = idx.fsg_ids(id).as_ref().clone();
+            let mine: Vec<GraphId> = idx.fsg_ids(id).unwrap().as_ref().clone();
             for &c in idx.children(id) {
-                for g in idx.fsg_ids(c).iter() {
+                for g in idx.fsg_ids(c).unwrap().iter() {
                     prop_assert!(mine.contains(g));
                 }
             }

@@ -1,0 +1,93 @@
+//! Runtime invariant hooks, compiled only with `--features audit`.
+//!
+//! PRAGUE keys fragments by CAM code while gSpan canonicalizes by minimum
+//! DFS code; correctness requires the two canonical forms to induce the
+//! *same equality partition* on graphs (both decide isomorphism). With the
+//! `audit` feature on, every [`min_dfs_code`](crate::dfscode::min_dfs_code)
+//! call records the pair `(CAM(g), minDFS(g))` in a process-wide registry
+//! and asserts agreement in both directions:
+//!
+//! * two graphs with equal CAM codes must have equal min DFS codes, and
+//! * two graphs with equal min DFS codes must have equal CAM codes.
+//!
+//! A violation means one of the canonicalizers is not canonical — the
+//! mining output and the indexes built from it would disagree about
+//! fragment identity.
+
+use crate::dfscode::DfsCode;
+use prague_graph::{cam_code, CamCode, Graph};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A `DfsCode` flattened into an orderable key.
+type DfsKey = Vec<(u16, u16, u16, u16, u16)>;
+
+fn dfs_key(code: &DfsCode) -> DfsKey {
+    code.iter()
+        .map(|e| (e.from, e.to, e.from_label.0, e.edge_label.0, e.to_label.0))
+        .collect()
+}
+
+static REGISTRY: Mutex<BTreeMap<CamCode, DfsKey>> = Mutex::new(BTreeMap::new());
+static REVERSE: Mutex<BTreeMap<DfsKey, CamCode>> = Mutex::new(BTreeMap::new());
+
+/// Record `(CAM(g), code)` and assert two-way agreement with every pair
+/// seen so far in this process.
+///
+/// Called from [`min_dfs_code`](crate::dfscode::min_dfs_code) under
+/// `cfg(feature = "audit")`.
+pub(crate) fn record_cam_dfs_agreement(g: &Graph, code: &DfsCode) {
+    let cam = cam_code(g);
+    let key = dfs_key(code);
+
+    let mut by_cam = REGISTRY.lock().expect("audit registry poisoned");
+    match by_cam.get(&cam) {
+        Some(prev) => assert!(
+            *prev == key,
+            "audit: equal CAM codes map to different min DFS codes \
+             ({} nodes, {} edges)",
+            g.node_count(),
+            g.edge_count()
+        ),
+        None => {
+            by_cam.insert(cam.clone(), key.clone());
+        }
+    }
+    drop(by_cam);
+
+    let mut by_dfs = REVERSE.lock().expect("audit registry poisoned");
+    match by_dfs.get(&key) {
+        Some(prev) => assert!(
+            *prev == cam,
+            "audit: equal min DFS codes map to different CAM codes \
+             ({} nodes, {} edges)",
+            g.node_count(),
+            g.edge_count()
+        ),
+        None => {
+            by_dfs.insert(key, cam);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dfscode::min_dfs_code;
+    use prague_graph::{Graph, Label};
+
+    #[test]
+    fn isomorphic_builds_agree_through_the_registry() {
+        // the same labeled path built in two node orders; recording both
+        // exercises the equal-CAM branch of the hook
+        let build = |order: [u16; 3]| {
+            let mut g = Graph::new();
+            let n: Vec<_> = order.iter().map(|&l| g.add_node(Label(l))).collect();
+            g.add_edge(n[0], n[1]).unwrap();
+            g.add_edge(n[1], n[2]).unwrap();
+            g
+        };
+        let a = min_dfs_code(&build([1, 2, 3]));
+        let b = min_dfs_code(&build([3, 2, 1]));
+        assert_eq!(a, b);
+    }
+}

@@ -409,6 +409,8 @@ pub fn min_dfs_code(g: &Graph) -> DfsCode {
         code.push(ext.to_dfs_edge(&code));
         levels.push(projs);
     }
+    #[cfg(feature = "audit")]
+    crate::audit::record_cam_dfs_agreement(g, &code);
     code
 }
 

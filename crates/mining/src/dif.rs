@@ -15,7 +15,7 @@
 use crate::gspan::{MinedFragment, MiningOutput};
 use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
 use prague_graph::{cam_code, CamCode};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The fully-classified mining result consumed by the index builders.
 #[derive(Debug)]
@@ -32,7 +32,7 @@ pub struct MiningResult {
 impl MiningResult {
     /// Classify a raw [`MiningOutput`] into frequent set + DIFs.
     pub fn from_output(output: MiningOutput) -> Self {
-        let frequent_cams: HashSet<&CamCode> = output.frequent.iter().map(|f| &f.cam).collect();
+        let frequent_cams: BTreeSet<&CamCode> = output.frequent.iter().map(|f| &f.cam).collect();
         let mut difs = Vec::new();
         let mut nif_count = 0usize;
         for frag in output.negative_border {
@@ -51,13 +51,14 @@ impl MiningResult {
         }
     }
 
-    /// Frequent fragments keyed by CAM code.
-    pub fn frequent_by_cam(&self) -> HashMap<&CamCode, &MinedFragment> {
+    /// Frequent fragments keyed by CAM code (ordered, for deterministic
+    /// iteration by the index builders).
+    pub fn frequent_by_cam(&self) -> BTreeMap<&CamCode, &MinedFragment> {
         self.frequent.iter().map(|f| (&f.cam, f)).collect()
     }
 
-    /// DIFs keyed by CAM code.
-    pub fn difs_by_cam(&self) -> HashMap<&CamCode, &MinedFragment> {
+    /// DIFs keyed by CAM code (ordered, for deterministic iteration).
+    pub fn difs_by_cam(&self) -> BTreeMap<&CamCode, &MinedFragment> {
         self.difs.iter().map(|f| (&f.cam, f)).collect()
     }
 }
@@ -69,7 +70,7 @@ impl MiningResult {
 /// paper's `sub(g) ⊂ F` condition: every smaller connected subgraph extends
 /// (inside `g`) to a `(|g|−1)`-edge connected subgraph, and subgraphs of
 /// frequent fragments are frequent by support anti-monotonicity.
-fn is_dif(frag: &MinedFragment, frequent_cams: &HashSet<&CamCode>) -> bool {
+fn is_dif(frag: &MinedFragment, frequent_cams: &BTreeSet<&CamCode>) -> bool {
     let size = frag.size();
     if size == 1 {
         return true;
@@ -120,7 +121,7 @@ mod tests {
             },
         );
         let result = MiningResult::from_output(out);
-        let frequent_cams: HashSet<&CamCode> = result.frequent.iter().map(|f| &f.cam).collect();
+        let frequent_cams: BTreeSet<&CamCode> = result.frequent.iter().map(|f| &f.cam).collect();
         // Property: every DIF's proper subgraphs are all frequent.
         for d in &result.difs {
             assert!(d.support() < 3);
@@ -201,8 +202,7 @@ mod tests {
         let result = MiningResult::from_output(out);
         // collect every connected fragment of every data graph with support < 3
         use prague_graph::vf2::is_subgraph;
-        use std::collections::HashMap;
-        let mut support: HashMap<CamCode, (Graph, HashSet<u32>)> = HashMap::new();
+        let mut support: BTreeMap<CamCode, (Graph, BTreeSet<u32>)> = BTreeMap::new();
         for (gid, g) in d.iter() {
             let levels = connected_edge_subsets_by_size(g).unwrap();
             for level in levels.iter().skip(1).take(3) {
@@ -211,7 +211,7 @@ mod tests {
                     let cam = cam_code(&sub);
                     support
                         .entry(cam)
-                        .or_insert_with(|| (sub, HashSet::new()))
+                        .or_insert_with(|| (sub, BTreeSet::new()))
                         .1
                         .insert(gid);
                 }

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub(crate) mod audit;
 pub mod dfscode;
 pub mod dif;
 pub mod gspan;

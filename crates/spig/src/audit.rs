@@ -1,0 +1,76 @@
+//! Runtime invariant hooks, compiled only with `--features audit`.
+//!
+//! Checks the structural invariants of Definition 5 (the spindle-shaped
+//! graph) after every [`construct_spig`](crate::construct_spig) call:
+//!
+//! 1. **Level sizing** — every vertex stored at level *k* groups fragments
+//!    with exactly *k* query edges.
+//! 2. **Anchor containment** — every fragment in the SPIG contains the new
+//!    (anchor) edge.
+//! 3. **Consecutive-level DAG** — parent links only point from level *k*
+//!    into level *k − 1*, and only for *k ≥ 2*.
+//! 4. **Completeness** — every connected edge subset of the query that
+//!    contains the anchor edge appears as (part of) some SPIG vertex.
+//!
+//! Any violation is a bug in SPIG construction or maintenance, not in the
+//! user's query, so the hooks abort with `assert!` rather than returning
+//! an error.
+
+use crate::query::VisualQuery;
+use crate::spig::Spig;
+use crate::EdgeLabelId;
+
+/// Assert the Definition 5 invariants for a freshly constructed SPIG.
+pub(crate) fn assert_spig_well_formed(query: &VisualQuery, anchor: EdgeLabelId, spig: &Spig) {
+    let anchor_bit: u64 = 1u64 << (anchor - 1);
+
+    for (k, level) in spig.levels.iter().enumerate() {
+        for (idx, vertex) in level.iter().enumerate() {
+            for &mask in &vertex.masks {
+                assert!(
+                    mask.count_ones() as usize == k,
+                    "audit: SPIG level-{k} vertex {idx} holds a fragment \
+                     with {} edges (mask {mask:#x})",
+                    mask.count_ones()
+                );
+                assert!(
+                    mask & anchor_bit != 0,
+                    "audit: SPIG vertex at level {k} is missing the anchor \
+                     edge e{anchor} (mask {mask:#x})"
+                );
+            }
+            assert!(
+                k >= 2 || vertex.parents.is_empty(),
+                "audit: SPIG source level has parent links"
+            );
+            for &p in &vertex.parents {
+                assert!(
+                    k >= 1 && p < spig.levels[k - 1].len(),
+                    "audit: SPIG DAG edge from level {k} vertex {idx} points \
+                     outside level {} (parent index {p})",
+                    k.saturating_sub(1)
+                );
+            }
+        }
+    }
+
+    // Completeness: re-enumerate the connected subsets containing the
+    // anchor slot and demand each one is represented.
+    if let Some(slot) = query.slot_of(anchor) {
+        if let Ok(slot_levels) = prague_graph::enumerate::connected_edge_subsets_containing(
+            query.graph(),
+            slot as prague_graph::EdgeId,
+        ) {
+            for slot_masks in slot_levels.iter().skip(1) {
+                for &slot_mask in slot_masks {
+                    let label_mask = query.slot_mask_to_label_mask(slot_mask);
+                    assert!(
+                        spig.vertex_by_mask(label_mask).is_some(),
+                        "audit: SPIG for anchor e{anchor} is missing the \
+                         fragment with label mask {label_mask:#x}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub(crate) mod audit;
 pub mod query;
 pub mod spig;
 

@@ -184,6 +184,7 @@ impl VisualQuery {
                     self.canvas_to_view[e.v as usize],
                     e.edge_label,
                 )
+                // audit:allow(panic-path): replaying edges the canvas already vetted — add_labeled_edge rejected self-loops and parallels at draw time
                 .expect("canvas rejects duplicates/self-loops");
             self.slot_labels.push(e.label_id);
         }
@@ -264,6 +265,7 @@ impl VisualQuery {
         let (g, _) = self
             .view
             .mask_subgraph(slots)
+            // audit:allow(panic-path): add_labeled_edge caps the canvas at 64 edges (QueryError::TooManyEdges), mask_subgraph's only failure mode
             .expect("query has at most 64 edges");
         g
     }

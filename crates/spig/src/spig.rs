@@ -26,7 +26,7 @@
 use crate::query::{mask_labels, EdgeLabelId, LabelMask, VisualQuery};
 use prague_graph::{cam_code, CamCode};
 use prague_index::{A2fId, A2fIndex, A2iId, A2iIndex};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Errors from SPIG construction / maintenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,8 +130,9 @@ pub struct Spig {
     /// `levels[k]` = vertices whose fragments have `k` edges
     /// (`levels[0]` is empty; `levels[1]` holds the source vertex).
     pub levels: Vec<Vec<SpigVertex>>,
-    /// Per-level lookup: label mask -> vertex index.
-    mask_index: Vec<HashMap<LabelMask, usize>>,
+    /// Per-level lookup: label mask -> vertex index. Ordered so SPIG
+    /// traversal order is deterministic (see `cargo xtask audit`).
+    mask_index: Vec<BTreeMap<LabelMask, usize>>,
 }
 
 impl Spig {
@@ -140,6 +141,7 @@ impl Spig {
         self.levels[1]
             .iter()
             .find(|v| !v.is_tombstone())
+            // audit:allow(panic-path): documented API contract — SpigSet removes the whole SPIG when its anchor edge is deleted, so a live SPIG always has its source
             .expect("source vertex exists while the anchor edge is live")
     }
 
@@ -191,16 +193,17 @@ pub fn construct_spig(
     let anchor_bit: LabelMask = 1u64 << (anchor - 1);
     let g = query.graph();
     let slot_levels = prague_graph::enumerate::connected_edge_subsets_containing(g, slot as u32)
+        // audit:allow(panic-path): VisualQuery::add_edge rejects a 65th edge (LabelMask is u64), the enumerator's only failure mode
         .expect("visual queries have at most 64 edges");
 
     let q_size = query.size();
     let mut levels: Vec<Vec<SpigVertex>> = vec![Vec::new(); q_size + 1];
-    let mut mask_index: Vec<HashMap<LabelMask, usize>> = vec![HashMap::new(); q_size + 1];
+    let mut mask_index: Vec<BTreeMap<LabelMask, usize>> = vec![BTreeMap::new(); q_size + 1];
 
     for (k, slot_masks) in slot_levels.iter().enumerate().skip(1) {
         // Group this level's fragments by CAM code (the paper's per-level
         // vertex deduplication).
-        let mut by_cam: HashMap<CamCode, usize> = HashMap::new();
+        let mut by_cam: BTreeMap<CamCode, usize> = BTreeMap::new();
         for &slot_mask in slot_masks {
             let label_mask = query.slot_mask_to_label_mask(slot_mask);
             let frag = query.fragment(label_mask);
@@ -271,6 +274,7 @@ pub fn construct_spig(
                     {
                         continue;
                     }
+                    // audit:allow(panic-path): m2 has >= 1 bit — level k >= 2 masks have >= 2 bits and only the anchor bit was cleared
                     let owner = mask_labels(m2).into_iter().max().expect("non-empty mask");
                     let counterpart = set.spig(owner).and_then(|s| s.vertex_by_mask(m2)).ok_or(
                         SpigError::MissingCounterpart {
@@ -289,11 +293,14 @@ pub fn construct_spig(
         }
     }
 
-    Ok(Spig {
+    let spig = Spig {
         anchor,
         levels,
         mask_index,
-    })
+    };
+    #[cfg(feature = "audit")]
+    crate::audit::assert_spig_well_formed(query, anchor, &spig);
+    Ok(spig)
 }
 
 /// Merge a subgraph's Fragment List contribution into `fl` per Definition 4:

@@ -1,0 +1,664 @@
+//! The `cargo xtask audit` rules engine.
+//!
+//! Scans workspace library sources for two classes of hazards PRAGUE's
+//! correctness model cannot tolerate (see README § "Static analysis &
+//! invariants"):
+//!
+//! * **Determinism** — CAM codes and minimum DFS codes are canonical keys
+//!   shared by the A²F/A²I indexes, the SPIG set and the persisted stores.
+//!   Iterating a `HashMap`/`HashSet` in any code that builds or serializes
+//!   those structures produces run-to-run divergent output. Two rules:
+//!   [`Rule::HashContainer`] flags hash-container types appearing at all in
+//!   determinism-critical crates; [`Rule::HashIter`] flags iteration over
+//!   bindings/fields known to be hash containers.
+//! * **Panic paths** — `unwrap`/`expect`/`panic!`-family calls in library
+//!   code of the I/O and query crates ([`Rule::PanicPath`]), plus — under
+//!   `--strict` — raw slice indexing ([`Rule::SliceIndex`]).
+//!
+//! Every finding is suppressible only by an explicit source annotation on
+//! the same or the preceding line:
+//!
+//! ```text
+//! // audit:allow(<rule>): <non-empty reason>
+//! ```
+//!
+//! so each surviving site carries a written justification. Annotations with
+//! a missing/empty reason, an unknown rule name, or that suppress nothing
+//! are themselves findings.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose index/SPIG/store construction must be deterministic.
+pub const DETERMINISM_CRATES: &[&str] = &["graph", "mining", "index", "spig", "core"];
+
+/// Crates whose library code must not contain panic paths.
+pub const PANIC_FREE_CRATES: &[&str] = &["index", "core", "spig"];
+
+/// The audit rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// A `HashMap`/`HashSet` type used in a determinism-critical crate.
+    HashContainer,
+    /// Iteration over a binding or field known to be a hash container.
+    HashIter,
+    /// `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
+    /// `unimplemented!` in non-test library code.
+    PanicPath,
+    /// Raw `x[i]` indexing in non-test library code (strict mode only).
+    SliceIndex,
+    /// A malformed or useless `audit:allow` annotation.
+    BadAnnotation,
+}
+
+impl Rule {
+    /// The annotation name of the rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashContainer => "hash-container",
+            Rule::HashIter => "hashmap-iter",
+            Rule::PanicPath => "panic-path",
+            Rule::SliceIndex => "slice-index",
+            Rule::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    /// Parse an annotation rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Some(match name {
+            "hash-container" => Rule::HashContainer,
+            "hashmap-iter" => Rule::HashIter,
+            "panic-path" => Rule::PanicPath,
+            "slice-index" => Rule::SliceIndex,
+            "bad-annotation" => Rule::BadAnnotation,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based source line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Audit configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// Also run the (noisy) slice-index rule.
+    pub strict: bool,
+}
+
+/// Result of an audit run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings — each one fails the audit.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a valid `audit:allow` annotation.
+    pub suppressed: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the audit passed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// An `audit:allow` annotation parsed from a source line.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: Option<Rule>,
+    line: u32,
+    reason_ok: bool,
+    used: bool,
+}
+
+/// Run the audit over a workspace root (the directory containing `crates/`).
+pub fn audit_workspace(root: &Path, config: &AuditConfig) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let all: Vec<&str> = {
+        let mut v = DETERMINISM_CRATES.to_vec();
+        for c in PANIC_FREE_CRATES {
+            if !v.contains(c) {
+                v.push(c);
+            }
+        }
+        v
+    };
+    for krate in all {
+        let src = root.join("crates").join(krate).join("src");
+        let determinism = DETERMINISM_CRATES.contains(&krate);
+        let panic_free = PANIC_FREE_CRATES.contains(&krate);
+        for file in rust_files(&src)? {
+            let source = std::fs::read_to_string(&file)?;
+            audit_source(&file, &source, determinism, panic_free, config, &mut report);
+            report.files_scanned += 1;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// reporting order.
+fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Audit a single source file, appending findings to `report`.
+pub fn audit_source(
+    path: &Path,
+    source: &str,
+    determinism: bool,
+    panic_free: bool,
+    config: &AuditConfig,
+    report: &mut Report,
+) {
+    let tokens = tokenize(source);
+    let test_lines = test_code_lines(&tokens);
+    let mut allows = parse_allows(source);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if determinism {
+        hash_container_findings(path, &tokens, &test_lines, &mut raw);
+        hash_iter_findings(path, &tokens, &test_lines, &mut raw);
+    }
+    if panic_free {
+        panic_findings(path, &tokens, &test_lines, &mut raw);
+        if config.strict {
+            slice_index_findings(path, &tokens, &test_lines, &mut raw);
+        }
+    }
+
+    for finding in raw {
+        if let Some(allow) = allows.iter_mut().find(|a| {
+            a.rule == Some(finding.rule)
+                && a.reason_ok
+                && (a.line == finding.line || a.line + 1 == finding.line)
+        }) {
+            allow.used = true;
+            report.suppressed.push(finding);
+        } else {
+            report.findings.push(finding);
+        }
+    }
+
+    // Annotation hygiene: malformed or unused annotations are findings too,
+    // so suppressions cannot rot silently. (Not inside test code.)
+    for allow in &allows {
+        if test_lines.contains(&allow.line) {
+            continue;
+        }
+        let problem = if allow.rule.is_none() {
+            Some("unknown rule name in audit:allow".to_string())
+        } else if !allow.reason_ok {
+            Some("audit:allow requires a non-empty `: <reason>`".to_string())
+        } else if !allow.used {
+            Some(format!(
+                "audit:allow({}) suppresses nothing on this or the next line",
+                allow.rule.map(Rule::name).unwrap_or("?")
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            report.findings.push(Finding {
+                path: path.to_path_buf(),
+                line: allow.line,
+                rule: Rule::BadAnnotation,
+                message,
+            });
+        }
+    }
+}
+
+/// Parse `// audit:allow(rule): reason` annotations (which live in
+/// comments, so they are scanned textually, not from the token stream).
+fn parse_allows(source: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let Some(pos) = line.find("audit:allow") else {
+            continue;
+        };
+        // must be inside a line comment
+        let before = &line[..pos];
+        if !before.contains("//") {
+            continue;
+        }
+        let rest = &line[pos + "audit:allow".len()..];
+        let (rule, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((name, after)) => (Rule::from_name(name.trim()), after),
+            None => (None, rest),
+        };
+        let reason_ok = after
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        out.push(Allow {
+            rule,
+            line: (idx + 1) as u32,
+            reason_ok,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lines belonging to `#[cfg(test)]` modules — rule exemptions.
+///
+/// Finds each `#[cfg(test)]` attribute, then brace-matches the following
+/// item if it is a `mod`. Test functions in integration-test files are not
+/// handled here because `tests/` directories are never scanned.
+fn test_code_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
+    let mut lines = std::collections::BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // scan forward to the item; accept intervening attributes
+            let mut j = i + 7; // past `# [ cfg ( test ) ]`
+            let mut is_mod = false;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokenKind::Punct('#') => {
+                        // skip a whole attribute `#[...]`
+                        j = skip_bracketed(tokens, j + 1);
+                    }
+                    TokenKind::Ident(s) if s == "mod" => {
+                        is_mod = true;
+                        j += 1;
+                    }
+                    TokenKind::Ident(_) if is_mod => {
+                        j += 1;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            if is_mod {
+                // j is at `{` (or `;` for out-of-line mod — nothing to mark)
+                if j < tokens.len() && tokens[j].kind.is_punct('{') {
+                    let end = match_brace(tokens, j);
+                    let from = tokens[i].line;
+                    let to = tokens[end.min(tokens.len() - 1)].line;
+                    for l in from..=to {
+                        lines.insert(l);
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Whether `tokens[i..]` starts `# [ cfg ( test ) ]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let kinds: Vec<&TokenKind> = tokens[i..].iter().take(7).map(|t| &t.kind).collect();
+    matches!(
+        kinds.as_slice(),
+        [
+            TokenKind::Punct('#'),
+            TokenKind::Punct('['),
+            TokenKind::Ident(cfg),
+            TokenKind::Punct('('),
+            TokenKind::Ident(test),
+            TokenKind::Punct(')'),
+            TokenKind::Punct(']'),
+        ] if cfg.as_str() == "cfg" && test.as_str() == "test"
+    )
+}
+
+/// Given `i` at `[`, return the index just past the matching `]`.
+fn skip_bracketed(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Given `i` at `{`, return the index of the matching `}`.
+fn match_brace(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j.saturating_sub(1)
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Rule: hash-container. Any appearance of `HashMap`/`HashSet` outside
+/// `use` declarations in a determinism-critical crate. Conversion to
+/// `BTreeMap`/`BTreeSet` (or an annotation arguing order-independence) is
+/// the expected fix; the companion `hashmap-iter` rule catches the actually
+/// dangerous *iteration* sites of whatever remains.
+fn hash_container_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &std::collections::BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    let mut in_use = false;
+    let mut last_line = 0u32;
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Ident(s) if s == "use" => in_use = true,
+            TokenKind::Punct(';') if in_use => in_use = false,
+            TokenKind::Ident(s) if HASH_TYPES.contains(&s.as_str()) => {
+                if in_use || test_lines.contains(&t.line) || t.line == last_line {
+                    continue;
+                }
+                last_line = t.line; // one finding per line
+                out.push(Finding {
+                    path: path.to_path_buf(),
+                    line: t.line,
+                    rule: Rule::HashContainer,
+                    message: format!(
+                        "`{s}` in a determinism-critical crate; use BTreeMap/BTreeSet \
+                         or justify order-independence"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Rule: hashmap-iter. Builds a per-file set of names known to be hash
+/// containers — `let` bindings initialized from `HashMap::…`/`HashSet::…`,
+/// bindings and struct fields with a hash type annotation — then flags
+/// `name.iter()`-family calls and `for … in &name` loops over them.
+fn hash_iter_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &std::collections::BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    let mut hash_names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    // Pass 1: collect names.
+    for i in 0..tokens.len() {
+        let TokenKind::Ident(name) = &tokens[i].kind else {
+            continue;
+        };
+        // `name : ... HashMap` (binding or struct field annotation) —
+        // scan the type up to a stopping punct.
+        if i + 1 < tokens.len() && tokens[i + 1].kind.is_punct(':') {
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokenKind::Punct('<') => depth += 1,
+                    TokenKind::Punct('>') => depth -= 1,
+                    TokenKind::Punct(',')
+                    | TokenKind::Punct(';')
+                    | TokenKind::Punct('=')
+                    | TokenKind::Punct(')')
+                    | TokenKind::Punct('}')
+                    | TokenKind::Punct('{')
+                        if depth <= 0 =>
+                    {
+                        break
+                    }
+                    TokenKind::Ident(t) if HASH_TYPES.contains(&t.as_str()) => {
+                        hash_names.insert(name.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // `let name = HashMap::new()` / `HashSet::with_capacity(…)`
+        if i >= 1 {
+            if let TokenKind::Ident(prev) = &tokens[i - 1].kind {
+                if prev == "let"
+                    && i + 2 < tokens.len()
+                    && tokens[i + 1].kind.is_punct('=')
+                    && matches!(&tokens[i + 2].kind,
+                        TokenKind::Ident(t) if HASH_TYPES.contains(&t.as_str()))
+                {
+                    hash_names.insert(name.clone());
+                }
+            }
+        }
+    }
+
+    if hash_names.is_empty() {
+        return;
+    }
+
+    // Pass 2: flag iteration sites.
+    for i in 0..tokens.len() {
+        let TokenKind::Ident(name) = &tokens[i].kind else {
+            continue;
+        };
+        if !hash_names.contains(name) || test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        // `name . iter (`-family
+        if i + 3 < tokens.len()
+            && tokens[i + 1].kind.is_punct('.')
+            && tokens[i + 3].kind.is_punct('(')
+        {
+            if let TokenKind::Ident(m) = &tokens[i + 2].kind {
+                if ITER_METHODS.contains(&m.as_str()) {
+                    out.push(Finding {
+                        path: path.to_path_buf(),
+                        line: tokens[i].line,
+                        rule: Rule::HashIter,
+                        message: format!(
+                            "iteration `{name}.{m}()` over a hash container — \
+                             nondeterministic order"
+                        ),
+                    });
+                    continue;
+                }
+            }
+        }
+        // `for … in &name` / `for … in &mut name` / `for … in name`
+        let mut j = i;
+        let mut hops = 0;
+        while j > 0 && hops < 3 {
+            j -= 1;
+            hops += 1;
+            match &tokens[j].kind {
+                TokenKind::Punct('&') => continue,
+                TokenKind::Ident(s) if s == "mut" => continue,
+                TokenKind::Ident(s) if s == "in" => {
+                    // require an enclosing `for` shortly before
+                    let from = j.saturating_sub(8);
+                    let is_for_loop = tokens[from..j]
+                        .iter()
+                        .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "for"));
+                    // and `name` must end the iterated expression
+                    let ends_expr = tokens
+                        .get(i + 1)
+                        .is_none_or(|t| t.kind.is_punct('{') || t.kind.is_punct('.'));
+                    if is_for_loop && ends_expr && !tokens[i + 1].kind.is_punct('.') {
+                        out.push(Finding {
+                            path: path.to_path_buf(),
+                            line: tokens[i].line,
+                            rule: Rule::HashIter,
+                            message: format!(
+                                "`for _ in {name}` iterates a hash container — \
+                                 nondeterministic order"
+                            ),
+                        });
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Rule: panic-path. `.unwrap()` / `.expect(` calls and panic-family macro
+/// invocations in non-test code.
+fn panic_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &std::collections::BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..tokens.len() {
+        if test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        match &tokens[i].kind {
+            TokenKind::Ident(s) if (s == "unwrap" || s == "expect") => {
+                let after_dot = i >= 1 && tokens[i - 1].kind.is_punct('.');
+                let called = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+                if after_dot && called {
+                    out.push(Finding {
+                        path: path.to_path_buf(),
+                        line: tokens[i].line,
+                        rule: Rule::PanicPath,
+                        message: format!(".{s}() in library code — return a typed error"),
+                    });
+                }
+            }
+            TokenKind::Ident(s) if PANIC_MACROS.contains(&s.as_str()) => {
+                let banged = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('!'));
+                if banged {
+                    out.push(Finding {
+                        path: path.to_path_buf(),
+                        line: tokens[i].line,
+                        rule: Rule::PanicPath,
+                        message: format!("{s}! in library code — return a typed error"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule: slice-index (strict only). `expr[…]` indexing immediately after an
+/// identifier, `)` or `]` — excludes attributes (`#[…]`) and declarations.
+fn slice_index_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &std::collections::BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    let mut per_line: BTreeMap<u32, usize> = BTreeMap::new();
+    for i in 1..tokens.len() {
+        if !tokens[i].kind.is_punct('[') || test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        let prev_ok = match &tokens[i - 1].kind {
+            TokenKind::Ident(s) => !matches!(
+                s.as_str(),
+                "mut" | "dyn" | "impl" | "in" | "as" | "return" | "box" | "vec"
+            ),
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        };
+        // `#[attr]` / `#![attr]`
+        let attr = i >= 2
+            && (tokens[i - 1].kind.is_punct('#')
+                || (tokens[i - 1].kind.is_punct('!') && tokens[i - 2].kind.is_punct('#')));
+        // empty index `[]` is a type or array literal, not an access
+        let empty = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(']'));
+        if prev_ok && !attr && !empty {
+            *per_line.entry(tokens[i].line).or_insert(0) += 1;
+        }
+    }
+    for (line, count) in per_line {
+        out.push(Finding {
+            path: path.to_path_buf(),
+            line,
+            rule: Rule::SliceIndex,
+            message: format!("{count} raw index expression(s) — prefer .get() or prove bounds"),
+        });
+    }
+}

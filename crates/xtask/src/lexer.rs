@@ -1,0 +1,321 @@
+//! A lightweight Rust tokenizer sufficient for the audit rules.
+//!
+//! The build environment has no access to `syn`/`proc-macro2`, so the audit
+//! is built on a self-contained lexer instead: it understands line and
+//! (nested) block comments, string/char/byte/raw-string literals, lifetimes
+//! vs. char literals, identifiers and punctuation — everything needed to
+//! scan token patterns like `.unwrap(` or `for _ in &map` without being
+//! fooled by matching text inside strings or comments.
+//!
+//! It deliberately does **not** build a syntax tree; the rules in
+//! [`crate::audit`] work on flat token windows plus brace matching.
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// The kinds of token the audit distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `unwrap`, `HashMap`, …).
+    Ident(String),
+    /// A literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `[`, `!`, …).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// Tokenize `source`, dropping comments and whitespace.
+///
+/// The lexer is resilient: unterminated constructs consume to end of input
+/// rather than erroring, so the audit degrades gracefully on malformed files
+/// (the compiler will report those anyway).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Byte-oriented scanning: every multi-byte UTF-8 unit starts with a
+    // byte >= 0x80, which never collides with the ASCII structure we match.
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start_line = line;
+                // skip prefix letters, count hashes
+                let mut j = i;
+                while bytes[j] == b'r' || bytes[j] == b'b' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while j < bytes.len() {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j..].starts_with(&closer) {
+                        j += closer.len();
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = match bytes.get(i + 1) {
+                    Some(&c) if c == b'_' || c.is_ascii_alphabetic() => {
+                        // a char literal would close with a quote right after
+                        let mut j = i + 2;
+                        while j < bytes.len()
+                            && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                        {
+                            j += 1;
+                        }
+                        bytes.get(j) != Some(&b'\'') || j == i + 2 && bytes[i + 1] == b'\\'
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // char literal: consume to closing quote, honoring escapes
+                    let mut j = i + 1;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => break, // malformed; bail at line end
+                            _ => j += 1,
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    // avoid swallowing `..` range punctuation or method calls
+                    if bytes[j] == b'.' && !bytes.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric() || bytes[j] >= 0x80)
+                {
+                    j += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Whether position `i` starts a raw or byte string prefix (`r"`, `r#"`,
+/// `br"`, `b"`, …) rather than an identifier beginning with `r`/`b`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_prefix = false;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        j += 1;
+        saw_prefix = true;
+    }
+    if !saw_prefix {
+        return false;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.kind.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r#"
+            // not .unwrap() here
+            /* nor .unwrap() /* nested */ here */
+            let s = "contains .unwrap() text";
+            let r = r#more"also .unwrap()"more#;
+            real.unwrap();
+        "#
+        .replace("#more", "#")
+        .replace("more#", "#");
+        let ids = idents(&src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "unwrap").count(),
+            1,
+            "only the real call should tokenize: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_ranges() {
+        let toks = tokenize("0..10");
+        assert_eq!(toks.len(), 4); // 0, '.', '.', 10
+        let toks = tokenize("1.5f64");
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn byte_strings_and_plain_idents_starting_with_b() {
+        let ids = idents("let buf = b\"PRGC\"; let beta = 4;");
+        assert!(ids.contains(&"beta".to_string()));
+        assert!(ids.contains(&"buf".to_string()));
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace automation for the PRAGUE reproduction.
+//!
+//! The only subcommand today is `audit` — see [`audit`] for the rule set
+//! and [`lexer`] for the token model it runs on. The engine is exposed as
+//! a library so the integration tests can run rules over fixture sources
+//! and assert exact finding counts.
+
+pub mod audit;
+pub mod lexer;

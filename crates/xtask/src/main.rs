@@ -1,0 +1,89 @@
+//! `cargo xtask` — workspace automation entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::audit::{audit_workspace, AuditConfig};
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  audit [--strict]   static-analysis pass: determinism (hash-container,
+                     hashmap-iter) and panic-freedom (panic-path; plus
+                     slice-index under --strict). Exits non-zero if any
+                     unsuppressed finding remains. Suppress individual
+                     sites with `// audit:allow(<rule>): <reason>`.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => {
+            let mut config = AuditConfig::default();
+            for flag in &args[1..] {
+                match flag.as_str() {
+                    "--strict" => config.strict = true,
+                    other => {
+                        eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_audit(&config)
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_audit(config: &AuditConfig) -> ExitCode {
+    let root = workspace_root();
+    let report = match audit_workspace(&root, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        // Print paths relative to the root so output is stable across hosts.
+        let rel = finding
+            .path
+            .strip_prefix(&root)
+            .unwrap_or(&finding.path)
+            .display();
+        println!(
+            "{rel}:{}: [{}] {}",
+            finding.line, finding.rule, finding.message
+        );
+    }
+    eprintln!(
+        "audit: {} file(s) scanned, {} finding(s), {} suppressed by audit:allow",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Resolve the workspace root: `cargo xtask` runs with the manifest dir of
+/// the xtask crate; the workspace root is two levels up from it.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

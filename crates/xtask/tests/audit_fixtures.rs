@@ -1,0 +1,143 @@
+//! Integration tests for `cargo xtask audit`: exact finding counts over
+//! fixture sources with known violations, suppression via `audit:allow`,
+//! annotation hygiene, test-code exemption — and a final gate asserting
+//! the real workspace audits clean.
+//!
+//! The fixtures live in `tests/fixtures/` (a subdirectory, so cargo does
+//! not compile them as test targets) and are scanned through the same
+//! [`audit_source`] entry point `audit_workspace` uses per file.
+
+use std::path::{Path, PathBuf};
+use xtask::audit::{audit_source, audit_workspace, AuditConfig, Report, Rule};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str, determinism: bool, panic_free: bool, strict: bool) -> Report {
+    let path = fixture_path(name);
+    let source = std::fs::read_to_string(&path).unwrap();
+    let mut report = Report::default();
+    let config = AuditConfig { strict };
+    audit_source(
+        &path,
+        &source,
+        determinism,
+        panic_free,
+        &config,
+        &mut report,
+    );
+    report.files_scanned = 1;
+    report
+}
+
+fn count(report: &Report, rule: Rule) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn determinism_fixture_has_exact_counts() {
+    let report = run_fixture("determinism_violations.rs", true, false, false);
+    assert_eq!(
+        count(&report, Rule::HashContainer),
+        2,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(count(&report, Rule::HashIter), 4, "{:#?}", report.findings);
+    assert_eq!(report.findings.len(), 6);
+    assert!(report.suppressed.is_empty());
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn determinism_rules_are_scoped_to_determinism_crates() {
+    let report = run_fixture("determinism_violations.rs", false, true, true);
+    assert_eq!(count(&report, Rule::HashContainer), 0);
+    assert_eq!(count(&report, Rule::HashIter), 0);
+}
+
+#[test]
+fn panic_fixture_has_exact_counts() {
+    let report = run_fixture("panic_violations.rs", false, true, false);
+    assert_eq!(count(&report, Rule::PanicPath), 4, "{:#?}", report.findings);
+    assert_eq!(
+        count(&report, Rule::SliceIndex),
+        0,
+        "slice-index needs --strict"
+    );
+    assert_eq!(report.findings.len(), 4);
+}
+
+#[test]
+fn strict_mode_adds_slice_index_findings() {
+    let report = run_fixture("panic_violations.rs", false, true, true);
+    assert_eq!(count(&report, Rule::PanicPath), 4);
+    assert_eq!(
+        count(&report, Rule::SliceIndex),
+        2,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 6);
+}
+
+#[test]
+fn panic_rules_are_scoped_to_panic_free_crates() {
+    let report = run_fixture("panic_violations.rs", true, false, false);
+    assert_eq!(count(&report, Rule::PanicPath), 0);
+}
+
+#[test]
+fn audit_allow_suppresses_same_line_and_next_line() {
+    let report = run_fixture("suppressed.rs", false, true, false);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert_eq!(report.suppressed.len(), 2);
+    assert!(report.suppressed.iter().all(|f| f.rule == Rule::PanicPath));
+}
+
+#[test]
+fn malformed_and_unused_annotations_are_findings() {
+    let report = run_fixture("bad_annotations.rs", false, true, false);
+    assert_eq!(
+        count(&report, Rule::BadAnnotation),
+        3,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 3);
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("unknown rule")));
+    assert!(messages.iter().any(|m| m.contains("non-empty")));
+    assert!(messages.iter().any(|m| m.contains("suppresses nothing")));
+}
+
+#[test]
+fn cfg_test_modules_are_exempt() {
+    let report = run_fixture("test_code_exempt.rs", true, true, true);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn the_workspace_audits_clean() {
+    // the same gate CI enforces via `cargo xtask audit`
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    let report = audit_workspace(root, &AuditConfig::default()).unwrap();
+    assert!(report.files_scanned > 20, "workspace scan looks incomplete");
+    assert!(
+        report.is_clean(),
+        "unannotated findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,11 @@
+//! Fixture: annotation-hygiene violations.
+//!
+//! Expected: 3 bad-annotation findings — an unknown rule name, a missing
+//! reason, and an annotation that suppresses nothing.
+
+pub fn noop() -> usize {
+    // audit:allow(made-up-rule): not a real rule name
+    // audit:allow(panic-path)
+    // audit:allow(panic-path): suppresses nothing on this or the next line
+    0
+}

@@ -1,0 +1,24 @@
+//! Fixture: known determinism violations.
+//!
+//! Expected findings when audited as a determinism-critical crate:
+//!   hash-container: 2   (the two declaration lines; `use` lines are exempt)
+//!   hashmap-iter:   4   (`m.iter()`, `for _ in &s`, `m.keys()`, `s.iter()`)
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let mut s: HashSet<u32> = HashSet::new();
+    s.insert(7);
+    let mut total = 0usize;
+    for (_k, v) in m.iter() {
+        total += *v as usize;
+    }
+    for v in &s {
+        total += *v as usize;
+    }
+    total += m.keys().count();
+    total += s.iter().count();
+    total
+}

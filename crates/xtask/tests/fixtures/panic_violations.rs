@@ -1,0 +1,19 @@
+//! Fixture: known panic-path violations.
+//!
+//! Expected findings when audited as a panic-free crate:
+//!   panic-path:  4   (`.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`)
+//!   slice-index: 2   (two lines with raw indexing — `--strict` only)
+
+pub fn extract(v: &[u32], flag: bool) -> u32 {
+    let first = *v.first().unwrap();
+    let second = *v.get(1).expect("needs two elements");
+    if flag {
+        panic!("flagged");
+    }
+    if first == u32::MAX {
+        unreachable!();
+    }
+    let direct = v[0] + v[1];
+    let tail = v[second as usize];
+    direct + tail
+}

@@ -1,0 +1,11 @@
+//! Fixture: violations silenced by well-formed allow annotations.
+//!
+//! Expected: 0 findings, 2 suppressed (one next-line annotation, one
+//! same-line annotation).
+
+pub fn lookup(v: &[u32]) -> u32 {
+    // audit:allow(panic-path): fixture exercises next-line suppression
+    let head = *v.first().unwrap();
+    let tail = *v.last().unwrap(); // audit:allow(panic-path): same-line suppression
+    head + tail
+}

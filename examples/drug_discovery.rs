@@ -37,7 +37,7 @@ fn main() {
         },
     )
     .expect("build");
-    system.warm();
+    system.warm().expect("index store readable");
     println!(
         "  {} frequent fragments, {} DIFs in {:?}; index {:.2} MB",
         system.stats().frequent_fragments,
@@ -82,7 +82,7 @@ fn main() {
     }
 
     // No exact hit is fine for lead discovery: ask for near misses.
-    let candidates = session.choose_similarity();
+    let candidates = session.choose_similarity().expect("index store readable");
     println!("similarity mode (σ = 2): {candidates} candidates");
 
     let outcome = session.run().expect("run");

@@ -29,7 +29,7 @@ fn main() {
         },
     )
     .expect("build");
-    system.warm();
+    system.warm().expect("index store readable");
 
     println!("┌──────┬────────────┬────────────┬──────────────┬──────────┐");
     println!("│ step │ status     │ candidates │ processing   │ headroom │");
@@ -105,7 +105,7 @@ fn main() {
             "user re-draws the bond (e{}) and picks 'similar matches'",
             step.edge
         );
-        let n = session.choose_similarity();
+        let n = session.choose_similarity().expect("index store readable");
         println!("similarity candidates: {n}");
     } else {
         println!("\n(query had exact matches throughout — running as containment)");

@@ -93,7 +93,7 @@ fn main() {
         );
     }
     // ...but the user keeps the edge and asks for similar graphs instead.
-    let n = session.choose_similarity();
+    let n = session.choose_similarity().expect("index store readable");
     println!("similarity mode: {n} candidate graphs");
     let outcome = session.run().expect("run");
     if let QueryResults::Similar(r) = &outcome.results {

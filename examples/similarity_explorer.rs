@@ -34,7 +34,7 @@ fn main() {
         },
     )
     .expect("build");
-    system.warm();
+    system.warm().expect("index store readable");
 
     // Derive a worst-case query (infrequent scaffold + one impossible bond).
     let spec = derive_similarity_query(
@@ -70,7 +70,7 @@ fn main() {
                 .add_edge(nodes[u as usize], nodes[v as usize])
                 .expect("valid");
         }
-        session.choose_similarity();
+        session.choose_similarity().expect("index store readable");
         let (free, total) = session
             .similarity_candidates()
             .map(|c| (c.distinct_free(), c.distinct_candidates()))

@@ -183,7 +183,7 @@ fn all_similarity_systems_agree_on_answers() {
     // PRAGUE
     let mut session = s.system.session(sigma);
     replay(&mut session, &spec);
-    session.choose_similarity();
+    session.choose_similarity().unwrap();
     let out = session.run().unwrap();
     let QueryResults::Similar(prague_results) = out.results else {
         panic!("similarity query");

@@ -61,7 +61,7 @@ fn suggestion_restores_nonempty_candidates() {
     let suggestion = last
         .suggestion
         .clone()
-        .or_else(|| session.suggest_deletion())
+        .or_else(|| session.suggest_deletion().unwrap())
         .expect("a deletable edge exists");
     assert!(
         !suggestion.candidates.is_empty(),
@@ -94,12 +94,13 @@ fn suggestion_maximizes_candidates() {
         &system.indexes().a2f,
         &system.indexes().a2i,
         system.db().len(),
-    );
+    )
+    .unwrap();
     if options.is_empty() {
         return;
     }
     let best = options.iter().map(|&(_, c)| c).max().unwrap();
-    let suggestion = session.suggest_deletion().expect("options exist");
+    let suggestion = session.suggest_deletion().unwrap().expect("options exist");
     assert_eq!(suggestion.candidates.len(), best);
 }
 
@@ -230,7 +231,7 @@ fn modification_in_similarity_mode() {
     .expect("derivable");
     let mut session = system.session(2);
     replay(&mut session, &spec);
-    session.choose_similarity();
+    session.choose_similarity().unwrap();
     // delete any deletable edge; the similarity candidates must refresh
     let Some(&label) = session
         .query()

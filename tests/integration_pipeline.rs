@@ -89,7 +89,7 @@ fn candidates_never_miss_answers() {
 fn similarity_query_matches_oracle() {
     let system = build_system();
     let frequent: Vec<Graph> = (0..system.indexes().a2f.fragment_count() as u32)
-        .map(|id| system.indexes().a2f.fragment(id))
+        .map(|id| system.indexes().a2f.fragment(id).unwrap())
         .collect();
     let sigma = 2;
     let mut tested = 0;
@@ -115,7 +115,7 @@ fn similarity_query_matches_oracle() {
         let steps = replay(&mut session, &spec);
         // the final step must report Similar (no exact match, by construction)
         assert_eq!(steps.last().unwrap().status, StepStatus::Similar);
-        session.choose_similarity();
+        session.choose_similarity().unwrap();
         let outcome = session.run().expect("runnable");
         let QueryResults::Similar(results) = outcome.results else {
             panic!("similarity session returned exact results");
@@ -144,7 +144,7 @@ fn similarity_query_matches_oracle() {
 fn best_case_candidates_are_verification_free() {
     let system = build_system();
     let frequent: Vec<Graph> = (0..system.indexes().a2f.fragment_count() as u32)
-        .map(|id| system.indexes().a2f.fragment(id))
+        .map(|id| system.indexes().a2f.fragment(id).unwrap())
         .collect();
     let Some(spec) = derive_similarity_query(
         system.db(),
@@ -160,7 +160,7 @@ fn best_case_candidates_are_verification_free() {
     };
     let mut session = system.session(2);
     replay(&mut session, &spec);
-    session.choose_similarity();
+    session.choose_similarity().unwrap();
     let sc = session.similarity_candidates().expect("computed");
     // best case: R_ver empty at every level (fragments are frequent or dead)
     for (level, lc) in &sc.levels {
@@ -213,7 +213,7 @@ fn frequent_fragment_query_is_verification_free_and_exact() {
     let id = (0..a2f.fragment_count() as u32)
         .find(|&id| a2f.size(id) >= 2)
         .expect("some multi-edge frequent fragment");
-    let frag = a2f.fragment(id);
+    let frag = a2f.fragment(id).unwrap();
     // build a connected edge order over the fragment
     let mut order: Vec<u32> = Vec::new();
     let mut wired: std::collections::HashSet<u32> = std::collections::HashSet::new();
@@ -239,7 +239,7 @@ fn frequent_fragment_query_is_verification_free_and_exact() {
             .unwrap();
     }
     // R_q must equal fsgIds exactly — this is the verification-free case
-    let expect = a2f.fsg_ids(id);
+    let expect = a2f.fsg_ids(id).unwrap();
     assert_eq!(session.exact_candidates(), expect.as_slice());
     let outcome = session.run().unwrap();
     match outcome.results {
@@ -316,7 +316,7 @@ fn incremental_insert_keeps_answers_exact() {
     .expect("builds");
 
     for g in inserts {
-        system.insert_graph(g.clone());
+        system.insert_graph(g.clone()).unwrap();
     }
     assert_eq!(system.db().len(), 160);
     assert!(system.inserted_fraction() > 0.2);
@@ -356,7 +356,7 @@ fn incremental_insert_keeps_answers_exact() {
     .expect("derivable");
     let mut session = system.session(2);
     replay(&mut session, &spec);
-    session.choose_similarity();
+    session.choose_similarity().unwrap();
     let QueryResults::Similar(results) = session.run().unwrap().results else {
         panic!("similarity query");
     };
@@ -398,7 +398,7 @@ fn insert_graph_with_entirely_new_labels() {
     let x2 = exotic.add_node(prague_graph::Label(40));
     exotic.add_edge(x1, y).unwrap();
     exotic.add_edge(y, x2).unwrap();
-    let gid = system.insert_graph(exotic);
+    let gid = system.insert_graph(exotic).unwrap();
 
     let mut session = system.session(1);
     let a = session.add_node(prague_graph::Label(40));

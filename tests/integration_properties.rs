@@ -120,7 +120,7 @@ proptest! {
         let mut session = system.session(sigma);
         let order: Vec<usize> = (0..spec.edges.len()).collect();
         replay_sequence(&mut session, &spec, &order);
-        session.choose_similarity();
+        session.choose_similarity().unwrap();
         let outcome = session.run().unwrap();
         let QueryResults::Similar(results) = outcome.results else {
             return Err(TestCaseError::fail("expected similar results"));
@@ -149,7 +149,7 @@ proptest! {
             let mut session = system.session(2);
             replay_sequence(&mut session, &spec, seq);
             exact_sets.push(session.exact_candidates().to_vec());
-            let n = session.choose_similarity();
+            let n = session.choose_similarity().unwrap();
             sim_counts.push(n);
         }
         for w in exact_sets.windows(2) {

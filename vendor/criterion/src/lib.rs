@@ -1,0 +1,155 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness with
+//! the same macro surface (`criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`). It runs
+//! each benchmark for a fixed number of samples and prints mean/min timings —
+//! no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// always materializes one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Per-function benchmark driver handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.timings.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Benchmark registry and configuration.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        let n = bencher.timings.len().max(1);
+        let total: Duration = bencher.timings.iter().sum();
+        let mean = total / n as u32;
+        let min = bencher.timings.iter().min().copied().unwrap_or_default();
+        println!("bench {name:<45} mean {mean:>12?}  min {min:>12?}  ({n} samples)");
+        self
+    }
+}
+
+/// Declare a benchmark group: either the plain list form or the
+/// `name/config/targets` form of the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+/// Opaque value barrier. Re-exported name for compatibility; prefer
+/// `std::hint::black_box` in new code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_samples() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("shim_smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut outputs = Vec::new();
+        let mut next = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| outputs.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(outputs, vec![1, 2, 3]);
+    }
+}

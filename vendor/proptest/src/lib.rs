@@ -1,0 +1,571 @@
+//! Offline shim for `proptest`: the subset of the API this workspace's
+//! property tests use, generated deterministically and without shrinking.
+//!
+//! Each `proptest!` test derives its RNG seed from the test's module path
+//! and name (FNV-1a), so every run of the suite explores the same cases —
+//! reproducibility over adversarial coverage. A failing case panics with the
+//! case number and the `prop_assert*` message; rerunning reproduces it
+//! exactly.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, integer/float range strategies,
+//! tuple strategies, [`Just`], [`collection::vec`], `num::*::ANY`,
+//! `bool::ANY`, and the combinators `prop_map`, `prop_flat_map`,
+//! `prop_filter`, `prop_shuffle`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner types (`Config`, RNG, failure type).
+pub mod test_runner {
+    use super::*;
+
+    /// Runner configuration — only the case count is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to generate per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` / returned from a test body.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// Alias of [`TestCaseError::fail`] kept for API compatibility.
+        pub fn reject<S: Into<String>>(message: S) -> Self {
+            Self::fail(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seed from a test's fully-qualified name (FNV-1a hash).
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h),
+            }
+        }
+
+        pub(crate) fn rng(&mut self) -> &mut SmallRng {
+            &mut self.inner
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries, then panic —
+    /// the shim has no rejection bookkeeping).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Uniformly permute a generated `Vec`.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { base: self }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the held value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 1000 candidates", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    base: S,
+}
+
+impl<T, S> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.base.generate(rng);
+        // Fisher–Yates
+        for i in (1..v.len()).rev() {
+            let j = rng.rng().random_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.rng().random::<f64>() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Full-range strategy for a primitive (`num::u32::ANY`-style).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Any<T> {
+    const NEW: Any<T> = Any(std::marker::PhantomData);
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng().random::<u64>() & 1 == 1
+    }
+}
+
+/// Full-range primitive strategies, mirroring `proptest::num`.
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident / $t:ty),*) => {$(
+            /// Strategies for this primitive.
+            pub mod $m {
+                /// Any value of the primitive, uniformly.
+                pub const ANY: crate::Any<$t> = crate::Any::<$t>::NEW;
+            }
+        )*};
+    }
+    any_mod!(u8 / u8, u16 / u16, u32 / u32, u64 / u64, usize / usize);
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    /// Either boolean, uniformly.
+    pub const ANY: crate::Any<std::primitive::bool> = crate::Any::<std::primitive::bool>::NEW;
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Acceptable length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng
+                .rng()
+                .random_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests. Each `#[test] fn name(pat in strategy, ...)` block
+/// becomes a standard `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let strategy = ($($strat),+);
+                #[allow(unused_parens)]
+                let ($($pat),+) = $crate::Strategy::generate(&strategy, &mut rng);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = crate::collection::vec(0usize..100, 3..=6);
+        let mut r1 = crate::test_runner::TestRng::for_test("t");
+        let mut r2 = crate::test_runner::TestRng::for_test("t");
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (1usize..=5)
+            .prop_flat_map(|n| crate::collection::vec(0u32..10, n))
+            .prop_map(|v| v.len())
+            .prop_filter("nonzero", |&n| n > 0);
+        let mut rng = crate::test_runner::TestRng::for_test("c");
+        for _ in 0..50 {
+            let n = strat.generate(&mut rng);
+            assert!((1..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let strat = Just((0..10usize).collect::<Vec<_>>()).prop_shuffle();
+        let mut rng = crate::test_runner::TestRng::for_test("s");
+        let mut v = strat.generate(&mut rng);
+        v.sort_unstable();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_single_param(x in 0usize..10) {
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn macro_multi_param((a, b) in (0u32..5, 0u32..5), c in crate::bool::ANY) {
+            prop_assert!(a < 5 && b < 5);
+            if c {
+                return Ok(());
+            }
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in crate::collection::vec(crate::num::u8::ANY, 0..8)) {
+            prop_assert!(v.len() < 8, "len {}", v.len());
+        }
+    }
+}
