@@ -1,0 +1,72 @@
+//! Observability smoke profile: replay one similarity query over a small
+//! molecule database with recording enabled and write `BENCH_smoke.json` —
+//! the per-phase breakdown (spig/candidate/verify ms, index hit rate) plus
+//! the full span/counter snapshot. CI runs this on every push so the
+//! instrumented pipeline and its JSON export stay exercised end-to-end.
+//!
+//! Output path: `BENCH_smoke.json` in the working directory, overridable
+//! via `PRAGUE_OBS_SMOKE_OUT`.
+
+use prague::SystemParams;
+use prague_bench::{bench_json, replay, PhaseBreakdown, MAX_QUERY_EDGES};
+use prague_datagen::MoleculeConfig;
+use prague_mining::mine_classified;
+use prague_obs::Obs;
+
+fn main() {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 400,
+        seed: 0x0B5,
+        ..Default::default()
+    });
+    let mining = mine_classified(&ds.db, 0.1, MAX_QUERY_EDGES);
+    let frequent: Vec<_> = mining.frequent.iter().map(|f| f.graph.clone()).collect();
+    let mut system = prague::PragueSystem::from_mining_result(
+        ds.db,
+        ds.labels,
+        mining,
+        SystemParams {
+            alpha: 0.1,
+            beta: 8,
+            max_fragment_edges: MAX_QUERY_EDGES,
+            ..Default::default()
+        },
+    )
+    .expect("index build");
+    system.warm().expect("fresh store warms");
+    system.set_obs(Obs::enabled());
+
+    let specs = prague_bench::derive_queries(&system, &frequent, "S");
+    let spec = &specs[0];
+    let mut session = system.session(2);
+    replay(&mut session, spec);
+    if session.is_similarity() || session.exact_candidates().is_empty() {
+        session.choose_similarity().expect("in-memory reads");
+    }
+    let outcome = session.run().expect("runnable");
+
+    let snap = system.obs().snapshot().expect("obs enabled");
+    let breakdown = PhaseBreakdown::from_snapshot(&snap);
+    eprintln!(
+        "[obs-smoke] {} ({} edges): {} results, SRT {:.2?}",
+        spec.name,
+        spec.size(),
+        outcome.results.len(),
+        outcome.srt
+    );
+    eprintln!(
+        "[obs-smoke] spig {:.2}ms | candidates {:.2}ms | verify {:.2}ms | \
+         index hit rate {:.2} | vf2 states {}",
+        breakdown.spig_ms,
+        breakdown.candidate_ms,
+        breakdown.verify_ms,
+        breakdown.index_hit_rate,
+        breakdown.vf2_states
+    );
+    print!("{}", snap.render());
+
+    let out = std::env::var("PRAGUE_OBS_SMOKE_OUT").unwrap_or_else(|_| "BENCH_smoke.json".into());
+    let json = bench_json("obs_smoke", &snap);
+    std::fs::write(&out, &json).expect("write BENCH_smoke.json");
+    eprintln!("[obs-smoke] wrote {out} ({} bytes)", json.len());
+}

@@ -16,6 +16,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod obs_report;
+
+pub use obs_report::{bench_json, PhaseBreakdown};
 
 use prague::{PragueSystem, Session, StepOutcome, SystemParams};
 use prague_baselines::{FeatureIndex, FeatureIndexConfig};

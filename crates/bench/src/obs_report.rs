@@ -1,0 +1,134 @@
+//! Per-phase performance breakdowns derived from a `prague-obs` snapshot.
+//!
+//! The experiment binaries historically reported wall-clock totals only;
+//! with the observability layer they can attribute an edge step (or a
+//! whole replay) to the paper's phases — SPIG maintenance (Section V),
+//! candidate generation (Section VI-A/B), verification (Section VI-C) —
+//! and report index effectiveness as a hit rate. `BENCH_*.json` files
+//! embed a [`PhaseBreakdown`] next to the full snapshot so downstream
+//! tooling never has to re-derive the attribution.
+
+use prague_obs::{names, Snapshot};
+
+/// Millisecond totals per pipeline phase plus index hit rates, computed
+/// from the by-name span totals and counters of one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseBreakdown {
+    /// SPIG construction + deletion maintenance (`spig.construct`,
+    /// `spig.delete`).
+    pub spig_ms: f64,
+    /// Candidate generation, exact and similar (`candidates.exact`,
+    /// `candidates.similar`).
+    pub candidate_ms: f64,
+    /// Verification: exact VF2 runs plus similarity result generation
+    /// (`verify.exact`, `results.similar`).
+    pub verify_ms: f64,
+    /// Full-step time across all session actions (`session.step_ns`
+    /// histogram sum).
+    pub step_ms: f64,
+    /// A²F + A²I lookup hit rate in `[0, 1]` (1.0 when no lookups ran).
+    pub index_hit_rate: f64,
+    /// DF blob-store cache hit rate in `[0, 1]` (1.0 when no reads ran).
+    pub store_hit_rate: f64,
+    /// Total VF2 search states expanded during verification.
+    pub vf2_states: u64,
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl PhaseBreakdown {
+    /// Attribute a snapshot's spans/counters to phases.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let span_ms = |name: &str| ms(snap.span_total_ns_by_name(name));
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        let step_ns = snap.histogram(names::SESSION_STEP_NS).map_or(0, |h| h.sum);
+        PhaseBreakdown {
+            spig_ms: span_ms(names::SPIG_CONSTRUCT) + span_ms(names::SPIG_DELETE),
+            candidate_ms: span_ms(names::CANDIDATES_EXACT) + span_ms(names::CANDIDATES_SIMILAR),
+            verify_ms: span_ms(names::VERIFY_EXACT) + span_ms(names::RESULTS_SIMILAR),
+            step_ms: ms(step_ns),
+            index_hit_rate: rate(
+                counter(names::A2F_HITS) + counter(names::A2I_HITS),
+                counter(names::A2F_MISSES) + counter(names::A2I_MISSES),
+            ),
+            store_hit_rate: rate(
+                counter(names::STORE_CACHE_HITS),
+                counter(names::STORE_CACHE_MISSES),
+            ),
+            vf2_states: counter(names::VERIFY_VF2_STATES),
+        }
+    }
+
+    /// Render as a JSON object (`{"spig_ms":…,…}`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"spig_ms\":{:.3},\"candidate_ms\":{:.3},\"verify_ms\":{:.3},",
+                "\"step_ms\":{:.3},\"index_hit_rate\":{:.4},\"store_hit_rate\":{:.4},",
+                "\"vf2_states\":{}}}"
+            ),
+            self.spig_ms,
+            self.candidate_ms,
+            self.verify_ms,
+            self.step_ms,
+            self.index_hit_rate,
+            self.store_hit_rate,
+            self.vf2_states
+        )
+    }
+}
+
+/// A full `BENCH_*.json` document: experiment name, phase breakdown and
+/// the raw snapshot for anything the breakdown doesn't pre-digest.
+pub fn bench_json(experiment: &str, snap: &Snapshot) -> String {
+    format!(
+        "{{\"experiment\":{:?},\"phases\":{},\"snapshot\":{}}}",
+        experiment,
+        PhaseBreakdown::from_snapshot(snap).to_json(),
+        snap.to_json()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prague_obs::Obs;
+
+    #[test]
+    fn breakdown_from_empty_snapshot_is_neutral() {
+        let obs = Obs::enabled();
+        let b = PhaseBreakdown::from_snapshot(&obs.snapshot().unwrap());
+        assert_eq!(b.spig_ms, 0.0);
+        assert_eq!(b.index_hit_rate, 1.0);
+        assert_eq!(b.store_hit_rate, 1.0);
+        assert_eq!(b.vf2_states, 0);
+    }
+
+    #[test]
+    fn breakdown_attributes_counters() {
+        let obs = Obs::enabled();
+        obs.add(prague_obs::names::A2F_HITS, 3);
+        obs.add(prague_obs::names::A2F_MISSES, 1);
+        obs.add(prague_obs::names::VERIFY_VF2_STATES, 42);
+        obs.span(prague_obs::names::SPIG_CONSTRUCT).finish();
+        let snap = obs.snapshot().unwrap();
+        let b = PhaseBreakdown::from_snapshot(&snap);
+        assert!((b.index_hit_rate - 0.75).abs() < 1e-9);
+        assert_eq!(b.vf2_states, 42);
+        let json = bench_json("smoke", &snap);
+        assert!(json.contains("\"experiment\":\"smoke\""));
+        assert!(json.contains("\"index_hit_rate\":0.7500"));
+        assert!(json.contains("\"spans\""));
+    }
+}

@@ -14,8 +14,15 @@ USAGE:
   prague stats    --catalog <FILE.prgc>
   prague query    --catalog <FILE.prgc> --query <FILE.lg>
                   [--sigma <K=2>] [--beta <B=8>] [--similar] [--trace]
+                  [--stats[=json]]
+  prague run      alias of `query`
   prague interactive --catalog <FILE.prgc> [--sigma <K=2>] [--beta <B=8>]
+                  [--stats[=json]]
   prague help
+
+`--stats` prints the observability snapshot (span tree, counters,
+histograms; see ARCHITECTURE.md § Performance model) after the query;
+`--stats=json` emits it as a single machine-readable JSON object.
 ";
 
 /// Parsed `generate` options.
@@ -53,6 +60,25 @@ pub struct StatsArgs {
     pub catalog: PathBuf,
 }
 
+/// How observability statistics should be reported (`--stats[=json]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsMode {
+    /// No instrumentation (the default): zero recording overhead.
+    #[default]
+    Off,
+    /// Human-readable span tree + counters after the command.
+    Text,
+    /// One machine-readable JSON object after the command.
+    Json,
+}
+
+impl StatsMode {
+    /// Whether any recording was requested.
+    pub fn is_on(self) -> bool {
+        self != StatsMode::Off
+    }
+}
+
 /// Parsed `query` options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryArgs {
@@ -68,6 +94,8 @@ pub struct QueryArgs {
     pub similar: bool,
     /// Print the per-step formulation trace.
     pub trace: bool,
+    /// Observability reporting mode.
+    pub stats: StatsMode,
 }
 
 /// Parsed `interactive` options.
@@ -79,6 +107,8 @@ pub struct InteractiveArgs {
     pub sigma: usize,
     /// Fragment size threshold β for the rebuilt index.
     pub beta: usize,
+    /// Observability reporting mode.
+    pub stats: StatsMode,
 }
 
 /// A parsed command.
@@ -141,7 +171,15 @@ fn flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, ParseError> {
         if !a.starts_with("--") {
             return Err(ParseError::BadFlag(a.clone()));
         }
-        let is_switch = matches!(a.as_str(), "--similar" | "--trace");
+        // `--flag=value` binds the value inline (the only way to give a
+        // value to a flag that is also valid as a bare switch, e.g.
+        // `--stats=json`).
+        if let Some((flag, value)) = a.split_once('=') {
+            out.push((flag.to_string(), Some(value.to_string())));
+            i += 1;
+            continue;
+        }
+        let is_switch = matches!(a.as_str(), "--similar" | "--trace" | "--stats");
         if is_switch {
             out.push((a.clone(), None));
             i += 1;
@@ -187,6 +225,20 @@ fn required(pairs: &[(String, Option<String>)], flag: &'static str) -> Result<Pa
         .ok_or(ParseError::Missing(flag))
 }
 
+/// `--stats` → text, `--stats=json` → JSON, absent → off.
+fn stats_mode(pairs: &[(String, Option<String>)]) -> Result<StatsMode, ParseError> {
+    match pairs.iter().find(|(f, _)| f == "--stats") {
+        None => Ok(StatsMode::Off),
+        Some((_, None)) => Ok(StatsMode::Text),
+        Some((_, Some(v))) if v == "text" => Ok(StatsMode::Text),
+        Some((_, Some(v))) if v == "json" => Ok(StatsMode::Json),
+        Some((_, Some(v))) => Err(ParseError::BadValue {
+            flag: "--stats".to_string(),
+            value: v.clone(),
+        }),
+    }
+}
+
 /// Parse a full argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -220,7 +272,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 catalog: required(&pairs, "--catalog")?,
             }))
         }
-        "query" => {
+        // `run` mirrors the paper's Run GUI action; it is an exact alias
+        // of `query` so `prague run --stats=json …` reads naturally.
+        "query" | "run" => {
             let pairs = flags(rest)?;
             Ok(Command::Query(QueryArgs {
                 catalog: required(&pairs, "--catalog")?,
@@ -229,6 +283,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 beta: parse_num(&pairs, "--beta", 8usize)?,
                 similar: has(&pairs, "--similar"),
                 trace: has(&pairs, "--trace"),
+                stats: stats_mode(&pairs)?,
             }))
         }
         "interactive" => {
@@ -237,6 +292,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 catalog: required(&pairs, "--catalog")?,
                 sigma: parse_num(&pairs, "--sigma", 2usize)?,
                 beta: parse_num(&pairs, "--beta", 8usize)?,
+                stats: stats_mode(&pairs)?,
             }))
         }
         other => Err(ParseError::UnknownCommand(other.to_string())),
@@ -295,6 +351,48 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn stats_switch_and_inline_value() {
+        let cmd = parse_args(&argv("query --catalog c.prgc --query q.lg --stats")).unwrap();
+        match cmd {
+            Command::Query(q) => assert_eq!(q.stats, StatsMode::Text),
+            _ => panic!(),
+        }
+        let cmd = parse_args(&argv("run --catalog c.prgc --query q.lg --stats=json")).unwrap();
+        match cmd {
+            Command::Query(q) => assert_eq!(q.stats, StatsMode::Json),
+            _ => panic!(),
+        }
+        let cmd = parse_args(&argv("interactive --catalog c.prgc")).unwrap();
+        match cmd {
+            Command::Interactive(i) => assert_eq!(i.stats, StatsMode::Off),
+            _ => panic!(),
+        }
+        assert!(matches!(
+            parse_args(&argv("query --catalog c --query q --stats=xml")),
+            Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn inline_values_work_for_ordinary_flags() {
+        let cmd = parse_args(&argv("query --catalog=c.prgc --query=q.lg --sigma=4")).unwrap();
+        match cmd {
+            Command::Query(q) => {
+                assert_eq!(q.catalog, PathBuf::from("c.prgc"));
+                assert_eq!(q.sigma, 4);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn run_is_query_alias() {
+        let a = parse_args(&argv("query --catalog c.prgc --query q.lg")).unwrap();
+        let b = parse_args(&argv("run --catalog c.prgc --query q.lg")).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

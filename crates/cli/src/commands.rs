@@ -1,11 +1,12 @@
 //! Command implementations.
 
-use crate::args::{BuildArgs, GenerateArgs, InteractiveArgs, QueryArgs, StatsArgs};
+use crate::args::{BuildArgs, GenerateArgs, InteractiveArgs, QueryArgs, StatsArgs, StatsMode};
 use prague::{persist, PragueSystem, QueryResults, SystemParams};
 use prague_datagen::{GraphGenConfig, MoleculeConfig};
 use prague_graph::io::{read_lg_file, write_lg_file};
 use prague_graph::{Graph, LabelTable};
 use prague_mining::mine_classified;
+use prague_obs::Obs;
 
 /// `prague generate`: write a synthetic dataset in `.lg` format.
 pub fn generate(args: &GenerateArgs) -> Result<(), String> {
@@ -130,14 +131,28 @@ pub fn connected_order(q: &Graph) -> Vec<usize> {
     order
 }
 
-/// `prague query`: load a catalog, rebuild the indexes, replay the query
-/// and print the results.
+/// Print an observability snapshot in the requested mode (no-op when the
+/// handle is disabled or the mode is `Off`).
+fn print_stats(system: &PragueSystem, mode: StatsMode) {
+    let Some(snap) = system.obs().snapshot() else {
+        return;
+    };
+    match mode {
+        StatsMode::Off => {}
+        StatsMode::Text => print!("{}", snap.render()),
+        StatsMode::Json => println!("{}", snap.to_json()),
+    }
+}
+
+/// `prague query` (alias `prague run`): load a catalog, rebuild the
+/// indexes, replay the query and print the results — plus, with
+/// `--stats[=json]`, the observability snapshot of the whole replay.
 pub fn query(args: &QueryArgs) -> Result<(), String> {
     let (db, labels, mining) = persist::load_catalog(&args.catalog).map_err(|e| e.to_string())?;
     let alpha_hint = mining.frequent.len(); // informational only
     let _ = alpha_hint;
     let max_edges = mining.frequent.iter().map(|f| f.size()).max().unwrap_or(1);
-    let system = PragueSystem::from_mining_result(
+    let mut system = PragueSystem::from_mining_result(
         db,
         labels.clone(),
         mining,
@@ -150,6 +165,10 @@ pub fn query(args: &QueryArgs) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     system.warm().map_err(|e| e.to_string())?;
+    if args.stats.is_on() {
+        // attach after warm() so the snapshot covers only the session
+        system.set_obs(Obs::enabled());
+    }
 
     // the query file's labels must resolve against the catalog's table
     let mut qlabels = labels.clone();
@@ -208,14 +227,17 @@ pub fn query(args: &QueryArgs) -> Result<(), String> {
             }
         }
     }
+    print_stats(&system, args.stats);
     Ok(())
 }
 
 /// `prague interactive`: formulate a query on stdin over a loaded catalog.
+/// With `--stats[=json]` the observability snapshot is printed on exit (and
+/// available mid-session via the `stats` REPL command).
 pub fn interactive(args: &InteractiveArgs) -> Result<(), String> {
     let (db, labels, mining) = persist::load_catalog(&args.catalog).map_err(|e| e.to_string())?;
     let max_edges = mining.frequent.iter().map(|f| f.size()).max().unwrap_or(1);
-    let system = PragueSystem::from_mining_result(
+    let mut system = PragueSystem::from_mining_result(
         db,
         labels,
         mining,
@@ -228,10 +250,14 @@ pub fn interactive(args: &InteractiveArgs) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     system.warm().map_err(|e| e.to_string())?;
+    if args.stats.is_on() {
+        system.set_obs(Obs::enabled());
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     crate::interactive::run_repl(&system, args.sigma, stdin.lock(), &mut stdout)
         .map_err(|e| e.to_string())?;
+    print_stats(&system, args.stats);
     Ok(())
 }
 
@@ -281,6 +307,7 @@ mod tests {
             beta: 2,
             similar: false,
             trace: true,
+            stats: StatsMode::Json,
         })
         .unwrap();
 
@@ -337,6 +364,7 @@ mod tests {
             beta: 2,
             similar: false,
             trace: false,
+            stats: StatsMode::Off,
         })
         .unwrap_err();
         assert!(err.contains("labels"));

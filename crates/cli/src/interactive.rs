@@ -35,6 +35,7 @@ commands:
   suggest          show which edge deletion would restore most candidates
   candidates       show the current candidate count
   log              print the formulation trace so far
+  stats            print the observability snapshot (needs --stats)
   run              execute the query
   help             this text
   quit             leave
@@ -156,6 +157,10 @@ pub fn run_repl<R: BufRead, W: Write>(
                 writeln!(out, "{n} candidates")?;
             }
             "log" => write!(out, "{}", session.log().render())?,
+            "stats" => match session.obs().snapshot() {
+                Some(snap) => write!(out, "{}", snap.render())?,
+                None => writeln!(out, "observability disabled (start with --stats)")?,
+            },
             "run" => match session.run() {
                 Ok(o) => print_results(out, &o.results, o.srt, &session)?,
                 Err(e) => writeln!(out, "error: {e}")?,
@@ -311,5 +316,28 @@ mod tests {
     fn numeric_labels_accepted() {
         let out = drive("node 0\nnode 1\nedge 0 1\nrun\nquit\n");
         assert!(out.contains("exact matches"));
+    }
+
+    #[test]
+    fn stats_command_reports_disabled_without_obs() {
+        let out = drive("stats\nquit\n");
+        assert!(out.contains("observability disabled"));
+    }
+
+    #[test]
+    fn stats_command_prints_snapshot_with_obs() {
+        let mut system = system();
+        system.set_obs(prague_obs::Obs::enabled());
+        let mut out = Vec::new();
+        run_repl(
+            &system,
+            1,
+            "node C\nnode S\nedge 0 1\nrun\nstats\nquit\n".as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("session.add_edge"), "span tree shown: {out}");
+        assert!(out.contains("session.run"));
     }
 }

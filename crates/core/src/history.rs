@@ -81,6 +81,15 @@ impl SessionLog {
         self.records.iter().map(|r| r.elapsed).sum()
     }
 
+    /// Total session time, *including* modification, relabel, similarity
+    /// opt-in, and `Run` (SRT) records — unlike the per-step
+    /// [`crate::StepOutcome::total_time`], which covers exactly one `New`
+    /// action. Alias of [`SessionLog::total_processing`]; nothing recorded
+    /// in the log is excluded.
+    pub fn total_time(&self) -> Duration {
+        self.total_processing()
+    }
+
     /// The slowest single action, if any.
     pub fn max_step(&self) -> Option<&ActionRecord> {
         self.records.iter().max_by_key(|r| r.elapsed)

@@ -59,11 +59,12 @@ pub use results::{similar_results_gen, SimilarMatch, SimilarResults};
 pub use session::{
     ModifyOutcome, QueryResults, RunOutcome, Session, SessionError, StepOutcome, StepStatus,
 };
-pub use verify::{exact_verification, SimVerifier};
+pub use verify::{exact_verification, exact_verification_obs, SimVerifier};
 
 use prague_graph::{GraphDb, LabelTable};
 use prague_index::{A2fConfig, ActionAwareIndexes, DfBacking, IndexFootprint, StoreError};
 use prague_mining::{mine_classified, MiningResult};
+use prague_obs::Obs;
 
 /// Offline construction parameters (defaults follow the paper's real-dataset
 /// settings: α = 0.1, β = 8, fragments capped at the maximum query size 10).
@@ -113,6 +114,7 @@ pub struct PragueSystem {
     stats: BuildStats,
     /// Graphs inserted since construction (see `insert_graph`).
     inserted: usize,
+    obs: Obs,
 }
 
 impl PragueSystem {
@@ -173,7 +175,25 @@ impl PragueSystem {
             params,
             stats,
             inserted: 0,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attach an observability handle: the indexes (and their DF blob
+    /// store) report to it immediately, and every [`Session`] created
+    /// afterwards records its spans/counters there. Pass
+    /// [`Obs::enabled`] to start collecting; the default is a disabled
+    /// handle with no recording overhead beyond one branch per probe.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.indexes.a2f.set_obs(obs.clone());
+        self.indexes.a2i.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`PragueSystem::set_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Start a formulation session with subgraph distance threshold σ.

@@ -21,10 +21,11 @@ use crate::candidates::{exact_sub_candidates, similar_sub_candidates, SimilarCan
 use crate::history::{ActionKind, ActionRecord, SessionLog};
 use crate::modify::{suggest_deletion, DeletionSuggestion};
 use crate::results::{similar_results_gen, SimilarResults};
-use crate::verify::{exact_verification, SimVerifier};
+use crate::verify::{exact_verification_obs, SimVerifier};
 use crate::PragueSystem;
 use prague_graph::{GraphId, Label};
 use prague_index::StoreError;
+use prague_obs::{names, Obs};
 use prague_spig::{EdgeLabelId, QueryError, SpigError, SpigSet, VNodeId, VisualQuery};
 use std::time::{Duration, Instant};
 
@@ -96,15 +97,22 @@ pub struct StepOutcome {
     pub spig_time: Duration,
     /// Time spent refreshing candidates.
     pub candidate_time: Duration,
+    /// Time spent computing the deletion suggestion (zero unless `R_q`
+    /// just became empty in exact mode).
+    pub suggest_time: Duration,
     /// When `R_q` just became empty in exact mode: the system's deletion
     /// suggestion (the paper's option dialogue, Algorithm 1 line 8).
     pub suggestion: Option<DeletionSuggestion>,
 }
 
 impl StepOutcome {
-    /// Total processing charged against GUI latency for this step.
+    /// Total processing charged against GUI latency for this step: SPIG
+    /// construction + candidate refresh + (when offered) the deletion
+    /// suggestion probe. This is the complete per-step cost — previously
+    /// the suggestion probe was silently folded into `candidate_time`;
+    /// the `session.add_edge` span tree breaks the three phases out.
     pub fn total_time(&self) -> Duration {
-        self.spig_time + self.candidate_time
+        self.spig_time + self.candidate_time + self.suggest_time
     }
 }
 
@@ -167,21 +175,32 @@ pub struct Session<'a> {
     rq_empty: bool,
     sim_candidates: Option<SimilarCandidates>,
     log: SessionLog,
+    obs: Obs,
 }
 
 impl<'a> Session<'a> {
     pub(crate) fn new(system: &'a PragueSystem, sigma: usize) -> Self {
+        let obs = system.obs().clone();
+        let mut spigs = SpigSet::new();
+        spigs.set_obs(obs.clone());
         Session {
             system,
             sigma,
             query: VisualQuery::new(),
-            spigs: SpigSet::new(),
+            spigs,
             sim_flag: false,
             rq: Vec::new(),
             rq_empty: false,
             sim_candidates: None,
             log: SessionLog::default(),
+            obs,
         }
+    }
+
+    /// The observability handle this session records into (inherited from
+    /// the system at creation time).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The fragment status implied by the current session state.
@@ -211,9 +230,32 @@ impl<'a> Session<'a> {
         self.system.labels().get(name).map(|l| self.add_node(l))
     }
 
-    /// `New` action: draw an edge and process the grown fragment.
+    /// `New` action: draw an edge and process the grown fragment — one
+    /// formulation step of the paper's Algorithm 1 (lines 3–15): SPIG-set
+    /// maintenance, then the exact (or, once `simFlag` is set, similarity)
+    /// candidate refresh, all inside GUI latency.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::Query`] — the edge is invalid on the canvas
+    ///   (unknown endpoint, self-loop, duplicate, or the 64-edge cap);
+    /// * [`SessionError::Spig`] / [`SessionError::Store`] — SPIG
+    ///   maintenance or DF-index I/O failed. The canvas is rolled back, so
+    ///   the session stays consistent after any error.
+    ///
+    /// # Panics
+    ///
+    /// Never panics.
+    ///
+    /// # Observability
+    ///
+    /// Runs inside a `session.add_edge` span with `spig.construct`,
+    /// `candidates.exact`/`candidates.similar`, and (when `R_q` becomes
+    /// empty) `modify.suggest` child phases; the step's end-to-end latency
+    /// feeds the `session.step_ns` histogram.
     pub fn add_edge(&mut self, u: VNodeId, v: VNodeId) -> Result<StepOutcome, SessionError> {
         let edge = self.query.add_edge(u, v)?;
+        let step_span = self.obs.span(names::SESSION_ADD_EDGE);
         let t0 = Instant::now();
         if let Err(e) = self.spigs.on_new_edge(
             &self.query,
@@ -226,20 +268,26 @@ impl<'a> Session<'a> {
         }
         let spig_time = t0.elapsed();
 
-        let t1 = Instant::now();
-        let (status, candidate_count, suggestion) = if self.sim_flag {
+        let mut suggest_time = Duration::ZERO;
+        let (status, candidate_count, suggestion, candidate_time) = if self.sim_flag {
+            let cand_span = self.obs.span(names::CANDIDATES_SIMILAR);
             self.refresh_similar()?;
+            let candidate_time = cand_span.finish();
             (
                 StepStatus::Similar,
                 self.sim_candidates
                     .as_ref()
                     .map_or(0, SimilarCandidates::distinct_candidates),
                 None,
+                candidate_time,
             )
         } else {
+            let cand_span = self.obs.span(names::CANDIDATES_EXACT);
             self.refresh_exact()?;
+            let candidate_time = cand_span.finish();
             if self.rq_empty {
                 // Algorithm 1 lines 7–8: offer modification or similarity.
+                let sug_span = self.obs.span(names::MODIFY_SUGGEST);
                 let suggestion = suggest_deletion(
                     &self.query,
                     &self.spigs,
@@ -247,22 +295,24 @@ impl<'a> Session<'a> {
                     &self.system.indexes().a2i,
                     self.system.db().len(),
                 )?;
-                (StepStatus::Similar, 0, suggestion)
+                suggest_time = sug_span.finish();
+                (StepStatus::Similar, 0, suggestion, candidate_time)
             } else {
                 let target = self.spigs.target_vertex(&self.query);
                 let status = match target {
                     Some(v) if v.fragment_list.freq_id.is_some() => StepStatus::Frequent,
                     _ => StepStatus::Infrequent,
                 };
-                (status, self.rq.len(), None)
+                (status, self.rq.len(), None, candidate_time)
             }
         };
-        let candidate_time = t1.elapsed();
+        let step_time = step_span.finish();
+        self.obs.observe_ns(names::SESSION_STEP_NS, step_time);
         self.log.push(ActionRecord {
             kind: ActionKind::New { edge },
             status,
             candidates: candidate_count,
-            elapsed: spig_time + candidate_time,
+            elapsed: step_time,
         });
         Ok(StepOutcome {
             edge,
@@ -270,25 +320,44 @@ impl<'a> Session<'a> {
             candidate_count,
             spig_time,
             candidate_time,
+            suggest_time,
             suggestion,
         })
     }
 
     /// `SimQuery` action: continue as a subgraph *similarity* query
-    /// (Algorithm 1 lines 13–15).
+    /// (Algorithm 1 lines 13–15). From here on, every step refreshes the
+    /// per-level similarity candidates instead of the exact `R_q`, and
+    /// `Run` ranks approximate matches by subgraph distance (Section VI).
+    /// Returns the distinct similarity candidate count.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Store`] — DF-index I/O failed while resolving the
+    /// per-level candidate sets. The `simFlag` stays set (retrying the next
+    /// action re-attempts the refresh).
+    ///
+    /// # Panics
+    ///
+    /// Never panics.
     pub fn choose_similarity(&mut self) -> Result<usize, SessionError> {
-        let t0 = Instant::now();
+        let step_span = self.obs.span(names::SESSION_CHOOSE_SIMILARITY);
         self.sim_flag = true;
-        self.refresh_similar()?;
+        {
+            let _cand_span = self.obs.span(names::CANDIDATES_SIMILAR);
+            self.refresh_similar()?;
+        }
         let candidates = self
             .sim_candidates
             .as_ref()
             .map_or(0, SimilarCandidates::distinct_candidates);
+        let step_time = step_span.finish();
+        self.obs.observe_ns(names::SESSION_STEP_NS, step_time);
         self.log.push(ActionRecord {
             kind: ActionKind::SimQuery,
             status: StepStatus::Similar,
             candidates,
-            elapsed: t0.elapsed(),
+            elapsed: step_time,
         });
         Ok(candidates)
     }
@@ -297,10 +366,11 @@ impl<'a> Session<'a> {
     /// provided the query stays connected).
     pub fn delete_edge(&mut self, edge: EdgeLabelId) -> Result<ModifyOutcome, SessionError> {
         self.query.delete_edge(edge)?;
-        let t0 = Instant::now();
+        let step_span = self.obs.span(names::SESSION_DELETE_EDGE);
         self.spigs.on_delete_edge(edge);
         let candidate_count = self.refresh_after_modify()?;
-        let modify_time = t0.elapsed();
+        let modify_time = step_span.finish();
+        self.obs.observe_ns(names::SESSION_STEP_NS, modify_time);
         self.log.push(ActionRecord {
             kind: ActionKind::Delete { edges: vec![edge] },
             status: self.current_status(),
@@ -326,7 +396,7 @@ impl<'a> Session<'a> {
         for &e in edges {
             trial.delete_edge(e)?;
         }
-        let t0 = Instant::now();
+        let step_span = self.obs.span(names::SESSION_DELETE_EDGE);
         for &e in edges {
             // cannot fail: the same sequence was just validated on the trial
             // canvas, but thread the error rather than panicking
@@ -334,7 +404,8 @@ impl<'a> Session<'a> {
             self.spigs.on_delete_edge(e);
         }
         let candidate_count = self.refresh_after_modify()?;
-        let modify_time = t0.elapsed();
+        let modify_time = step_span.finish();
+        self.obs.observe_ns(names::SESSION_STEP_NS, modify_time);
         self.log.push(ActionRecord {
             kind: ActionKind::Delete {
                 edges: edges.to_vec(),
@@ -367,12 +438,12 @@ impl<'a> Session<'a> {
             .into_iter()
             .filter(|&(_, u, v)| u == node || v == node)
             .collect();
+        let step_span = self.obs.span(names::SESSION_RELABEL);
         for &(label, _, _) in &incident {
             self.query.delete_edge_unchecked(label)?;
             self.spigs.on_delete_edge(label);
         }
         self.query.set_node_label(node, new_label)?;
-        let t0 = Instant::now();
         let mut new_edges = Vec::with_capacity(incident.len());
         for &(_, u, v) in &incident {
             let l = self.query.add_edge(u, v)?;
@@ -384,6 +455,8 @@ impl<'a> Session<'a> {
             new_edges.push(l);
         }
         let candidates = self.refresh_after_modify()?;
+        let step_time = step_span.finish();
+        self.obs.observe_ns(names::SESSION_STEP_NS, step_time);
         self.log.push(ActionRecord {
             kind: ActionKind::Relabel {
                 node,
@@ -391,19 +464,21 @@ impl<'a> Session<'a> {
             },
             status: self.current_status(),
             candidates,
-            elapsed: t0.elapsed(),
+            elapsed: step_time,
         });
         Ok(new_edges)
     }
 
     fn refresh_after_modify(&mut self) -> Result<usize, SessionError> {
         if self.sim_flag {
+            let _cand_span = self.obs.span(names::CANDIDATES_SIMILAR);
             self.refresh_similar()?;
             Ok(self
                 .sim_candidates
                 .as_ref()
                 .map_or(0, SimilarCandidates::distinct_candidates))
         } else {
+            let _cand_span = self.obs.span(names::CANDIDATES_EXACT);
             self.refresh_exact()?;
             Ok(self.rq.len())
         }
@@ -419,6 +494,7 @@ impl<'a> Session<'a> {
 
     /// The system's deletion suggestion for the current query.
     pub fn suggest_deletion(&self) -> Result<Option<DeletionSuggestion>, SessionError> {
+        let _span = self.obs.span(names::MODIFY_SUGGEST);
         Ok(suggest_deletion(
             &self.query,
             &self.spigs,
@@ -429,36 +505,68 @@ impl<'a> Session<'a> {
     }
 
     /// `Run` action: produce final results (Algorithm 1 lines 16–23).
+    ///
+    /// In exact mode the pre-computed candidate set `R_q` is verified by
+    /// VF2 (skipped entirely — "verification-free" — when the query
+    /// fragment is itself an indexed fragment); when that yields nothing,
+    /// the session falls back to similarity search (lines 19–21), so `Run`
+    /// never returns an empty exact result without offering approximate
+    /// matches. The reported [`RunOutcome::srt`] is the paper's system
+    /// response time: the only work the user actually waits for.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::EmptyQuery`] — nothing was drawn yet;
+    /// * [`SessionError::Store`] — DF-index I/O failed during the
+    ///   similarity fallback.
+    ///
+    /// # Panics
+    ///
+    /// Never panics.
+    ///
+    /// # Observability
+    ///
+    /// Runs inside a `session.run` span with `verify.exact` and — on the
+    /// similarity path — `candidates.similar` and `results.similar` child
+    /// phases; the SRT feeds the `session.step_ns` histogram.
     pub fn run(&mut self) -> Result<RunOutcome, SessionError> {
         if self.query.is_empty() {
             return Err(SessionError::EmptyQuery);
         }
+        let step_span = self.obs.span(names::SESSION_RUN);
         let t0 = Instant::now();
         let results = if !self.sim_flag {
             let verification_free = self
                 .spigs
                 .target_vertex(&self.query)
                 .is_some_and(|v| v.fragment_list.is_indexed());
-            let exact = exact_verification(
+            let exact = exact_verification_obs(
                 self.query.graph(),
                 &self.rq,
                 self.system.db(),
                 verification_free,
+                &self.obs,
             );
             if exact.is_empty() {
                 // Algorithm 1 lines 19–21: fall back to similarity search.
-                self.refresh_similar()?;
+                {
+                    let _cand_span = self.obs.span(names::CANDIDATES_SIMILAR);
+                    self.refresh_similar()?;
+                }
                 QueryResults::Similar(self.generate_similar())
             } else {
                 QueryResults::Exact(exact)
             }
         } else {
             if self.sim_candidates.is_none() {
+                let _cand_span = self.obs.span(names::CANDIDATES_SIMILAR);
                 self.refresh_similar()?;
             }
             QueryResults::Similar(self.generate_similar())
         };
         let srt = t0.elapsed();
+        let step_time = step_span.finish();
+        self.obs.observe_ns(names::SESSION_STEP_NS, step_time);
         self.log.push(ActionRecord {
             kind: ActionKind::Run,
             status: self.current_status(),
@@ -495,9 +603,11 @@ impl<'a> Session<'a> {
     }
 
     fn generate_similar(&self) -> SimilarResults {
+        let _span = self.obs.span(names::RESULTS_SIMILAR);
         let q_size = self.query.size();
         let lowest = q_size.saturating_sub(self.sigma).max(1);
-        let verifier = SimVerifier::from_spigs(&self.query, &self.spigs, lowest, q_size);
+        let mut verifier = SimVerifier::from_spigs(&self.query, &self.spigs, lowest, q_size);
+        verifier.set_obs(self.obs.clone());
         let empty = SimilarCandidates::default();
         let candidates = self.sim_candidates.as_ref().unwrap_or(&empty);
         similar_results_gen(q_size, candidates, &verifier, self.system.db())

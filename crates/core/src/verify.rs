@@ -8,8 +8,9 @@
 //! subgraph of `q` per level, so verification reuses those fragments
 //! (deduplicated by CAM code) instead of re-enumerating subgraphs.
 
-use prague_graph::vf2::{is_subgraph_with_order, MatchOrder};
+use prague_graph::vf2::{is_subgraph_with_order_counting, MatchOrder};
 use prague_graph::{Graph, GraphDb, GraphId};
+use prague_obs::{names, Obs};
 use prague_spig::{SpigSet, VisualQuery};
 use std::collections::BTreeMap;
 
@@ -23,15 +24,41 @@ pub fn exact_verification(
     db: &GraphDb,
     verification_free: bool,
 ) -> Vec<GraphId> {
+    exact_verification_obs(q, candidates, db, verification_free, &Obs::disabled())
+}
+
+/// [`exact_verification`] reporting to an observability handle: runs
+/// inside a `verify.exact` span and feeds the `verify.exact.candidates` /
+/// `verify.exact.free` / `verify.exact.embeddings` / `verify.vf2_states`
+/// counters.
+pub fn exact_verification_obs(
+    q: &Graph,
+    candidates: &[GraphId],
+    db: &GraphDb,
+    verification_free: bool,
+    obs: &Obs,
+) -> Vec<GraphId> {
+    let _span = obs.span(names::VERIFY_EXACT);
+    obs.add(names::VERIFY_EXACT_CANDIDATES, candidates.len() as u64);
     if verification_free || q.edge_count() == 0 {
+        obs.add(names::VERIFY_EXACT_FREE, candidates.len() as u64);
+        obs.add(names::VERIFY_EXACT_EMBEDDINGS, candidates.len() as u64);
         return candidates.to_vec();
     }
     let order = MatchOrder::new(q);
-    candidates
+    let mut states = 0u64;
+    let verified: Vec<GraphId> = candidates
         .iter()
         .copied()
-        .filter(|&id| is_subgraph_with_order(q, db.graph(id), &order))
-        .collect()
+        .filter(|&id| {
+            let (found, st) = is_subgraph_with_order_counting(q, db.graph(id), &order);
+            states += st;
+            found
+        })
+        .collect();
+    obs.add(names::VERIFY_VF2_STATES, states);
+    obs.add(names::VERIFY_EXACT_EMBEDDINGS, verified.len() as u64);
+    verified
 }
 
 /// A reusable verifier for one query's similarity levels: the distinct
@@ -39,6 +66,7 @@ pub fn exact_verification(
 pub struct SimVerifier {
     /// level -> distinct fragments (graph + match order)
     fragments: BTreeMap<usize, Vec<(Graph, MatchOrder)>>,
+    obs: Obs,
 }
 
 impl SimVerifier {
@@ -58,25 +86,44 @@ impl SimVerifier {
             }
             fragments.insert(i, frags);
         }
-        SimVerifier { fragments }
+        SimVerifier {
+            fragments,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle; [`SimVerifier::verify`] feeds the
+    /// `verify.sim.candidates` / `verify.sim.embeddings` /
+    /// `verify.vf2_states` counters through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// `SimVerify`: of `candidates`, the graphs containing at least one
     /// level-`i` fragment of the query.
     pub fn verify(&self, candidates: &[GraphId], level: usize, db: &GraphDb) -> Vec<GraphId> {
+        self.obs
+            .add(names::VERIFY_SIM_CANDIDATES, candidates.len() as u64);
         let Some(frags) = self.fragments.get(&level) else {
             return Vec::new();
         };
-        candidates
+        let mut states = 0u64;
+        let verified: Vec<GraphId> = candidates
             .iter()
             .copied()
             .filter(|&id| {
                 let g = db.graph(id);
-                frags
-                    .iter()
-                    .any(|(frag, order)| is_subgraph_with_order(frag, g, order))
+                frags.iter().any(|(frag, order)| {
+                    let (found, st) = is_subgraph_with_order_counting(frag, g, order);
+                    states += st;
+                    found
+                })
             })
-            .collect()
+            .collect();
+        self.obs.add(names::VERIFY_VF2_STATES, states);
+        self.obs
+            .add(names::VERIFY_SIM_EMBEDDINGS, verified.len() as u64);
+        verified
     }
 
     /// Number of distinct fragments at a level (diagnostics).

@@ -95,6 +95,8 @@ pub struct Matcher<'a> {
     map_q: Vec<NodeId>,
     /// whether a data node is used
     used_g: Vec<bool>,
+    /// search states expanded (feasibility tests attempted)
+    states: u64,
 }
 
 const UNMAPPED: NodeId = NodeId::MAX;
@@ -108,7 +110,14 @@ impl<'a> Matcher<'a> {
             order,
             map_q: vec![UNMAPPED; q.node_count()],
             used_g: vec![false; g.node_count()],
+            states: 0,
         }
+    }
+
+    /// Number of search states expanded (candidate feasibility tests) so
+    /// far — the VF2 work measure reported as `verify.vf2_states`.
+    pub fn states(&self) -> u64 {
+        self.states
     }
 
     /// Quick necessary conditions; callers may skip the search entirely when
@@ -133,7 +142,8 @@ impl<'a> Matcher<'a> {
         self.extend(0, on_match)
     }
 
-    fn feasible(&self, qn: NodeId, gn: NodeId) -> bool {
+    fn feasible(&mut self, qn: NodeId, gn: NodeId) -> bool {
+        self.states += 1;
         if self.used_g[gn as usize] {
             return false;
         }
@@ -214,13 +224,20 @@ pub fn is_subgraph(q: &Graph, g: &Graph) -> bool {
 /// [`is_subgraph`] with a caller-supplied (reusable) matching order — use
 /// this when testing one query against many data graphs.
 pub fn is_subgraph_with_order(q: &Graph, g: &Graph, order: &MatchOrder) -> bool {
+    is_subgraph_with_order_counting(q, g, order).0
+}
+
+/// [`is_subgraph_with_order`], additionally returning the number of VF2
+/// search states the test expanded — the work measure instrumented callers
+/// feed into the `verify.vf2_states` counter.
+pub fn is_subgraph_with_order_counting(q: &Graph, g: &Graph, order: &MatchOrder) -> (bool, u64) {
     let mut found = false;
     let mut m = Matcher::new(q, g, order);
     let _ = m.search(&mut |_| {
         found = true;
         ControlFlow::Break(())
     });
-    found
+    (found, m.states())
 }
 
 /// Count embeddings of `q` in `g`, stopping at `limit` (0 = unlimited).

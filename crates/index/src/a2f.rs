@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
 use prague_graph::{cam_code, CamCode, Graph, GraphId};
 use prague_mining::MiningResult;
+use prague_obs::{names, Obs};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -144,6 +145,7 @@ pub struct A2fIndex {
     /// construction that contain each fragment (see
     /// [`A2fIndex::register_graph`]). Sorted ascending per fragment.
     appendix: Vec<Vec<GraphId>>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for A2fIndex {
@@ -361,7 +363,16 @@ impl A2fIndex {
             cam_to_id,
             fsg_cache: Mutex::new(BTreeMap::new()),
             appendix,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attach an observability handle: lookups report the
+    /// `index.a2f.hits` / `index.a2f.misses` counters, and the DF blob
+    /// store reports its `index.store.*` cache metrics.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.store.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Fragment size threshold β.
@@ -381,7 +392,12 @@ impl A2fIndex {
 
     /// Look up a fragment by CAM code, returning its `a2fId`.
     pub fn lookup(&self, cam: &CamCode) -> Option<A2fId> {
-        self.cam_to_id.get(cam).copied()
+        let found = self.cam_to_id.get(cam).copied();
+        match found {
+            Some(_) => self.obs.add(names::A2F_HITS, 1),
+            None => self.obs.add(names::A2F_MISSES, 1),
+        }
+        found
     }
 
     /// Fragment size `|f|`.

@@ -9,6 +9,7 @@
 use crate::a2f::IndexFootprint;
 use prague_graph::{CamCode, Graph, GraphId};
 use prague_mining::MiningResult;
+use prague_obs::{names, Obs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -33,6 +34,7 @@ pub struct A2iIndex {
     /// Ordered map so index iteration order is deterministic (see
     /// `cargo xtask audit`).
     cam_to_id: BTreeMap<CamCode, A2iId>,
+    obs: Obs,
 }
 
 impl A2iIndex {
@@ -107,7 +109,17 @@ impl A2iIndex {
                 fsg_ids: Arc::new(dif.fsg_ids.clone()),
             });
         }
-        A2iIndex { entries, cam_to_id }
+        A2iIndex {
+            entries,
+            cam_to_id,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle; lookups report the
+    /// `index.a2i.hits` / `index.a2i.misses` counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of indexed DIFs.
@@ -122,7 +134,12 @@ impl A2iIndex {
 
     /// Look up a DIF by CAM code.
     pub fn lookup(&self, cam: &CamCode) -> Option<A2iId> {
-        self.cam_to_id.get(cam).copied()
+        let found = self.cam_to_id.get(cam).copied();
+        match found {
+            Some(_) => self.obs.add(names::A2I_HITS, 1),
+            None => self.obs.add(names::A2I_MISSES, 1),
+        }
+        found
     }
 
     /// The entry with identifier `id`.

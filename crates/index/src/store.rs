@@ -8,6 +8,7 @@
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use prague_obs::{names, Obs};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -74,17 +75,18 @@ impl CacheInner {
         }
     }
 
-    fn insert(&mut self, offset: u64, bytes: Bytes) {
+    fn insert(&mut self, offset: u64, bytes: Bytes) -> u64 {
         self.bytes += bytes.len();
         self.tick += 1;
         self.map.insert(offset, (bytes, self.tick));
-        self.evict_to_capacity();
+        self.evict_to_capacity()
     }
 
     /// Evict least-recently-used blobs until the cache fits its budget
     /// (always keeping at least one entry so a blob larger than the whole
-    /// budget still caches).
-    fn evict_to_capacity(&mut self) {
+    /// budget still caches). Returns the number of evicted entries.
+    fn evict_to_capacity(&mut self) -> u64 {
+        let mut evicted = 0u64;
         while self.bytes > self.capacity_bytes && self.map.len() > 1 {
             let victim = self
                 .map
@@ -92,10 +94,14 @@ impl CacheInner {
                 .min_by_key(|(_, (_, last))| *last)
                 .map(|(&offset, _)| offset);
             match victim.and_then(|offset| self.map.remove(&offset)) {
-                Some((b, _)) => self.bytes -= b.len(),
+                Some((b, _)) => {
+                    self.bytes -= b.len();
+                    evicted += 1;
+                }
                 None => break,
             }
         }
+        evicted
     }
 }
 
@@ -105,6 +111,7 @@ pub struct BlobStore {
     file: Mutex<File>,
     len: Mutex<u64>,
     cache: Mutex<CacheInner>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for BlobStore {
@@ -145,7 +152,15 @@ impl BlobStore {
                 hits: 0,
                 misses: 0,
             }),
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attach an observability handle; reads report
+    /// `index.store.cache_hits/cache_misses/evictions/read_bytes` counters
+    /// and the `index.store.read_ns` latency histogram to it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Create a store in a fresh unique file under the system temp dir.
@@ -162,7 +177,9 @@ impl BlobStore {
     pub fn set_cache_capacity(&self, bytes: usize) {
         let mut c = self.cache.lock();
         c.capacity_bytes = bytes.max(1);
-        c.evict_to_capacity();
+        let evicted = c.evict_to_capacity();
+        drop(c);
+        self.obs.add(names::STORE_EVICTIONS, evicted);
     }
 
     /// Append a blob, returning its handle.
@@ -182,20 +199,26 @@ impl BlobStore {
     /// Read a blob (cached).
     pub fn read(&self, handle: BlobHandle) -> Result<Bytes, StoreError> {
         if let Some(bytes) = self.cache.lock().get(handle.offset) {
+            self.obs.add(names::STORE_CACHE_HITS, 1);
             return Ok(bytes);
         }
+        self.obs.add(names::STORE_CACHE_MISSES, 1);
         let total = *self.len.lock();
         if handle.offset + u64::from(handle.len) > total {
             return Err(StoreError::BadHandle(handle));
         }
+        let started = std::time::Instant::now();
         let mut buf = vec![0u8; handle.len as usize];
         {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(handle.offset))?;
             file.read_exact(&mut buf)?;
         }
+        self.obs.observe_ns(names::STORE_READ_NS, started.elapsed());
+        self.obs.add(names::STORE_READ_BYTES, u64::from(handle.len));
         let bytes = Bytes::from(buf);
-        self.cache.lock().insert(handle.offset, bytes.clone());
+        let evicted = self.cache.lock().insert(handle.offset, bytes.clone());
+        self.obs.add(names::STORE_EVICTIONS, evicted);
         Ok(bytes)
     }
 

@@ -1,0 +1,361 @@
+//! # prague-obs
+//!
+//! The observability substrate of the PRAGUE workspace: hierarchical
+//! **spans**, monotonic **counters** and fixed-bucket **histograms**, with a
+//! thread-safe registry and JSON/text exporters — standard library only, so
+//! every other crate (all offline-vendored) can depend on it.
+//!
+//! PRAGUE's premise is that SPIG construction, candidate generation and
+//! verification fit inside the multi-second GUI latency between user edge
+//! actions (paper Section VIII measures SRT per step). This crate is the
+//! measurement substrate for that budget: `ARCHITECTURE.md` § "Performance
+//! model" documents every metric name emitted by the instrumented pipeline,
+//! and [`names`] pins the same table in code so docs and implementation are
+//! diff-checked by the `integration_obs` test.
+//!
+//! ## Design
+//!
+//! * [`Obs`] is the cheap, clonable handle instrumented code holds. A
+//!   disabled handle ([`Obs::default`]) carries no registry: every operation
+//!   is a single `Option` branch, so instrumentation is effectively free
+//!   when observability is off.
+//! * [`Recorder`] is the backend trait; [`Registry`] is the built-in
+//!   thread-safe implementation that aggregates spans into a tree keyed by
+//!   `(parent, name)`.
+//! * Span nesting is tracked per thread inside the recorder, so callers
+//!   never thread parent ids around: a span opened while another span of
+//!   the same registry is live on the same thread becomes its child.
+//! * [`SpanGuard::finish`] returns the measured [`Duration`] even when
+//!   disabled, letting instrumented code keep populating legacy structures
+//!   (e.g. `prague-core`'s `SessionLog`) from the same clock reads.
+//!
+//! ## Example
+//!
+//! ```
+//! use prague_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! {
+//!     let _outer = obs.span("outer");
+//!     let inner = obs.span("inner");
+//!     obs.add("widgets", 3);
+//!     let elapsed = inner.finish(); // Duration, also recorded
+//!     obs.observe_ns("widget_ns", elapsed);
+//! }
+//! let snap = obs.snapshot().unwrap();
+//! assert_eq!(snap.counter("widgets"), Some(3));
+//! assert!(snap.to_json().contains("\"outer\""));
+//! ```
+
+#![warn(missing_docs)]
+
+#[path = "names_mod.rs"]
+pub mod names;
+mod registry;
+mod snapshot;
+
+pub use registry::{Registry, COUNT_BOUNDS, LATENCY_BOUNDS_NS};
+pub use snapshot::{CounterSnap, HistogramSnap, MetricKind, Snapshot, SpanSnap};
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Backend of the observability layer.
+///
+/// [`Registry`] is the built-in implementation; alternative sinks (e.g. a
+/// streaming exporter) can implement this trait and be installed with
+/// [`Obs::with_recorder`]. All methods must be callable concurrently.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Open a span named `name`, returning an opaque token to close it with.
+    /// The recorder decides the parent (the innermost span currently open
+    /// on the calling thread, for [`Registry`]).
+    fn span_start(&self, name: &'static str) -> u32;
+    /// Close the span identified by `token`, charging `elapsed_ns` to it.
+    fn span_end(&self, token: u32, elapsed_ns: u64);
+    /// Add `delta` to the monotonic counter `name`.
+    fn add(&self, name: &'static str, delta: u64);
+    /// Record a latency observation (nanoseconds) into histogram `name`
+    /// (bucketed by [`LATENCY_BOUNDS_NS`]).
+    fn observe_ns(&self, name: &'static str, ns: u64);
+    /// Record a magnitude observation (a size/width, not a latency) into
+    /// histogram `name` (bucketed by [`COUNT_BOUNDS`]).
+    fn observe_count(&self, name: &'static str, value: u64);
+    /// Snapshot the aggregated state for export.
+    fn snapshot(&self) -> Snapshot;
+}
+
+/// The handle instrumented code holds: either disabled (all operations are
+/// no-ops after one branch) or backed by a shared [`Recorder`].
+///
+/// `Obs` is `Clone` (an `Arc` bump) so it can be stored in every layer of
+/// the pipeline — `PragueSystem`, `Session`, `SpigSet`, `A2fIndex`,
+/// `BlobStore` — all feeding one registry.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    rec: Option<Arc<dyn Recorder>>,
+}
+
+impl Obs {
+    /// A disabled handle — identical to `Obs::default()`. Records nothing.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// A handle backed by a fresh [`Registry`].
+    pub fn enabled() -> Self {
+        Obs {
+            rec: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// A handle backed by a caller-provided recorder.
+    pub fn with_recorder(rec: Arc<dyn Recorder>) -> Self {
+        Obs { rec: Some(rec) }
+    }
+
+    /// Whether a recorder is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Open a span. The returned guard closes it on drop; call
+    /// [`SpanGuard::finish`] instead to also obtain the elapsed time.
+    /// Always measures (the clock read is needed by callers even when
+    /// disabled); only records when enabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let rec = self.rec.as_ref().map(|r| {
+            let token = r.span_start(name);
+            (r.clone(), token)
+        });
+        SpanGuard {
+            rec,
+            start: Instant::now(),
+        }
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(rec) = &self.rec {
+            rec.add(name, delta);
+        }
+    }
+
+    /// Record a latency observation into histogram `name`.
+    pub fn observe_ns(&self, name: &'static str, elapsed: Duration) {
+        if let Some(rec) = &self.rec {
+            rec.observe_ns(name, saturating_ns(elapsed));
+        }
+    }
+
+    /// Record a magnitude (count/size) observation into histogram `name`.
+    pub fn observe_count(&self, name: &'static str, value: u64) {
+        if let Some(rec) = &self.rec {
+            rec.observe_count(name, value);
+        }
+    }
+
+    /// Snapshot the aggregated state, if enabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.rec.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// Duration → u64 nanoseconds without panicking on (absurd) overflow.
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An open span. Closes (and records, when enabled) on drop; use
+/// [`SpanGuard::finish`] to close explicitly and read the elapsed time.
+#[derive(Debug)]
+pub struct SpanGuard {
+    rec: Option<(Arc<dyn Recorder>, u32)>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Close the span and return its measured duration (valid whether or
+    /// not a recorder is attached).
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some((rec, token)) = self.rec.take() {
+            rec.span_end(token, saturating_ns(elapsed));
+        }
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((rec, token)) = self.rec.take() {
+            rec.span_end(token, saturating_ns(self.start.elapsed()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let g = obs.span("anything");
+        obs.add("c", 1);
+        obs.observe_ns("h", Duration::from_micros(5));
+        let d = g.finish();
+        assert!(d >= Duration::ZERO);
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn span_tree_nests_and_children_sum_le_parent() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.span("outer");
+            for _ in 0..3 {
+                let g = obs.span("inner");
+                std::thread::sleep(Duration::from_millis(2));
+                g.finish();
+            }
+        }
+        let snap = obs.snapshot().unwrap();
+        let outer = snap.span(&["outer"]).expect("outer span recorded");
+        assert_eq!(outer.count, 1);
+        let inner = snap.span(&["outer", "inner"]).expect("inner nested");
+        assert_eq!(inner.count, 3);
+        assert!(inner.total_ns <= outer.total_ns, "children sum ≤ parent");
+        assert!(inner.min_ns <= inner.max_ns);
+        // aggregation invariant over the whole tree
+        for s in snap.spans() {
+            let child_total: u64 = s.children.iter().map(|c| c.total_ns).sum();
+            assert!(
+                child_total <= s.total_ns,
+                "span {}: {child_total} > {}",
+                s.name,
+                s.total_ns
+            );
+        }
+    }
+
+    #[test]
+    fn same_name_different_parents_are_distinct_nodes() {
+        let obs = Obs::enabled();
+        {
+            let _a = obs.span("a");
+            obs.span("shared").finish();
+        }
+        {
+            let _b = obs.span("b");
+            obs.span("shared").finish();
+        }
+        let snap = obs.snapshot().unwrap();
+        assert!(snap.span(&["a", "shared"]).is_some());
+        assert!(snap.span(&["b", "shared"]).is_some());
+        // by-name totals aggregate across parents
+        assert_eq!(snap.span_count_by_name("shared"), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let obs = Obs::enabled();
+        obs.add("x", 2);
+        obs.add("x", 3);
+        obs.add("y", 1);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("x"), Some(5));
+        assert_eq!(snap.counter("y"), Some(1));
+        assert_eq!(snap.counter("z"), None);
+    }
+
+    #[test]
+    fn latency_histogram_bucket_boundaries() {
+        let obs = Obs::enabled();
+        // bucket i counts v ≤ LATENCY_BOUNDS_NS[i] (first matching bound)
+        obs.observe_ns("lat", Duration::from_nanos(1_000)); // == 1µs bound → bucket 0
+        obs.observe_ns("lat", Duration::from_nanos(1_001)); // just over → bucket 1
+        obs.observe_ns("lat", Duration::from_secs(100)); // beyond all bounds → overflow
+        let snap = obs.snapshot().unwrap();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.bounds, LATENCY_BOUNDS_NS);
+        assert_eq!(h.counts.first().copied(), Some(1));
+        assert_eq!(h.counts.get(1).copied(), Some(1));
+        assert_eq!(h.counts.last().copied(), Some(1), "overflow bucket");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1_000);
+        assert_eq!(h.max, 100_000_000_000);
+    }
+
+    #[test]
+    fn count_histogram_uses_count_bounds() {
+        let obs = Obs::enabled();
+        obs.observe_count("width", 1); // == first bound
+        obs.observe_count("width", 5); // ≤ 16
+        let snap = obs.snapshot().unwrap();
+        let h = snap.histogram("width").unwrap();
+        assert_eq!(h.bounds, COUNT_BOUNDS);
+        assert_eq!(h.counts.first().copied(), Some(1));
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 6);
+    }
+
+    #[test]
+    fn json_export_is_parsable_shape() {
+        let obs = Obs::enabled();
+        {
+            let _s = obs.span("phase");
+            obs.add("hits", 7);
+            obs.observe_ns("read_ns", Duration::from_micros(3));
+        }
+        let snap = obs.snapshot().unwrap();
+        let json = snap.to_json();
+        for needle in [
+            "\"spans\"",
+            "\"counters\"",
+            "\"histograms\"",
+            "\"phase\"",
+            "\"hits\":7",
+            "\"read_ns\"",
+            "\"total_ns\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // balanced braces/brackets (cheap well-formedness check)
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn render_shows_tree_and_counters() {
+        let obs = Obs::enabled();
+        {
+            let _o = obs.span("outer");
+            obs.span("inner").finish();
+        }
+        obs.add("c.hits", 2);
+        obs.observe_count("w", 3);
+        let out = obs.snapshot().unwrap().render();
+        assert!(out.contains("outer"));
+        assert!(out.contains("inner"));
+        assert!(out.contains("c.hits"));
+        assert!(out.contains('w'));
+    }
+
+    #[test]
+    fn threads_do_not_cross_nest() {
+        let obs = Obs::enabled();
+        let _outer = obs.span("main_outer");
+        let obs2 = obs.clone();
+        std::thread::spawn(move || {
+            obs2.span("worker").finish();
+        })
+        .join()
+        .unwrap();
+        drop(_outer);
+        let snap = obs.snapshot().unwrap();
+        // worker ran on its own thread: it is a root, not a child of main_outer
+        assert!(snap.span(&["worker"]).is_some());
+        assert!(snap.span(&["main_outer", "worker"]).is_none());
+    }
+}

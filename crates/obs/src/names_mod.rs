@@ -1,0 +1,139 @@
+//! Canonical metric names — the single in-code source of truth for the
+//! "performance model" table in `ARCHITECTURE.md`.
+//!
+//! Every span, counter, and histogram emitted by the instrumented crates
+//! uses a constant from this module. The integration test
+//! `tests/integration_obs.rs` (registered under `prague-core`) parses the
+//! ARCHITECTURE.md table and asserts it equals [`ALL`], so renaming a
+//! metric without updating the docs fails CI — and vice versa.
+
+use crate::MetricKind;
+
+// ---- spans -----------------------------------------------------------
+
+/// One interactive `add edge` step end-to-end (SPIG maintenance plus
+/// candidate refresh).
+pub const SESSION_ADD_EDGE: &str = "session.add_edge";
+/// One interactive `delete edge` step (single- and multi-edge deletes).
+pub const SESSION_DELETE_EDGE: &str = "session.delete_edge";
+/// One node relabel step.
+pub const SESSION_RELABEL: &str = "session.relabel";
+/// Switching the session into similarity mode.
+pub const SESSION_CHOOSE_SIMILARITY: &str = "session.choose_similarity";
+/// Final `run`: exact verification, with similarity fallback when empty.
+pub const SESSION_RUN: &str = "session.run";
+/// SPIG set maintenance for one new edge (covers all affected SPIGs).
+pub const SPIG_CONSTRUCT: &str = "spig.construct";
+/// CAM canonical-code computation inside SPIG construction.
+pub const SPIG_CAM: &str = "spig.cam";
+/// SPIG set maintenance after an edge deletion.
+pub const SPIG_DELETE: &str = "spig.delete";
+/// Exact candidate refresh from the SPIG frontier.
+pub const CANDIDATES_EXACT: &str = "candidates.exact";
+/// Similarity candidate refresh (subgraph-similarity mode).
+pub const CANDIDATES_SIMILAR: &str = "candidates.similar";
+/// Deletion-suggestion probe after an empty exact step.
+pub const MODIFY_SUGGEST: &str = "modify.suggest";
+/// VF2 verification of exact candidates at `run` time.
+pub const VERIFY_EXACT: &str = "verify.exact";
+/// Similarity result generation at `run` time (fragment verification).
+pub const RESULTS_SIMILAR: &str = "results.similar";
+
+// ---- counters --------------------------------------------------------
+
+/// SPIG vertices materialized during construction.
+pub const SPIG_VERTICES: &str = "spig.vertices";
+/// A²F index lookups that found an entry.
+pub const A2F_HITS: &str = "index.a2f.hits";
+/// A²F index lookups that missed.
+pub const A2F_MISSES: &str = "index.a2f.misses";
+/// A²I index lookups that found an entry.
+pub const A2I_HITS: &str = "index.a2i.hits";
+/// A²I index lookups that missed.
+pub const A2I_MISSES: &str = "index.a2i.misses";
+/// Blob-store reads served from the in-memory cache.
+pub const STORE_CACHE_HITS: &str = "index.store.cache_hits";
+/// Blob-store reads that had to touch the backing file.
+pub const STORE_CACHE_MISSES: &str = "index.store.cache_misses";
+/// Cache entries evicted to stay under the capacity budget.
+pub const STORE_EVICTIONS: &str = "index.store.evictions";
+/// Bytes read from the backing file (cache misses only).
+pub const STORE_READ_BYTES: &str = "index.store.read_bytes";
+/// Candidate graphs submitted to exact VF2 verification.
+pub const VERIFY_EXACT_CANDIDATES: &str = "verify.exact.candidates";
+/// Candidates confirmed as embeddings by exact verification.
+pub const VERIFY_EXACT_EMBEDDINGS: &str = "verify.exact.embeddings";
+/// Candidates accepted verification-free (size-equal CAM match).
+pub const VERIFY_EXACT_FREE: &str = "verify.exact.free";
+/// Candidate graphs submitted to similarity verification.
+pub const VERIFY_SIM_CANDIDATES: &str = "verify.sim.candidates";
+/// Candidates confirmed by similarity verification.
+pub const VERIFY_SIM_EMBEDDINGS: &str = "verify.sim.embeddings";
+/// VF2 search states expanded across all verifications.
+pub const VERIFY_VF2_STATES: &str = "verify.vf2_states";
+
+// ---- histograms ------------------------------------------------------
+
+/// Blob-store backing-file read latency (latency buckets).
+pub const STORE_READ_NS: &str = "index.store.read_ns";
+/// SPIG level width: vertices per level (count buckets).
+pub const SPIG_LEVEL_WIDTH: &str = "spig.level_width";
+/// End-to-end latency of each interactive action (latency buckets); this
+/// is the per-step SRT from the paper's Section VIII.
+pub const SESSION_STEP_NS: &str = "session.step_ns";
+
+/// Every documented metric name with its kind, sorted by kind then name
+/// order as they appear above. `ARCHITECTURE.md` must list exactly these.
+pub const ALL: &[(&str, MetricKind)] = &[
+    (SESSION_ADD_EDGE, MetricKind::Span),
+    (SESSION_DELETE_EDGE, MetricKind::Span),
+    (SESSION_RELABEL, MetricKind::Span),
+    (SESSION_CHOOSE_SIMILARITY, MetricKind::Span),
+    (SESSION_RUN, MetricKind::Span),
+    (SPIG_CONSTRUCT, MetricKind::Span),
+    (SPIG_CAM, MetricKind::Span),
+    (SPIG_DELETE, MetricKind::Span),
+    (CANDIDATES_EXACT, MetricKind::Span),
+    (CANDIDATES_SIMILAR, MetricKind::Span),
+    (MODIFY_SUGGEST, MetricKind::Span),
+    (VERIFY_EXACT, MetricKind::Span),
+    (RESULTS_SIMILAR, MetricKind::Span),
+    (SPIG_VERTICES, MetricKind::Counter),
+    (A2F_HITS, MetricKind::Counter),
+    (A2F_MISSES, MetricKind::Counter),
+    (A2I_HITS, MetricKind::Counter),
+    (A2I_MISSES, MetricKind::Counter),
+    (STORE_CACHE_HITS, MetricKind::Counter),
+    (STORE_CACHE_MISSES, MetricKind::Counter),
+    (STORE_EVICTIONS, MetricKind::Counter),
+    (STORE_READ_BYTES, MetricKind::Counter),
+    (VERIFY_EXACT_CANDIDATES, MetricKind::Counter),
+    (VERIFY_EXACT_EMBEDDINGS, MetricKind::Counter),
+    (VERIFY_EXACT_FREE, MetricKind::Counter),
+    (VERIFY_SIM_CANDIDATES, MetricKind::Counter),
+    (VERIFY_SIM_EMBEDDINGS, MetricKind::Counter),
+    (VERIFY_VF2_STATES, MetricKind::Counter),
+    (STORE_READ_NS, MetricKind::Histogram),
+    (SPIG_LEVEL_WIDTH, MetricKind::Histogram),
+    (SESSION_STEP_NS, MetricKind::Histogram),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique_and_dotted_lowercase() {
+        let mut seen = BTreeSet::new();
+        for (name, _) in ALL {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "metric name {name} must be lowercase dotted"
+            );
+            assert!(name.contains('.'), "metric name {name} must be namespaced");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The built-in thread-safe [`Recorder`]: aggregates spans into a tree
+//! keyed by `(parent, name)`, counters into a sorted map, and observations
+//! into fixed-bucket histograms.
+//!
+//! Aggregation (not tracing): a span node stores `count / total / min / max`
+//! rather than individual intervals, so memory is bounded by the number of
+//! distinct instrumentation points, not by the number of events — the
+//! registry can stay on for a whole interactive session or bench run.
+
+use crate::snapshot::{CounterSnap, HistogramSnap, Snapshot, SpanSnap};
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+/// Latency histogram upper bounds in nanoseconds: 1µs, 10µs, 100µs, 1ms,
+/// 10ms, 100ms, 1s, 10s. An observation lands in the first bucket whose
+/// bound it does not exceed (`v ≤ bound`); larger values land in the
+/// overflow bucket, so a histogram has `LATENCY_BOUNDS_NS.len() + 1`
+/// counts.
+pub const LATENCY_BOUNDS_NS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Magnitude histogram upper bounds (powers of four): for vertex counts,
+/// widths, sizes. Same `v ≤ bound` semantics as [`LATENCY_BOUNDS_NS`].
+pub const COUNT_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
+
+/// Aggregated statistics of one span node.
+#[derive(Debug, Clone, Default)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+}
+
+#[derive(Debug)]
+struct SpanNode {
+    name: &'static str,
+    /// `u32::MAX` marks a root span.
+    parent: u32,
+    children: Vec<u32>,
+    stats: SpanStats,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(bucket) {
+            *c += 1;
+        }
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    nodes: Vec<SpanNode>,
+    /// `(parent, name) → node`, so the same name under different parents is
+    /// a distinct tree node.
+    index: BTreeMap<(u32, &'static str), u32>,
+    /// Per-thread stack of open spans (linear scan: thread counts are tiny).
+    stacks: Vec<(ThreadId, Vec<u32>)>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl State {
+    fn stack_mut(&mut self, tid: ThreadId) -> &mut Vec<u32> {
+        let pos = match self.stacks.iter().position(|(t, _)| *t == tid) {
+            Some(p) => p,
+            None => {
+                self.stacks.push((tid, Vec::new()));
+                self.stacks.len() - 1
+            }
+        };
+        &mut self.stacks[pos].1
+    }
+}
+
+/// The built-in aggregating recorder. See the module docs; construct via
+/// [`Registry::new`] or, more commonly, [`crate::Obs::enabled`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    state: Mutex<State>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // Poisoning only matters if another thread panicked mid-record;
+        // metric state is append-only aggregates, safe to keep using.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Recorder for Registry {
+    fn span_start(&self, name: &'static str) -> u32 {
+        let tid = std::thread::current().id();
+        let mut s = self.lock();
+        let parent = s.stack_mut(tid).last().copied().unwrap_or(NO_PARENT);
+        let id = match s.index.get(&(parent, name)) {
+            Some(&id) => id,
+            None => {
+                let id = s.nodes.len() as u32;
+                s.nodes.push(SpanNode {
+                    name,
+                    parent,
+                    children: Vec::new(),
+                    stats: SpanStats::default(),
+                });
+                s.index.insert((parent, name), id);
+                if parent != NO_PARENT {
+                    if let Some(p) = s.nodes.get_mut(parent as usize) {
+                        p.children.push(id);
+                    }
+                }
+                id
+            }
+        };
+        s.stack_mut(tid).push(id);
+        id
+    }
+
+    fn span_end(&self, token: u32, elapsed_ns: u64) {
+        let tid = std::thread::current().id();
+        let mut s = self.lock();
+        let stack = s.stack_mut(tid);
+        // Normal case: the span being closed is the innermost open one.
+        // Guards dropped out of order (possible but discouraged) just
+        // remove their own entry.
+        if let Some(pos) = stack.iter().rposition(|&id| id == token) {
+            stack.truncate(pos);
+        }
+        if let Some(node) = s.nodes.get_mut(token as usize) {
+            node.stats.record(elapsed_ns);
+        }
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let mut s = self.lock();
+        let slot = s.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn observe_ns(&self, name: &'static str, ns: u64) {
+        let mut s = self.lock();
+        s.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(LATENCY_BOUNDS_NS))
+            .observe(ns);
+    }
+
+    fn observe_count(&self, name: &'static str, value: u64) {
+        let mut s = self.lock();
+        s.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(COUNT_BOUNDS))
+            .observe(value);
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let s = self.lock();
+        fn build(s: &State, id: u32) -> SpanSnap {
+            let (name, children, stats) = match s.nodes.get(id as usize) {
+                Some(n) => (n.name, n.children.clone(), n.stats.clone()),
+                None => ("?", Vec::new(), SpanStats::default()),
+            };
+            SpanSnap {
+                name: name.to_string(),
+                count: stats.count,
+                total_ns: stats.total_ns,
+                min_ns: stats.min_ns,
+                max_ns: stats.max_ns,
+                children: children.iter().map(|&c| build(s, c)).collect(),
+            }
+        }
+        let roots: Vec<SpanSnap> = s
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == NO_PARENT)
+            .map(|(i, _)| build(&s, i as u32))
+            .collect();
+        let counters: Vec<CounterSnap> = s
+            .counters
+            .iter()
+            .map(|(&name, &value)| CounterSnap {
+                name: name.to_string(),
+                value,
+            })
+            .collect();
+        let histograms: Vec<HistogramSnap> = s
+            .histograms
+            .iter()
+            .map(|(&name, h)| HistogramSnap {
+                name: name.to_string(),
+                bounds: h.bounds,
+                counts: h.counts.clone(),
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+            })
+            .collect();
+        Snapshot {
+            spans: roots,
+            counters,
+            histograms,
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Immutable snapshots of a [`crate::Registry`] plus the JSON and
+//! human-readable exporters.
+//!
+//! JSON is emitted by a small hand-rolled writer (the workspace is
+//! offline-vendored; no serde). The shape is stable and documented in
+//! `ARCHITECTURE.md` § "Performance model":
+//!
+//! ```json
+//! {
+//!   "spans": [ {"name": "...", "count": 1, "total_ns": 2, "min_ns": 2,
+//!               "max_ns": 2, "children": [ ... ]} ],
+//!   "counters": {"name": 3},
+//!   "histograms": {"name": {"bounds": [...], "counts": [...],
+//!                            "count": 1, "sum": 2, "min": 2, "max": 2}}
+//! }
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// What kind of metric a name identifies (see [`crate::names`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// A hierarchical timing span.
+    Span,
+    /// A monotonic counter.
+    Counter,
+    /// A fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case label used in docs tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Span => "span",
+            MetricKind::Counter => "counter",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One span node of the snapshot tree.
+#[derive(Debug, Clone)]
+pub struct SpanSnap {
+    /// Span name (shared by all occurrences under one parent).
+    pub name: String,
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Total time across all entries, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single entry, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single entry, nanoseconds.
+    pub max_ns: u64,
+    /// Child spans (opened while this span was innermost).
+    pub children: Vec<SpanSnap>,
+}
+
+impl SpanSnap {
+    /// Total time of direct children, nanoseconds.
+    pub fn children_total_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.total_ns).sum()
+    }
+
+    /// Fraction of this span's time attributed to child spans (0 when the
+    /// span never ran). The acceptance bar for the interactive pipeline is
+    /// that phase children cover ≥ 0.9 of each step span.
+    pub fn child_coverage(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.children_total_ns() as f64 / self.total_ns as f64
+        }
+    }
+}
+
+/// One counter.
+#[derive(Debug, Clone)]
+pub struct CounterSnap {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnap {
+    /// Histogram name.
+    pub name: String,
+    /// Bucket upper bounds (`v ≤ bound`); the final count is overflow.
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// A point-in-time export of everything a registry aggregated.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Root spans (no parent), each carrying its subtree.
+    pub spans: Vec<SpanSnap>,
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnap>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<HistogramSnap>,
+}
+
+impl Snapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Walk a span path from the roots, e.g. `["session.add_edge",
+    /// "spig.construct"]`.
+    pub fn span(&self, path: &[&str]) -> Option<&SpanSnap> {
+        let (first, rest) = path.split_first()?;
+        let mut node = self.spans.iter().find(|s| s.name == *first)?;
+        for name in rest {
+            node = node.children.iter().find(|c| c.name == *name)?;
+        }
+        Some(node)
+    }
+
+    /// Depth-first iteration over every span node.
+    pub fn spans(&self) -> Vec<&SpanSnap> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&SpanSnap> = self.spans.iter().collect();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            stack.extend(s.children.iter());
+        }
+        out
+    }
+
+    /// Total time across every span node with this name, regardless of
+    /// parent (phase attribution for bench reports).
+    pub fn span_total_ns_by_name(&self, name: &str) -> u64 {
+        self.spans()
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Entry count across every span node with this name.
+    pub fn span_count_by_name(&self, name: &str) -> u64 {
+        self.spans()
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.count)
+            .sum()
+    }
+
+    /// Every distinct span name in the tree.
+    pub fn span_names(&self) -> BTreeSet<String> {
+        self.spans().iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Every distinct counter name.
+    pub fn counter_names(&self) -> BTreeSet<String> {
+        self.counters.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Every distinct histogram name.
+    pub fn histogram_names(&self) -> BTreeSet<String> {
+        self.histograms.iter().map(|h| h.name.clone()).collect()
+    }
+
+    /// Serialize to a single-line JSON document (shape in module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_span_json(&mut out, s);
+        }
+        out.push_str("],\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, &c.name);
+            let _ = write!(out, ":{}", c.value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, &h.name);
+            out.push_str(":{\"bounds\":");
+            push_json_u64_array(&mut out, h.bounds.iter().copied());
+            out.push_str(",\"counts\":");
+            push_json_u64_array(&mut out, h.counts.iter().copied());
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Render a human-readable report: indented span tree with per-node
+    /// share of parent, then counters, then histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spans (count, total, share of parent):\n");
+        for s in &self.spans {
+            render_span(&mut out, s, 0, s.total_ns);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<32} {}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / mean / max):\n");
+            for h in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>8} / {} / {}",
+                    h.name,
+                    h.count,
+                    fmt_value(h.bounds, mean),
+                    fmt_value(h.bounds, h.max)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn write_span_json(out: &mut String, s: &SpanSnap) {
+    out.push_str("{\"name\":");
+    push_json_string(out, &s.name);
+    let _ = write!(
+        out,
+        ",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"children\":[",
+        s.count, s.total_ns, s.min_ns, s.max_ns
+    );
+    for (i, c) in s.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_span_json(out, c);
+    }
+    out.push_str("]}");
+}
+
+fn render_span(out: &mut String, s: &SpanSnap, depth: usize, parent_total: u64) {
+    let share = if parent_total == 0 {
+        0.0
+    } else {
+        100.0 * s.total_ns as f64 / parent_total as f64
+    };
+    let _ = writeln!(
+        out,
+        "  {:indent$}{:<width$} {:>6}x {:>12} {:>5.1}%",
+        "",
+        s.name,
+        s.count,
+        fmt_ns(s.total_ns),
+        share,
+        indent = depth * 2,
+        width = 34usize.saturating_sub(depth * 2),
+    );
+    for c in &s.children {
+        render_span(out, c, depth + 1, s.total_ns);
+    }
+}
+
+/// Pretty-print nanoseconds.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Histogram values are latencies when bucketed by the latency bounds,
+/// plain magnitudes otherwise.
+fn fmt_value(bounds: &[u64], v: u64) -> String {
+    if bounds == crate::LATENCY_BOUNDS_NS {
+        fmt_ns(v)
+    } else {
+        v.to_string()
+    }
+}
+
+fn push_json_u64_array<I: Iterator<Item = u64>>(out: &mut String, values: I) {
+    out.push('[');
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+/// Minimal JSON string escaping (names are code identifiers, but stay
+/// correct for arbitrary input).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -26,6 +26,7 @@
 use crate::query::{mask_labels, EdgeLabelId, LabelMask, VisualQuery};
 use prague_graph::{cam_code, CamCode};
 use prague_index::{A2fId, A2fIndex, A2iId, A2iIndex};
+use prague_obs::{names, Obs};
 use std::collections::BTreeMap;
 
 /// Errors from SPIG construction / maintenance.
@@ -181,7 +182,30 @@ impl Spig {
 }
 
 /// Build the SPIG for edge `anchor` over the current query, inheriting
-/// Fragment Lists from `set` (Algorithm 2).
+/// Fragment Lists from `set` (the paper's Algorithm 2, Section V-B).
+///
+/// # Errors
+///
+/// * [`SpigError::NoSuchEdge`] — `anchor` is not a live edge of `query`;
+/// * [`SpigError::MissingCounterpart`] — a counterpart fragment `g − eℓ`
+///   was absent from the earlier SPIG that should own it. This indicates
+///   SPIG-set corruption (the set was not maintained step-by-step as the
+///   paper requires) and never occurs when the set is driven exclusively
+///   through [`SpigSet::on_new_edge`] / [`SpigSet::on_delete_edge`].
+///
+/// # Panics
+///
+/// Never panics for queries formulated through `VisualQuery` (which caps
+/// queries at 64 edges, the only enumerator failure mode).
+///
+/// # Observability
+///
+/// When the set carries an enabled [`Obs`] handle (see [`SpigSet::set_obs`])
+/// the construction runs inside a `spig.construct` span with a nested
+/// `spig.cam` span per level's CAM-code grouping, increments the
+/// `spig.vertices` counter per materialized vertex class, and records each
+/// level's width in the `spig.level_width` histogram (the paper's `N(k)`,
+/// Lemma 1).
 pub fn construct_spig(
     query: &VisualQuery,
     anchor: EdgeLabelId,
@@ -189,6 +213,8 @@ pub fn construct_spig(
     a2f: &A2fIndex,
     a2i: &A2iIndex,
 ) -> Result<Spig, SpigError> {
+    let obs = set.obs().clone();
+    let _construct_span = obs.span(names::SPIG_CONSTRUCT);
     let slot = query.slot_of(anchor).ok_or(SpigError::NoSuchEdge(anchor))?;
     let anchor_bit: LabelMask = 1u64 << (anchor - 1);
     let g = query.graph();
@@ -203,6 +229,7 @@ pub fn construct_spig(
     for (k, slot_masks) in slot_levels.iter().enumerate().skip(1) {
         // Group this level's fragments by CAM code (the paper's per-level
         // vertex deduplication).
+        let cam_span = obs.span(names::SPIG_CAM);
         let mut by_cam: BTreeMap<CamCode, usize> = BTreeMap::new();
         for &slot_mask in slot_masks {
             let label_mask = query.slot_mask_to_label_mask(slot_mask);
@@ -220,6 +247,9 @@ pub fn construct_spig(
             levels[k][idx].masks.push(label_mask);
             mask_index[k].insert(label_mask, idx);
         }
+        cam_span.finish();
+        obs.add(names::SPIG_VERTICES, levels[k].len() as u64);
+        obs.observe_count(names::SPIG_LEVEL_WIDTH, levels[k].len() as u64);
 
         // Parent links within this SPIG (drop one non-anchor edge).
         for idx in 0..levels[k].len() {
@@ -327,6 +357,7 @@ fn label_mask_slots(query: &VisualQuery, label_mask: LabelMask) -> Vec<prague_gr
 #[derive(Debug, Default)]
 pub struct SpigSet {
     spigs: BTreeMap<EdgeLabelId, Spig>,
+    obs: Obs,
 }
 
 impl SpigSet {
@@ -335,8 +366,38 @@ impl SpigSet {
         Self::default()
     }
 
+    /// Attach an observability handle; [`construct_spig`] and
+    /// [`SpigSet::on_delete_edge`] report to it (see the `spig.*` metric
+    /// names in [`prague_obs::names`]).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Handle a `New` action: build and insert the SPIG for the query's
     /// newest edge. Returns its anchor label.
+    ///
+    /// This is the SPIG half of the paper's Algorithm 1 (`Exact` /
+    /// formulation step): the set stays complete — after the call, every
+    /// connected subgraph of the query containing any live edge has a
+    /// vertex in exactly the SPIG of its newest edge.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpigError::NoSuchEdge`] — the query has no live edge (nothing was
+    ///   added yet);
+    /// * [`SpigError::DuplicateSpig`] — a SPIG for the newest edge already
+    ///   exists, i.e. the same edge action was replayed twice;
+    /// * any error of [`construct_spig`].
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the construction's only internal `expect`s are
+    /// guarded by `VisualQuery`'s 64-edge cap).
     pub fn on_new_edge(
         &mut self,
         query: &VisualQuery,
@@ -356,6 +417,7 @@ impl SpigSet {
     /// entirely and tombstones every vertex (mask) containing `eℓ` in the
     /// remaining SPIGs (Algorithm 6, lines 12–14).
     pub fn on_delete_edge(&mut self, deleted: EdgeLabelId) {
+        let _span = self.obs.span(names::SPIG_DELETE);
         self.spigs.remove(&deleted);
         let bit = 1u64 << (deleted - 1);
         for spig in self.spigs.values_mut() {

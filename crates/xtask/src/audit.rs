@@ -32,10 +32,14 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose index/SPIG/store construction must be deterministic.
-pub const DETERMINISM_CRATES: &[&str] = &["graph", "mining", "index", "spig", "core"];
+/// `obs` qualifies because snapshot export order feeds diff-based tooling
+/// (the `integration_obs` docs-drift test, `BENCH_*.json` comparisons).
+pub const DETERMINISM_CRATES: &[&str] = &["graph", "mining", "index", "spig", "core", "obs"];
 
-/// Crates whose library code must not contain panic paths.
-pub const PANIC_FREE_CRATES: &[&str] = &["index", "core", "spig"];
+/// Crates whose library code must not contain panic paths. `obs` is in
+/// every hot path of the interactive pipeline, so a panic there would take
+/// down instrumented sessions.
+pub const PANIC_FREE_CRATES: &[&str] = &["index", "core", "spig", "obs"];
 
 /// The audit rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -660,5 +664,22 @@ fn slice_index_findings(
             rule: Rule::SliceIndex,
             message: format!("{count} raw index expression(s) — prefer .get() or prove bounds"),
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_crate_is_audited_for_determinism_and_panic_paths() {
+        assert!(
+            DETERMINISM_CRATES.contains(&"obs"),
+            "snapshot export order must stay deterministic"
+        );
+        assert!(
+            PANIC_FREE_CRATES.contains(&"obs"),
+            "instrumentation must never panic inside the pipeline"
+        );
     }
 }

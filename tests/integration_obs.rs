@@ -1,0 +1,199 @@
+//! Observability integration: the documented performance model
+//! (ARCHITECTURE.md) and the metrics the pipeline actually emits must
+//! agree, and an instrumented session must attribute (almost) all of an
+//! edge step's wall clock to named phases.
+//!
+//! Drift protection works in both directions:
+//! * the `obs-names` table in ARCHITECTURE.md is parsed and compared —
+//!   order included — against `prague_obs::names::ALL`;
+//! * every span/counter/histogram a real molecule-fixture session emits
+//!   must appear in that same list, and the core span set must be present.
+
+use prague::{PragueSystem, QueryResults, SystemParams};
+use prague_datagen::MoleculeConfig;
+use prague_obs::{names, MetricKind, Obs, SpanSnap};
+
+/// Parse the rows between the `obs-names` markers of ARCHITECTURE.md into
+/// `(name, kind-label)` pairs, in document order.
+fn documented_metrics() -> Vec<(String, String)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ARCHITECTURE.md");
+    let text = std::fs::read_to_string(path).expect("ARCHITECTURE.md readable");
+    let begin = text
+        .find("<!-- obs-names:begin -->")
+        .expect("obs-names:begin marker present");
+    let end = text
+        .find("<!-- obs-names:end -->")
+        .expect("obs-names:end marker present");
+    let mut rows = Vec::new();
+    for line in text[begin..end].lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some(first) = cells.nth(1) else { continue };
+        // data rows carry a backtick-quoted metric name in the first cell
+        let Some(name) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue;
+        };
+        let kind = cells.next().expect("kind cell present").to_string();
+        rows.push((name.to_string(), kind));
+    }
+    rows
+}
+
+#[test]
+fn architecture_table_matches_names_in_code() {
+    let documented = documented_metrics();
+    let in_code: Vec<(String, String)> = names::ALL
+        .iter()
+        .map(|&(name, kind)| (name.to_string(), kind.label().to_string()))
+        .collect();
+    assert_eq!(
+        documented, in_code,
+        "ARCHITECTURE.md § Performance model and prague_obs::names::ALL \
+         must list exactly the same metrics in the same order"
+    );
+}
+
+/// Build a small molecule system, replay an interactive session covering
+/// every action kind, and return the snapshot plus run results.
+fn instrumented_session_snapshot() -> prague_obs::Snapshot {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 150,
+        seed: 0x0B51,
+        ..Default::default()
+    });
+    let mut system = PragueSystem::build_with_labels(
+        ds.db,
+        ds.labels,
+        SystemParams {
+            alpha: 0.1,
+            beta: 4,
+            max_fragment_edges: 6,
+            ..Default::default()
+        },
+    )
+    .expect("system builds");
+    system.set_obs(Obs::enabled());
+
+    // C-S-C plus a C-C appendage: exact-matchable in the molecule corpus
+    let mut session = system.session(2);
+    let c = system.labels().get("C").expect("carbon label");
+    let s = system.labels().get("S").expect("sulfur label");
+    let n0 = session.add_node(c);
+    let n1 = session.add_node(s);
+    let n2 = session.add_node(c);
+    let n3 = session.add_node(c);
+    session.add_edge(n0, n1).expect("connected step");
+    session.add_edge(n1, n2).expect("connected step");
+    let e3 = session.add_edge(n2, n3).expect("connected step").edge;
+    // exercise Modify + SimQuery too, so their spans exist
+    session.delete_edge(e3).expect("deletable leaf edge");
+    session.choose_similarity().expect("similarity switch");
+    let outcome = session.run().expect("runnable");
+    match outcome.results {
+        QueryResults::Exact(ids) => assert!(!ids.is_empty(), "exact results"),
+        QueryResults::Similar(r) => assert!(!r.matches.is_empty(), "similar results"),
+    }
+    system.obs().snapshot().expect("obs enabled")
+}
+
+#[test]
+fn session_emits_only_documented_names_and_the_core_span_set() {
+    let snap = instrumented_session_snapshot();
+    let documented: std::collections::BTreeSet<&str> = names::ALL.iter().map(|&(n, _)| n).collect();
+
+    for name in snap.span_names() {
+        assert!(
+            documented.contains(name.as_str()),
+            "undocumented span {name:?} emitted — add it to prague_obs::names \
+             and the ARCHITECTURE.md table"
+        );
+    }
+    for name in snap.counter_names() {
+        assert!(
+            documented.contains(name.as_str()),
+            "undocumented counter {name:?}"
+        );
+    }
+    for name in snap.histogram_names() {
+        assert!(
+            documented.contains(name.as_str()),
+            "undocumented histogram {name:?}"
+        );
+    }
+
+    // the span names any interactive session must produce
+    let spans = snap.span_names();
+    for required in [
+        names::SESSION_ADD_EDGE,
+        names::SESSION_DELETE_EDGE,
+        names::SESSION_CHOOSE_SIMILARITY,
+        names::SESSION_RUN,
+        names::SPIG_CONSTRUCT,
+        names::SPIG_CAM,
+        names::SPIG_DELETE,
+        names::CANDIDATES_EXACT,
+        names::CANDIDATES_SIMILAR,
+    ] {
+        assert!(
+            spans.contains(required),
+            "span {required:?} missing from session"
+        );
+    }
+    // kinds must match the documentation, not just the names
+    for &(name, kind) in names::ALL {
+        let emitted = match kind {
+            MetricKind::Span => snap.span_names().contains(name),
+            MetricKind::Counter => snap.counter_names().contains(name),
+            MetricKind::Histogram => snap.histogram_names().contains(name),
+        };
+        let other_kind = snap.span_names().contains(name) as u8
+            + snap.counter_names().contains(name) as u8
+            + snap.histogram_names().contains(name) as u8;
+        assert!(
+            other_kind == emitted as u8,
+            "{name:?} emitted under a kind other than the documented {}",
+            kind.label()
+        );
+    }
+    // step latencies were histogrammed once per action (3 adds + delete +
+    // similarity + run)
+    let steps = snap
+        .histogram(names::SESSION_STEP_NS)
+        .expect("step histogram");
+    assert_eq!(steps.count, 6, "one session.step_ns observation per action");
+}
+
+#[test]
+fn edge_step_wall_clock_is_attributed_to_phases() {
+    let snap = instrumented_session_snapshot();
+    fn check(span: &SpanSnap) {
+        assert!(
+            span.children_total_ns() <= span.total_ns,
+            "children of {} exceed their parent: {} > {}",
+            span.name,
+            span.children_total_ns(),
+            span.total_ns
+        );
+        for child in &span.children {
+            check(child);
+        }
+    }
+    for root in &snap.spans {
+        check(root);
+    }
+
+    let add = snap
+        .spans
+        .iter()
+        .find(|s| s.name == names::SESSION_ADD_EDGE)
+        .expect("add_edge is a root span");
+    assert!(
+        add.child_coverage() >= 0.90,
+        "edge-step attribution below 90%: {:.1}% ({} of {} ns)",
+        add.child_coverage() * 100.0,
+        add.children_total_ns(),
+        add.total_ns
+    );
+    let phase_names: Vec<&str> = add.children.iter().map(|c| c.name.as_str()).collect();
+    assert!(phase_names.contains(&names::SPIG_CONSTRUCT));
+    assert!(phase_names.contains(&names::CANDIDATES_EXACT));
+}
