@@ -1,0 +1,185 @@
+//! Parallel-verification scaling profile: replay the four derived
+//! queries over a molecule database at `--threads` ∈ {1, 2, 4}, check
+//! the results are byte-identical at every thread count, and write
+//! `BENCH_par.json` with the verify-phase time, run wall clock, the
+//! `par.*` pool counters and the speedup relative to one thread.
+//!
+//! The speedup is *measured and reported*, not asserted: single-CPU CI
+//! containers legitimately show ≤ 1×, and the point of this profile is
+//! to keep the whole parallel path (pool, speculative submission,
+//! cancellation, deterministic merge) exercised end-to-end with real
+//! numbers attached.
+//!
+//! Output path: `BENCH_par.json` in the working directory, overridable
+//! via `PRAGUE_PAR_OUT`.
+
+use prague::{QueryResults, SystemParams};
+use prague_bench::{replay, PhaseBreakdown, MAX_QUERY_EDGES};
+use prague_datagen::MoleculeConfig;
+use prague_graph::GraphId;
+use prague_mining::mine_classified;
+use prague_obs::{names, Obs};
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Runs per thread count; the first is discarded as warm-up.
+const REPEATS: usize = 3;
+
+struct Round {
+    threads: usize,
+    verify_ms: f64,
+    run_wall: Duration,
+    par_jobs: u64,
+    par_steals: u64,
+    par_cancellations: u64,
+    par_busy_ns: u64,
+    vf2_states: u64,
+}
+
+fn result_ids(r: &QueryResults) -> Vec<GraphId> {
+    match r {
+        QueryResults::Exact(ids) => ids.clone(),
+        QueryResults::Similar(s) => s.ids(),
+    }
+}
+
+fn main() {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 800,
+        seed: 0x9A11E1,
+        ..Default::default()
+    });
+    let mining = mine_classified(&ds.db, 0.1, MAX_QUERY_EDGES);
+    let frequent: Vec<_> = mining.frequent.iter().map(|f| f.graph.clone()).collect();
+    let mut system = prague::PragueSystem::from_mining_result(
+        ds.db,
+        ds.labels,
+        mining,
+        SystemParams {
+            alpha: 0.1,
+            beta: 8,
+            max_fragment_edges: MAX_QUERY_EDGES,
+            ..Default::default()
+        },
+    )
+    .expect("index build");
+    system.warm().expect("fresh store warms");
+    let specs = prague_bench::derive_queries(&system, &frequent, "P");
+
+    let mut rounds: Vec<Round> = Vec::new();
+    // results per (spec, mode) from the one-thread round; every other
+    // thread count must reproduce them exactly.
+    let mut baseline: Vec<Vec<GraphId>> = Vec::new();
+
+    for &threads in &THREAD_COUNTS {
+        system.set_threads(threads);
+        // a fresh handle per round so each snapshot covers one thread count
+        system.set_obs(Obs::enabled());
+        let mut run_wall = Duration::ZERO;
+        let mut round_ids: Vec<Vec<GraphId>> = Vec::new();
+        for rep in 0..REPEATS {
+            round_ids.clear();
+            let mut wall = Duration::ZERO;
+            // exact replay of each query, then a similarity replay of the
+            // first (covers both SimVerifier paths through the pool)
+            for (i, spec) in specs.iter().enumerate() {
+                let mut session = system.session(2);
+                replay(&mut session, spec);
+                if i == 0 && session.exact_candidates().is_empty() {
+                    session.choose_similarity().expect("in-memory reads");
+                }
+                let t0 = Instant::now();
+                let outcome = session.run().expect("runnable");
+                wall += t0.elapsed();
+                round_ids.push(result_ids(&outcome.results));
+            }
+            {
+                let mut session = system.session(2);
+                replay(&mut session, &specs[0]);
+                session.choose_similarity().expect("in-memory reads");
+                let t0 = Instant::now();
+                let outcome = session.run().expect("runnable");
+                wall += t0.elapsed();
+                round_ids.push(result_ids(&outcome.results));
+            }
+            if rep > 0 {
+                run_wall += wall;
+            }
+        }
+        if baseline.is_empty() {
+            baseline = round_ids.clone();
+        } else {
+            assert_eq!(
+                baseline, round_ids,
+                "results at {threads} threads differ from sequential"
+            );
+        }
+        let snap = system.obs().snapshot().expect("obs enabled");
+        let breakdown = PhaseBreakdown::from_snapshot(&snap);
+        let counter = |n: &str| snap.counter(n).unwrap_or(0);
+        rounds.push(Round {
+            threads,
+            verify_ms: breakdown.verify_ms,
+            run_wall,
+            par_jobs: counter(names::PAR_JOBS),
+            par_steals: counter(names::PAR_STEALS),
+            par_cancellations: counter(names::PAR_CANCELLATIONS),
+            par_busy_ns: counter(names::PAR_BUSY_NS),
+            vf2_states: counter(names::VERIFY_VF2_STATES),
+        });
+    }
+
+    let base_wall = rounds[0].run_wall.as_secs_f64().max(1e-9);
+    let mut entries = Vec::new();
+    for r in &rounds {
+        let speedup = base_wall / r.run_wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "[par-scaling] threads {}: run {:.2}ms verify {:.2}ms speedup {:.2}x \
+             | jobs {} steals {} cancellations {} busy {:.2}ms | vf2 states {}",
+            r.threads,
+            r.run_wall.as_secs_f64() * 1e3,
+            r.verify_ms,
+            speedup,
+            r.par_jobs,
+            r.par_steals,
+            r.par_cancellations,
+            r.par_busy_ns as f64 / 1e6,
+            r.vf2_states
+        );
+        entries.push(format!(
+            concat!(
+                "{{\"threads\":{},\"run_ms\":{:.3},\"verify_ms\":{:.3},",
+                "\"speedup\":{:.3},\"par_jobs\":{},\"par_steals\":{},",
+                "\"par_cancellations\":{},\"par_busy_ns\":{},\"vf2_states\":{}}}"
+            ),
+            r.threads,
+            r.run_wall.as_secs_f64() * 1e3,
+            r.verify_ms,
+            speedup,
+            r.par_jobs,
+            r.par_steals,
+            r.par_cancellations,
+            r.par_busy_ns,
+            r.vf2_states
+        ));
+    }
+    // state counts must be identical at every thread count (the
+    // determinism guarantee extends to the obs counters)
+    for r in &rounds[1..] {
+        assert_eq!(
+            rounds[0].vf2_states, r.vf2_states,
+            "vf2 state accounting drifted at {} threads",
+            r.threads
+        );
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"par_scaling\",\"queries\":{},\"repeats\":{},\"rounds\":[{}]}}",
+        specs.len() + 1,
+        REPEATS - 1,
+        entries.join(",")
+    );
+    let out = std::env::var("PRAGUE_PAR_OUT").unwrap_or_else(|_| "BENCH_par.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_par.json");
+    eprintln!("[par-scaling] wrote {out} ({} bytes)", json.len());
+}

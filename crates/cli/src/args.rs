@@ -14,15 +14,21 @@ USAGE:
   prague stats    --catalog <FILE.prgc>
   prague query    --catalog <FILE.prgc> --query <FILE.lg>
                   [--sigma <K=2>] [--beta <B=8>] [--similar] [--trace]
-                  [--stats[=json]]
+                  [--threads <N=1>] [--stats[=json]]
   prague run      alias of `query`
   prague interactive --catalog <FILE.prgc> [--sigma <K=2>] [--beta <B=8>]
-                  [--stats[=json]]
+                  [--threads <N=1>] [--stats[=json]]
   prague help
 
 `--stats` prints the observability snapshot (span tree, counters,
 histograms; see ARCHITECTURE.md § Performance model) after the query;
 `--stats=json` emits it as a single machine-readable JSON object.
+
+`--threads N` verifies candidates on N pool workers and starts
+verification speculatively during formulation think time; `--threads 1`
+(the default) is the original sequential path. Results are identical
+either way. The default can also be set via the PRAGUE_THREADS
+environment variable (the flag wins).
 ";
 
 /// Parsed `generate` options.
@@ -94,6 +100,8 @@ pub struct QueryArgs {
     pub similar: bool,
     /// Print the per-step formulation trace.
     pub trace: bool,
+    /// Verification worker threads (1 = sequential).
+    pub threads: usize,
     /// Observability reporting mode.
     pub stats: StatsMode,
 }
@@ -107,6 +115,8 @@ pub struct InteractiveArgs {
     pub sigma: usize,
     /// Fragment size threshold β for the rebuilt index.
     pub beta: usize,
+    /// Verification worker threads (1 = sequential).
+    pub threads: usize,
     /// Observability reporting mode.
     pub stats: StatsMode,
 }
@@ -225,6 +235,16 @@ fn required(pairs: &[(String, Option<String>)], flag: &'static str) -> Result<Pa
         .ok_or(ParseError::Missing(flag))
 }
 
+/// The `--threads` default: the `PRAGUE_THREADS` environment variable if
+/// set and parseable, else 1 (sequential). CI uses the variable to run
+/// the whole suite under a fixed worker count.
+fn default_threads() -> usize {
+    std::env::var("PRAGUE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// `--stats` → text, `--stats=json` → JSON, absent → off.
 fn stats_mode(pairs: &[(String, Option<String>)]) -> Result<StatsMode, ParseError> {
     match pairs.iter().find(|(f, _)| f == "--stats") {
@@ -283,6 +303,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 beta: parse_num(&pairs, "--beta", 8usize)?,
                 similar: has(&pairs, "--similar"),
                 trace: has(&pairs, "--trace"),
+                threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
                 stats: stats_mode(&pairs)?,
             }))
         }
@@ -292,6 +313,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 catalog: required(&pairs, "--catalog")?,
                 sigma: parse_num(&pairs, "--sigma", 2usize)?,
                 beta: parse_num(&pairs, "--beta", 8usize)?,
+                threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
                 stats: stats_mode(&pairs)?,
             }))
         }
@@ -384,6 +406,21 @@ mod tests {
                 assert_eq!(q.catalog, PathBuf::from("c.prgc"));
                 assert_eq!(q.sigma, 4);
             }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn threads_flag_parses_and_clamps() {
+        let cmd = parse_args(&argv("query --catalog c.prgc --query q.lg --threads 4")).unwrap();
+        match cmd {
+            Command::Query(q) => assert_eq!(q.threads, 4),
+            _ => panic!(),
+        }
+        // 0 is clamped to sequential rather than rejected.
+        let cmd = parse_args(&argv("interactive --catalog c.prgc --threads 0")).unwrap();
+        match cmd {
+            Command::Interactive(i) => assert_eq!(i.threads, 1),
             _ => panic!(),
         }
     }

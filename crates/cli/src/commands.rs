@@ -165,6 +165,7 @@ pub fn query(args: &QueryArgs) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     system.warm().map_err(|e| e.to_string())?;
+    system.set_threads(args.threads);
     if args.stats.is_on() {
         // attach after warm() so the snapshot covers only the session
         system.set_obs(Obs::enabled());
@@ -250,6 +251,7 @@ pub fn interactive(args: &InteractiveArgs) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     system.warm().map_err(|e| e.to_string())?;
+    system.set_threads(args.threads);
     if args.stats.is_on() {
         system.set_obs(Obs::enabled());
     }
@@ -307,6 +309,7 @@ mod tests {
             beta: 2,
             similar: false,
             trace: true,
+            threads: 2,
             stats: StatsMode::Json,
         })
         .unwrap();
@@ -364,6 +367,7 @@ mod tests {
             beta: 2,
             similar: false,
             trace: false,
+            threads: 1,
             stats: StatsMode::Off,
         })
         .unwrap_err();

@@ -183,6 +183,22 @@ impl SimilarCandidates {
     }
 }
 
+/// The level-`i` SPIG fragments deduplicated by isomorphism class (CAM
+/// code), in level order. Identical fragments have identical candidate
+/// sets *and* identical verification behavior, so both Algorithm 4's
+/// candidate gathering and `SimVerify`'s fragment collection
+/// ([`crate::verify::SimVerifier::from_spigs`]) share this one dedup.
+pub fn distinct_level_fragments(
+    set: &SpigSet,
+    level: usize,
+) -> Vec<(&SpigVertex, prague_spig::LabelMask)> {
+    let mut seen = std::collections::BTreeSet::new();
+    set.level_fragments(level)
+        .into_iter()
+        .filter(|(v, _)| seen.insert(v.cam.clone()))
+        .collect()
+}
+
 /// `SimilarSubCandidates` (Algorithm 4): gather candidates for the levels
 /// `|q|` down to `|q|−σ` of the SPIG set.
 ///
@@ -209,13 +225,7 @@ pub fn similar_sub_candidates(
     for i in (lowest..=q_size).rev() {
         let mut free: Vec<GraphId> = Vec::new();
         let mut ver: Vec<GraphId> = Vec::new();
-        // Deduplicate by isomorphism class: candidates of identical
-        // fragments are identical.
-        let mut seen = std::collections::BTreeSet::new();
-        for (v, _mask) in set.level_fragments(i) {
-            if !seen.insert(v.cam.clone()) {
-                continue;
-            }
+        for (v, _mask) in distinct_level_fragments(set, i) {
             let cands = exact_sub_candidates(v, a2f, a2i, db_len)?;
             if is_verification_free(v) {
                 free = union_sorted(&free, &cands);

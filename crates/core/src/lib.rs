@@ -55,16 +55,18 @@ pub use candidates::{
 };
 pub use history::{ActionKind, ActionRecord, SessionLog};
 pub use modify::{deletion_options, suggest_deletion, DeletionSuggestion};
-pub use results::{similar_results_gen, SimilarMatch, SimilarResults};
+pub use results::{similar_results_gen, similar_results_gen_with, SimilarMatch, SimilarResults};
 pub use session::{
     ModifyOutcome, QueryResults, RunOutcome, Session, SessionError, StepOutcome, StepStatus,
 };
-pub use verify::{exact_verification, exact_verification_obs, SimVerifier};
+pub use verify::{exact_verification, exact_verification_obs, exact_verification_par, SimVerifier};
 
 use prague_graph::{GraphDb, LabelTable};
 use prague_index::{A2fConfig, ActionAwareIndexes, DfBacking, IndexFootprint, StoreError};
 use prague_mining::{mine_classified, MiningResult};
 use prague_obs::Obs;
+use prague_par::Pool;
+use std::sync::Arc;
 
 /// Offline construction parameters (defaults follow the paper's real-dataset
 /// settings: α = 0.1, β = 8, fragments capped at the maximum query size 10).
@@ -107,7 +109,9 @@ pub struct BuildStats {
 /// A built PRAGUE system: the database plus its action-aware indexes.
 /// Create interactive [`Session`]s with [`PragueSystem::session`].
 pub struct PragueSystem {
-    db: GraphDb,
+    /// Shared so background verification jobs can outlive the borrow a
+    /// [`Session`] holds on the system (they clone the `Arc`, not the db).
+    db: Arc<GraphDb>,
     labels: LabelTable,
     indexes: ActionAwareIndexes,
     params: SystemParams,
@@ -115,6 +119,9 @@ pub struct PragueSystem {
     /// Graphs inserted since construction (see `insert_graph`).
     inserted: usize,
     obs: Obs,
+    /// Verification worker count; 1 = sequential (no pool).
+    threads: usize,
+    pool: Option<Arc<Pool>>,
 }
 
 impl PragueSystem {
@@ -169,13 +176,15 @@ impl PragueSystem {
             build_time: t0.elapsed(),
         };
         Ok(PragueSystem {
-            db,
+            db: Arc::new(db),
             labels,
             indexes,
             params,
             stats,
             inserted: 0,
             obs: Obs::disabled(),
+            threads: 1,
+            pool: None,
         })
     }
 
@@ -188,6 +197,39 @@ impl PragueSystem {
         self.indexes.a2f.set_obs(obs.clone());
         self.indexes.a2i.set_obs(obs.clone());
         self.obs = obs;
+        // the verification pool records `par.*` into the system handle
+        self.rebuild_pool();
+    }
+
+    /// Set the verification worker count. `1` (the default) forces the
+    /// original sequential path — no pool exists, no background jobs are
+    /// ever submitted. `n ≥ 2` spawns a [`prague_par::Pool`]:
+    /// [`Session::run`] fans VF2 candidate tests out in chunks, and
+    /// `Session::add_edge` / `delete_edge` additionally start verification
+    /// speculatively during user think time (cancelled if the query is
+    /// modified first). Results are byte-identical to sequential in every
+    /// mode.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.rebuild_pool();
+    }
+
+    fn rebuild_pool(&mut self) {
+        self.pool = if self.threads > 1 {
+            Some(Arc::new(Pool::new(self.threads, self.obs.clone())))
+        } else {
+            None
+        };
+    }
+
+    /// Configured verification worker count (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The verification pool, when `threads > 1`.
+    pub fn pool(&self) -> Option<&Arc<Pool>> {
+        self.pool.as_ref()
     }
 
     /// The attached observability handle (disabled unless
@@ -203,6 +245,12 @@ impl PragueSystem {
 
     /// The data graphs.
     pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The data graphs as a shareable handle (cloned into background
+    /// verification jobs so they never borrow the system).
+    pub fn db_arc(&self) -> &Arc<GraphDb> {
         &self.db
     }
 
@@ -250,7 +298,9 @@ impl PragueSystem {
         &mut self,
         g: prague_graph::Graph,
     ) -> Result<prague_graph::GraphId, prague_index::StoreError> {
-        let gid = self.db.push(g);
+        // `make_mut` clones only if a background job still holds the db —
+        // impossible here, since `&mut self` excludes live sessions.
+        let gid = Arc::make_mut(&mut self.db).push(g);
         let g = self.db.graph(gid).clone();
         self.indexes.a2f.register_graph(gid, &g)?;
         let a2f = &self.indexes.a2f;

@@ -53,6 +53,24 @@ pub fn similar_results_gen(
     verifier: &SimVerifier,
     db: &GraphDb,
 ) -> SimilarResults {
+    similar_results_gen_with(q_size, candidates, |ids, level| {
+        verifier.verify(ids, level, db)
+    })
+}
+
+/// [`similar_results_gen`] over an arbitrary `SimVerify` implementation:
+/// `verify(candidate_ids, level)` must return the subset containing a
+/// level-`level` fragment, in candidate order. This is how the session
+/// swaps the sequential verifier for the pool-backed one without touching
+/// the ranking logic.
+pub fn similar_results_gen_with<F>(
+    q_size: usize,
+    candidates: &SimilarCandidates,
+    mut verify: F,
+) -> SimilarResults
+where
+    F: FnMut(&[GraphId], usize) -> Vec<GraphId>,
+{
     let mut results = SimilarResults::default();
     let mut found: Vec<GraphId> = Vec::new(); // sorted ids already reported
                                               // Highest level first: minimal distance wins.
@@ -63,7 +81,7 @@ pub fn similar_results_gen(
         // R_ver(i): remove already-found, then verify.
         let to_verify = difference_sorted(&lc.ver, &found);
         results.verified_count += to_verify.len();
-        let verified = verifier.verify(&to_verify, level, db);
+        let verified = verify(&to_verify, level);
         for &id in &fresh_free {
             results.matches.push(SimilarMatch {
                 graph_id: id,

@@ -20,12 +20,16 @@
 use crate::candidates::{exact_sub_candidates, similar_sub_candidates, SimilarCandidates};
 use crate::history::{ActionKind, ActionRecord, SessionLog};
 use crate::modify::{suggest_deletion, DeletionSuggestion};
-use crate::results::{similar_results_gen, SimilarResults};
-use crate::verify::{exact_verification_obs, SimVerifier};
+use crate::results::{similar_results_gen_with, SimilarResults};
+use crate::verify::{
+    complete_exact_batch, exact_verification_obs, exact_verification_par, submit_exact_batch,
+    SimVerifier, VerifyChunk,
+};
 use crate::PragueSystem;
 use prague_graph::{GraphId, Label};
 use prague_index::StoreError;
 use prague_obs::{names, Obs};
+use prague_par::{Batch, CancelToken};
 use prague_spig::{EdgeLabelId, QueryError, SpigError, SpigSet, VNodeId, VisualQuery};
 use std::time::{Duration, Instant};
 
@@ -163,6 +167,24 @@ pub struct RunOutcome {
     pub srt: Duration,
 }
 
+/// A speculative exact-verification batch running on the pool while the
+/// user thinks: submitted after a canvas change, consumed by `run` if the
+/// query was not modified in between, cancelled otherwise.
+struct PendingVerify {
+    /// Canvas generation the batch was submitted for.
+    generation: u64,
+    token: CancelToken,
+    batch: Batch<VerifyChunk>,
+}
+
+/// A [`SimVerifier`] cached across `run` calls, keyed by the canvas
+/// generation and σ it was built for.
+struct CachedVerifier {
+    generation: u64,
+    sigma: usize,
+    verifier: SimVerifier,
+}
+
 /// One user's formulation session.
 pub struct Session<'a> {
     system: &'a PragueSystem,
@@ -176,6 +198,11 @@ pub struct Session<'a> {
     sim_candidates: Option<SimilarCandidates>,
     log: SessionLog,
     obs: Obs,
+    /// Bumped on every canvas mutation; versions the background batch and
+    /// the cached similarity verifier.
+    generation: u64,
+    pending: Option<PendingVerify>,
+    sim_verifier: Option<CachedVerifier>,
 }
 
 impl<'a> Session<'a> {
@@ -194,6 +221,9 @@ impl<'a> Session<'a> {
             sim_candidates: None,
             log: SessionLog::default(),
             obs,
+            generation: 0,
+            pending: None,
+            sim_verifier: None,
         }
     }
 
@@ -201,6 +231,59 @@ impl<'a> Session<'a> {
     /// the system at creation time).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Cancel and discard any in-flight background verification. The
+    /// workers observe the token within a few dozen VF2 states and stop;
+    /// the discarded batch's slots are freed when its last job finishes.
+    fn cancel_pending(&mut self) {
+        if let Some(p) = self.pending.take() {
+            p.token.cancel();
+        }
+    }
+
+    /// Called after every successful canvas mutation: bump the canvas
+    /// generation, cancel superseded background work, and — when a pool is
+    /// configured, the session is in exact mode, and `R_q` actually needs
+    /// verification — start verifying speculatively during user think
+    /// time. `run` consumes the batch if the query is still at this
+    /// generation.
+    fn after_canvas_change(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        self.cancel_pending();
+        if self.sim_flag || self.rq.is_empty() {
+            return;
+        }
+        let Some(pool) = self.system.pool() else {
+            return;
+        };
+        if self
+            .spigs
+            .target_vertex(&self.query)
+            .is_some_and(|v| v.fragment_list.is_indexed())
+        {
+            // verification-free: `run` passes R_q through untested
+            return;
+        }
+        let token = CancelToken::new();
+        let batch = submit_exact_batch(
+            self.query.graph(),
+            &self.rq,
+            self.system.db_arc(),
+            pool,
+            &token,
+        );
+        self.pending = Some(PendingVerify {
+            generation: self.generation,
+            token,
+            batch,
+        });
+    }
+
+    /// Whether a speculative verification batch is in flight (diagnostic;
+    /// meaningful only when the system has a pool).
+    pub fn has_pending_verification(&self) -> bool {
+        self.pending.is_some()
     }
 
     /// The fragment status implied by the current session state.
@@ -306,6 +389,7 @@ impl<'a> Session<'a> {
                 (status, self.rq.len(), None, candidate_time)
             }
         };
+        self.after_canvas_change();
         let step_time = step_span.finish();
         self.obs.observe_ns(names::SESSION_STEP_NS, step_time);
         self.log.push(ActionRecord {
@@ -343,6 +427,8 @@ impl<'a> Session<'a> {
     pub fn choose_similarity(&mut self) -> Result<usize, SessionError> {
         let step_span = self.obs.span(names::SESSION_CHOOSE_SIMILARITY);
         self.sim_flag = true;
+        // exact-mode background work is useless from here on
+        self.cancel_pending();
         {
             let _cand_span = self.obs.span(names::CANDIDATES_SIMILAR);
             self.refresh_similar()?;
@@ -369,6 +455,7 @@ impl<'a> Session<'a> {
         let step_span = self.obs.span(names::SESSION_DELETE_EDGE);
         self.spigs.on_delete_edge(edge);
         let candidate_count = self.refresh_after_modify()?;
+        self.after_canvas_change();
         let modify_time = step_span.finish();
         self.obs.observe_ns(names::SESSION_STEP_NS, modify_time);
         self.log.push(ActionRecord {
@@ -404,6 +491,7 @@ impl<'a> Session<'a> {
             self.spigs.on_delete_edge(e);
         }
         let candidate_count = self.refresh_after_modify()?;
+        self.after_canvas_change();
         let modify_time = step_span.finish();
         self.obs.observe_ns(names::SESSION_STEP_NS, modify_time);
         self.log.push(ActionRecord {
@@ -455,6 +543,7 @@ impl<'a> Session<'a> {
             new_edges.push(l);
         }
         let candidates = self.refresh_after_modify()?;
+        self.after_canvas_change();
         let step_time = step_span.finish();
         self.obs.observe_ns(names::SESSION_STEP_NS, step_time);
         self.log.push(ActionRecord {
@@ -540,13 +629,50 @@ impl<'a> Session<'a> {
                 .spigs
                 .target_vertex(&self.query)
                 .is_some_and(|v| v.fragment_list.is_indexed());
-            let exact = exact_verification_obs(
-                self.query.graph(),
-                &self.rq,
-                self.system.db(),
-                verification_free,
-                &self.obs,
-            );
+            let exact = if verification_free {
+                self.cancel_pending();
+                exact_verification_obs(
+                    self.query.graph(),
+                    &self.rq,
+                    self.system.db(),
+                    true,
+                    &self.obs,
+                )
+            } else {
+                match self.pending.take() {
+                    // The think-time batch is for this exact canvas: join
+                    // and merge it (usually already complete).
+                    Some(p) if p.generation == self.generation => complete_exact_batch(
+                        self.query.graph(),
+                        &self.rq,
+                        self.system.db(),
+                        &self.obs,
+                        p.batch,
+                    ),
+                    stale => {
+                        if let Some(p) = stale {
+                            p.token.cancel();
+                        }
+                        match self.system.pool() {
+                            Some(pool) => exact_verification_par(
+                                self.query.graph(),
+                                &self.rq,
+                                self.system.db_arc(),
+                                false,
+                                &self.obs,
+                                pool,
+                            ),
+                            None => exact_verification_obs(
+                                self.query.graph(),
+                                &self.rq,
+                                self.system.db(),
+                                false,
+                                &self.obs,
+                            ),
+                        }
+                    }
+                }
+            };
             if exact.is_empty() {
                 // Algorithm 1 lines 19–21: fall back to similarity search.
                 {
@@ -602,15 +728,42 @@ impl<'a> Session<'a> {
         Ok(())
     }
 
-    fn generate_similar(&self) -> SimilarResults {
+    fn generate_similar(&mut self) -> SimilarResults {
         let _span = self.obs.span(names::RESULTS_SIMILAR);
         let q_size = self.query.size();
         let lowest = q_size.saturating_sub(self.sigma).max(1);
-        let mut verifier = SimVerifier::from_spigs(&self.query, &self.spigs, lowest, q_size);
-        verifier.set_obs(self.obs.clone());
+        // Rebuild the verifier (distinct fragments + their MatchOrders)
+        // only when the canvas or σ changed since the last run; repeated
+        // runs of an unmodified query reuse it as-is.
+        let stale = !self
+            .sim_verifier
+            .as_ref()
+            .is_some_and(|c| c.generation == self.generation && c.sigma == self.sigma);
+        if stale {
+            let mut verifier = SimVerifier::from_spigs(&self.query, &self.spigs, lowest, q_size);
+            verifier.set_obs(self.obs.clone());
+            self.sim_verifier = Some(CachedVerifier {
+                generation: self.generation,
+                sigma: self.sigma,
+                verifier,
+            });
+        }
         let empty = SimilarCandidates::default();
         let candidates = self.sim_candidates.as_ref().unwrap_or(&empty);
-        similar_results_gen(q_size, candidates, &verifier, self.system.db())
+        let Some(cached) = self.sim_verifier.as_ref() else {
+            // unreachable: populated just above; avoid a panic path
+            return SimilarResults::default();
+        };
+        match self.system.pool() {
+            Some(pool) => similar_results_gen_with(q_size, candidates, |ids, level| {
+                cached
+                    .verifier
+                    .verify_par(ids, level, self.system.db_arc(), pool)
+            }),
+            None => similar_results_gen_with(q_size, candidates, |ids, level| {
+                cached.verifier.verify(ids, level, self.system.db())
+            }),
+        }
     }
 
     /// The query canvas.
@@ -641,6 +794,15 @@ impl<'a> Session<'a> {
     /// The session's action trace (the paper's Figure 3 table).
     pub fn log(&self) -> &SessionLog {
         &self.log
+    }
+}
+
+impl Drop for Session<'_> {
+    /// Abandoning a session cancels its in-flight background batch so
+    /// pool workers stop promptly; the pool itself drains and joins
+    /// cleanly regardless (see `prague_par::Pool`).
+    fn drop(&mut self) {
+        self.cancel_pending();
     }
 }
 

@@ -8,11 +8,15 @@
 //! subgraph of `q` per level, so verification reuses those fragments
 //! (deduplicated by CAM code) instead of re-enumerating subgraphs.
 
-use prague_graph::vf2::{is_subgraph_with_order_counting, MatchOrder};
+use prague_graph::vf2::{
+    is_subgraph_cancellable, is_subgraph_with_order_counting, MatchOrder, MatchOutcome, MatchState,
+};
 use prague_graph::{Graph, GraphDb, GraphId};
 use prague_obs::{names, Obs};
+use prague_par::{Batch, CancelToken, Pool};
 use prague_spig::{SpigSet, VisualQuery};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Exact verification of `R_q`: keep candidates in which `q` actually
 /// embeds. `verification_free` short-circuits the test (the paper skips
@@ -45,6 +49,16 @@ pub fn exact_verification_obs(
         obs.add(names::VERIFY_EXACT_EMBEDDINGS, candidates.len() as u64);
         return candidates.to_vec();
     }
+    let (verified, states) = exact_seq_core(q, candidates, db);
+    obs.add(names::VERIFY_VF2_STATES, states);
+    obs.add(names::VERIFY_EXACT_EMBEDDINGS, verified.len() as u64);
+    verified
+}
+
+/// The sequential VF2 filter shared by the sequential path and the
+/// fallback of the parallel path: one match order, candidates tested in
+/// id order.
+fn exact_seq_core(q: &Graph, candidates: &[GraphId], db: &GraphDb) -> (Vec<GraphId>, u64) {
     let order = MatchOrder::new(q);
     let mut states = 0u64;
     let verified: Vec<GraphId> = candidates
@@ -56,35 +70,165 @@ pub fn exact_verification_obs(
             found
         })
         .collect();
+    (verified, states)
+}
+
+/// The result of one worker chunk: the surviving candidates of the chunk
+/// (in candidate order), the VF2 states the chunk expanded, and whether
+/// the chunk stopped early on a cancelled token.
+#[derive(Debug, Default)]
+pub(crate) struct VerifyChunk {
+    verified: Vec<GraphId>,
+    states: u64,
+    cancelled: bool,
+}
+
+/// Chunk length for fanning `n` candidates out over `threads` workers:
+/// ~4 chunks per worker for stealing headroom, capped so cancellation
+/// latency stays bounded.
+fn chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1) * 4).clamp(1, 64)
+}
+
+/// Submit chunked VF2 jobs testing `q` against `candidates` on `pool`.
+/// Chunks partition `candidates` in order and the batch preserves
+/// submission order, so concatenating the joined chunk results reproduces
+/// the sequential output exactly. Jobs clone `q`/`db` handles — nothing
+/// borrows the caller — which is what lets `Session` keep a batch in
+/// flight across user think time.
+pub(crate) fn submit_exact_batch(
+    q: &Graph,
+    candidates: &[GraphId],
+    db: &Arc<GraphDb>,
+    pool: &Pool,
+    token: &CancelToken,
+) -> Batch<VerifyChunk> {
+    let q = Arc::new(q.clone());
+    let order = Arc::new(MatchOrder::new(&q));
+    let jobs: Vec<_> = candidates
+        .chunks(chunk_len(candidates.len(), pool.threads()))
+        .map(|chunk| {
+            let (q, order, db) = (Arc::clone(&q), Arc::clone(&order), Arc::clone(db));
+            let ids = chunk.to_vec();
+            move |token: &CancelToken| {
+                let mut state = MatchState::default();
+                let mut out = VerifyChunk::default();
+                for &id in &ids {
+                    if token.is_cancelled() {
+                        out.cancelled = true;
+                        break;
+                    }
+                    let (res, st) =
+                        is_subgraph_cancellable(&q, db.graph(id), &order, &mut state, token.flag());
+                    out.states += st;
+                    match res {
+                        MatchOutcome::Found => out.verified.push(id),
+                        MatchOutcome::NotFound => {}
+                        MatchOutcome::Cancelled => {
+                            out.cancelled = true;
+                            break;
+                        }
+                    }
+                }
+                out
+            }
+        })
+        .collect();
+    pool.submit_batch(token, jobs)
+}
+
+/// Join `batch` and merge its chunks into the final exact result,
+/// emitting the same counters as the sequential path. Runs inside the
+/// `verify.exact` span with the join/merge wait under `par.verify`. If
+/// any chunk was cancelled or lost (possible only for a stale batch), the
+/// merge is abandoned and the candidates are re-verified sequentially —
+/// output is identical either way.
+pub(crate) fn complete_exact_batch(
+    q: &Graph,
+    candidates: &[GraphId],
+    db: &GraphDb,
+    obs: &Obs,
+    batch: Batch<VerifyChunk>,
+) -> Vec<GraphId> {
+    let _span = obs.span(names::VERIFY_EXACT);
+    obs.add(names::VERIFY_EXACT_CANDIDATES, candidates.len() as u64);
+    let parts = {
+        let _merge_span = obs.span(names::PAR_VERIFY);
+        batch.join()
+    };
+    let mut verified = Vec::new();
+    let mut states = 0u64;
+    let mut intact = true;
+    for part in parts {
+        match part {
+            Some(chunk) if !chunk.cancelled => {
+                verified.extend_from_slice(&chunk.verified);
+                states += chunk.states;
+            }
+            _ => {
+                intact = false;
+                break;
+            }
+        }
+    }
+    if !intact {
+        let (v, s) = exact_seq_core(q, candidates, db);
+        verified = v;
+        states = s;
+    }
     obs.add(names::VERIFY_VF2_STATES, states);
     obs.add(names::VERIFY_EXACT_EMBEDDINGS, verified.len() as u64);
     verified
 }
 
+/// [`exact_verification_obs`] routed through the worker pool: chunked
+/// fan-out, deterministic in-order merge. Output, counters, and
+/// `verify.vf2_states` accounting are byte-identical to the sequential
+/// path.
+pub fn exact_verification_par(
+    q: &Graph,
+    candidates: &[GraphId],
+    db: &Arc<GraphDb>,
+    verification_free: bool,
+    obs: &Obs,
+    pool: &Pool,
+) -> Vec<GraphId> {
+    if verification_free || q.edge_count() == 0 {
+        return exact_verification_obs(q, candidates, db, verification_free, obs);
+    }
+    let token = CancelToken::new();
+    let batch = submit_exact_batch(q, candidates, db, pool, &token);
+    complete_exact_batch(q, candidates, db, obs, batch)
+}
+
 /// A reusable verifier for one query's similarity levels: the distinct
 /// level-`i` fragments of the query with prebuilt VF2 match orders.
 pub struct SimVerifier {
-    /// level -> distinct fragments (graph + match order)
-    fragments: BTreeMap<usize, Vec<(Graph, MatchOrder)>>,
+    /// level -> distinct fragments (graph + match order). `Arc` so
+    /// parallel verification jobs share a level's fragment set without
+    /// cloning graphs per chunk.
+    fragments: BTreeMap<usize, Arc<Vec<(Graph, MatchOrder)>>>,
     obs: Obs,
 }
 
 impl SimVerifier {
     /// Collect the distinct fragments of levels `[lowest, q_size)` from the
-    /// SPIG set.
+    /// SPIG set. Each distinct fragment's [`MatchOrder`] is built here,
+    /// once — `Session` caches the whole verifier across `run` calls so
+    /// repeated runs of an unmodified query rebuild nothing.
     pub fn from_spigs(query: &VisualQuery, set: &SpigSet, lowest: usize, q_size: usize) -> Self {
         let mut fragments = BTreeMap::new();
         for i in lowest.max(1)..=q_size {
-            let mut seen = std::collections::BTreeSet::new();
-            let mut frags = Vec::new();
-            for (v, mask) in set.level_fragments(i) {
-                if seen.insert(v.cam.clone()) {
-                    let g = query.fragment(mask);
-                    let order = MatchOrder::new(&g);
-                    frags.push((g, order));
-                }
-            }
-            fragments.insert(i, frags);
+            let frags: Vec<(Graph, MatchOrder)> =
+                crate::candidates::distinct_level_fragments(set, i)
+                    .into_iter()
+                    .map(|(_, mask)| {
+                        let g = query.fragment(mask);
+                        let order = MatchOrder::new(&g);
+                        (g, order)
+                    })
+                    .collect();
+            fragments.insert(i, Arc::new(frags));
         }
         SimVerifier {
             fragments,
@@ -104,8 +248,26 @@ impl SimVerifier {
     pub fn verify(&self, candidates: &[GraphId], level: usize, db: &GraphDb) -> Vec<GraphId> {
         self.obs
             .add(names::VERIFY_SIM_CANDIDATES, candidates.len() as u64);
-        let Some(frags) = self.fragments.get(&level) else {
+        if !self.fragments.contains_key(&level) {
             return Vec::new();
+        }
+        let (verified, states) = self.verify_core(candidates, level, db);
+        self.obs.add(names::VERIFY_VF2_STATES, states);
+        self.obs
+            .add(names::VERIFY_SIM_EMBEDDINGS, verified.len() as u64);
+        verified
+    }
+
+    /// The sequential `SimVerify` filter: for each candidate in order, try
+    /// the level's fragments in order until one embeds.
+    fn verify_core(
+        &self,
+        candidates: &[GraphId],
+        level: usize,
+        db: &GraphDb,
+    ) -> (Vec<GraphId>, u64) {
+        let Some(frags) = self.fragments.get(&level) else {
+            return (Vec::new(), 0);
         };
         let mut states = 0u64;
         let verified: Vec<GraphId> = candidates
@@ -120,6 +282,88 @@ impl SimVerifier {
                 })
             })
             .collect();
+        (verified, states)
+    }
+
+    /// [`SimVerifier::verify`] routed through the worker pool. Chunks
+    /// test the same fragments in the same per-candidate order as the
+    /// sequential path, and the in-order merge makes the output — and the
+    /// `verify.vf2_states` total — identical to it.
+    pub fn verify_par(
+        &self,
+        candidates: &[GraphId],
+        level: usize,
+        db: &Arc<GraphDb>,
+        pool: &Pool,
+    ) -> Vec<GraphId> {
+        self.obs
+            .add(names::VERIFY_SIM_CANDIDATES, candidates.len() as u64);
+        let Some(frags) = self.fragments.get(&level) else {
+            return Vec::new();
+        };
+        let token = CancelToken::new();
+        let jobs: Vec<_> = candidates
+            .chunks(chunk_len(candidates.len(), pool.threads()))
+            .map(|chunk| {
+                let (frags, db) = (Arc::clone(frags), Arc::clone(db));
+                let ids = chunk.to_vec();
+                move |token: &CancelToken| {
+                    let mut state = MatchState::default();
+                    let mut out = VerifyChunk::default();
+                    for &id in &ids {
+                        let g = db.graph(id);
+                        let mut hit = false;
+                        for (frag, order) in frags.iter() {
+                            let (res, st) =
+                                is_subgraph_cancellable(frag, g, order, &mut state, token.flag());
+                            out.states += st;
+                            match res {
+                                MatchOutcome::Found => {
+                                    hit = true;
+                                    break;
+                                }
+                                MatchOutcome::NotFound => {}
+                                MatchOutcome::Cancelled => {
+                                    out.cancelled = true;
+                                    return out;
+                                }
+                            }
+                        }
+                        if hit {
+                            out.verified.push(id);
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        let parts = {
+            let _merge_span = self.obs.span(names::PAR_VERIFY);
+            pool.submit_batch(&token, jobs).join()
+        };
+        let mut verified = Vec::new();
+        let mut states = 0u64;
+        let mut intact = true;
+        for part in parts {
+            match part {
+                Some(chunk) if !chunk.cancelled => {
+                    verified.extend_from_slice(&chunk.verified);
+                    states += chunk.states;
+                }
+                _ => {
+                    intact = false;
+                    break;
+                }
+            }
+        }
+        if !intact {
+            // Unreachable with the fresh token above, but never lose
+            // results: redo sequentially (counters already cover the
+            // candidate add; emit only states/embeddings below).
+            let (v, s) = self.verify_core(candidates, level, db);
+            verified = v;
+            states = s;
+        }
         self.obs.add(names::VERIFY_VF2_STATES, states);
         self.obs
             .add(names::VERIFY_SIM_EMBEDDINGS, verified.len() as u64);
@@ -128,7 +372,7 @@ impl SimVerifier {
 
     /// Number of distinct fragments at a level (diagnostics).
     pub fn fragment_count(&self, level: usize) -> usize {
-        self.fragments.get(&level).map_or(0, Vec::len)
+        self.fragments.get(&level).map_or(0, |f| f.len())
     }
 }
 

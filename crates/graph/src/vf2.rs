@@ -12,6 +12,39 @@
 
 use crate::model::{Graph, NodeId};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How many search-state expansions a cancellable search performs between
+/// polls of its cancellation flag. Small enough that a cancelled
+/// verification stops within microseconds; large enough that polling is
+/// invisible next to the feasibility test itself. Note the poll does not
+/// change [`Matcher::states`] accounting, so cancellable and plain
+/// searches report identical state counts.
+pub const CANCEL_POLL_STATES: u64 = 64;
+
+/// Reusable per-worker search buffers (the query→data mapping and the
+/// used-node mask). A fresh `Matcher` allocates these per test; a worker
+/// verifying a chunk of candidates threads one `MatchState` through every
+/// test instead, so steady-state verification does no per-candidate
+/// allocation. Buffers are resized to each (query, graph) pair on entry —
+/// the state carries capacity, not content.
+#[derive(Debug, Clone, Default)]
+pub struct MatchState {
+    map_q: Vec<NodeId>,
+    used_g: Vec<bool>,
+}
+
+/// Result of a cancellable subgraph test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// An embedding of `q` in `g` exists.
+    Found,
+    /// The search space was exhausted without an embedding.
+    NotFound,
+    /// The cancellation flag was observed before the search concluded;
+    /// no further states were expanded after the observation.
+    Cancelled,
+}
 
 /// Precomputed matching order for a (small, connected) query graph.
 ///
@@ -97,6 +130,11 @@ pub struct Matcher<'a> {
     used_g: Vec<bool>,
     /// search states expanded (feasibility tests attempted)
     states: u64,
+    /// optional cooperative cancellation flag, polled every
+    /// [`CANCEL_POLL_STATES`] expansions
+    cancel: Option<&'a AtomicBool>,
+    /// set once the flag is observed; halts all further expansion
+    cancelled: bool,
 }
 
 const UNMAPPED: NodeId = NodeId::MAX;
@@ -104,14 +142,48 @@ const UNMAPPED: NodeId = NodeId::MAX;
 impl<'a> Matcher<'a> {
     /// Create a matcher; `order` must have been built for `q`.
     pub fn new(q: &'a Graph, g: &'a Graph, order: &'a MatchOrder) -> Self {
+        Self::from_state(q, g, order, MatchState::default(), None)
+    }
+
+    /// Create a matcher reusing the buffers of `state` (cleared and
+    /// resized for this (`q`, `g`) pair), optionally cancellable via
+    /// `cancel`. Recover the buffers afterwards with
+    /// [`Matcher::into_state`].
+    pub fn from_state(
+        q: &'a Graph,
+        g: &'a Graph,
+        order: &'a MatchOrder,
+        mut state: MatchState,
+        cancel: Option<&'a AtomicBool>,
+    ) -> Self {
+        state.map_q.clear();
+        state.map_q.resize(q.node_count(), UNMAPPED);
+        state.used_g.clear();
+        state.used_g.resize(g.node_count(), false);
         Matcher {
             q,
             g,
             order,
-            map_q: vec![UNMAPPED; q.node_count()],
-            used_g: vec![false; g.node_count()],
+            map_q: state.map_q,
+            used_g: state.used_g,
             states: 0,
+            cancel,
+            cancelled: false,
         }
+    }
+
+    /// Dismantle the matcher, recovering its buffers for reuse.
+    pub fn into_state(self) -> MatchState {
+        MatchState {
+            map_q: self.map_q,
+            used_g: self.used_g,
+        }
+    }
+
+    /// Whether the search observed its cancellation flag (and therefore
+    /// stopped without a definitive answer).
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Number of search states expanded (candidate feasibility tests) so
@@ -133,6 +205,11 @@ impl<'a> Matcher<'a> {
     where
         F: FnMut(&[NodeId]) -> ControlFlow<()>,
     {
+        // Entry poll: a search started under an already-raised flag
+        // expands zero states.
+        if self.poll_cancel() {
+            return ControlFlow::Break(());
+        }
         if self.q.node_count() == 0 {
             return on_match(&[]);
         }
@@ -142,8 +219,25 @@ impl<'a> Matcher<'a> {
         self.extend(0, on_match)
     }
 
+    /// Load the cancellation flag (if any); latches `cancelled`.
+    fn poll_cancel(&mut self) -> bool {
+        if self.cancelled {
+            return true;
+        }
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                self.cancelled = true;
+                return true;
+            }
+        }
+        false
+    }
+
     fn feasible(&mut self, qn: NodeId, gn: NodeId) -> bool {
         self.states += 1;
+        if self.states.is_multiple_of(CANCEL_POLL_STATES) && self.poll_cancel() {
+            return false;
+        }
         if self.used_g[gn as usize] {
             return false;
         }
@@ -185,6 +279,9 @@ impl<'a> Matcher<'a> {
                 debug_assert_ne!(g_anchor, UNMAPPED);
                 // candidates: g-neighbors of the anchor image
                 for i in 0..self.g.neighbors(g_anchor).len() {
+                    if self.cancelled {
+                        return ControlFlow::Break(());
+                    }
                     let (gn, _) = self.g.neighbors(g_anchor)[i];
                     if self.feasible(qn, gn) {
                         self.map_q[qn as usize] = gn;
@@ -199,6 +296,9 @@ impl<'a> Matcher<'a> {
             None => {
                 // seed of a component: scan all data nodes with the label
                 for gn in 0..self.g.node_count() as NodeId {
+                    if self.cancelled {
+                        return ControlFlow::Break(());
+                    }
                     if self.feasible(qn, gn) {
                         self.map_q[qn as usize] = gn;
                         self.used_g[gn as usize] = true;
@@ -238,6 +338,41 @@ pub fn is_subgraph_with_order_counting(q: &Graph, g: &Graph, order: &MatchOrder)
         ControlFlow::Break(())
     });
     (found, m.states())
+}
+
+/// Cancellable, buffer-reusing subgraph test — the per-worker form used by
+/// parallel verification. Equivalent to
+/// [`is_subgraph_with_order_counting`] when `cancel` is never raised
+/// (identical result *and* identical state count); once the flag is
+/// observed — polled at search entry and every [`CANCEL_POLL_STATES`]
+/// expansions — the search stops immediately, expands no further states,
+/// and reports [`MatchOutcome::Cancelled`].
+///
+/// `state`'s buffers are reused across calls (resized per graph pair), so
+/// a worker looping over a candidate chunk allocates nothing per test.
+pub fn is_subgraph_cancellable(
+    q: &Graph,
+    g: &Graph,
+    order: &MatchOrder,
+    state: &mut MatchState,
+    cancel: &AtomicBool,
+) -> (MatchOutcome, u64) {
+    let mut found = false;
+    let mut m = Matcher::from_state(q, g, order, std::mem::take(state), Some(cancel));
+    let _ = m.search(&mut |_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    let outcome = if m.was_cancelled() {
+        MatchOutcome::Cancelled
+    } else if found {
+        MatchOutcome::Found
+    } else {
+        MatchOutcome::NotFound
+    };
+    let states = m.states();
+    *state = m.into_state();
+    (outcome, states)
 }
 
 /// Count embeddings of `q` in `g`, stopping at `limit` (0 = unlimited).
@@ -402,6 +537,37 @@ mod tests {
         assert!(is_subgraph(&tri, &k4));
         // 4 triangles * 6 automorphisms
         assert_eq!(count_embeddings(&tri, &k4, 0), 24);
+    }
+
+    #[test]
+    fn cancellable_agrees_with_plain_when_not_cancelled() {
+        let q = path(&[0, 1, 0]);
+        let order = MatchOrder::new(&q);
+        let flag = AtomicBool::new(false);
+        let mut state = MatchState::default();
+        for g in [path(&[0, 1, 0, 1]), path(&[1, 1]), cycle(&[0, 1, 0, 1])] {
+            let (plain, plain_states) = is_subgraph_with_order_counting(&q, &g, &order);
+            let (outcome, states) = is_subgraph_cancellable(&q, &g, &order, &mut state, &flag);
+            let expect = if plain {
+                MatchOutcome::Found
+            } else {
+                MatchOutcome::NotFound
+            };
+            assert_eq!(outcome, expect);
+            assert_eq!(states, plain_states, "state accounting must not drift");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_search_expands_zero_states() {
+        let q = path(&[0, 0, 0]);
+        let g = path(&[0, 0, 0, 0]);
+        let order = MatchOrder::new(&q);
+        let flag = AtomicBool::new(true);
+        let mut state = MatchState::default();
+        let (outcome, states) = is_subgraph_cancellable(&q, &g, &order, &mut state, &flag);
+        assert_eq!(outcome, MatchOutcome::Cancelled);
+        assert_eq!(states, 0, "cancel observed at entry: no expansion at all");
     }
 
     #[test]

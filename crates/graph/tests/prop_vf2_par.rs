@@ -1,0 +1,230 @@
+//! Always-on property tests for the VF2 matcher and its cancellable
+//! variant, plus the CAM structural-shuffle invariance check promoted
+//! from the `audit` feature hook (`crates/graph/src/audit.rs`) so it
+//! runs on every `cargo test`, not only on audited builds.
+
+use prague_graph::vf2::{
+    is_subgraph, is_subgraph_cancellable, is_subgraph_with_order_counting, MatchOrder,
+    MatchOutcome, MatchState,
+};
+use prague_graph::{cam_code, Graph, Label, NodeId};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Strategy: a random connected labeled graph (spanning tree + extras),
+/// same shape as `prop_graph.rs`.
+fn connected_graph(max_n: usize, label_count: u16) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..label_count, n);
+        let parents = proptest::collection::vec(proptest::num::u32::ANY, n.saturating_sub(1));
+        let extras = proptest::collection::vec((0..n, 0..n), 0..=n);
+        (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
+            let mut g = Graph::new();
+            for &l in &labels {
+                g.add_node(Label(l));
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                let child = (i + 1) as NodeId;
+                let parent = (p as usize % (i + 1)) as NodeId;
+                g.add_edge(child, parent).unwrap();
+            }
+            for &(a, b) in &extras {
+                if a != b {
+                    let _ = g.add_edge(a as NodeId, b as NodeId);
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Brute-force (non-induced) subgraph-monomorphism oracle: try every
+/// injective node map q → g and accept one that preserves node labels and
+/// carries every q edge (with its label) onto a g edge. Exponential —
+/// keep |V(g)| ≤ 6.
+fn naive_is_subgraph(q: &Graph, g: &Graph) -> bool {
+    if q.node_count() > g.node_count() {
+        return false;
+    }
+    let mut map = vec![usize::MAX; q.node_count()];
+    let mut used = vec![false; g.node_count()];
+    fn extend(q: &Graph, g: &Graph, depth: usize, map: &mut [usize], used: &mut [bool]) -> bool {
+        if depth == q.node_count() {
+            return q.edges().iter().all(|e| {
+                g.find_edge(map[e.u as usize] as NodeId, map[e.v as usize] as NodeId)
+                    .is_some_and(|ge| g.edge(ge).label == e.label)
+            });
+        }
+        for gn in 0..g.node_count() {
+            if !used[gn] && q.label(depth as NodeId) == g.label(gn as NodeId) {
+                map[depth] = gn;
+                used[gn] = true;
+                if extend(q, g, depth + 1, map, used) {
+                    return true;
+                }
+                used[gn] = false;
+                map[depth] = usize::MAX;
+            }
+        }
+        false
+    }
+    extend(q, g, 0, &mut map, &mut used)
+}
+
+// -- structural shuffle, mirroring the audit hook's deterministic
+//    permutation so the promoted check audits the same thing --
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn structural_seed(g: &Graph) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(g.node_count() as u64);
+    mix(g.edge_count() as u64);
+    for &l in g.labels() {
+        mix(u64::from(l.0));
+    }
+    for e in g.edges() {
+        mix(u64::from(e.u));
+        mix(u64::from(e.v));
+        mix(u64::from(e.label.0));
+    }
+    h
+}
+
+fn structural_shuffle(g: &Graph) -> Graph {
+    let n = g.node_count();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut seed = structural_seed(g);
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut seed) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    let mut labels = vec![Label(0); n];
+    for (i, &l) in g.labels().iter().enumerate() {
+        labels[perm[i] as usize] = l;
+    }
+    let mut out = Graph::with_nodes(labels);
+    for e in g.edges() {
+        out.add_labeled_edge(perm[e.u as usize], perm[e.v as usize], e.label)
+            .expect("permuted copy of a valid graph is valid");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// VF2 vs the brute-force injective-map oracle on small instances.
+    #[test]
+    fn vf2_matches_naive_enumeration(
+        q in connected_graph(4, 2),
+        g in connected_graph(6, 2),
+    ) {
+        prop_assert_eq!(is_subgraph(&q, &g), naive_is_subgraph(&q, &g));
+    }
+
+    /// An uncancelled cancellable search is indistinguishable from the
+    /// plain counting search: same answer, same state count — this is the
+    /// per-matcher core of the parallel-vs-sequential determinism claim.
+    /// The one `MatchState` is reused across candidates, as the pool's
+    /// workers reuse theirs.
+    #[test]
+    fn cancellable_is_plain_vf2_when_uncancelled(
+        q in connected_graph(4, 2),
+        gs in proptest::collection::vec(connected_graph(6, 2), 1..4),
+    ) {
+        let order = MatchOrder::new(&q);
+        let never = AtomicBool::new(false);
+        let mut state = MatchState::default();
+        for g in &gs {
+            let (found, states) = is_subgraph_with_order_counting(&q, g, &order);
+            let (outcome, c_states) = is_subgraph_cancellable(&q, g, &order, &mut state, &never);
+            let c_found = match outcome {
+                MatchOutcome::Found => true,
+                MatchOutcome::NotFound => false,
+                MatchOutcome::Cancelled => {
+                    return Err(TestCaseError::fail("cancelled without a cancel"))
+                }
+            };
+            prop_assert_eq!(c_found, found);
+            prop_assert_eq!(c_states, states);
+        }
+    }
+
+    /// A token cancelled before the search starts is observed at entry:
+    /// `Cancelled` with zero state expansions, on any instance.
+    #[test]
+    fn pre_cancelled_search_is_free(
+        q in connected_graph(4, 2),
+        g in connected_graph(6, 2),
+    ) {
+        let order = MatchOrder::new(&q);
+        let cancelled = AtomicBool::new(true);
+        let mut state = MatchState::default();
+        let (outcome, states) = is_subgraph_cancellable(&q, &g, &order, &mut state, &cancelled);
+        prop_assert_eq!(outcome, MatchOutcome::Cancelled);
+        prop_assert_eq!(states, 0);
+    }
+
+    /// CAM codes survive the audit hook's deterministic structural
+    /// shuffle (always-on promotion of
+    /// `audit::assert_cam_permutation_invariant`).
+    #[test]
+    fn cam_invariant_under_structural_shuffle(g in connected_graph(7, 3)) {
+        prop_assert_eq!(cam_code(&structural_shuffle(&g)), cam_code(&g));
+    }
+}
+
+/// Path of `n` label-0 nodes whose far endpoint carries a poison label,
+/// matched against a same-label clique: abundant deep partial matches,
+/// no full match — the search runs for minutes unless cancelled.
+#[test]
+fn mid_flight_cancel_stops_a_hopeless_search() {
+    let mut q = Graph::new();
+    let nodes: Vec<_> = (0..9)
+        .map(|i| q.add_node(Label(u16::from(i == 8))))
+        .collect();
+    for w in nodes.windows(2) {
+        q.add_edge(w[0], w[1]).unwrap();
+    }
+    let mut g = Graph::new();
+    let gn: Vec<_> = (0..20).map(|_| g.add_node(Label(0))).collect();
+    for i in 0..gn.len() {
+        for j in (i + 1)..gn.len() {
+            g.add_edge(gn[i], gn[j]).unwrap();
+        }
+    }
+    let order = MatchOrder::new(&q);
+    let cancel = std::sync::Arc::new(AtomicBool::new(false));
+    let arm = cancel.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        arm.store(true, Ordering::Release);
+    });
+    let mut state = MatchState::default();
+    let t0 = std::time::Instant::now();
+    let (outcome, states) = is_subgraph_cancellable(&q, &g, &order, &mut state, &cancel);
+    let elapsed = t0.elapsed();
+    canceller.join().unwrap();
+    assert_eq!(outcome, MatchOutcome::Cancelled);
+    assert!(
+        states > 0,
+        "search should have expanded states before the cancel"
+    );
+    // generous bound: polls fire every 64 expansions, so the search must
+    // stop well before a full exponential enumeration (minutes)
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "cancel took {elapsed:?} to be observed"
+    );
+}

@@ -38,6 +38,10 @@ pub const MODIFY_SUGGEST: &str = "modify.suggest";
 pub const VERIFY_EXACT: &str = "verify.exact";
 /// Similarity result generation at `run` time (fragment verification).
 pub const RESULTS_SIMILAR: &str = "results.similar";
+/// Joining/merging a parallel verification batch at `run` time (the wait
+/// for worker results; near zero when background verification already
+/// finished during think time).
+pub const PAR_VERIFY: &str = "par.verify";
 
 // ---- counters --------------------------------------------------------
 
@@ -71,6 +75,16 @@ pub const VERIFY_SIM_CANDIDATES: &str = "verify.sim.candidates";
 pub const VERIFY_SIM_EMBEDDINGS: &str = "verify.sim.embeddings";
 /// VF2 search states expanded across all verifications.
 pub const VERIFY_VF2_STATES: &str = "verify.vf2_states";
+/// Jobs executed by the verification thread pool.
+pub const PAR_JOBS: &str = "par.jobs";
+/// Jobs a worker stole from a sibling's queue.
+pub const PAR_STEALS: &str = "par.steals";
+/// Jobs that finished under a cancelled token (superseded work that
+/// stopped early).
+pub const PAR_CANCELLATIONS: &str = "par.cancellations";
+/// Nanoseconds workers spent executing jobs; divided by elapsed wall time
+/// times thread count this is the pool's utilization.
+pub const PAR_BUSY_NS: &str = "par.busy_ns";
 
 // ---- histograms ------------------------------------------------------
 
@@ -98,6 +112,7 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (MODIFY_SUGGEST, MetricKind::Span),
     (VERIFY_EXACT, MetricKind::Span),
     (RESULTS_SIMILAR, MetricKind::Span),
+    (PAR_VERIFY, MetricKind::Span),
     (SPIG_VERTICES, MetricKind::Counter),
     (A2F_HITS, MetricKind::Counter),
     (A2F_MISSES, MetricKind::Counter),
@@ -113,6 +128,10 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (VERIFY_SIM_CANDIDATES, MetricKind::Counter),
     (VERIFY_SIM_EMBEDDINGS, MetricKind::Counter),
     (VERIFY_VF2_STATES, MetricKind::Counter),
+    (PAR_JOBS, MetricKind::Counter),
+    (PAR_STEALS, MetricKind::Counter),
+    (PAR_CANCELLATIONS, MetricKind::Counter),
+    (PAR_BUSY_NS, MetricKind::Counter),
     (STORE_READ_NS, MetricKind::Histogram),
     (SPIG_LEVEL_WIDTH, MetricKind::Histogram),
     (SESSION_STEP_NS, MetricKind::Histogram),

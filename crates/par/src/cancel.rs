@@ -1,0 +1,61 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap clonable flag shared between the submitter
+//! of a job batch and the workers executing it. Cancellation is *advisory*:
+//! setting the flag never interrupts a job, it only asks the job to stop at
+//! its next poll point. PRAGUE's VF2 search polls the flag every few dozen
+//! search states, so an in-flight verification for a superseded formulation
+//! step winds down within microseconds of the flag being raised.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning produces another handle to the same
+/// flag; cancellation is one-way (there is no reset — superseded work gets
+/// a fresh token instead).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raise the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The raw atomic flag, for handing to poll loops that should not
+    /// depend on this crate (e.g. `prague_graph::vf2`'s cancellable
+    /// search takes an `&AtomicBool`).
+    pub fn flag(&self) -> &AtomicBool {
+        &self.flag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(a.flag().load(Ordering::Acquire));
+        // idempotent
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+}

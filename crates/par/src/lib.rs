@@ -1,0 +1,41 @@
+//! # prague-par
+//!
+//! A small, std-only work-stealing thread pool with cooperative
+//! cancellation, built for PRAGUE's verification hot path.
+//!
+//! PRAGUE's premise is that query processing hides inside GUI latency:
+//! every drawn edge triggers candidate maintenance, and the final `Run`
+//! click should find most verification work already done. This crate
+//! supplies the two primitives that make that safe:
+//!
+//! * [`Pool`] / [`Batch`] — chunked fan-out of VF2 candidate tests across
+//!   workers, with results returned in **submission order** so parallel
+//!   verification output is byte-identical to sequential;
+//! * [`CancelToken`] — when the user modifies the query, the in-flight
+//!   verification for the superseded step is cancelled and its workers
+//!   stop within a few dozen VF2 states (the paper's near-zero-cost
+//!   modification, extended from index maintenance to processing).
+//!
+//! Like `prague-obs`, the crate is dependency-free (standard library
+//! only) and reports its behavior through `par.*` metrics documented in
+//! `ARCHITECTURE.md`: `par.jobs`, `par.steals`, `par.cancellations`,
+//! `par.busy_ns`.
+//!
+//! ```
+//! use prague_par::{CancelToken, Pool};
+//! use prague_obs::Obs;
+//!
+//! let pool = Pool::new(4, Obs::disabled());
+//! let token = CancelToken::new();
+//! let jobs: Vec<_> = (0..8u64).map(|i| move |_t: &CancelToken| i + 1).collect();
+//! let results = pool.submit_batch(&token, jobs).join();
+//! assert_eq!(results[7], Some(8));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cancel;
+mod pool;
+
+pub use cancel::CancelToken;
+pub use pool::{Batch, Pool};

@@ -1,0 +1,134 @@
+//! Pool stress tests: rapid submit/cancel/resubmit cycles (the
+//! "user edits faster than verification finishes" pattern the session
+//! layer produces), clean drain on drop, and no lost results — each run
+//! under 1, 2 and 8 worker threads.
+
+use prague_obs::Obs;
+use prague_par::{CancelToken, Pool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A job that simulates one verification chunk: burn a little CPU, honor
+/// the token, and return its slot index so merges are checkable.
+fn chunk_job(idx: usize, work: u64) -> impl FnOnce(&CancelToken) -> (usize, bool) + Send + 'static {
+    move |token: &CancelToken| {
+        let mut acc = 0u64;
+        for i in 0..work {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            if i % 64 == 0 && token.is_cancelled() {
+                return (idx, true);
+            }
+        }
+        std::hint::black_box(acc);
+        (idx, false)
+    }
+}
+
+#[test]
+fn rapid_submit_cancel_resubmit_loses_nothing() {
+    for &threads in &THREAD_COUNTS {
+        let pool = Pool::new(threads, Obs::disabled());
+        // 40 simulated edit steps: each supersedes (cancels) the previous
+        // batch, like add_edge does on every new edge
+        let mut pending: Option<prague_par::Batch<(usize, bool)>> = None;
+        for step in 0..40u64 {
+            if let Some(prev) = pending.take() {
+                prev.cancel();
+                // superseded batches still complete: every slot filled
+                let results = prev.join();
+                assert_eq!(results.len(), 8);
+                assert!(
+                    results.iter().all(|r| r.is_some()),
+                    "lost a slot at {threads} threads"
+                );
+            }
+            let token = CancelToken::new();
+            let jobs: Vec<_> = (0..8).map(|i| chunk_job(i, 500 + step * 37)).collect();
+            pending = Some(pool.submit_batch(&token, jobs));
+        }
+        // the final, never-superseded batch must deliver all results
+        // uncancelled and in submission order
+        let last = pending.take().unwrap().join();
+        assert_eq!(last.len(), 8);
+        for (i, r) in last.iter().enumerate() {
+            let (idx, cancelled) = r.expect("final batch slot filled");
+            assert_eq!(idx, i, "slot order broken at {threads} threads");
+            assert!(!cancelled, "final batch saw a cancel at {threads} threads");
+        }
+        assert!(
+            pool.wait_idle(Duration::from_secs(10)),
+            "pool did not drain at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn drop_with_pending_batches_drains_cleanly() {
+    for &threads in &THREAD_COUNTS {
+        let ran = Arc::new(AtomicU64::new(0));
+        let batches: Vec<prague_par::Batch<u64>> = {
+            let pool = Pool::new(threads, Obs::disabled());
+            (0..12u64)
+                .map(|b| {
+                    let token = CancelToken::new();
+                    let jobs: Vec<_> = (0..4u64)
+                        .map(|j| {
+                            let ran = ran.clone();
+                            move |_: &CancelToken| {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                                b * 4 + j
+                            }
+                        })
+                        .collect();
+                    pool.submit_batch(&token, jobs)
+                })
+                .collect()
+            // pool dropped here with most batches still queued
+        };
+        assert_eq!(ran.load(Ordering::Relaxed), 48);
+        for (b, batch) in batches.into_iter().enumerate() {
+            assert!(batch.is_complete(), "batch {b} incomplete after drop");
+            let results = batch.join();
+            for (j, r) in results.into_iter().enumerate() {
+                assert_eq!(r, Some(b as u64 * 4 + j as u64));
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_batches_from_two_submitters() {
+    // two threads racing submissions at the same pool: results stay
+    // per-batch ordered and complete (the session never does this, but
+    // the pool must not rely on a single submitter)
+    for &threads in &THREAD_COUNTS {
+        let pool = Arc::new(Pool::new(threads, Obs::disabled()));
+        let handles: Vec<_> = (0..2)
+            .map(|s| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for round in 0..20usize {
+                        let token = CancelToken::new();
+                        let jobs: Vec<_> = (0..6).map(|i| chunk_job(i, 200)).collect();
+                        let batch = pool.submit_batch(&token, jobs);
+                        if round % 3 == s {
+                            batch.cancel();
+                        }
+                        let results = batch.join();
+                        assert_eq!(results.len(), 6);
+                        for (i, r) in results.iter().enumerate() {
+                            assert_eq!(r.expect("slot filled").0, i);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+    }
+}

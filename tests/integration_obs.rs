@@ -162,6 +162,62 @@ fn session_emits_only_documented_names_and_the_core_span_set() {
     assert_eq!(steps.count, 6, "one session.step_ns observation per action");
 }
 
+/// Similarity verification accounting regression pin: the session caches
+/// its `SimVerifier` (fragments + hoisted `MatchOrder`s) per canvas
+/// generation, so clicking Run repeatedly on an unmodified query must
+/// expand exactly the same number of VF2 states each time — no rebuild
+/// churn, no drift.
+#[test]
+fn repeat_runs_expand_identical_vf2_state_counts() {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 150,
+        seed: 0x0B51,
+        ..Default::default()
+    });
+    let mut system = PragueSystem::build_with_labels(
+        ds.db,
+        ds.labels,
+        SystemParams {
+            alpha: 0.1,
+            beta: 2,
+            // shallower than the 3-edge query below, so its top SPIG level
+            // is never indexed and SimVerify has real work to do
+            max_fragment_edges: 2,
+            ..Default::default()
+        },
+    )
+    .expect("system builds");
+    system.set_obs(Obs::enabled());
+    let c = system.labels().get("C").expect("carbon label");
+    let s = system.labels().get("S").expect("sulfur label");
+    let mut session = system.session(2);
+    let labels = [c, s, c, c];
+    let nodes: Vec<_> = labels.iter().map(|&l| session.add_node(l)).collect();
+    for w in nodes.windows(2) {
+        session.add_edge(w[0], w[1]).expect("connected step");
+    }
+    session.choose_similarity().expect("similarity switch");
+
+    let states = |sys: &PragueSystem| {
+        sys.obs()
+            .snapshot()
+            .expect("obs enabled")
+            .counter(names::VERIFY_VF2_STATES)
+            .unwrap_or(0)
+    };
+    let mut marks = vec![states(&system)];
+    for _ in 0..3 {
+        session.run().expect("runnable");
+        marks.push(states(&system));
+    }
+    let deltas: Vec<u64> = marks.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(deltas[0] > 0, "similarity run must verify something");
+    assert!(
+        deltas.windows(2).all(|w| w[0] == w[1]),
+        "vf2 state count drifted across repeat runs: {deltas:?}"
+    );
+}
+
 #[test]
 fn edge_step_wall_clock_is_attributed_to_phases() {
     let snap = instrumented_session_snapshot();
