@@ -16,7 +16,6 @@ use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
 use prague_graph::{cam_code, GraphDb, GraphId};
 use prague_index::{A2fIndex, A2iIndex};
 use prague_spig::{EdgeLabelId, QueryError, VisualQuery};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A GBLENDER formulation session.
@@ -79,15 +78,10 @@ impl<'a> GBlenderSession<'a> {
         let cam = cam_code(g);
         // Whole fragment indexed: exact ids, no history needed.
         if let Some(fid) = self.a2f.lookup(&cam) {
-            return self
-                .a2f
-                .fsg_ids(fid)
-                .expect("DF store readable")
-                .as_ref()
-                .clone();
+            return self.a2f.fsg_ids(fid).expect("DF store readable").to_vec();
         }
         if let Some(did) = self.a2i.lookup(&cam) {
-            return self.a2i.fsg_ids(did).as_ref().clone();
+            return self.a2i.fsg_ids(did).to_vec();
         }
         if g.edge_count() == 1 {
             // unindexed single edge: zero support
@@ -96,13 +90,13 @@ impl<'a> GBlenderSession<'a> {
         // Otherwise: intersect the previous R_q with the FSG ids of every
         // indexed largest proper subgraph and every DIF formed by the newest
         // edge (GBLENDER's per-step discriminative information).
-        let mut lists: Vec<Arc<Vec<GraphId>>> = Vec::new();
+        let mut lists: Vec<Vec<GraphId>> = Vec::new();
         let levels = connected_edge_subsets_by_size(g).expect("small query");
         let size = g.edge_count();
         for &mask in &levels[size - 1] {
             let (sub, _) = g.edge_subgraph(&mask_edges(mask));
             if let Some(fid) = self.a2f.lookup(&cam_code(&sub)) {
-                lists.push(self.a2f.fsg_ids(fid).expect("DF store readable"));
+                lists.push(self.a2f.fsg_ids(fid).expect("DF store readable").to_vec());
             }
         }
         // DIFs among subgraphs containing the newest edge slot.
@@ -120,7 +114,7 @@ impl<'a> GBlenderSession<'a> {
             for &mask in level {
                 let (sub, _) = g.edge_subgraph(&mask_edges(mask));
                 if let Some(did) = self.a2i.lookup(&cam_code(&sub)) {
-                    lists.push(self.a2i.fsg_ids(did));
+                    lists.push(self.a2i.fsg_ids(did).to_vec());
                 }
             }
         }

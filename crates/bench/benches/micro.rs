@@ -182,6 +182,7 @@ fn bench_spig_and_candidates(c: &mut Criterion) {
                 &indexes.a2f,
                 &indexes.a2i,
                 db.len(),
+                None,
             )
         })
     });

@@ -1,0 +1,224 @@
+//! Candidate-engine profile: measure what the CAM-keyed memo and the
+//! compressed `IdSet` representation buy during a realistic repeated-edit
+//! formulation workload, with the memo on vs off *in the same run*.
+//!
+//! Workload per query: formulate edge-at-a-time, opt into similarity
+//! (σ = 3, so every further step refreshes up to four SPIG levels), finish
+//! the query, then run `EDIT_CYCLES` delete/re-add cycles on the last
+//! deletable edge — the paper's query-modification loop, which the memo
+//! turns into pure cache replay. Candidate-generation time is read from
+//! the `candidates.exact` / `candidates.similar` observability spans,
+//! which wrap exactly the per-action candidate refresh (no SPIG
+//! maintenance, no session bookkeeping, no trace collection); the report
+//! also records the `cand.*` counters and the memoized `IdSet` heap
+//! bytes.
+//!
+//! Hard checks, not just reporting:
+//! * both modes produce byte-identical exact candidates at every step;
+//! * the first re-add of a deleted fragment is served from the memo
+//!   (`cand.memo_hits` grows);
+//! * memo-on candidate generation is ≥ 2× faster than memo-off.
+//!
+//! Output path: `BENCH_cand.json` in the working directory, overridable
+//! via `PRAGUE_CAND_OUT`.
+
+use prague::SystemParams;
+use prague_datagen::MoleculeConfig;
+use prague_graph::GraphId;
+use prague_mining::mine_classified;
+use prague_obs::{names, Obs};
+use std::time::Duration;
+
+/// Delete/re-add cycles per query after formulation.
+const EDIT_CYCLES: usize = 16;
+/// Mining size cap: deliberately below the largest query size (the
+/// FG-Index-style configuration the paper assumes for big databases),
+/// so upper SPIG levels are NIFs whose candidate sets require real
+/// intersection work — the generation path the memo exists to replay.
+const MINE_CAP: usize = 4;
+/// Workload repetitions per mode; the first is discarded as warm-up.
+const REPEATS: usize = 4;
+const SIGMA: usize = 3;
+
+#[derive(Default)]
+struct ModeStats {
+    cand_time: Duration,
+    memo_hits: u64,
+    memo_misses: u64,
+    idset_bytes: u64,
+    /// Exact candidates observed after every action, for cross-mode
+    /// equality.
+    trace: Vec<Vec<GraphId>>,
+}
+
+fn main() {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 4000,
+        seed: 0xCA2D,
+        ..Default::default()
+    });
+    let mining = mine_classified(&ds.db, 0.1, MINE_CAP);
+    let frequent: Vec<_> = mining.frequent.iter().map(|f| f.graph.clone()).collect();
+    let mut system = prague::PragueSystem::from_mining_result(
+        ds.db,
+        ds.labels,
+        mining,
+        SystemParams {
+            alpha: 0.1,
+            beta: 8,
+            max_fragment_edges: MINE_CAP,
+            ..Default::default()
+        },
+    )
+    .expect("index build");
+    // Warm the DF store so neither mode pays first-touch blob reads.
+    system.warm().expect("fresh store warms");
+    let specs = prague_bench::derive_queries(&system, &frequent, "C");
+
+    let mut first_readd_hit = false;
+    let mut stats: Vec<(bool, ModeStats)> = Vec::new();
+    for memo_on in [false, true] {
+        system.set_obs(Obs::enabled());
+        let mut ms = ModeStats::default();
+        for rep in 0..REPEATS {
+            let measured = rep > 0;
+            if rep == 1 {
+                // Fresh handle after the warm-up rep: the end-of-mode
+                // snapshot below covers exactly the measured reps.
+                system.set_obs(Obs::enabled());
+            }
+            if measured {
+                ms.trace.clear();
+            }
+            for spec in &specs {
+                let mut session = system.session(SIGMA);
+                session.set_memo_enabled(memo_on);
+                let nodes: Vec<_> = spec
+                    .node_labels
+                    .iter()
+                    .map(|&l| session.add_node(l))
+                    .collect();
+                // Similarity from the 2nd edge on: every later step
+                // refreshes all σ+1 levels, the engine's hottest path.
+                for (i, &(u, v)) in spec.edges.iter().enumerate() {
+                    session
+                        .add_edge(nodes[u as usize], nodes[v as usize])
+                        .expect("spec edges valid");
+                    if measured {
+                        ms.trace.push(session.exact_candidates());
+                    }
+                    if i == 1 {
+                        session.choose_similarity().expect("in-memory reads");
+                    }
+                }
+                // Repeated-edit phase: delete + re-add the same edge.
+                let hits_before_edits = memo_hits(&system);
+                for _ in 0..EDIT_CYCLES {
+                    let edges = session.query().live_edges();
+                    let Some(&(label, u, v)) = edges
+                        .iter()
+                        .find(|&&(l, _, _)| session.query().edge_is_deletable(l))
+                    else {
+                        break;
+                    };
+                    session.delete_edge(label).expect("deletable");
+                    if measured {
+                        ms.trace.push(session.exact_candidates());
+                    }
+                    session.add_edge(u, v).expect("re-addable");
+                    if measured {
+                        ms.trace.push(session.exact_candidates());
+                    }
+                    if memo_on && !first_readd_hit {
+                        first_readd_hit = memo_hits(&system) > hits_before_edits;
+                    }
+                }
+            }
+        }
+        let snap = system.obs().snapshot().expect("obs enabled");
+        eprintln!(
+            "[cand-engine]   exact: {} spans {:.2}ms | similar: {} spans {:.2}ms",
+            snap.span_count_by_name(names::CANDIDATES_EXACT),
+            snap.span_total_ns_by_name(names::CANDIDATES_EXACT) as f64 / 1e6,
+            snap.span_count_by_name(names::CANDIDATES_SIMILAR),
+            snap.span_total_ns_by_name(names::CANDIDATES_SIMILAR) as f64 / 1e6,
+        );
+        ms.cand_time = Duration::from_nanos(
+            snap.span_total_ns_by_name(names::CANDIDATES_EXACT)
+                + snap.span_total_ns_by_name(names::CANDIDATES_SIMILAR),
+        );
+        let counter = |n: &str| snap.counter(n).unwrap_or(0);
+        ms.memo_hits = counter(names::CAND_MEMO_HITS);
+        ms.memo_misses = counter(names::CAND_MEMO_MISSES);
+        ms.idset_bytes = counter(names::CAND_IDSET_BYTES);
+        stats.push((memo_on, ms));
+    }
+
+    let (off, on) = (&stats[0].1, &stats[1].1);
+    assert_eq!(
+        off.trace, on.trace,
+        "memo-on candidates diverge from memo-off"
+    );
+    assert!(
+        first_readd_hit,
+        "first re-add of a deleted fragment must hit the memo"
+    );
+    let speedup = off.cand_time.as_secs_f64() / on.cand_time.as_secs_f64().max(1e-9);
+    for (memo_on, ms) in &stats {
+        eprintln!(
+            "[cand-engine] memo {}: cand {:.2}ms | hits {} misses {} idset_bytes {}",
+            if *memo_on { "on " } else { "off" },
+            ms.cand_time.as_secs_f64() * 1e3,
+            ms.memo_hits,
+            ms.memo_misses,
+            ms.idset_bytes
+        );
+    }
+    eprintln!("[cand-engine] candidate-generation speedup: {speedup:.2}x (memo on vs off)");
+    assert!(
+        speedup >= 2.0,
+        "memo must make repeated-edit candidate generation >= 2x faster, got {speedup:.2}x"
+    );
+
+    let entries: Vec<String> = stats
+        .iter()
+        .map(|(memo_on, ms)| {
+            format!(
+                concat!(
+                    "{{\"memo\":{},\"cand_ms\":{:.3},\"memo_hits\":{},",
+                    "\"memo_misses\":{},\"idset_bytes\":{}}}"
+                ),
+                memo_on,
+                ms.cand_time.as_secs_f64() * 1e3,
+                ms.memo_hits,
+                ms.memo_misses,
+                ms.idset_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"experiment\":\"cand_engine\",\"queries\":{},\"edit_cycles\":{},",
+            "\"repeats\":{},\"sigma\":{},\"speedup\":{:.3},",
+            "\"first_readd_hit\":{},\"modes\":[{}]}}"
+        ),
+        specs.len(),
+        EDIT_CYCLES,
+        REPEATS - 1,
+        SIGMA,
+        speedup,
+        first_readd_hit,
+        entries.join(",")
+    );
+    let out = std::env::var("PRAGUE_CAND_OUT").unwrap_or_else(|_| "BENCH_cand.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_cand.json");
+    eprintln!("[cand-engine] wrote {out} ({} bytes)", json.len());
+}
+
+fn memo_hits(system: &prague::PragueSystem) -> u64 {
+    system
+        .obs()
+        .snapshot()
+        .and_then(|s| s.counter(names::CAND_MEMO_HITS))
+        .unwrap_or(0)
+}

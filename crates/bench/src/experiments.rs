@@ -543,12 +543,11 @@ pub fn ablations(wb: &Workbench) {
             let mut moved = prague::SimilarCandidates::default();
             for (&level, lc) in &cands.levels {
                 let mut all = lc.free.clone();
-                all.extend_from_slice(&lc.ver);
-                all.sort_unstable();
+                all.union_with(&lc.ver);
                 moved.levels.insert(
                     level,
                     prague::LevelCandidates {
-                        free: Vec::new(),
+                        free: prague_idset::IdSet::new(),
                         ver: all,
                     },
                 );

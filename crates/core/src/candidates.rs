@@ -1,129 +1,231 @@
 //! Candidate generation: `ExactSubCandidates` (Algorithm 3) and
-//! `SimilarSubCandidates` (Algorithm 4).
+//! `SimilarSubCandidates` (Algorithm 4), on top of the compressed
+//! candidate-set engine ([`prague_idset::IdSet`]).
 //!
 //! Both operate purely on SPIG vertices and the action-aware indexes — no
 //! data graph is touched until verification. Exact candidates for an indexed
 //! fragment are its FSG ids (verification-free when the query *is* the
 //! fragment); for a NIF they are the intersection of the FSG ids of its
 //! frequent Φ-subgraphs and DIF Υ-subgraphs, a superset of the true answer.
+//!
+//! A fragment's candidate set is a pure function of its isomorphism class
+//! (CAM code) and the indexes, and identical CAM fragments recur across SPIG
+//! levels, across the SPIGs of different anchor edges, and across successive
+//! edits — so generation is memoized in a CAM-keyed [`CandMemo`]. `Session`
+//! holds one memo for its whole lifetime; see ARCHITECTURE.md
+//! ("Candidate-set engine") for the invalidation rules.
 
-use prague_graph::GraphId;
+use prague_graph::{CamCode, GraphId};
+use prague_idset::{intersect_all, IdSet, Memo};
 use prague_index::{A2fIndex, A2iIndex, StoreError};
+use prague_obs::{names, Obs};
 use prague_spig::{SpigSet, SpigVertex};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Intersect several sorted ascending id lists (smallest list first for
-/// early exit).
-pub fn intersect_sorted(mut lists: Vec<Arc<Vec<GraphId>>>) -> Vec<GraphId> {
-    if lists.is_empty() {
-        return Vec::new();
-    }
-    lists.sort_by_key(|l| l.len());
-    let mut acc: Vec<GraphId> = lists[0].as_ref().clone();
-    for list in &lists[1..] {
-        if acc.is_empty() {
-            break;
-        }
-        let mut out = Vec::with_capacity(acc.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        let b = list.as_slice();
-        while i < acc.len() && j < b.len() {
-            match acc[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(acc[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        acc = out;
-    }
-    acc
-}
-
-/// Union two sorted ascending id lists.
-pub fn union_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
-}
-
-/// Sorted difference `a \ b`.
-pub fn difference_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
-    let mut out = Vec::new();
-    let mut j = 0usize;
-    for &x in a {
-        while j < b.len() && b[j] < x {
-            j += 1;
-        }
-        if j >= b.len() || b[j] != x {
-            out.push(x);
-        }
-    }
-    out
-}
-
-/// `ExactSubCandidates` (Algorithm 3): the candidate FSG ids for the
-/// fragment represented by SPIG vertex `v`.
+/// CAM-keyed memo of candidate sets, instrumented via `prague-obs`
+/// (`cand.memo_hits` / `cand.memo_misses` / `cand.idset_bytes`).
 ///
-/// * indexed frequent fragment → its exact `fsgIds` from A²F;
+/// Entries are keyed by the fragment's CAM code alone: the cached set
+/// depends only on the isomorphism class and the action-aware indexes, and
+/// the indexes cannot change while a `Session` borrows the system (index
+/// mutation requires `&mut PragueSystem`). A system-level index epoch is
+/// still snapshotted defensively — see [`crate::Session`].
+pub struct CandMemo {
+    inner: Mutex<Memo<CamCode>>,
+    /// Second tier: whole [`SimilarCandidates`] keyed by the full query's
+    /// CAM code (its level-`|q|` SPIG vertex) and σ. The complete per-level
+    /// output is a pure function of the query's isomorphism class, σ, and
+    /// the indexes, so replaying an earlier query state — the delete/re-add
+    /// loop — skips even the SPIG fragment walk and per-level union work.
+    similar: Mutex<BTreeMap<(CamCode, usize), Arc<SimilarCandidates>>>,
+    obs: Obs,
+}
+
+impl std::fmt::Debug for CandMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandMemo")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl CandMemo {
+    /// An empty memo reporting to `obs`.
+    pub fn new(obs: Obs) -> Self {
+        CandMemo {
+            inner: Mutex::new(Memo::new()),
+            similar: Mutex::new(BTreeMap::new()),
+            obs,
+        }
+    }
+
+    /// The cached candidate set for `cam`, if present. Counts one
+    /// `cand.memo_hits` or `cand.memo_misses`.
+    pub fn lookup(&self, cam: &CamCode) -> Option<Arc<IdSet>> {
+        let hit = self.lock().get(cam);
+        match hit {
+            Some(_) => self.obs.add(names::CAND_MEMO_HITS, 1),
+            None => self.obs.add(names::CAND_MEMO_MISSES, 1),
+        }
+        hit
+    }
+
+    /// Cache `set` under `cam`, growing `cand.idset_bytes` by the admitted
+    /// heap footprint.
+    pub fn admit(&self, cam: &CamCode, set: Arc<IdSet>) {
+        let mut memo = self.lock();
+        let before = memo.bytes();
+        if memo.insert(cam.clone(), set) {
+            let grown = memo.bytes().saturating_sub(before);
+            drop(memo);
+            self.obs.add(names::CAND_IDSET_BYTES, grown as u64);
+        }
+    }
+
+    /// The cached whole-query similarity output for the query whose full
+    /// fragment has CAM code `cam`, at slack `sigma`. Counts one
+    /// `cand.memo_hits` or `cand.memo_misses`.
+    pub fn lookup_similar(&self, cam: &CamCode, sigma: usize) -> Option<Arc<SimilarCandidates>> {
+        let hit = self.lock_similar().get(&(cam.clone(), sigma)).cloned();
+        match hit {
+            Some(_) => self.obs.add(names::CAND_MEMO_HITS, 1),
+            None => self.obs.add(names::CAND_MEMO_MISSES, 1),
+        }
+        hit
+    }
+
+    /// Cache a whole-query similarity output, growing `cand.idset_bytes` by
+    /// the admitted heap footprint.
+    pub fn admit_similar(&self, cam: &CamCode, sigma: usize, sc: Arc<SimilarCandidates>) {
+        let bytes = similar_heap_bytes(&sc);
+        if self
+            .lock_similar()
+            .insert((cam.clone(), sigma), sc)
+            .is_none()
+        {
+            self.obs.add(names::CAND_IDSET_BYTES, bytes as u64);
+        }
+    }
+
+    /// Number of cached fragment classes.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Approximate heap bytes retained by cached sets (both tiers).
+    pub fn bytes(&self) -> usize {
+        let similar_bytes: usize = self
+            .lock_similar()
+            .values()
+            .map(|sc| similar_heap_bytes(sc))
+            .sum();
+        self.lock().bytes() + similar_bytes
+    }
+
+    /// Drop every entry (index-epoch invalidation).
+    pub fn clear(&self) {
+        self.lock().clear();
+        self.lock_similar().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Memo<CamCode>> {
+        // A poisoned lock only means a panic mid-insert; the map itself is
+        // always structurally valid, so keep serving it.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn lock_similar(
+        &self,
+    ) -> std::sync::MutexGuard<'_, BTreeMap<(CamCode, usize), Arc<SimilarCandidates>>> {
+        match self.similar.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// Heap footprint of a cached whole-query similarity output.
+fn similar_heap_bytes(sc: &SimilarCandidates) -> usize {
+    sc.levels
+        .values()
+        .map(|lc| lc.free.heap_bytes() + lc.ver.heap_bytes())
+        .sum()
+}
+
+/// `ExactSubCandidates` (Algorithm 3) as a shared compressed set: the
+/// candidate FSG ids for the fragment represented by SPIG vertex `v`.
+///
+/// * indexed frequent fragment → its exact `fsgIds` from A²F (shared
+///   directly with the index cache — no copy);
 /// * indexed DIF → its exact `fsgIds` from A²I;
 /// * NIF → intersection over Φ (A²F lookups) and Υ (A²I lookups), a
 ///   superset that needs verification;
 /// * dead (contains a zero-support edge) → `∅`, exactly.
 ///
-/// `db_len` bounds the degenerate no-information case (never produced by a
-/// well-formed SPIG over complete indexes, but handled defensively).
+/// The degenerate no-information case (never produced by a well-formed SPIG
+/// over complete indexes, but handled defensively) is the lazy universe
+/// `[0, db_len)` — nothing is materialized just to be intersected away.
+///
+/// With `memo`, the whole computation is skipped for a CAM class seen
+/// before (any level, any SPIG, any earlier edit of the session).
+pub fn exact_sub_candidate_set(
+    v: &SpigVertex,
+    a2f: &A2fIndex,
+    a2i: &A2iIndex,
+    db_len: usize,
+    memo: Option<&CandMemo>,
+) -> Result<Arc<IdSet>, StoreError> {
+    let fl = &v.fragment_list;
+    if fl.dead {
+        return Ok(Arc::new(IdSet::new()));
+    }
+    if let Some(hit) = memo.and_then(|m| m.lookup(&v.cam)) {
+        return Ok(hit);
+    }
+    let set = if let Some(fid) = fl.freq_id {
+        a2f.fsg_ids(fid)?
+    } else if let Some(did) = fl.dif_id {
+        a2i.fsg_ids(did)
+    } else {
+        let mut lists: Vec<Arc<IdSet>> = Vec::with_capacity(fl.phi.len() + fl.upsilon.len());
+        for &fid in &fl.phi {
+            lists.push(a2f.fsg_ids(fid)?);
+        }
+        for &did in &fl.upsilon {
+            lists.push(a2i.fsg_ids(did));
+        }
+        if lists.is_empty() {
+            Arc::new(IdSet::universe(db_len as u32))
+        } else {
+            Arc::new(intersect_all(lists))
+        }
+    };
+    if let Some(m) = memo {
+        m.admit(&v.cam, set.clone());
+    }
+    Ok(set)
+}
+
+/// [`exact_sub_candidate_set`] materialized into the legacy sorted-`Vec`
+/// shape (compatibility surface for baselines and experiments; the
+/// interactive pipeline stays on sets).
 pub fn exact_sub_candidates(
     v: &SpigVertex,
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
 ) -> Result<Vec<GraphId>, StoreError> {
-    let fl = &v.fragment_list;
-    if fl.dead {
-        return Ok(Vec::new());
-    }
-    if let Some(fid) = fl.freq_id {
-        return Ok(a2f.fsg_ids(fid)?.as_ref().clone());
-    }
-    if let Some(did) = fl.dif_id {
-        return Ok(a2i.fsg_ids(did).as_ref().clone());
-    }
-    let mut lists: Vec<Arc<Vec<GraphId>>> = Vec::with_capacity(fl.phi.len() + fl.upsilon.len());
-    for &fid in &fl.phi {
-        lists.push(a2f.fsg_ids(fid)?);
-    }
-    for &did in &fl.upsilon {
-        lists.push(a2i.fsg_ids(did));
-    }
-    if lists.is_empty() {
-        // No pruning information at all: fall back to the full id range.
-        return Ok((0..db_len as GraphId).collect());
-    }
-    Ok(intersect_sorted(lists))
+    Ok(exact_sub_candidate_set(v, a2f, a2i, db_len, None)?.to_vec())
 }
 
 /// Whether the fragment of `v` is *exactly* indexed, making its candidate
@@ -136,10 +238,10 @@ pub fn is_verification_free(v: &SpigVertex) -> bool {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LevelCandidates {
     /// `R_free(i)`: verification-free candidates (from indexed fragments).
-    pub free: Vec<GraphId>,
+    pub free: IdSet,
     /// `R_ver(i)`: candidates needing verification (from NIF fragments),
     /// already excluding `free`.
-    pub ver: Vec<GraphId>,
+    pub ver: IdSet,
 }
 
 impl LevelCandidates {
@@ -161,24 +263,20 @@ impl SimilarCandidates {
     /// `|⋃_i R_free(i) ∪ R_ver(i)|` — the candidate-set size reported in the
     /// paper's Figures 9(b)–(e) and 10(d)–(e).
     pub fn distinct_candidates(&self) -> usize {
-        let mut all: Vec<GraphId> = Vec::new();
+        let mut all = IdSet::new();
         for lc in self.levels.values() {
-            all.extend_from_slice(&lc.free);
-            all.extend_from_slice(&lc.ver);
+            all.union_with(&lc.free);
+            all.union_with(&lc.ver);
         }
-        all.sort_unstable();
-        all.dedup();
         all.len()
     }
 
     /// Distinct verification-free candidates across levels.
     pub fn distinct_free(&self) -> usize {
-        let mut all: Vec<GraphId> = Vec::new();
+        let mut all = IdSet::new();
         for lc in self.levels.values() {
-            all.extend_from_slice(&lc.free);
+            all.union_with(&lc.free);
         }
-        all.sort_unstable();
-        all.dedup();
         all.len()
     }
 }
@@ -209,6 +307,11 @@ pub fn distinct_level_fragments(
 /// as Definition 3 requires; when `R_q = ∅` the extra level contributes
 /// nothing, and every level-`|q|` candidate is also a level-`|q|−1`
 /// candidate, so reported candidate-set sizes are unchanged.
+///
+/// `memo` short-circuits per-fragment generation exactly as in
+/// [`exact_sub_candidate_set`], and additionally caches the *whole* output
+/// keyed by the query's own CAM code and σ — a replayed query state (the
+/// delete/re-add loop) returns without walking any SPIG level.
 pub fn similar_sub_candidates(
     q_size: usize,
     sigma: usize,
@@ -216,25 +319,43 @@ pub fn similar_sub_candidates(
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
+    memo: Option<&CandMemo>,
 ) -> Result<SimilarCandidates, StoreError> {
     let mut out = SimilarCandidates::default();
     if q_size == 0 {
         return Ok(out);
     }
+    // Whole-query tier: the complete per-level output is a pure function
+    // of the query's isomorphism class (the CAM of its level-|q| SPIG
+    // vertex), σ, and the indexes — so a replayed query state (the
+    // delete/re-add loop) returns without walking any SPIG level.
+    let top_cam: Option<CamCode> = memo.and_then(|_| {
+        distinct_level_fragments(set, q_size)
+            .first()
+            .map(|(v, _)| v.cam.clone())
+    });
+    if let (Some(m), Some(cam)) = (memo, top_cam.as_ref()) {
+        if let Some(sc) = m.lookup_similar(cam, sigma) {
+            return Ok(sc.as_ref().clone());
+        }
+    }
     let lowest = q_size.saturating_sub(sigma).max(1);
     for i in (lowest..=q_size).rev() {
-        let mut free: Vec<GraphId> = Vec::new();
-        let mut ver: Vec<GraphId> = Vec::new();
+        let mut free = IdSet::new();
+        let mut ver = IdSet::new();
         for (v, _mask) in distinct_level_fragments(set, i) {
-            let cands = exact_sub_candidates(v, a2f, a2i, db_len)?;
+            let cands = exact_sub_candidate_set(v, a2f, a2i, db_len, memo)?;
             if is_verification_free(v) {
-                free = union_sorted(&free, &cands);
+                free.union_with(cands.as_ref());
             } else {
-                ver = union_sorted(&ver, &cands);
+                ver.union_with(cands.as_ref());
             }
         }
-        let ver = difference_sorted(&ver, &free);
+        ver.difference_with(&free);
         out.levels.insert(i, LevelCandidates { free, ver });
+    }
+    if let (Some(m), Some(cam)) = (memo, top_cam.as_ref()) {
+        m.admit_similar(cam, sigma, Arc::new(out.clone()));
     }
     Ok(out)
 }
@@ -243,35 +364,15 @@ pub fn similar_sub_candidates(
 mod tests {
     use super::*;
 
-    fn arcs(lists: &[&[GraphId]]) -> Vec<Arc<Vec<GraphId>>> {
-        lists.iter().map(|l| Arc::new(l.to_vec())).collect()
-    }
-
-    #[test]
-    fn intersect_basics() {
-        assert_eq!(
-            intersect_sorted(arcs(&[&[1, 2, 3, 5], &[2, 3, 7], &[0, 2, 3]])),
-            vec![2, 3]
-        );
-        assert_eq!(intersect_sorted(arcs(&[&[1, 2]])), vec![1, 2]);
-        assert_eq!(intersect_sorted(vec![]), Vec::<GraphId>::new());
-        assert_eq!(intersect_sorted(arcs(&[&[1], &[2]])), Vec::<GraphId>::new());
-    }
-
-    #[test]
-    fn union_and_difference() {
-        assert_eq!(union_sorted(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
-        assert_eq!(union_sorted(&[], &[1]), vec![1]);
-        assert_eq!(difference_sorted(&[1, 2, 3], &[2]), vec![1, 3]);
-        assert_eq!(difference_sorted(&[], &[2]), Vec::<GraphId>::new());
-        assert_eq!(difference_sorted(&[1, 2], &[]), vec![1, 2]);
+    fn set(ids: &[GraphId]) -> IdSet {
+        IdSet::from_sorted_slice(ids)
     }
 
     #[test]
     fn level_candidates_total() {
         let lc = LevelCandidates {
-            free: vec![1, 2],
-            ver: vec![3],
+            free: set(&[1, 2]),
+            ver: set(&[3]),
         };
         assert_eq!(lc.total(), 3);
     }
@@ -282,18 +383,46 @@ mod tests {
         sc.levels.insert(
             3,
             LevelCandidates {
-                free: vec![1, 2],
-                ver: vec![3],
+                free: set(&[1, 2]),
+                ver: set(&[3]),
             },
         );
         sc.levels.insert(
             2,
             LevelCandidates {
-                free: vec![2, 4],
-                ver: vec![3, 5],
+                free: set(&[2, 4]),
+                ver: set(&[3, 5]),
             },
         );
         assert_eq!(sc.distinct_candidates(), 5);
         assert_eq!(sc.distinct_free(), 3);
+    }
+
+    #[test]
+    fn memo_round_trips_and_counts() {
+        let obs = Obs::enabled();
+        let memo = CandMemo::new(obs.clone());
+        let cam = prague_graph::cam_code(&{
+            let mut g = prague_graph::Graph::new();
+            let a = g.add_node(prague_graph::Label(0));
+            let b = g.add_node(prague_graph::Label(1));
+            g.add_edge(a, b).unwrap();
+            g
+        });
+        assert!(memo.lookup(&cam).is_none());
+        memo.admit(&cam, Arc::new(set(&[1, 5])));
+        assert_eq!(
+            memo.lookup(&cam).map(|s| s.to_vec()),
+            Some(vec![1, 5]),
+            "admitted set is returned"
+        );
+        assert!(memo.bytes() > 0);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter(names::CAND_MEMO_HITS), Some(1));
+        assert_eq!(snap.counter(names::CAND_MEMO_MISSES), Some(1));
+        assert!(snap.counter(names::CAND_IDSET_BYTES).unwrap_or(0) > 0);
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.bytes(), 0);
     }
 }

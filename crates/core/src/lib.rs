@@ -51,7 +51,8 @@ pub mod session;
 pub mod verify;
 
 pub use candidates::{
-    exact_sub_candidates, similar_sub_candidates, LevelCandidates, SimilarCandidates,
+    exact_sub_candidate_set, exact_sub_candidates, similar_sub_candidates, CandMemo,
+    LevelCandidates, SimilarCandidates,
 };
 pub use history::{ActionKind, ActionRecord, SessionLog};
 pub use modify::{deletion_options, suggest_deletion, DeletionSuggestion};
@@ -118,6 +119,9 @@ pub struct PragueSystem {
     stats: BuildStats,
     /// Graphs inserted since construction (see `insert_graph`).
     inserted: usize,
+    /// Bumped on every index mutation; [`Session`]s snapshot it so their
+    /// CAM-keyed candidate memos can detect (and discard on) index drift.
+    index_epoch: u64,
     obs: Obs,
     /// Verification worker count; 1 = sequential (no pool).
     threads: usize,
@@ -182,6 +186,7 @@ impl PragueSystem {
             params,
             stats,
             inserted: 0,
+            index_epoch: 0,
             obs: Obs::disabled(),
             threads: 1,
             pool: None,
@@ -308,7 +313,15 @@ impl PragueSystem {
             .a2i
             .register_graph(gid, &g, |cam| a2f.lookup(cam).is_some());
         self.inserted += 1;
+        self.index_epoch += 1;
         Ok(gid)
+    }
+
+    /// Monotone version counter of the action-aware indexes: bumped by
+    /// every [`PragueSystem::insert_graph`]. Cached candidate sets are
+    /// valid only within one epoch.
+    pub fn index_epoch(&self) -> u64 {
+        self.index_epoch
     }
 
     /// Fraction of the database inserted since the last full build.

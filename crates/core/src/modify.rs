@@ -8,11 +8,19 @@
 //! largest candidate set. The user is free to delete any other edge; either
 //! way the SPIG set is updated by dropping `S_d` and every vertex whose
 //! Edge List contains `e_d` — no per-step recomputation, unlike GBLENDER.
+//!
+//! Probing every deletable edge touches one level-(`|q|−1`) fragment per
+//! edge — exactly the fragments the session's [`CandMemo`] already holds
+//! from formulating the prefix, so with the memo attached the whole probe
+//! is cache replay: sets are compared by [`prague_idset::IdSet::len`]
+//! (no materialization) and only the winner is expanded into ids.
 
-use crate::candidates::exact_sub_candidates;
+use crate::candidates::{exact_sub_candidate_set, CandMemo};
 use prague_graph::GraphId;
+use prague_idset::IdSet;
 use prague_index::{A2fIndex, A2iIndex, StoreError};
 use prague_spig::{EdgeLabelId, SpigSet, VisualQuery};
+use std::sync::Arc;
 
 /// A deletion suggestion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,16 +33,18 @@ pub struct DeletionSuggestion {
 
 /// Evaluate every deletable edge and return the best suggestion
 /// (Algorithm 6, lines 3–8). Returns `None` when no single-edge deletion
-/// keeps the query connected, or the query is trivial.
+/// keeps the query connected, or the query is trivial. With `memo`, the
+/// per-edge candidate sets are served from the session's CAM-keyed cache.
 pub fn suggest_deletion(
     query: &VisualQuery,
     set: &SpigSet,
     a2f: &A2fIndex,
     a2i: &A2iIndex,
     db_len: usize,
+    memo: Option<&CandMemo>,
 ) -> Result<Option<DeletionSuggestion>, StoreError> {
     let live = query.live_mask();
-    let mut best: Option<DeletionSuggestion> = None;
+    let mut best: Option<(EdgeLabelId, Arc<IdSet>)> = None;
     for label in query.live_labels() {
         if !query.edge_is_deletable(label) {
             continue;
@@ -44,19 +54,19 @@ pub fn suggest_deletion(
         let Some(vertex) = set.vertex_by_mask(mask) else {
             continue;
         };
-        let candidates = exact_sub_candidates(vertex, a2f, a2i, db_len)?;
+        let candidates = exact_sub_candidate_set(vertex, a2f, a2i, db_len, memo)?;
         let better = match &best {
             None => true,
-            Some(b) => candidates.len() > b.candidates.len(),
+            Some((_, b)) => candidates.len() > b.len(),
         };
         if better {
-            best = Some(DeletionSuggestion {
-                edge: label,
-                candidates,
-            });
+            best = Some((label, candidates));
         }
     }
-    Ok(best)
+    Ok(best.map(|(edge, set)| DeletionSuggestion {
+        edge,
+        candidates: set.to_vec(),
+    }))
 }
 
 /// Candidate count for each deletable edge (diagnostics / UI display).
@@ -75,7 +85,8 @@ pub fn deletion_options(
         }
         let mask = live & !(1u64 << (label - 1));
         if let Some(vertex) = set.vertex_by_mask(mask) {
-            out.push((label, exact_sub_candidates(vertex, a2f, a2i, db_len)?.len()));
+            let count = exact_sub_candidate_set(vertex, a2f, a2i, db_len, None)?.len();
+            out.push((label, count));
         }
     }
     Ok(out)

@@ -7,9 +7,10 @@
 //! ordered by increasing distance (Section VI-C ranking rule: `dist(g1,q) <
 //! dist(g2,q) ⇒ Rank(g1) < Rank(g2)`).
 
-use crate::candidates::{difference_sorted, SimilarCandidates};
+use crate::candidates::SimilarCandidates;
 use crate::verify::SimVerifier;
 use prague_graph::{GraphDb, GraphId};
+use prague_idset::IdSet;
 
 /// One approximate match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +60,8 @@ pub fn similar_results_gen(
 }
 
 /// [`similar_results_gen`] over an arbitrary `SimVerify` implementation:
-/// `verify(candidate_ids, level)` must return the subset containing a
-/// level-`level` fragment, in candidate order. This is how the session
+/// `verify(candidate_set, level)` must return the subset containing a
+/// level-`level` fragment, in ascending id order. This is how the session
 /// swaps the sequential verifier for the pool-backed one without touching
 /// the ranking logic.
 pub fn similar_results_gen_with<F>(
@@ -69,20 +70,22 @@ pub fn similar_results_gen_with<F>(
     mut verify: F,
 ) -> SimilarResults
 where
-    F: FnMut(&[GraphId], usize) -> Vec<GraphId>,
+    F: FnMut(&IdSet, usize) -> Vec<GraphId>,
 {
     let mut results = SimilarResults::default();
-    let mut found: Vec<GraphId> = Vec::new(); // sorted ids already reported
-                                              // Highest level first: minimal distance wins.
+    let mut found = IdSet::new(); // ids already reported at a smaller distance
+                                  // Highest level first: minimal distance wins.
     for (&level, lc) in candidates.levels.iter().rev() {
         let distance = q_size - level;
         // R_free(i): verification-free, minus already-found.
-        let fresh_free = difference_sorted(&lc.free, &found);
+        let mut fresh_free = lc.free.clone();
+        fresh_free.difference_with(&found);
         // R_ver(i): remove already-found, then verify.
-        let to_verify = difference_sorted(&lc.ver, &found);
+        let mut to_verify = lc.ver.clone();
+        to_verify.difference_with(&found);
         results.verified_count += to_verify.len();
         let verified = verify(&to_verify, level);
-        for &id in &fresh_free {
+        for id in &fresh_free {
             results.matches.push(SimilarMatch {
                 graph_id: id,
                 distance,
@@ -96,10 +99,8 @@ where
                 verification_free: false,
             });
         }
-        let mut newly = fresh_free;
-        newly.extend_from_slice(&verified);
-        newly.sort_unstable();
-        found = crate::candidates::union_sorted(&found, &newly);
+        found.union_with(&fresh_free);
+        found.union_with(&IdSet::from_sorted_slice(&verified));
     }
     results.matches.sort_by_key(|m| (m.distance, m.graph_id));
     results

@@ -17,7 +17,9 @@
 //! check it fits the latency budget, and [`Session::run`] reports the SRT
 //! (the only work the user actually waits for).
 
-use crate::candidates::{exact_sub_candidates, similar_sub_candidates, SimilarCandidates};
+use crate::candidates::{
+    exact_sub_candidate_set, similar_sub_candidates, CandMemo, SimilarCandidates,
+};
 use crate::history::{ActionKind, ActionRecord, SessionLog};
 use crate::modify::{suggest_deletion, DeletionSuggestion};
 use crate::results::{similar_results_gen_with, SimilarResults};
@@ -27,10 +29,12 @@ use crate::verify::{
 };
 use crate::PragueSystem;
 use prague_graph::{GraphId, Label};
+use prague_idset::IdSet;
 use prague_index::StoreError;
 use prague_obs::{names, Obs};
 use prague_par::{Batch, CancelToken};
 use prague_spig::{EdgeLabelId, QueryError, SpigError, SpigSet, VNodeId, VisualQuery};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by session actions.
@@ -193,7 +197,7 @@ pub struct Session<'a> {
     query: VisualQuery,
     spigs: SpigSet,
     sim_flag: bool,
-    rq: Vec<GraphId>,
+    rq: Arc<IdSet>,
     rq_empty: bool,
     sim_candidates: Option<SimilarCandidates>,
     log: SessionLog,
@@ -203,6 +207,17 @@ pub struct Session<'a> {
     generation: u64,
     pending: Option<PendingVerify>,
     sim_verifier: Option<CachedVerifier>,
+    /// CAM-keyed candidate-set memo: survives `add_edge` / `delete_edge` /
+    /// `relabel_node`, so re-formulating a fragment seen earlier in the
+    /// session (most notably: deleting an edge, whose `q − e` candidates
+    /// were cached when the prefix was drawn) is pure cache replay.
+    memo: CandMemo,
+    memo_enabled: bool,
+    /// Index epoch snapshotted at creation. The indexes cannot actually
+    /// mutate while this session borrows the system (`insert_graph` needs
+    /// `&mut`), but the memo guards itself anyway: on drift it is cleared
+    /// before serving anything.
+    index_epoch: u64,
 }
 
 impl<'a> Session<'a> {
@@ -216,14 +231,51 @@ impl<'a> Session<'a> {
             query: VisualQuery::new(),
             spigs,
             sim_flag: false,
-            rq: Vec::new(),
+            rq: Arc::new(IdSet::new()),
             rq_empty: false,
             sim_candidates: None,
             log: SessionLog::default(),
+            memo: CandMemo::new(obs.clone()),
+            memo_enabled: true,
+            index_epoch: system.index_epoch(),
             obs,
             generation: 0,
             pending: None,
             sim_verifier: None,
+        }
+    }
+
+    /// Enable or disable the CAM-keyed candidate memo (enabled by default).
+    /// Disabling does not drop cached entries; re-enabling reuses them.
+    /// Exists for benchmarking the memo's effect — production sessions have
+    /// no reason to turn it off.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+    }
+
+    /// The session's candidate memo (diagnostics: entry count, byte size).
+    pub fn memo(&self) -> &CandMemo {
+        &self.memo
+    }
+
+    /// The memo handle candidate generation should use right now.
+    fn memo_opt(&self) -> Option<&CandMemo> {
+        if self.memo_enabled {
+            Some(&self.memo)
+        } else {
+            None
+        }
+    }
+
+    /// Defensive index-epoch check: if the system's indexes changed since
+    /// this session snapshotted them (impossible through safe APIs while
+    /// the session lives, but cheap to verify), the memo is stale — drop
+    /// every entry before serving candidates from it.
+    fn check_index_epoch(&mut self) {
+        let epoch = self.system.index_epoch();
+        if self.index_epoch != epoch {
+            self.memo.clear();
+            self.index_epoch = epoch;
         }
     }
 
@@ -377,6 +429,7 @@ impl<'a> Session<'a> {
                     &self.system.indexes().a2f,
                     &self.system.indexes().a2i,
                     self.system.db().len(),
+                    self.memo_opt(),
                 )?;
                 suggest_time = sug_span.finish();
                 (StepStatus::Similar, 0, suggestion, candidate_time)
@@ -590,6 +643,7 @@ impl<'a> Session<'a> {
             &self.system.indexes().a2f,
             &self.system.indexes().a2i,
             self.system.db().len(),
+            self.memo_opt(),
         )?)
     }
 
@@ -703,20 +757,24 @@ impl<'a> Session<'a> {
     }
 
     fn refresh_exact(&mut self) -> Result<(), SessionError> {
-        self.rq = match self.spigs.target_vertex(&self.query) {
-            Some(v) => exact_sub_candidates(
+        self.check_index_epoch();
+        let rq = match self.spigs.target_vertex(&self.query) {
+            Some(v) => exact_sub_candidate_set(
                 v,
                 &self.system.indexes().a2f,
                 &self.system.indexes().a2i,
                 self.system.db().len(),
+                self.memo_opt(),
             )?,
-            None => Vec::new(),
+            None => Arc::new(IdSet::new()),
         };
+        self.rq = rq;
         self.rq_empty = self.rq.is_empty();
         Ok(())
     }
 
     fn refresh_similar(&mut self) -> Result<(), SessionError> {
+        self.check_index_epoch();
         self.sim_candidates = Some(similar_sub_candidates(
             self.query.size(),
             self.sigma,
@@ -724,6 +782,7 @@ impl<'a> Session<'a> {
             &self.system.indexes().a2f,
             &self.system.indexes().a2i,
             self.system.db().len(),
+            self.memo_opt(),
         )?);
         Ok(())
     }
@@ -781,8 +840,14 @@ impl<'a> Session<'a> {
         self.sim_flag
     }
 
-    /// Current exact candidate set `R_q` (meaningful in exact mode).
-    pub fn exact_candidates(&self) -> &[GraphId] {
+    /// Current exact candidate set `R_q` (meaningful in exact mode),
+    /// materialized as a sorted id list.
+    pub fn exact_candidates(&self) -> Vec<GraphId> {
+        self.rq.to_vec()
+    }
+
+    /// `R_q` in its native compressed representation (shared, not copied).
+    pub fn exact_candidate_set(&self) -> &IdSet {
         &self.rq
     }
 

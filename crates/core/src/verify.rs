@@ -12,6 +12,7 @@ use prague_graph::vf2::{
     is_subgraph_cancellable, is_subgraph_with_order_counting, MatchOrder, MatchOutcome, MatchState,
 };
 use prague_graph::{Graph, GraphDb, GraphId};
+use prague_idset::IdSet;
 use prague_obs::{names, Obs};
 use prague_par::{Batch, CancelToken, Pool};
 use prague_spig::{SpigSet, VisualQuery};
@@ -24,7 +25,7 @@ use std::sync::Arc;
 /// "by performing subgraph isomorphism test *if necessary*").
 pub fn exact_verification(
     q: &Graph,
-    candidates: &[GraphId],
+    candidates: &IdSet,
     db: &GraphDb,
     verification_free: bool,
 ) -> Vec<GraphId> {
@@ -37,7 +38,7 @@ pub fn exact_verification(
 /// counters.
 pub fn exact_verification_obs(
     q: &Graph,
-    candidates: &[GraphId],
+    candidates: &IdSet,
     db: &GraphDb,
     verification_free: bool,
     obs: &Obs,
@@ -58,12 +59,11 @@ pub fn exact_verification_obs(
 /// The sequential VF2 filter shared by the sequential path and the
 /// fallback of the parallel path: one match order, candidates tested in
 /// id order.
-fn exact_seq_core(q: &Graph, candidates: &[GraphId], db: &GraphDb) -> (Vec<GraphId>, u64) {
+fn exact_seq_core(q: &Graph, candidates: &IdSet, db: &GraphDb) -> (Vec<GraphId>, u64) {
     let order = MatchOrder::new(q);
     let mut states = 0u64;
     let verified: Vec<GraphId> = candidates
         .iter()
-        .copied()
         .filter(|&id| {
             let (found, st) = is_subgraph_with_order_counting(q, db.graph(id), &order);
             states += st;
@@ -87,7 +87,28 @@ pub(crate) struct VerifyChunk {
 /// ~4 chunks per worker for stealing headroom, capped so cancellation
 /// latency stays bounded.
 fn chunk_len(n: usize, threads: usize) -> usize {
-    n.div_ceil(threads.max(1) * 4).clamp(1, 64)
+    // Floor of 8: single-id chunks make per-job overhead (slot bookkeeping,
+    // queue traffic, wakeups) dominate VF2 work and oversubscribed pools
+    // regress — see BENCH_par.json's 4-thread round on a small host.
+    n.div_ceil(threads.max(1) * 4).clamp(8, 64)
+}
+
+/// Partition a candidate set into in-order id chunks for the pool, without
+/// first materializing the whole set: each chunk is the only `Vec` built,
+/// and concatenating the chunks reproduces ascending iteration exactly.
+fn chunked_ids(candidates: &IdSet, threads: usize) -> Vec<Vec<GraphId>> {
+    let n = candidates.len();
+    let cl = chunk_len(n, threads);
+    let mut chunks = Vec::with_capacity(n.div_ceil(cl.max(1)));
+    let mut it = candidates.iter();
+    loop {
+        let ids: Vec<GraphId> = it.by_ref().take(cl).collect();
+        if ids.is_empty() {
+            break;
+        }
+        chunks.push(ids);
+    }
+    chunks
 }
 
 /// Submit chunked VF2 jobs testing `q` against `candidates` on `pool`.
@@ -98,18 +119,17 @@ fn chunk_len(n: usize, threads: usize) -> usize {
 /// flight across user think time.
 pub(crate) fn submit_exact_batch(
     q: &Graph,
-    candidates: &[GraphId],
+    candidates: &IdSet,
     db: &Arc<GraphDb>,
     pool: &Pool,
     token: &CancelToken,
 ) -> Batch<VerifyChunk> {
     let q = Arc::new(q.clone());
     let order = Arc::new(MatchOrder::new(&q));
-    let jobs: Vec<_> = candidates
-        .chunks(chunk_len(candidates.len(), pool.threads()))
-        .map(|chunk| {
+    let jobs: Vec<_> = chunked_ids(candidates, pool.threads())
+        .into_iter()
+        .map(|ids| {
             let (q, order, db) = (Arc::clone(&q), Arc::clone(&order), Arc::clone(db));
-            let ids = chunk.to_vec();
             move |token: &CancelToken| {
                 let mut state = MatchState::default();
                 let mut out = VerifyChunk::default();
@@ -145,7 +165,7 @@ pub(crate) fn submit_exact_batch(
 /// output is identical either way.
 pub(crate) fn complete_exact_batch(
     q: &Graph,
-    candidates: &[GraphId],
+    candidates: &IdSet,
     db: &GraphDb,
     obs: &Obs,
     batch: Batch<VerifyChunk>,
@@ -187,7 +207,7 @@ pub(crate) fn complete_exact_batch(
 /// path.
 pub fn exact_verification_par(
     q: &Graph,
-    candidates: &[GraphId],
+    candidates: &IdSet,
     db: &Arc<GraphDb>,
     verification_free: bool,
     obs: &Obs,
@@ -245,7 +265,7 @@ impl SimVerifier {
 
     /// `SimVerify`: of `candidates`, the graphs containing at least one
     /// level-`i` fragment of the query.
-    pub fn verify(&self, candidates: &[GraphId], level: usize, db: &GraphDb) -> Vec<GraphId> {
+    pub fn verify(&self, candidates: &IdSet, level: usize, db: &GraphDb) -> Vec<GraphId> {
         self.obs
             .add(names::VERIFY_SIM_CANDIDATES, candidates.len() as u64);
         if !self.fragments.contains_key(&level) {
@@ -260,19 +280,13 @@ impl SimVerifier {
 
     /// The sequential `SimVerify` filter: for each candidate in order, try
     /// the level's fragments in order until one embeds.
-    fn verify_core(
-        &self,
-        candidates: &[GraphId],
-        level: usize,
-        db: &GraphDb,
-    ) -> (Vec<GraphId>, u64) {
+    fn verify_core(&self, candidates: &IdSet, level: usize, db: &GraphDb) -> (Vec<GraphId>, u64) {
         let Some(frags) = self.fragments.get(&level) else {
             return (Vec::new(), 0);
         };
         let mut states = 0u64;
         let verified: Vec<GraphId> = candidates
             .iter()
-            .copied()
             .filter(|&id| {
                 let g = db.graph(id);
                 frags.iter().any(|(frag, order)| {
@@ -291,7 +305,7 @@ impl SimVerifier {
     /// `verify.vf2_states` total — identical to it.
     pub fn verify_par(
         &self,
-        candidates: &[GraphId],
+        candidates: &IdSet,
         level: usize,
         db: &Arc<GraphDb>,
         pool: &Pool,
@@ -302,11 +316,10 @@ impl SimVerifier {
             return Vec::new();
         };
         let token = CancelToken::new();
-        let jobs: Vec<_> = candidates
-            .chunks(chunk_len(candidates.len(), pool.threads()))
-            .map(|chunk| {
+        let jobs: Vec<_> = chunked_ids(candidates, pool.threads())
+            .into_iter()
+            .map(|ids| {
                 let (frags, db) = (Arc::clone(frags), Arc::clone(db));
-                let ids = chunk.to_vec();
                 move |token: &CancelToken| {
                     let mut state = MatchState::default();
                     let mut out = VerifyChunk::default();
@@ -396,8 +409,9 @@ mod tests {
         db.push(path(&[0, 1, 0])); // contains C-S
         db.push(path(&[0, 0])); // does not
         let q = path(&[0, 1]);
-        assert_eq!(exact_verification(&q, &[0, 1], &db, false), vec![0]);
+        let cands = IdSet::from_sorted_slice(&[0, 1]);
+        assert_eq!(exact_verification(&q, &cands, &db, false), vec![0]);
         // verification-free passes through
-        assert_eq!(exact_verification(&q, &[0, 1], &db, true), vec![0, 1]);
+        assert_eq!(exact_verification(&q, &cands, &db, true), vec![0, 1]);
     }
 }

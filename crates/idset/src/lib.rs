@@ -1,0 +1,1063 @@
+//! Compressed, deterministic sets of graph ids.
+//!
+//! [`IdSet`] is a two-level Roaring-style structure over `u32` ids: ids are
+//! chunked by their high 16 bits, and each chunk stores its low 16 bits
+//! either as a sorted array (at most [`ARRAY_MAX`] entries) or as a 64 Ki-bit
+//! bitmap with a cached cardinality. A third, set-level representation —
+//! `Universe(n)` — stands for the id range `[0, n)` without materializing it,
+//! so the "no pruning information" fallback in candidate generation costs
+//! nothing until (unless) real constraints intersect it away.
+//!
+//! All operations preserve one observable contract: iteration yields ids in
+//! strictly ascending order, exactly matching the sorted `Vec<GraphId>` lists
+//! this crate replaces. Equality is semantic (same ids), independent of which
+//! representation holds them.
+//!
+//! [`Memo`] is a small keyed cache of `Arc<IdSet>` values with a running
+//! heap-byte tally; `prague-core` keys it by CAM code to make repeated
+//! candidate generation a lookup.
+//!
+//! The crate is std-only and panic-free in library code.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A graph id, matching `prague_graph::GraphId` (kept local so this crate
+/// stays at the bottom of the dependency graph).
+pub type Id = u32;
+
+/// Maximum number of entries a sorted-array container holds before it is
+/// promoted to a bitmap (the classic Roaring threshold: 4096 × 2 bytes =
+/// 8 KiB, the size of a full bitmap).
+pub const ARRAY_MAX: usize = 4096;
+
+const BITMAP_WORDS: usize = 1024; // 65536 bits
+const CHUNK_SPAN: u32 = 1 << 16;
+
+#[derive(Clone)]
+enum Container {
+    /// Sorted ascending low-16 values, no duplicates, `len() <= ARRAY_MAX`.
+    Array(Vec<u16>),
+    /// 65536-bit bitmap plus cached cardinality (`card > ARRAY_MAX` after
+    /// normalization, but intermediate states may be smaller).
+    Bitmap {
+        words: Box<[u64; BITMAP_WORDS]>,
+        card: u32,
+    },
+}
+
+impl Container {
+    fn card(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap { card, .. } => *card as usize,
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&low).is_ok(),
+            Container::Bitmap { words, .. } => words[low as usize >> 6] & (1u64 << (low & 63)) != 0,
+        }
+    }
+
+    /// Insert `low`; returns whether it was newly added. Promotes an array
+    /// that would exceed [`ARRAY_MAX`] to a bitmap.
+    fn insert(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if v.len() < ARRAY_MAX {
+                        v.insert(pos, low);
+                    } else {
+                        let mut bm = array_to_bitmap(v);
+                        bm.insert(low);
+                        *self = bm;
+                    }
+                    true
+                }
+            },
+            Container::Bitmap { words, card } => {
+                let w = &mut words[low as usize >> 6];
+                let bit = 1u64 << (low & 63);
+                if *w & bit == 0 {
+                    *w |= bit;
+                    *card += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn max_low(&self) -> Option<u16> {
+        match self {
+            Container::Array(v) => v.last().copied(),
+            Container::Bitmap { words, .. } => {
+                for i in (0..BITMAP_WORDS).rev() {
+                    let w = words[i];
+                    if w != 0 {
+                        return Some((i as u32 * 64 + 63 - w.leading_zeros()) as u16);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn iter(&self) -> ContIter<'_> {
+        match self {
+            Container::Array(v) => ContIter::Array(v.iter()),
+            Container::Bitmap { words, .. } => ContIter::Bitmap {
+                words,
+                idx: 0,
+                word: words[0],
+            },
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(v) => v.capacity() * 2,
+            Container::Bitmap { .. } => BITMAP_WORDS * 8,
+        }
+    }
+
+    /// Demote a bitmap whose cardinality dropped to [`ARRAY_MAX`] or below.
+    fn normalize(self) -> Container {
+        match self {
+            Container::Bitmap { ref words, card } if card as usize <= ARRAY_MAX => {
+                let mut v = Vec::with_capacity(card as usize);
+                for (i, &w) in words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        v.push((i as u32 * 64 + w.trailing_zeros()) as u16);
+                        w &= w - 1;
+                    }
+                }
+                Container::Array(v)
+            }
+            other => other,
+        }
+    }
+}
+
+fn array_to_bitmap(v: &[u16]) -> Container {
+    let mut words = Box::new([0u64; BITMAP_WORDS]);
+    for &low in v {
+        words[low as usize >> 6] |= 1u64 << (low & 63);
+    }
+    Container::Bitmap {
+        words,
+        card: v.len() as u32,
+    }
+}
+
+/// A container holding the lows `[0, r)`, `1 <= r <= 65536`.
+fn range_container(r: u32) -> Container {
+    if r as usize <= ARRAY_MAX {
+        Container::Array((0..r as u16).collect())
+    } else {
+        let mut words = Box::new([0u64; BITMAP_WORDS]);
+        let full = (r / 64) as usize;
+        for w in words.iter_mut().take(full) {
+            *w = u64::MAX;
+        }
+        if !r.is_multiple_of(64) && full < BITMAP_WORDS {
+            words[full] = (1u64 << (r % 64)) - 1;
+        }
+        Container::Bitmap { words, card: r }
+    }
+}
+
+/// `a ∩ b`, consuming `a`; `None` when empty.
+fn and(a: Container, b: &Container) -> Option<Container> {
+    let out = match (a, b) {
+        (Container::Array(mut av), Container::Array(bv)) => {
+            let mut w = 0usize;
+            let mut j = 0usize;
+            for i in 0..av.len() {
+                let x = av[i];
+                while j < bv.len() && bv[j] < x {
+                    j += 1;
+                }
+                if j < bv.len() && bv[j] == x {
+                    av[w] = x;
+                    w += 1;
+                    j += 1;
+                }
+            }
+            av.truncate(w);
+            Container::Array(av)
+        }
+        (Container::Array(mut av), b @ Container::Bitmap { .. }) => {
+            av.retain(|&low| b.contains(low));
+            Container::Array(av)
+        }
+        (a @ Container::Bitmap { .. }, Container::Array(bv)) => {
+            Container::Array(bv.iter().copied().filter(|&low| a.contains(low)).collect())
+        }
+        (Container::Bitmap { mut words, card: _ }, Container::Bitmap { words: bw, .. }) => {
+            let mut card = 0u32;
+            for (w, &bwi) in words.iter_mut().zip(bw.iter()) {
+                *w &= bwi;
+                card += w.count_ones();
+            }
+            Container::Bitmap { words, card }.normalize()
+        }
+    };
+    if out.card() == 0 {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// `a ∪ b`, consuming `a`.
+fn or(a: Container, b: &Container) -> Container {
+    match (a, b) {
+        (Container::Array(av), Container::Array(bv)) => {
+            let mut out = Vec::with_capacity(av.len() + bv.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < av.len() && j < bv.len() {
+                match av[i].cmp(&bv[j]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(av[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(bv[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(av[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&av[i..]);
+            out.extend_from_slice(&bv[j..]);
+            if out.len() > ARRAY_MAX {
+                array_to_bitmap(&out)
+            } else {
+                Container::Array(out)
+            }
+        }
+        (Container::Array(av), Container::Bitmap { words, card }) => {
+            let mut words = words.clone();
+            let mut card = *card;
+            for &low in &av {
+                let w = &mut words[low as usize >> 6];
+                let bit = 1u64 << (low & 63);
+                if *w & bit == 0 {
+                    *w |= bit;
+                    card += 1;
+                }
+            }
+            Container::Bitmap { words, card }
+        }
+        (
+            Container::Bitmap {
+                mut words,
+                mut card,
+            },
+            Container::Array(bv),
+        ) => {
+            for &low in bv {
+                let w = &mut words[low as usize >> 6];
+                let bit = 1u64 << (low & 63);
+                if *w & bit == 0 {
+                    *w |= bit;
+                    card += 1;
+                }
+            }
+            Container::Bitmap { words, card }
+        }
+        (Container::Bitmap { mut words, card: _ }, Container::Bitmap { words: bw, .. }) => {
+            let mut card = 0u32;
+            for (w, &bwi) in words.iter_mut().zip(bw.iter()) {
+                *w |= bwi;
+                card += w.count_ones();
+            }
+            Container::Bitmap { words, card }
+        }
+    }
+}
+
+/// `a \ b`, consuming `a`; `None` when empty.
+fn andnot(a: Container, b: &Container) -> Option<Container> {
+    let out = match (a, b) {
+        (Container::Array(mut av), Container::Array(bv)) => {
+            let mut w = 0usize;
+            let mut j = 0usize;
+            for i in 0..av.len() {
+                let x = av[i];
+                while j < bv.len() && bv[j] < x {
+                    j += 1;
+                }
+                if j >= bv.len() || bv[j] != x {
+                    av[w] = x;
+                    w += 1;
+                }
+            }
+            av.truncate(w);
+            Container::Array(av)
+        }
+        (Container::Array(mut av), b @ Container::Bitmap { .. }) => {
+            av.retain(|&low| !b.contains(low));
+            Container::Array(av)
+        }
+        (
+            Container::Bitmap {
+                mut words,
+                mut card,
+            },
+            Container::Array(bv),
+        ) => {
+            for &low in bv {
+                let w = &mut words[low as usize >> 6];
+                let bit = 1u64 << (low & 63);
+                if *w & bit != 0 {
+                    *w &= !bit;
+                    card -= 1;
+                }
+            }
+            Container::Bitmap { words, card }.normalize()
+        }
+        (Container::Bitmap { mut words, card: _ }, Container::Bitmap { words: bw, .. }) => {
+            let mut card = 0u32;
+            for (w, &bwi) in words.iter_mut().zip(bw.iter()) {
+                *w &= !bwi;
+                card += w.count_ones();
+            }
+            Container::Bitmap { words, card }.normalize()
+        }
+    };
+    if out.card() == 0 {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// The id range `[0, n)`, unmaterialized.
+    Universe(u32),
+    /// Chunks sorted ascending by key (high 16 id bits); no empty containers.
+    Chunks(Vec<(u16, Container)>),
+}
+
+/// A compressed set of graph ids with deterministic ascending iteration.
+///
+/// See the crate docs for the representation. All binary operations mutate
+/// `self` in place at the set level (containers are rebuilt per chunk only
+/// where the two operands overlap).
+#[derive(Clone)]
+pub struct IdSet {
+    repr: Repr,
+}
+
+impl Default for IdSet {
+    fn default() -> Self {
+        IdSet::new()
+    }
+}
+
+impl IdSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IdSet {
+            repr: Repr::Chunks(Vec::new()),
+        }
+    }
+
+    /// The lazy range `[0, n)` — the "no pruning information" fallback.
+    /// Costs no heap until unioned or differenced against concrete ids.
+    pub fn universe(n: u32) -> Self {
+        IdSet {
+            repr: Repr::Universe(n),
+        }
+    }
+
+    /// Build from a sorted ascending id slice (duplicates tolerated).
+    /// An unsorted slice is handled by sorting a copy — callers in this
+    /// workspace always pass sorted posting lists, so that path is cold.
+    pub fn from_sorted_slice(ids: &[Id]) -> Self {
+        if ids.windows(2).any(|w| w[0] > w[1]) {
+            let mut v = ids.to_vec();
+            v.sort_unstable();
+            return Self::from_sorted_slice(&v);
+        }
+        let mut chunks: Vec<(u16, Container)> = Vec::new();
+        let mut i = 0usize;
+        while i < ids.len() {
+            let key = (ids[i] >> 16) as u16;
+            let end = ids[i..]
+                .iter()
+                .position(|&id| (id >> 16) as u16 != key)
+                .map(|p| i + p)
+                .unwrap_or(ids.len());
+            let mut lows: Vec<u16> = ids[i..end].iter().map(|&id| (id & 0xFFFF) as u16).collect();
+            lows.dedup();
+            let c = if lows.len() > ARRAY_MAX {
+                array_to_bitmap(&lows)
+            } else {
+                Container::Array(lows)
+            };
+            chunks.push((key, c));
+            i = end;
+        }
+        IdSet {
+            repr: Repr::Chunks(chunks),
+        }
+    }
+
+    /// Number of ids, without materialization.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Universe(n) => *n as usize,
+            Repr::Chunks(chunks) => chunks.iter().map(|(_, c)| c.card()).sum(),
+        }
+    }
+
+    /// Whether the set is empty (cheap for every representation).
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Universe(n) => *n == 0,
+            Repr::Chunks(chunks) => chunks.is_empty(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: Id) -> bool {
+        match &self.repr {
+            Repr::Universe(n) => id < *n,
+            Repr::Chunks(chunks) => {
+                let key = (id >> 16) as u16;
+                match chunks.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(i) => chunks[i].1.contains((id & 0xFFFF) as u16),
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    /// Largest id, if any.
+    pub fn max(&self) -> Option<Id> {
+        match &self.repr {
+            Repr::Universe(0) => None,
+            Repr::Universe(n) => Some(n - 1),
+            Repr::Chunks(chunks) => chunks
+                .last()
+                .and_then(|(k, c)| c.max_low().map(|low| ((*k as u32) << 16) | low as u32)),
+        }
+    }
+
+    /// Insert `id`; returns whether it was newly added.
+    pub fn insert(&mut self, id: Id) -> bool {
+        if let Repr::Universe(n) = self.repr {
+            if id < n {
+                return false;
+            }
+            if id == n {
+                self.repr = Repr::Universe(n + 1);
+                return true;
+            }
+            self.materialize();
+        }
+        let Repr::Chunks(chunks) = &mut self.repr else {
+            return false;
+        };
+        let key = (id >> 16) as u16;
+        let low = (id & 0xFFFF) as u16;
+        match chunks.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => chunks[i].1.insert(low),
+            Err(i) => {
+                chunks.insert(i, (key, Container::Array(vec![low])));
+                true
+            }
+        }
+    }
+
+    /// Iterate ids in strictly ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            state: match &self.repr {
+                Repr::Universe(n) => IterState::Universe(0..*n),
+                Repr::Chunks(chunks) => IterState::Chunks {
+                    rest: chunks.iter(),
+                    cur: None,
+                },
+            },
+        }
+    }
+
+    /// Materialize into a sorted `Vec` (the legacy candidate-list shape).
+    pub fn to_vec(&self) -> Vec<Id> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend(self.iter());
+        v
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &IdSet) {
+        if let Repr::Universe(n) = self.repr {
+            match other.repr {
+                Repr::Universe(m) => self.repr = Repr::Universe(n.min(m)),
+                Repr::Chunks(_) => {
+                    *self = other.clone();
+                    self.clamp_below(n);
+                }
+            }
+            return;
+        }
+        if let Repr::Universe(m) = other.repr {
+            self.clamp_below(m);
+            return;
+        }
+        let (Repr::Chunks(a), Repr::Chunks(b)) = (&mut self.repr, &other.repr) else {
+            return;
+        };
+        let a_old = std::mem::take(a);
+        let mut out = Vec::with_capacity(a_old.len().min(b.len()));
+        let mut j = 0usize;
+        for (k, ca) in a_old {
+            while j < b.len() && b[j].0 < k {
+                j += 1;
+            }
+            if j < b.len() && b[j].0 == k {
+                if let Some(c) = and(ca, &b[j].1) {
+                    out.push((k, c));
+                }
+                j += 1;
+            }
+        }
+        *a = out;
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &IdSet) {
+        if let Repr::Universe(n) = self.repr {
+            match other.repr {
+                Repr::Universe(m) => {
+                    self.repr = Repr::Universe(n.max(m));
+                    return;
+                }
+                Repr::Chunks(_) => {
+                    if other.max().is_none_or(|m| m < n) {
+                        return; // other ⊆ [0, n)
+                    }
+                    self.materialize();
+                }
+            }
+        } else if let Repr::Universe(m) = other.repr {
+            if self.max().is_none_or(|mx| mx < m) {
+                self.repr = Repr::Universe(m);
+                return;
+            }
+            let mut u = IdSet::universe(m);
+            u.materialize();
+            std::mem::swap(self, &mut u);
+            self.union_with(&u); // both Chunks now
+            return;
+        }
+        let (Repr::Chunks(a), Repr::Chunks(b)) = (&mut self.repr, &other.repr) else {
+            return;
+        };
+        let a_old = std::mem::take(a);
+        let mut out = Vec::with_capacity(a_old.len() + b.len());
+        let mut it_a = a_old.into_iter().peekable();
+        let mut j = 0usize;
+        loop {
+            match (it_a.peek(), b.get(j)) {
+                (Some(&(ka, _)), Some(&(kb, _))) => {
+                    if ka < kb {
+                        if let Some(pair) = it_a.next() {
+                            out.push(pair);
+                        }
+                    } else if kb < ka {
+                        out.push((kb, b[j].1.clone()));
+                        j += 1;
+                    } else if let Some((k, ca)) = it_a.next() {
+                        out.push((k, or(ca, &b[j].1)));
+                        j += 1;
+                    }
+                }
+                (Some(_), None) => {
+                    out.extend(it_a.by_ref());
+                }
+                (None, Some(_)) => {
+                    out.extend(b[j..].iter().cloned());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        *a = out;
+    }
+
+    /// `self \= other`.
+    pub fn difference_with(&mut self, other: &IdSet) {
+        if other.is_empty() {
+            return;
+        }
+        if let Repr::Universe(n) = self.repr {
+            if let Repr::Universe(m) = other.repr {
+                if m >= n {
+                    self.repr = Repr::Chunks(Vec::new());
+                } else {
+                    self.materialize();
+                    self.remove_below(m);
+                }
+                return;
+            }
+            self.materialize();
+        } else if let Repr::Universe(m) = other.repr {
+            self.remove_below(m);
+            return;
+        }
+        let (Repr::Chunks(a), Repr::Chunks(b)) = (&mut self.repr, &other.repr) else {
+            return;
+        };
+        let a_old = std::mem::take(a);
+        let mut out = Vec::with_capacity(a_old.len());
+        let mut j = 0usize;
+        for (k, ca) in a_old {
+            while j < b.len() && b[j].0 < k {
+                j += 1;
+            }
+            if j < b.len() && b[j].0 == k {
+                if let Some(c) = andnot(ca, &b[j].1) {
+                    out.push((k, c));
+                }
+                j += 1;
+            } else {
+                out.push((k, ca));
+            }
+        }
+        *a = out;
+    }
+
+    /// Approximate heap footprint in bytes (containers plus chunk vector).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Universe(_) => 0,
+            Repr::Chunks(chunks) => {
+                chunks.capacity() * std::mem::size_of::<(u16, Container)>()
+                    + chunks.iter().map(|(_, c)| c.heap_bytes()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Convert `Universe(n)` into concrete chunks. No-op on `Chunks`.
+    fn materialize(&mut self) {
+        let Repr::Universe(n) = self.repr else {
+            return;
+        };
+        let full = n / CHUNK_SPAN;
+        let rem = n % CHUNK_SPAN;
+        let mut chunks = Vec::with_capacity((full + u32::from(rem > 0)) as usize);
+        for k in 0..full {
+            chunks.push((k as u16, range_container(CHUNK_SPAN)));
+        }
+        if rem > 0 {
+            chunks.push((full as u16, range_container(rem)));
+        }
+        self.repr = Repr::Chunks(chunks);
+    }
+
+    /// Drop ids `>= n` (Chunks only; on Universe, shrinks the bound).
+    fn clamp_below(&mut self, n: u32) {
+        let Repr::Chunks(chunks) = &mut self.repr else {
+            if let Repr::Universe(u) = &mut self.repr {
+                *u = (*u).min(n);
+            }
+            return;
+        };
+        let hi = (n >> 16) as u16;
+        let low = (n & 0xFFFF) as u16;
+        chunks.retain_mut(|(k, c)| {
+            if *k < hi {
+                true
+            } else if *k > hi || low == 0 {
+                false
+            } else {
+                retain_lows(c, |l| l < low)
+            }
+        });
+    }
+
+    /// Drop ids `< n` (Chunks only).
+    fn remove_below(&mut self, n: u32) {
+        let Repr::Chunks(chunks) = &mut self.repr else {
+            return;
+        };
+        let hi = (n >> 16) as u16;
+        let low = (n & 0xFFFF) as u16;
+        chunks.retain_mut(|(k, c)| {
+            if *k > hi {
+                true
+            } else if *k < hi {
+                false
+            } else if low == 0 {
+                true
+            } else {
+                retain_lows(c, |l| l >= low)
+            }
+        });
+    }
+}
+
+/// Keep only the lows satisfying `keep`; returns whether any remain. Only
+/// runs on the single boundary chunk of a universe clamp, so it favors
+/// clarity over bit tricks.
+fn retain_lows(c: &mut Container, keep: impl Fn(u16) -> bool) -> bool {
+    let kept: Vec<u16> = c.iter().filter(|&l| keep(l)).collect();
+    if kept.is_empty() {
+        return false;
+    }
+    *c = if kept.len() > ARRAY_MAX {
+        array_to_bitmap(&kept)
+    } else {
+        Container::Array(kept)
+    };
+    true
+}
+
+/// Intersect a family of shared sets, smallest first, with early exit on
+/// empty — the engine form of Algorithm 3's Φ/Υ posting-list intersection.
+pub fn intersect_all(mut sets: Vec<Arc<IdSet>>) -> IdSet {
+    if sets.is_empty() {
+        return IdSet::new();
+    }
+    sets.sort_by_key(|s| s.len());
+    let mut acc = (*sets[0]).clone();
+    for s in &sets[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc.intersect_with(s);
+    }
+    acc
+}
+
+impl PartialEq for IdSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+impl Eq for IdSet {}
+
+impl PartialEq<[Id]> for IdSet {
+    fn eq(&self, other: &[Id]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<Vec<Id>> for IdSet {
+    fn eq(&self, other: &Vec<Id>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for IdSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const SHOW: usize = 24;
+        let mut d = f.debug_struct("IdSet");
+        d.field("len", &self.len());
+        let head: Vec<Id> = self.iter().take(SHOW).collect();
+        if self.len() > SHOW {
+            d.field("head", &head).finish_non_exhaustive()
+        } else {
+            d.field("ids", &head).finish()
+        }
+    }
+}
+
+impl FromIterator<Id> for IdSet {
+    fn from_iter<T: IntoIterator<Item = Id>>(iter: T) -> Self {
+        let mut v: Vec<Id> = iter.into_iter().collect();
+        v.sort_unstable();
+        IdSet::from_sorted_slice(&v)
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = Id;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+enum ContIter<'a> {
+    Array(std::slice::Iter<'a, u16>),
+    Bitmap {
+        words: &'a [u64; BITMAP_WORDS],
+        idx: usize,
+        word: u64,
+    },
+}
+
+impl Iterator for ContIter<'_> {
+    type Item = u16;
+    fn next(&mut self) -> Option<u16> {
+        match self {
+            ContIter::Array(it) => it.next().copied(),
+            ContIter::Bitmap { words, idx, word } => loop {
+                if *word != 0 {
+                    let b = word.trailing_zeros();
+                    *word &= *word - 1;
+                    return Some((*idx as u32 * 64 + b) as u16);
+                }
+                *idx += 1;
+                if *idx >= BITMAP_WORDS {
+                    return None;
+                }
+                *word = words[*idx];
+            },
+        }
+    }
+}
+
+enum IterState<'a> {
+    Universe(std::ops::Range<u32>),
+    Chunks {
+        rest: std::slice::Iter<'a, (u16, Container)>,
+        cur: Option<(u32, ContIter<'a>)>,
+    },
+}
+
+/// Ascending iterator over an [`IdSet`].
+pub struct Iter<'a> {
+    state: IterState<'a>,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Id;
+    fn next(&mut self) -> Option<Id> {
+        match &mut self.state {
+            IterState::Universe(r) => r.next(),
+            IterState::Chunks { rest, cur } => loop {
+                if let Some((base, it)) = cur {
+                    if let Some(low) = it.next() {
+                        return Some(*base | low as u32);
+                    }
+                }
+                match rest.next() {
+                    Some((k, c)) => *cur = Some(((*k as u32) << 16, c.iter())),
+                    None => return None,
+                }
+            },
+        }
+    }
+}
+
+/// A keyed cache of shared [`IdSet`]s with a running heap-byte tally.
+///
+/// `prague-core` keys this by CAM code: a fragment's candidate set is a pure
+/// function of its isomorphism class and the (immutable-while-borrowed)
+/// action-aware indexes, so entries never go stale across canvas edits —
+/// see the "Candidate-set engine" section of ARCHITECTURE.md for the
+/// invalidation rules.
+pub struct Memo<K: Ord> {
+    entries: BTreeMap<K, Arc<IdSet>>,
+    bytes: usize,
+}
+
+impl<K: Ord> Default for Memo<K> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+impl<K: Ord> Memo<K> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Memo {
+            entries: BTreeMap::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Shared handle to the cached set for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<Arc<IdSet>> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Cache `set` under `key`; returns whether the key was new.
+    pub fn insert(&mut self, key: K, set: Arc<IdSet>) -> bool {
+        let added = set.heap_bytes();
+        match self.entries.insert(key, set) {
+            Some(old) => {
+                self.bytes = self.bytes.saturating_sub(old.heap_bytes()) + added;
+                false
+            }
+            None => {
+                self.bytes += added;
+                true
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total approximate heap bytes held by cached sets.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drop every entry (index-epoch invalidation).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[Id]) -> IdSet {
+        IdSet::from_sorted_slice(ids)
+    }
+
+    #[test]
+    fn empty_and_universe_basics() {
+        let e = IdSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.to_vec(), Vec::<Id>::new());
+        let u = IdSet::universe(5);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.to_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(u.heap_bytes(), 0);
+        assert!(u.contains(4) && !u.contains(5));
+        assert_eq!(IdSet::universe(0).max(), None);
+        assert_eq!(u.max(), Some(4));
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_boundary() {
+        let ids = [0, 1, 65535, 65536, 65537, 200_000];
+        let s = set(&ids);
+        assert_eq!(s.to_vec(), ids);
+        assert_eq!(s.len(), ids.len());
+        for id in ids {
+            assert!(s.contains(id));
+        }
+        assert!(!s.contains(2));
+        assert_eq!(s.max(), Some(200_000));
+    }
+
+    #[test]
+    fn array_promotes_to_bitmap() {
+        let ids: Vec<Id> = (0..5000).map(|i| i * 2).collect();
+        let s = set(&ids);
+        assert_eq!(s.len(), 5000);
+        assert_eq!(s.to_vec(), ids);
+        // Demotion after a thinning intersection.
+        let sparse = set(&[0, 2, 9998]);
+        let mut t = s.clone();
+        t.intersect_with(&sparse);
+        assert_eq!(t.to_vec(), vec![0, 2, 9998]);
+    }
+
+    #[test]
+    fn universe_algebra() {
+        // U(n) ∩ concrete clamps.
+        let mut u = IdSet::universe(10);
+        u.intersect_with(&set(&[3, 9, 10, 42]));
+        assert_eq!(u.to_vec(), vec![3, 9]);
+        // concrete ∩ U(n).
+        let mut s = set(&[3, 9, 10, 42]);
+        s.intersect_with(&IdSet::universe(10));
+        assert_eq!(s.to_vec(), vec![3, 9]);
+        // U ∪ subset stays lazy.
+        let mut u = IdSet::universe(10);
+        u.union_with(&set(&[4]));
+        assert_eq!(u.heap_bytes(), 0);
+        assert_eq!(u.len(), 10);
+        // U ∪ superset element materializes correctly.
+        let mut u = IdSet::universe(3);
+        u.union_with(&set(&[7]));
+        assert_eq!(u.to_vec(), vec![0, 1, 2, 7]);
+        // concrete ∪ U swallows.
+        let mut s = set(&[0, 2]);
+        s.union_with(&IdSet::universe(5));
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 3, 4]);
+        let mut s = set(&[9]);
+        s.union_with(&IdSet::universe(5));
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 3, 4, 9]);
+        // U \ U and \ chunks.
+        let mut u = IdSet::universe(6);
+        u.difference_with(&IdSet::universe(4));
+        assert_eq!(u.to_vec(), vec![4, 5]);
+        let mut u = IdSet::universe(6);
+        u.difference_with(&set(&[1, 4]));
+        assert_eq!(u.to_vec(), vec![0, 2, 3, 5]);
+        let mut s = set(&[1, 4, 9]);
+        s.difference_with(&IdSet::universe(5));
+        assert_eq!(s.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn insert_and_equality() {
+        let mut s = IdSet::new();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.insert(3));
+        assert_eq!(s.to_vec(), vec![3, 7]);
+        // Universe append fast path and semantic equality.
+        let mut u = IdSet::universe(3);
+        assert!(u.insert(3));
+        assert!(!u.insert(1));
+        assert!(u.insert(100_000));
+        assert_eq!(u, set(&[0, 1, 2, 3, 100_000]));
+        assert_eq!(IdSet::universe(4), set(&[0, 1, 2, 3]));
+        assert_ne!(IdSet::universe(4), set(&[0, 1, 2, 4]));
+    }
+
+    #[test]
+    fn intersect_all_early_exit_and_universe_fallback() {
+        let sets = vec![
+            Arc::new(set(&[1, 2, 3, 5])),
+            Arc::new(set(&[2, 3, 7])),
+            Arc::new(set(&[0, 2, 3])),
+        ];
+        assert_eq!(intersect_all(sets).to_vec(), vec![2, 3]);
+        assert!(intersect_all(vec![]).is_empty());
+        let sets = vec![Arc::new(set(&[1])), Arc::new(set(&[2]))];
+        assert!(intersect_all(sets).is_empty());
+        let sets = vec![Arc::new(IdSet::universe(100)), Arc::new(set(&[4, 200]))];
+        assert_eq!(intersect_all(sets).to_vec(), vec![4]);
+    }
+
+    #[test]
+    fn memo_tracks_bytes() {
+        let mut m: Memo<u32> = Memo::new();
+        assert!(m.is_empty());
+        let a = Arc::new(set(&[1, 2, 3]));
+        let b0 = a.heap_bytes();
+        assert!(m.insert(1, a.clone()));
+        assert_eq!(m.bytes(), b0);
+        assert!(!m.insert(1, Arc::new(IdSet::new())));
+        assert_eq!(m.bytes(), IdSet::new().heap_bytes());
+        assert_eq!(m.get(&1).map(|s| s.len()), Some(0));
+        assert_eq!(m.get(&2), None);
+        m.clear();
+        assert_eq!((m.len(), m.bytes()), (0, 0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: [`IdSet`] algebra against a `BTreeSet<u32>` oracle.
+//!
+//! Sets are generated as unions of dense runs whose lengths cluster around
+//! both container boundaries — the array→bitmap promotion at 4096 entries
+//! per chunk and the 65536-id chunk span — plus sparse strays, and (one time
+//! in eight) an explicit `Universe(n)` operand for the lazy-range arm.
+
+use prague_idset::{intersect_all, IdSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const NEAR_ARRAY_MAX: u32 = 4096;
+const CHUNK: u32 = 1 << 16;
+
+/// One operand, alongside enough data to rebuild its oracle.
+#[derive(Debug, Clone)]
+enum Op {
+    Concrete(Vec<(u32, u32)>, Vec<u32>),
+    Universe(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let runs = proptest::collection::vec((0u32..3 * CHUNK, 0u32..3, 0u32..24), 0..4);
+    let strays = proptest::collection::vec(0u32..4 * CHUNK, 0..16);
+    (0u32..8, runs, strays, 0u32..3 * CHUNK).prop_map(|(kind, runs, strays, n)| {
+        if kind == 0 {
+            Op::Universe(n)
+        } else {
+            let runs = runs
+                .into_iter()
+                .map(|(start, boundary, jitter)| {
+                    // Run lengths straddle the array/bitmap and chunk edges.
+                    let len = match boundary {
+                        0 => jitter,
+                        1 => NEAR_ARRAY_MAX - 12 + jitter,
+                        _ => CHUNK - 12 + jitter,
+                    };
+                    // Half the runs snap to half-chunk grid points so two
+                    // operands overlap non-trivially.
+                    let start = if start % 2 == 0 {
+                        (start / (CHUNK / 2)) * (CHUNK / 2)
+                    } else {
+                        start
+                    };
+                    (start, len)
+                })
+                .collect();
+            Op::Concrete(runs, strays)
+        }
+    })
+}
+
+fn build(op: &Op) -> (IdSet, BTreeSet<u32>) {
+    match op {
+        Op::Concrete(runs, strays) => {
+            let mut oracle = BTreeSet::new();
+            for &(start, len) in runs {
+                oracle.extend(start..start.saturating_add(len));
+            }
+            oracle.extend(strays.iter().copied());
+            let ids: Vec<u32> = oracle.iter().copied().collect();
+            (IdSet::from_sorted_slice(&ids), oracle)
+        }
+        Op::Universe(n) => (IdSet::universe(*n), (0..*n).collect()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_iteration_cardinality_membership(op in op_strategy()) {
+        let (s, oracle) = build(&op);
+        prop_assert_eq!(s.len(), oracle.len());
+        prop_assert_eq!(s.is_empty(), oracle.is_empty());
+        prop_assert_eq!(s.max(), oracle.last().copied());
+        // Iteration is ascending and exactly the oracle.
+        let got: Vec<u32> = s.iter().collect();
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+        let want: Vec<u32> = oracle.iter().copied().collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(s.to_vec(), want);
+        // Membership spot checks around present ids.
+        for &id in oracle.iter().take(64) {
+            prop_assert!(s.contains(id));
+            prop_assert_eq!(s.contains(id + 1), oracle.contains(&(id + 1)));
+        }
+    }
+
+    #[test]
+    fn binary_algebra_matches_btreeset(a in op_strategy(), b in op_strategy()) {
+        let (sa, oa) = build(&a);
+        let (sb, ob) = build(&b);
+
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        let want: Vec<u32> = oa.intersection(&ob).copied().collect();
+        prop_assert_eq!(i.len(), want.len());
+        prop_assert_eq!(i.to_vec(), want);
+
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        let want: Vec<u32> = oa.union(&ob).copied().collect();
+        prop_assert_eq!(u.len(), want.len());
+        prop_assert_eq!(u.to_vec(), want);
+
+        let mut d = sa.clone();
+        d.difference_with(&sb);
+        let want: Vec<u32> = oa.difference(&ob).copied().collect();
+        prop_assert_eq!(d.len(), want.len());
+        prop_assert_eq!(d.to_vec(), want);
+
+        // Semantic equality is representation-independent.
+        prop_assert_eq!(IdSet::from_sorted_slice(&sa.to_vec()), sa.clone());
+    }
+
+    #[test]
+    fn intersect_all_matches_pairwise(ops in proptest::collection::vec(op_strategy(), 1..4)) {
+        let built: Vec<(IdSet, BTreeSet<u32>)> = ops.iter().map(build).collect();
+        let mut oracle = built[0].1.clone();
+        for (_, o) in &built[1..] {
+            oracle = oracle.intersection(o).copied().collect();
+        }
+        let sets: Vec<Arc<IdSet>> = built.iter().map(|(s, _)| Arc::new(s.clone())).collect();
+        let got = intersect_all(sets);
+        let want: Vec<u32> = oracle.iter().copied().collect();
+        prop_assert_eq!(got.len(), want.len());
+        prop_assert_eq!(got.to_vec(), want);
+    }
+
+    #[test]
+    fn insert_matches_btreeset(op in op_strategy(), extra in proptest::collection::vec(0u32..4 * CHUNK, 0..64)) {
+        let (mut s, mut oracle) = build(&op);
+        for &id in &extra {
+            prop_assert_eq!(s.insert(id), oracle.insert(id));
+        }
+        let want: Vec<u32> = oracle.iter().copied().collect();
+        prop_assert_eq!(s.len(), oracle.len());
+        prop_assert_eq!(s.to_vec(), want);
+    }
+}

@@ -23,8 +23,10 @@ use bytes::BytesMut;
 use parking_lot::Mutex;
 use prague_graph::enumerate::{connected_edge_subsets_by_size, mask_edges};
 use prague_graph::{cam_code, CamCode, Graph, GraphId};
+use prague_idset::IdSet;
 use prague_mining::MiningResult;
 use prague_obs::{names, Obs};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -139,8 +141,9 @@ pub struct A2fIndex {
     /// (CAM codes are canonical keys shared with the SPIG set and the
     /// persisted catalog — see `cargo xtask audit`).
     cam_to_id: BTreeMap<CamCode, A2fId>,
-    /// Memoized full FSG-id lists.
-    fsg_cache: Mutex<BTreeMap<A2fId, Arc<Vec<GraphId>>>>,
+    /// Memoized full FSG-id lists, as shared compressed sets (the
+    /// candidate engine intersects/unions these without materializing).
+    fsg_cache: Mutex<BTreeMap<A2fId, Arc<IdSet>>>,
     /// Incremental-insert appendix: ids of data graphs registered after
     /// construction that contain each fragment (see
     /// [`A2fIndex::register_graph`]). Sorted ascending per fragment.
@@ -171,16 +174,6 @@ fn sorted_difference(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
         }
     }
     out
-}
-
-/// Merge a sorted list into another sorted list, deduplicating.
-fn merge_sorted_into(base: &mut Vec<GraphId>, extra: &[GraphId]) {
-    if extra.is_empty() {
-        return;
-    }
-    base.extend_from_slice(extra);
-    base.sort_unstable();
-    base.dedup();
 }
 
 /// Sorted-set union of many ascending lists.
@@ -454,44 +447,73 @@ impl A2fIndex {
         }
     }
 
+    /// The delIds of a vertex without decoding its fragment graph: MF
+    /// payloads are borrowed in place, DF payloads skip the graphs of every
+    /// cluster member ([`codec::skip_graph`]) and decode only the wanted
+    /// slot's id list.
+    fn del_ids(&self, id: A2fId) -> Result<Cow<'_, [GraphId]>, StoreError> {
+        match self.vertices[id as usize].location {
+            Location::Mf { payload } => {
+                Ok(Cow::Borrowed(&self.mf_payloads[payload as usize].del_ids))
+            }
+            Location::Df { cluster, slot } => {
+                let c = &self.clusters[cluster as usize];
+                let bytes = self.store.read(c.handle)?;
+                let mut slice: &[u8] = &bytes;
+                let n = codec::get_uvarint(&mut slice)
+                    .map_err(|_| StoreError::BadHandle(c.handle))? as usize;
+                debug_assert_eq!(n, c.members.len());
+                for i in 0..n {
+                    codec::skip_graph(&mut slice).map_err(|_| StoreError::BadHandle(c.handle))?;
+                    if i == slot as usize {
+                        let ids = codec::get_sorted_ids(&mut slice)
+                            .map_err(|_| StoreError::BadHandle(c.handle))?;
+                        return Ok(Cow::Owned(ids));
+                    }
+                    codec::skip_sorted_ids(&mut slice)
+                        .map_err(|_| StoreError::BadHandle(c.handle))?;
+                }
+                Err(StoreError::BadHandle(c.handle))
+            }
+        }
+    }
+
     /// The fragment graph of `id`. DF fragments are read from the blob
     /// store, so the lookup is fallible like any other disk access.
     pub fn fragment(&self, id: A2fId) -> Result<Graph, StoreError> {
-        Ok(self.payload(id)?.0)
+        match self.vertices[id as usize].location {
+            // MF: clone only the graph, not the delIds riding in `payload`.
+            Location::Mf { payload } => Ok(self.mf_payloads[payload as usize].graph.clone()),
+            Location::Df { .. } => Ok(self.payload(id)?.0),
+        }
     }
 
-    /// The full FSG-id list `fsgIds(f)` of fragment `id`, reconstructed from
-    /// delIds over the descendant lattice and memoized. Fallible because
-    /// delIds of DF fragments live in the blob store; once warmed (or after a
-    /// first successful call per fragment) the memo cache answers without
-    /// touching disk.
-    pub fn fsg_ids(&self, id: A2fId) -> Result<Arc<Vec<GraphId>>, StoreError> {
+    /// The full FSG-id set `fsgIds(f)` of fragment `id`, reconstructed from
+    /// delIds over the descendant lattice and memoized as a shared
+    /// [`IdSet`]. Fallible because delIds of DF fragments live in the blob
+    /// store; once warmed (or after a first successful call per fragment)
+    /// the memo cache answers without touching disk.
+    pub fn fsg_ids(&self, id: A2fId) -> Result<Arc<IdSet>, StoreError> {
         if let Some(hit) = self.fsg_cache.lock().get(&id) {
             return Ok(hit.clone());
         }
-        if self.full_ids {
-            // ablation mode: the stored list already is the full list
-            let (_, mut ids) = self.payload(id)?;
-            merge_sorted_into(&mut ids, &self.appendix[id as usize]);
-            let full = Arc::new(ids);
-            self.fsg_cache.lock().insert(id, full.clone());
-            return Ok(full);
+        // Union delIds, the insert appendix, and (unless the ablation mode
+        // stored full lists) every child's set, accumulating straight into
+        // the set that will be cached — no intermediate flattened Vec.
+        let mut acc = IdSet::from_sorted_slice(&self.del_ids(id)?);
+        let app = &self.appendix[id as usize];
+        if !app.is_empty() {
+            acc.union_with(&IdSet::from_sorted_slice(app));
         }
-        // Resolve children first (sizes strictly increase, so recursion
-        // terminates); then union with own delIds.
-        let mut child_arcs: Vec<Arc<Vec<GraphId>>> =
-            Vec::with_capacity(self.vertices[id as usize].children.len());
-        for c in self.vertices[id as usize].children.clone() {
-            child_arcs.push(self.fsg_ids(c)?);
+        if !self.full_ids {
+            // Children first would also work; sizes strictly increase, so
+            // the recursion terminates either way.
+            for &c in &self.vertices[id as usize].children {
+                let child = self.fsg_ids(c)?;
+                acc.union_with(&child);
+            }
         }
-        let (_, mut del) = self.payload(id)?;
-        merge_sorted_into(&mut del, &self.appendix[id as usize]);
-        let mut lists: Vec<&[GraphId]> = Vec::with_capacity(child_arcs.len() + 1);
-        lists.push(&del);
-        for a in &child_arcs {
-            lists.push(a.as_slice());
-        }
-        let full = Arc::new(sorted_union(&lists));
+        let full = Arc::new(acc);
         self.fsg_cache.lock().insert(id, full.clone());
         Ok(full)
     }
@@ -582,7 +604,7 @@ impl A2fIndex {
             codec::put_u32_slice(&mut buf, self.parents(id));
             codec::put_u32_slice(&mut buf, self.leaf_cluster_list(id));
             codec::put_graph(&mut buf, &self.fragment(id)?);
-            codec::put_sorted_ids(&mut buf, &self.fsg_ids(id)?);
+            codec::put_sorted_ids(&mut buf, &self.fsg_ids(id)?.to_vec());
         }
         Ok(buf.to_vec())
     }

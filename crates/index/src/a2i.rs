@@ -8,6 +8,7 @@
 
 use crate::a2f::IndexFootprint;
 use prague_graph::{CamCode, Graph, GraphId};
+use prague_idset::IdSet;
 use prague_mining::MiningResult;
 use prague_obs::{names, Obs};
 use std::collections::BTreeMap;
@@ -23,8 +24,9 @@ pub struct DifEntry {
     pub cam: CamCode,
     /// The DIF graph.
     pub graph: Graph,
-    /// Sorted FSG identifiers.
-    pub fsg_ids: Arc<Vec<GraphId>>,
+    /// FSG identifiers as a shared compressed set (ascending iteration
+    /// matches the sorted lists it replaced).
+    pub fsg_ids: Arc<IdSet>,
 }
 
 /// The action-aware infrequent index.
@@ -53,16 +55,10 @@ impl A2iIndex {
         let mut updated = 0usize;
         for e in &mut self.entries {
             let order = MatchOrder::new(&e.graph);
-            if is_subgraph_with_order(&e.graph, g, &order) {
-                let ids = Arc::make_mut(&mut e.fsg_ids);
-                if ids.last().is_none_or(|&l| l < gid) {
-                    ids.push(gid);
-                    updated += 1;
-                } else if !ids.contains(&gid) {
-                    ids.push(gid);
-                    ids.sort_unstable();
-                    updated += 1;
-                }
+            if is_subgraph_with_order(&e.graph, g, &order)
+                && Arc::make_mut(&mut e.fsg_ids).insert(gid)
+            {
+                updated += 1;
             }
         }
         // fresh single-edge fragments
@@ -87,7 +83,7 @@ impl A2iIndex {
             self.entries.push(DifEntry {
                 cam,
                 graph: single,
-                fsg_ids: Arc::new(vec![gid]),
+                fsg_ids: Arc::new(IdSet::from_sorted_slice(&[gid])),
             });
             updated += 1;
         }
@@ -106,7 +102,7 @@ impl A2iIndex {
             entries.push(DifEntry {
                 cam: dif.cam.clone(),
                 graph: dif.graph.clone(),
-                fsg_ids: Arc::new(dif.fsg_ids.clone()),
+                fsg_ids: Arc::new(IdSet::from_sorted_slice(&dif.fsg_ids)),
             });
         }
         A2iIndex {
@@ -147,8 +143,8 @@ impl A2iIndex {
         &self.entries[id as usize]
     }
 
-    /// FSG ids of DIF `id`.
-    pub fn fsg_ids(&self, id: A2iId) -> Arc<Vec<GraphId>> {
+    /// FSG ids of DIF `id` (shared, compressed).
+    pub fn fsg_ids(&self, id: A2iId) -> Arc<IdSet> {
         self.entries[id as usize].fsg_ids.clone()
     }
 
@@ -173,7 +169,7 @@ impl A2iIndex {
                 + e.cam.byte_size()
                 + e.graph.node_count() * 2
                 + e.graph.edge_count() * std::mem::size_of::<prague_graph::Edge>()
-                + e.fsg_ids.len() * 4;
+                + e.fsg_ids.heap_bytes();
         }
         memory += self.cam_to_id.len() * (std::mem::size_of::<(CamCode, A2iId)>() + 16);
         IndexFootprint {

@@ -149,6 +149,17 @@ pub fn get_sorted_ids(buf: &mut &[u8]) -> Result<Vec<GraphId>, CodecError> {
     Ok(out)
 }
 
+/// Advance past a delta-coded sorted id list without materializing it.
+/// Used by the DF payload reader when only a later member of a cluster blob
+/// is wanted.
+pub fn skip_sorted_ids(buf: &mut &[u8]) -> Result<(), CodecError> {
+    let len = get_uvarint(buf)? as usize;
+    for _ in 0..len {
+        get_uvarint(buf)?;
+    }
+    Ok(())
+}
+
 /// Append a graph: node labels, then `(u, v, edge_label)` triples.
 pub fn put_graph(buf: &mut BytesMut, g: &Graph) {
     put_uvarint(buf, g.node_count() as u64);
@@ -185,6 +196,20 @@ pub fn get_graph(buf: &mut &[u8]) -> Result<Graph, CodecError> {
             .map_err(|e| CodecError::InvalidGraph(e.to_string()))?;
     }
     Ok(g)
+}
+
+/// Advance past an encoded graph without building it: mirrors
+/// [`get_graph`]'s field order, decoding varints only.
+pub fn skip_graph(buf: &mut &[u8]) -> Result<(), CodecError> {
+    let n = get_uvarint(buf)? as usize;
+    for _ in 0..n {
+        get_uvarint(buf)?;
+    }
+    let m = get_uvarint(buf)? as usize;
+    for _ in 0..3 * m {
+        get_uvarint(buf)?;
+    }
+    Ok(())
 }
 
 /// Append a UTF-8 string (length-prefixed).
@@ -345,6 +370,23 @@ mod tests {
         buf.put_slice(b"abc"); // only 3
         let mut slice: &[u8] = &buf;
         assert_eq!(get_string(&mut slice), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn skip_helpers_advance_exactly() {
+        let mut g = Graph::new();
+        let a = g.add_node(Label(1));
+        let b = g.add_node(Label(2));
+        g.add_labeled_edge(a, b, Label(0)).unwrap();
+        let mut buf = BytesMut::new();
+        put_graph(&mut buf, &g);
+        put_sorted_ids(&mut buf, &[3, 9, 1000]);
+        put_uvarint(&mut buf, 77);
+        let mut slice: &[u8] = &buf;
+        skip_graph(&mut slice).unwrap();
+        skip_sorted_ids(&mut slice).unwrap();
+        assert_eq!(get_uvarint(&mut slice).unwrap(), 77);
+        assert!(slice.is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! over random databases (both β splits and both storage modes), and codec
 //! round-trips on arbitrary values.
 
-use prague_graph::{Graph, GraphDb, GraphId, Label, NodeId};
+use prague_graph::{Graph, GraphDb, Label, NodeId};
 use prague_index::{codec, A2fConfig, A2fIndex, A2iIndex, DfBacking};
 use prague_mining::mine_classified;
 use proptest::prelude::*;
@@ -125,7 +125,7 @@ proptest! {
         let idx = A2fIndex::build(&result, &A2fConfig::default()).unwrap();
         for f in &result.frequent {
             let id = idx.lookup(&f.cam).unwrap();
-            let mine: Vec<GraphId> = idx.fsg_ids(id).unwrap().as_ref().clone();
+            let mine = idx.fsg_ids(id).unwrap();
             for &c in idx.children(id) {
                 for g in idx.fsg_ids(c).unwrap().iter() {
                     prop_assert!(mine.contains(g));

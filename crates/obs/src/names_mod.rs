@@ -85,6 +85,13 @@ pub const PAR_CANCELLATIONS: &str = "par.cancellations";
 /// Nanoseconds workers spent executing jobs; divided by elapsed wall time
 /// times thread count this is the pool's utilization.
 pub const PAR_BUSY_NS: &str = "par.busy_ns";
+/// Candidate-set memo lookups answered from the CAM-keyed cache.
+pub const CAND_MEMO_HITS: &str = "cand.memo_hits";
+/// Candidate-set memo lookups that had to compute the set.
+pub const CAND_MEMO_MISSES: &str = "cand.memo_misses";
+/// Approximate heap bytes admitted into the candidate-set memo
+/// (compressed `IdSet` containers; shared sets counted once per entry).
+pub const CAND_IDSET_BYTES: &str = "cand.idset_bytes";
 
 // ---- histograms ------------------------------------------------------
 
@@ -132,6 +139,9 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (PAR_STEALS, MetricKind::Counter),
     (PAR_CANCELLATIONS, MetricKind::Counter),
     (PAR_BUSY_NS, MetricKind::Counter),
+    (CAND_MEMO_HITS, MetricKind::Counter),
+    (CAND_MEMO_MISSES, MetricKind::Counter),
+    (CAND_IDSET_BYTES, MetricKind::Counter),
     (STORE_READ_NS, MetricKind::Histogram),
     (SPIG_LEVEL_WIDTH, MetricKind::Histogram),
     (SESSION_STEP_NS, MetricKind::Histogram),

@@ -124,7 +124,10 @@ impl Shared {
         self.pending.fetch_add(1, Ordering::SeqCst);
         lock(&self.queues[i]).push_back(job);
         drop(lock(&self.sleep));
-        self.wake.notify_all();
+        // One job can occupy one worker: waking the whole pool for every
+        // submit just stampedes sleepers through the steal loop. Idle
+        // workers also poll on a 50ms backstop, so a lost race still drains.
+        self.wake.notify_one();
     }
 
     fn is_idle(&self) -> bool {

@@ -34,12 +34,14 @@ use std::path::{Path, PathBuf};
 /// Crates whose index/SPIG/store construction must be deterministic.
 /// `obs` qualifies because snapshot export order feeds diff-based tooling
 /// (the `integration_obs` docs-drift test, `BENCH_*.json` comparisons).
-pub const DETERMINISM_CRATES: &[&str] = &["graph", "mining", "index", "spig", "core", "obs", "par"];
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "graph", "mining", "index", "idset", "spig", "core", "obs", "par",
+];
 
 /// Crates whose library code must not contain panic paths. `obs` is in
 /// every hot path of the interactive pipeline, so a panic there would take
 /// down instrumented sessions.
-pub const PANIC_FREE_CRATES: &[&str] = &["index", "core", "spig", "obs", "par"];
+pub const PANIC_FREE_CRATES: &[&str] = &["index", "idset", "core", "spig", "obs", "par"];
 
 /// The audit rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

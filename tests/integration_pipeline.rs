@@ -239,12 +239,12 @@ fn frequent_fragment_query_is_verification_free_and_exact() {
             .unwrap();
     }
     // R_q must equal fsgIds exactly — this is the verification-free case
-    let expect = a2f.fsg_ids(id).unwrap();
-    assert_eq!(session.exact_candidates(), expect.as_slice());
+    let expect = a2f.fsg_ids(id).unwrap().to_vec();
+    assert_eq!(session.exact_candidates(), expect);
     let outcome = session.run().unwrap();
     match outcome.results {
         QueryResults::Exact(ids) => {
-            assert_eq!(&ids, expect.as_ref());
+            assert_eq!(ids, expect);
             // cross-check against brute force
             assert_eq!(ids, oracle_containment(&frag, system.db()));
         }
