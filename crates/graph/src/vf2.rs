@@ -224,8 +224,12 @@ impl<'a> Matcher<'a> {
         if self.cancelled {
             return true;
         }
+        // Acquire pairs with the Release store in `CancelToken::cancel`:
+        // once the flag is observed, everything sequenced before the
+        // cancel is visible too (the cancel-token visibility contract in
+        // ARCHITECTURE.md § Concurrency model).
         if let Some(flag) = self.cancel {
-            if flag.load(Ordering::Relaxed) {
+            if flag.load(Ordering::Acquire) {
                 self.cancelled = true;
                 return true;
             }

@@ -85,6 +85,9 @@ pub const PAR_CANCELLATIONS: &str = "par.cancellations";
 /// Nanoseconds workers spent executing jobs; divided by elapsed wall time
 /// times thread count this is the pool's utilization.
 pub const PAR_BUSY_NS: &str = "par.busy_ns";
+/// Pool mutexes recovered from poisoning (a worker panicked while holding
+/// a lock). Never silent: every recovery increments this counter.
+pub const PAR_POISONED: &str = "par.poisoned";
 /// Candidate-set memo lookups answered from the CAM-keyed cache.
 pub const CAND_MEMO_HITS: &str = "cand.memo_hits";
 /// Candidate-set memo lookups that had to compute the set.
@@ -139,6 +142,7 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (PAR_STEALS, MetricKind::Counter),
     (PAR_CANCELLATIONS, MetricKind::Counter),
     (PAR_BUSY_NS, MetricKind::Counter),
+    (PAR_POISONED, MetricKind::Counter),
     (CAND_MEMO_HITS, MetricKind::Counter),
     (CAND_MEMO_MISSES, MetricKind::Counter),
     (CAND_IDSET_BYTES, MetricKind::Counter),

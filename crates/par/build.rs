@@ -1,0 +1,8 @@
+fn main() {
+    // `model_check` is an expected custom cfg: the model-check CI job
+    // builds this crate with `RUSTFLAGS: --cfg model_check` to compile the
+    // schedule-perturbation hooks in `pool.rs` and enable
+    // `tests/model.rs`. Declaring it here keeps `unexpected_cfgs` (and
+    // clippy under -D warnings) quiet in normal builds.
+    println!("cargo::rustc-check-cfg=cfg(model_check)");
+}

@@ -1,0 +1,53 @@
+//! The crate's concurrency contract, as data.
+//!
+//! ARCHITECTURE.md § "Concurrency model" documents the lock order, the
+//! atomic handoff protocol, and the cancel-token visibility contract in
+//! prose tables; this module states the same facts in code, and
+//! `crates/par/tests/contract.rs` diff-checks the two — exactly like the
+//! performance-model table is pinned against `prague_obs::names::ALL`.
+//! Changing a lock's rank or an atomic's ordering without updating the
+//! docs (or vice versa) fails CI.
+
+/// Lock-acquisition ranks, outermost-first: a thread holding a lock may
+/// only acquire locks of strictly greater rank. Today every `prague-par`
+/// lock is a *leaf* (nothing is ever acquired while holding another — the
+/// `lock-order` audit rule verifies the crate's acquisition graph has no
+/// edges at all); the ranks fix the permitted order in advance of any
+/// future nesting.
+pub const LOCK_ORDER: &[(&str, u8)] =
+    &[("batch.slots", 0), ("pool.queues[i]", 1), ("pool.sleep", 2)];
+
+/// The atomic handoff protocol: every atomic in the crate with the memory
+/// ordering(s) it uses. `pending`/`active` form the idleness invariant
+/// (`active` is raised *before* `pending` drops, so `pending + active`
+/// never transiently reads 0 with a job in hand) and therefore use
+/// `SeqCst`; `shutdown` gates worker exit against the drain loop, also
+/// `SeqCst`; `cursor` is a placement hint with no handoff riding on it
+/// (`Relaxed`, justified at its audit annotation); the cancel flag is a
+/// one-way latch published with `Release` and observed with `Acquire`, so
+/// any effect sequenced before `cancel()` is visible to a poll that sees
+/// the flag raised — the cancel-token visibility contract VF2's poll loop
+/// relies on for zero-expansion-after-cancel.
+pub const ATOMICS: &[(&str, &str)] = &[
+    ("pool.pending", "SeqCst"),
+    ("pool.active", "SeqCst"),
+    ("pool.cursor", "Relaxed"),
+    ("pool.shutdown", "SeqCst"),
+    ("cancel.flag", "Release / Acquire"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_strictly_increasing_and_names_unique() {
+        for w in LOCK_ORDER.windows(2) {
+            assert!(w[0].1 < w[1].1, "ranks must strictly increase: {w:?}");
+        }
+        let mut names: Vec<&str> = ATOMICS.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ATOMICS.len(), "duplicate atomic names");
+    }
+}

@@ -19,7 +19,14 @@
 //! Like `prague-obs`, the crate is dependency-free (standard library
 //! only) and reports its behavior through `par.*` metrics documented in
 //! `ARCHITECTURE.md`: `par.jobs`, `par.steals`, `par.cancellations`,
-//! `par.busy_ns`.
+//! `par.busy_ns`, `par.poisoned`.
+//!
+//! The crate's lock order, atomic handoff protocol and cancel-token
+//! visibility contract are documented in ARCHITECTURE.md § "Concurrency
+//! model", mirrored in code by [`contract`], enforced statically by the
+//! `cargo xtask audit` concurrency rules, and explored dynamically by the
+//! deterministic model-check harness (`tests/model.rs`, built with
+//! `--cfg model_check`) through the [`sched`] yield points.
 //!
 //! ```
 //! use prague_par::{CancelToken, Pool};
@@ -35,7 +42,9 @@
 #![warn(missing_docs)]
 
 mod cancel;
+pub mod contract;
 mod pool;
+pub mod sched;
 
 pub use cancel::CancelToken;
 pub use pool::{Batch, Pool};

@@ -22,22 +22,55 @@
 //! queues; a worker pops its own queue from the front and steals from the
 //! back of a sibling's queue when its own is empty (counted in
 //! `par.steals`).
+//!
+//! The lock discipline and atomic handoff protocol of this file are
+//! documented in ARCHITECTURE.md § "Concurrency model" and pinned by
+//! `crates/par/tests/contract.rs`; `cargo xtask audit --strict --crate par`
+//! enforces the lock-order/condvar/atomic rules statically, and
+//! `tests/model.rs` exercises the interleavings dynamically through the
+//! [`crate::sched`] yield points below.
 
+use crate::sched::site;
 use crate::CancelToken;
 use prague_obs::{names, Obs};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Poisoning cannot leave pool state inconsistent (queues hold whole jobs,
-/// batch slots hold whole results), so a panicking sibling is survivable —
-/// same idiom as the `prague-obs` registry.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Condvar wait backstop. Production: a safety poll interval — submits
+/// and completions notify, so the timeout only matters if a wakeup is
+/// lost. Model-check builds stretch it to 10 s so a lost wakeup becomes a
+/// visible stall (the harness asserts each run finishes in well under
+/// this) instead of being papered over by the poll.
+#[cfg(not(model_check))]
+const BACKSTOP: Duration = Duration::from_millis(50);
+#[cfg(model_check)]
+const BACKSTOP: Duration = Duration::from_secs(10);
+
+/// Schedule-perturbation hook for the model-check harness; compiled to a
+/// no-op in normal builds. See [`crate::sched`] for the seeded protocol.
+#[inline]
+fn yp(site: u8) {
+    #[cfg(model_check)]
+    crate::sched::yield_point(site);
+    #[cfg(not(model_check))]
+    let _ = site;
+}
+
+/// Lock with poison recovery. Poisoning cannot leave pool state
+/// inconsistent (queues hold whole jobs, batch slots hold whole results),
+/// so a panicking sibling is survivable — but never silently: every
+/// recovery is recorded in the `par.poisoned` counter so a panicked
+/// worker can't poison-and-hide.
+fn lock<'a, T>(m: &'a Mutex<T>, obs: &Obs) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        obs.add(names::PAR_POISONED, 1);
+        poisoned.into_inner()
+    })
 }
 
 struct Shared {
@@ -65,10 +98,13 @@ impl Shared {
         let n = self.queues.len();
         for k in 0..n {
             let i = (me + k) % n;
+            yp(site::TAKE_POLL);
             let job = if k == 0 {
-                lock(&self.queues[i]).pop_front()
+                // audit:allow(slice-index): i = (me + k) % queues.len() is in bounds by construction
+                lock(&self.queues[i], &self.obs).pop_front()
             } else {
-                lock(&self.queues[i]).pop_back()
+                // audit:allow(slice-index): i = (me + k) % queues.len() is in bounds by construction
+                lock(&self.queues[i], &self.obs).pop_back()
             };
             if let Some(job) = job {
                 if k != 0 {
@@ -77,6 +113,7 @@ impl Shared {
                 // active up *before* pending down, so `pending + active`
                 // never transiently reads 0 while a job is in hand.
                 self.active.fetch_add(1, Ordering::SeqCst);
+                yp(site::TAKE_COUNTS);
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 return Some(job);
             }
@@ -102,15 +139,16 @@ impl Shared {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    let guard = lock(&self.sleep);
+                    yp(site::WORKER_IDLE);
+                    let guard = lock(&self.sleep, &self.obs);
                     if self.pending.load(Ordering::SeqCst) == 0
                         && !self.shutdown.load(Ordering::SeqCst)
                     {
+                        yp(site::WORKER_WAIT);
                         // Timeout is a backstop only; submits notify.
-                        let _ = self
-                            .wake
-                            .wait_timeout(guard, Duration::from_millis(50))
-                            .map_err(PoisonError::into_inner);
+                        if self.wake.wait_timeout(guard, BACKSTOP).is_err() {
+                            self.obs.add(names::PAR_POISONED, 1);
+                        }
                     }
                 }
             }
@@ -118,15 +156,23 @@ impl Shared {
     }
 
     fn push_job(&self, job: Job) {
+        yp(site::SUBMIT_ENTER);
+        // The cursor only spreads submissions across queues; every queue
+        // is a correct destination and the job handoff itself synchronizes
+        // through the queue mutex, so ordering does not matter here.
+        // audit:allow(atomic-ordering): round-robin placement hint only — no cross-thread handoff rides on the cursor value
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.queues.len();
         // pending up before the job is visible, so a worker can never
         // decrement below zero.
         self.pending.fetch_add(1, Ordering::SeqCst);
-        lock(&self.queues[i]).push_back(job);
-        drop(lock(&self.sleep));
+        // audit:allow(slice-index): i = cursor % queues.len() is in bounds by construction
+        lock(&self.queues[i], &self.obs).push_back(job);
+        yp(site::SUBMIT_PUSHED);
+        drop(lock(&self.sleep, &self.obs));
         // One job can occupy one worker: waking the whole pool for every
         // submit just stampedes sleepers through the steal loop. Idle
-        // workers also poll on a 50ms backstop, so a lost race still drains.
+        // workers also poll on the `BACKSTOP` timeout, so a lost race
+        // still drains.
         self.wake.notify_one();
     }
 
@@ -207,6 +253,7 @@ impl Pool {
                 remaining: n,
             }),
             done: Condvar::new(),
+            obs: self.shared.obs.clone(),
         });
         for (i, f) in jobs.into_iter().enumerate() {
             let state = Arc::clone(&state);
@@ -217,12 +264,14 @@ impl Pool {
                 if token.is_cancelled() {
                     obs.add(names::PAR_CANCELLATIONS, 1);
                 }
-                let mut slots = lock(&state.slots);
+                yp(site::BATCH_SLOT);
+                let mut slots = lock(&state.slots, &state.obs);
                 if let Some(slot) = slots.results.get_mut(i) {
                     *slot = out;
                 }
                 slots.remaining = slots.remaining.saturating_sub(1);
                 if slots.remaining == 0 {
+                    yp(site::BATCH_NOTIFY);
                     state.done.notify_all();
                 }
             });
@@ -258,16 +307,21 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        drop(lock(&self.shared.sleep));
+        drop(lock(&self.shared.sleep, &self.shared.obs));
         self.shared.wake.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         // Workers only exit once every queue is empty, so any job still
         // queued here means no worker was ever spawned: drain inline to
-        // keep the no-lost-results guarantee.
+        // keep the no-lost-results guarantee. Pop-then-run, so the queue
+        // guard is never held across the job (jobs may take batch locks or
+        // run arbitrarily long user code).
         for q in &self.shared.queues {
-            while let Some(job) = lock(q).pop_front() {
+            loop {
+                yp(site::DROP_DRAIN);
+                let queued = lock(q, &self.shared.obs).pop_front();
+                let Some(job) = queued else { break };
                 self.shared.active.fetch_add(1, Ordering::SeqCst);
                 self.shared.pending.fetch_sub(1, Ordering::SeqCst);
                 self.shared.run_job(job);
@@ -284,6 +338,7 @@ struct Slots<T> {
 struct BatchState<T> {
     slots: Mutex<Slots<T>>,
     done: Condvar,
+    obs: Obs,
 }
 
 /// Handle to one submitted batch: cancellation plus a blocking join that
@@ -315,21 +370,23 @@ impl<T> Batch<T> {
 
     /// Whether every job has finished (without blocking).
     pub fn is_complete(&self) -> bool {
-        lock(&self.state.slots).remaining == 0
+        lock(&self.state.slots, &self.state.obs).remaining == 0
     }
 
     /// Block until every job has finished and take the results, in
     /// submission order.
     pub fn join(self) -> Vec<Option<T>> {
-        let mut slots = lock(&self.state.slots);
+        let mut slots = lock(&self.state.slots, &self.state.obs);
         while slots.remaining > 0 {
             // Timeout as a backstop against a missed notify; completion
             // normally wakes us immediately.
-            let (guard, _) = self
-                .state
-                .done
-                .wait_timeout(slots, Duration::from_millis(50))
-                .unwrap_or_else(PoisonError::into_inner);
+            let (guard, _) = match self.state.done.wait_timeout(slots, BACKSTOP) {
+                Ok(woken) => woken,
+                Err(poisoned) => {
+                    self.state.obs.add(names::PAR_POISONED, 1);
+                    poisoned.into_inner()
+                }
+            };
             slots = guard;
         }
         std::mem::take(&mut slots.results)
@@ -442,5 +499,33 @@ mod tests {
             .find(|c| c.name == names::PAR_JOBS)
             .map_or(0, |c| c.value);
         assert_eq!(jobs_run, 128);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_counted() {
+        let obs = Obs::enabled();
+        let m = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the mutex");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m, &obs), 7, "state survives poisoning");
+        let snap = obs.snapshot().expect("enabled");
+        let poisoned = snap
+            .counters
+            .iter()
+            .find(|c| c.name == names::PAR_POISONED)
+            .map_or(0, |c| c.value);
+        assert_eq!(poisoned, 1, "recovery must be recorded, not silent");
+        // a second recovery counts again
+        drop(lock(&m, &obs));
+        let snap = obs.snapshot().expect("enabled");
+        let poisoned = snap
+            .counters
+            .iter()
+            .find(|c| c.name == names::PAR_POISONED)
+            .map_or(0, |c| c.value);
+        assert_eq!(poisoned, 2);
     }
 }

@@ -1,0 +1,168 @@
+//! Deterministic schedule perturbation for the model-check harness.
+//!
+//! `pool.rs` calls [`yield_point`] at every interleaving-sensitive site
+//! (queue push/pop, the sleep/wake handshake, batch slot completion, drop
+//! drain). In normal builds the hook is compiled out; under
+//! `--cfg model_check` each call perturbs the OS schedule — do nothing,
+//! yield, spin, or briefly sleep — according to a *seeded, pure* decision
+//! table, so one seed denotes one bounded schedule:
+//!
+//! * the decision for the `k`-th visit to site `s` is
+//!   [`decision`]`(seed, s, k)` — a pure function, no global state, no
+//!   clock, no RNG object;
+//! * a schedule is the decision table over all sites and the first
+//!   [`SLOTS`] visits of each; [`fingerprint`] hashes that table, so
+//!   *same seed ⇒ same schedule* holds by construction and distinct
+//!   fingerprints witness distinct explored interleavings;
+//! * the harness sweeps seeds (`crates/par/tests/model.rs`), asserting
+//!   pool invariants under every schedule.
+//!
+//! This is a pragmatic bounded exploration in the spirit of randomized
+//! schedulers like shuttle/rr — it cannot *prove* absence of races, but a
+//! schedule that trips an invariant is exactly reproducible from its seed.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Yield-point site identifiers, one per interleaving-sensitive region of
+/// `pool.rs`. Keep `COUNT` in sync — [`yield_point`] ignores out-of-range
+/// sites rather than indexing blindly.
+pub mod site {
+    /// `push_job` entry, before `pending` is incremented.
+    pub const SUBMIT_ENTER: u8 = 0;
+    /// `push_job` after the queue push, before the sleep-lock/notify pair.
+    pub const SUBMIT_PUSHED: u8 = 1;
+    /// `take_job`, before polling each queue.
+    pub const TAKE_POLL: u8 = 2;
+    /// `take_job`, between the `active` increment and `pending` decrement.
+    pub const TAKE_COUNTS: u8 = 3;
+    /// `worker_loop`, after queues drained, before taking the sleep lock.
+    pub const WORKER_IDLE: u8 = 4;
+    /// `worker_loop`, holding the sleep lock, before the condvar wait.
+    pub const WORKER_WAIT: u8 = 5;
+    /// Batch job wrapper, after the user job, before locking the slots.
+    pub const BATCH_SLOT: u8 = 6;
+    /// Batch job wrapper, before `done.notify_all` (slots lock held).
+    pub const BATCH_NOTIFY: u8 = 7;
+    /// `Pool::drop`, before the inline drain of a queue.
+    pub const DROP_DRAIN: u8 = 8;
+    /// Number of sites.
+    pub const COUNT: usize = 9;
+}
+
+/// Visits per site covered by a schedule's decision table; later visits
+/// reuse the last slot (the interesting races are in the first few).
+pub const SLOTS: usize = 64;
+
+static SEED: AtomicU64 = AtomicU64::new(0);
+static APPLIED: AtomicU64 = AtomicU64::new(0);
+static HITS: [AtomicU32; site::COUNT] = [
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+    AtomicU32::new(0),
+];
+
+/// Install the schedule for the next run: set the seed and zero every
+/// per-site visit counter. Call between runs, while no pool is live.
+pub fn install(seed: u64) {
+    SEED.store(seed, Ordering::SeqCst);
+    for h in &HITS {
+        h.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Total yield-point visits since process start (all runs); the harness
+/// uses this to assert the hooks are actually compiled in and firing.
+pub fn visits() -> u64 {
+    APPLIED.load(Ordering::SeqCst)
+}
+
+/// SplitMix64 — the standard 64-bit finalizer-based generator; pure.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The pure schedule function: what to do on the `k`-th visit to `site`
+/// under `seed`. 0 = run on, 1 = `yield_now`, 2 = spin, 3 = micro-sleep.
+pub fn decision(seed: u64, site: u8, k: usize) -> u8 {
+    let k = k.min(SLOTS - 1) as u64;
+    (splitmix64(seed ^ (u64::from(site) << 32) ^ k.wrapping_mul(0x6C62_272E_07BB_0142)) & 3) as u8
+}
+
+/// Hash of the full decision table for `seed` — the schedule's identity.
+/// Pure: same seed always fingerprints identically, so the harness can
+/// count *distinct* explored schedules and replay any failing one.
+pub fn fingerprint(seed: u64) -> u64 {
+    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    for s in 0..site::COUNT as u8 {
+        for k in 0..SLOTS {
+            h = splitmix64(
+                h ^ (u64::from(decision(seed, s, k)) | (u64::from(s) << 8) | ((k as u64) << 16)),
+            );
+        }
+    }
+    h
+}
+
+/// The hook `pool.rs` fires at each instrumented site (only under
+/// `--cfg model_check`): look up this visit's decision and perturb the OS
+/// schedule accordingly. Perturbations are tiny — the point is to stretch
+/// race windows, not to simulate time.
+pub fn yield_point(site: u8) {
+    let Some(hits) = HITS.get(usize::from(site)) else {
+        return;
+    };
+    APPLIED.fetch_add(1, Ordering::SeqCst);
+    let seed = SEED.load(Ordering::SeqCst);
+    let k = hits.fetch_add(1, Ordering::SeqCst) as usize;
+    match decision(seed, site, k) {
+        0 => {}
+        1 => std::thread::yield_now(),
+        2 => {
+            for _ in 0..64 {
+                std::hint::spin_loop();
+            }
+        }
+        _ => std::thread::sleep(std::time::Duration::from_micros(20)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_is_pure_and_seed_sensitive() {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            for s in 0..site::COUNT as u8 {
+                for k in 0..SLOTS {
+                    assert_eq!(decision(seed, s, k), decision(seed, s, k));
+                }
+            }
+        }
+        assert_eq!(fingerprint(42), fingerprint(42));
+        assert_ne!(fingerprint(42), fingerprint(43));
+    }
+
+    #[test]
+    fn fingerprints_are_distinct_over_a_sweep() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..4096u64 {
+            seen.insert(fingerprint(seed));
+        }
+        assert_eq!(seen.len(), 4096, "schedule fingerprints must not collide");
+    }
+
+    #[test]
+    fn out_of_range_site_is_ignored() {
+        yield_point(200); // must not panic
+    }
+}

@@ -1,0 +1,61 @@
+//! Docs-drift pin for the concurrency model: the lock-order and atomic
+//! tables in ARCHITECTURE.md § "Concurrency model" must match
+//! `prague_par::contract` — same entries, same order — exactly the way
+//! the performance-model table is pinned against `prague_obs::names::ALL`.
+
+use prague_par::contract;
+
+/// Parse the table rows between `<!-- {marker}:begin -->` and
+/// `<!-- {marker}:end -->`: each data row's first cell is a
+/// backtick-quoted name, the second cell is returned verbatim.
+fn documented_rows(marker: &str) -> Vec<(String, String)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ARCHITECTURE.md");
+    let text = std::fs::read_to_string(path).expect("ARCHITECTURE.md readable");
+    let begin = text
+        .find(&format!("<!-- {marker}:begin -->"))
+        .unwrap_or_else(|| panic!("{marker}:begin marker present"));
+    let end = text
+        .find(&format!("<!-- {marker}:end -->"))
+        .unwrap_or_else(|| panic!("{marker}:end marker present"));
+    let mut rows = Vec::new();
+    for line in text[begin..end].lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some(first) = cells.nth(1) else { continue };
+        let Some(name) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue;
+        };
+        let second = cells.next().expect("second cell present").to_string();
+        rows.push((name.to_string(), second));
+    }
+    rows
+}
+
+#[test]
+fn architecture_lock_order_matches_contract() {
+    let documented = documented_rows("par-locks");
+    let in_code: Vec<(String, String)> = contract::LOCK_ORDER
+        .iter()
+        .map(|&(name, rank)| (name.to_string(), rank.to_string()))
+        .collect();
+    assert_eq!(
+        documented, in_code,
+        "ARCHITECTURE.md § Concurrency model lock table and \
+         prague_par::contract::LOCK_ORDER must list the same locks with \
+         the same ranks in the same order"
+    );
+}
+
+#[test]
+fn architecture_atomics_match_contract() {
+    let documented = documented_rows("par-atomics");
+    let in_code: Vec<(String, String)> = contract::ATOMICS
+        .iter()
+        .map(|&(name, ordering)| (name.to_string(), ordering.to_string()))
+        .collect();
+    assert_eq!(
+        documented, in_code,
+        "ARCHITECTURE.md § Concurrency model atomics table and \
+         prague_par::contract::ATOMICS must list the same atomics with \
+         the same orderings in the same order"
+    );
+}

@@ -1,6 +1,6 @@
 //! The `cargo xtask audit` rules engine.
 //!
-//! Scans workspace library sources for two classes of hazards PRAGUE's
+//! Scans workspace library sources for three classes of hazards PRAGUE's
 //! correctness model cannot tolerate (see README § "Static analysis &
 //! invariants"):
 //!
@@ -14,6 +14,18 @@
 //! * **Panic paths** — `unwrap`/`expect`/`panic!`-family calls in library
 //!   code of the I/O and query crates ([`Rule::PanicPath`]), plus — under
 //!   `--strict` — raw slice indexing ([`Rule::SliceIndex`]).
+//! * **Concurrency** — the speculative-verification pipeline must stay
+//!   byte-identical to sequential execution at any thread count, and the
+//!   `prague-par` pool must never deadlock or lose a wakeup under
+//!   interactive load. Five rules over the concurrency crates
+//!   ([`CONCURRENCY_CRATES`]): [`Rule::LockOrder`] (cycles in the
+//!   per-crate lock-acquisition graph, including re-entrant acquisition),
+//!   [`Rule::CondvarWaitLoop`] (`Condvar::wait` outside a re-checked
+//!   predicate loop), [`Rule::AtomicOrdering`] (`Ordering::Relaxed`, which
+//!   must carry a written justification that no cross-thread handoff rides
+//!   on it), [`Rule::LockAcrossCall`] (a `MutexGuard` held across a
+//!   job/callback invocation), and [`Rule::SpawnLeak`] (a thread spawned
+//!   with its `JoinHandle` discarded).
 //!
 //! Every finding is suppressible only by an explicit source annotation on
 //! the same or the preceding line:
@@ -24,10 +36,14 @@
 //!
 //! so each surviving site carries a written justification. Annotations with
 //! a missing/empty reason, an unknown rule name, or that suppress nothing
-//! are themselves findings.
+//! are themselves findings. Rules that only *report* under `--strict`
+//! (today: slice-index) are still *computed* in every mode, so an
+//! annotation suppressing a live strict-only finding is never flagged as
+//! stale by a non-strict run — and one suppressing nothing is flagged in
+//! both modes.
 
 use crate::lexer::{tokenize, Token, TokenKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -43,6 +59,19 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// down instrumented sessions.
 pub const PANIC_FREE_CRATES: &[&str] = &["index", "idset", "core", "spig", "obs", "par"];
 
+/// Crates holding the concurrency layer: the `prague-par` pool itself, the
+/// session/`CandMemo` state shared with its workers (`core`), and the
+/// registry every worker records into (`obs`). These get the lock/atomic
+/// rule family; see ARCHITECTURE.md § "Concurrency model".
+pub const CONCURRENCY_CRATES: &[&str] = &["par", "core", "obs"];
+
+/// Crates scanned for annotation hygiene only: no rule family applies, so
+/// *any* `audit:allow` found there is stale by definition. `xtask` itself
+/// is excluded — its sources and usage strings mention the annotation
+/// syntax in prose, which the textual annotation parser cannot tell apart
+/// from a real annotation.
+pub const HYGIENE_ONLY_CRATES: &[&str] = &["baselines", "bench", "cli", "datagen"];
+
 /// The audit rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -55,6 +84,26 @@ pub enum Rule {
     PanicPath,
     /// Raw `x[i]` indexing in non-test library code (strict mode only).
     SliceIndex,
+    /// A cycle in the per-crate lock-acquisition graph (two locks taken in
+    /// opposite nesting orders somewhere in the crate), or a re-entrant
+    /// acquisition of the same lock — both deadlocks with `std::sync::Mutex`.
+    LockOrder,
+    /// A `Condvar::wait`/`wait_timeout` call that is not inside a
+    /// `while`/`loop` re-checking its predicate — spurious wakeups and
+    /// notify/wait races make a bare wait a lost-wakeup bug.
+    CondvarWaitLoop,
+    /// `Ordering::Relaxed` on an atomic in a concurrency crate. Relaxed is
+    /// only sound when no cross-thread handoff rides on the value; each
+    /// site must say why via `audit:allow(atomic-ordering)`.
+    AtomicOrdering,
+    /// A `MutexGuard` held across a job/callback invocation — the callee
+    /// can block or re-enter the lock, turning a private lock into a
+    /// deadlock with arbitrary user code.
+    LockAcrossCall,
+    /// A thread spawned with its `JoinHandle` discarded: the thread can
+    /// outlive the subsystem that spawned it (all pool threads are joined
+    /// on drop; anything else must justify why not).
+    SpawnLeak,
     /// A malformed or useless `audit:allow` annotation.
     BadAnnotation,
 }
@@ -67,6 +116,11 @@ impl Rule {
             Rule::HashIter => "hashmap-iter",
             Rule::PanicPath => "panic-path",
             Rule::SliceIndex => "slice-index",
+            Rule::LockOrder => "lock-order",
+            Rule::CondvarWaitLoop => "condvar-wait-loop",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::LockAcrossCall => "lock-across-call",
+            Rule::SpawnLeak => "spawn-leak",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
@@ -78,9 +132,21 @@ impl Rule {
             "hashmap-iter" => Rule::HashIter,
             "panic-path" => Rule::PanicPath,
             "slice-index" => Rule::SliceIndex,
+            "lock-order" => Rule::LockOrder,
+            "condvar-wait-loop" => Rule::CondvarWaitLoop,
+            "atomic-ordering" => Rule::AtomicOrdering,
+            "lock-across-call" => Rule::LockAcrossCall,
+            "spawn-leak" => Rule::SpawnLeak,
             "bad-annotation" => Rule::BadAnnotation,
             _ => return None,
         })
+    }
+
+    /// Whether findings of this rule are only *reported* under `--strict`.
+    /// Strict-only rules are still computed in every mode so that their
+    /// `audit:allow` annotations are recognized as live (not stale).
+    pub fn strict_only(self) -> bool {
+        matches!(self, Rule::SliceIndex)
     }
 }
 
@@ -119,8 +185,33 @@ impl fmt::Display for Finding {
 /// Audit configuration.
 #[derive(Debug, Clone, Default)]
 pub struct AuditConfig {
-    /// Also run the (noisy) slice-index rule.
+    /// Also report the (noisy) strict-only rules (slice-index).
     pub strict: bool,
+    /// Restrict the scan to one crate (directory name under `crates/`).
+    pub only_crate: Option<String>,
+}
+
+/// Which rule families apply to a source file (derived from its crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// Apply the determinism rules (hash-container, hashmap-iter).
+    pub determinism: bool,
+    /// Apply the panic-freedom rules (panic-path, slice-index).
+    pub panic_free: bool,
+    /// Apply the concurrency rules (lock-order, condvar-wait-loop,
+    /// atomic-ordering, lock-across-call, spawn-leak).
+    pub concurrency: bool,
+}
+
+impl Scope {
+    /// The scope of one workspace crate, by directory name.
+    pub fn for_crate(name: &str) -> Scope {
+        Scope {
+            determinism: DETERMINISM_CRATES.contains(&name),
+            panic_free: PANIC_FREE_CRATES.contains(&name),
+            concurrency: CONCURRENCY_CRATES.contains(&name),
+        }
+    }
 }
 
 /// Result of an audit run.
@@ -139,6 +230,50 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// Serialize the report as JSON by hand (the workspace has no serde):
+    /// `{"files_scanned":N,"findings":[{"file","line","rule","message"},…],
+    /// "suppressed":M}`. Paths are `root`-relative with forward slashes so
+    /// the output is stable across hosts and directly usable by the CI
+    /// step that converts findings into GitHub `::error` annotations.
+    pub fn to_json(&self, root: &Path) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut items = Vec::new();
+        for f in &self.findings {
+            let rel = f
+                .path
+                .strip_prefix(root)
+                .unwrap_or(&f.path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            items.push(format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                esc(&rel),
+                f.line,
+                f.rule,
+                esc(&f.message)
+            ));
+        }
+        format!(
+            "{{\"files_scanned\":{},\"findings\":[{}],\"suppressed\":{}}}",
+            self.files_scanned,
+            items.join(","),
+            self.suppressed.len()
+        )
+    }
 }
 
 /// An `audit:allow` annotation parsed from a source line.
@@ -150,32 +285,78 @@ struct Allow {
     used: bool,
 }
 
+/// One edge of a crate's lock-acquisition graph: lock `to` was acquired
+/// while (heuristically) holding lock `from`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct LockEdge {
+    from: String,
+    to: String,
+    /// File + line of the inner acquisition (the finding anchor).
+    file: usize,
+    line: u32,
+}
+
+/// Everything extracted from one source file before crate-level resolution.
+#[derive(Debug)]
+struct FileScan {
+    path: PathBuf,
+    /// Raw findings of every per-file rule, strict-only included.
+    raw: Vec<Finding>,
+    allows: Vec<Allow>,
+    test_lines: BTreeSet<u32>,
+    /// Nesting edges feeding the per-crate lock-order graph.
+    lock_edges: Vec<LockEdge>,
+}
+
 /// Run the audit over a workspace root (the directory containing `crates/`).
 pub fn audit_workspace(root: &Path, config: &AuditConfig) -> std::io::Result<Report> {
     let mut report = Report::default();
-    let all: Vec<&str> = {
-        let mut v = DETERMINISM_CRATES.to_vec();
-        for c in PANIC_FREE_CRATES {
-            if !v.contains(c) {
-                v.push(c);
+    let mut all: Vec<&str> = Vec::new();
+    for list in [
+        DETERMINISM_CRATES,
+        PANIC_FREE_CRATES,
+        CONCURRENCY_CRATES,
+        HYGIENE_ONLY_CRATES,
+    ] {
+        for c in list {
+            if !all.contains(c) {
+                all.push(c);
             }
         }
-        v
-    };
+    }
+    if let Some(only) = &config.only_crate {
+        all.retain(|c| c == only);
+    }
     for krate in all {
         let src = root.join("crates").join(krate).join("src");
-        let determinism = DETERMINISM_CRATES.contains(&krate);
-        let panic_free = PANIC_FREE_CRATES.contains(&krate);
-        for file in rust_files(&src)? {
+        let scope = Scope::for_crate(krate);
+        let mut scans = Vec::new();
+        for (file_idx, file) in rust_files(&src)?.into_iter().enumerate() {
             let source = std::fs::read_to_string(&file)?;
-            audit_source(&file, &source, determinism, panic_free, config, &mut report);
+            scans.push(scan_source(&file, &source, scope, file_idx));
             report.files_scanned += 1;
         }
+        resolve_crate(scans, config, &mut report);
     }
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(report)
+}
+
+/// Audit a single source file as if it were its own crate (lock-order
+/// cycles are detected within the file). This is the entry point the
+/// fixture tests drive; `audit_workspace` aggregates lock graphs per crate
+/// before resolving.
+pub fn audit_source(
+    path: &Path,
+    source: &str,
+    scope: Scope,
+    config: &AuditConfig,
+    report: &mut Report,
+) {
+    let scan = scan_source(path, source, scope, 0);
+    resolve_crate(vec![scan], config, report);
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for deterministic
@@ -200,69 +381,114 @@ fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Audit a single source file, appending findings to `report`.
-pub fn audit_source(
-    path: &Path,
-    source: &str,
-    determinism: bool,
-    panic_free: bool,
-    config: &AuditConfig,
-    report: &mut Report,
-) {
+/// Scan one file: tokenize, run every per-file rule in `scope` (strict-only
+/// rules included — reporting is filtered later), and collect lock edges
+/// and annotations for crate-level resolution.
+fn scan_source(path: &Path, source: &str, scope: Scope, file_idx: usize) -> FileScan {
     let tokens = tokenize(source);
     let test_lines = test_code_lines(&tokens);
-    let mut allows = parse_allows(source);
+    let allows = parse_allows(source);
 
     let mut raw: Vec<Finding> = Vec::new();
-    if determinism {
+    let mut lock_edges = Vec::new();
+    if scope.determinism {
         hash_container_findings(path, &tokens, &test_lines, &mut raw);
         hash_iter_findings(path, &tokens, &test_lines, &mut raw);
     }
-    if panic_free {
+    if scope.panic_free {
         panic_findings(path, &tokens, &test_lines, &mut raw);
-        if config.strict {
-            slice_index_findings(path, &tokens, &test_lines, &mut raw);
-        }
+        slice_index_findings(path, &tokens, &test_lines, &mut raw);
+    }
+    if scope.concurrency {
+        let acqs = lock_acquisitions(&tokens, &test_lines);
+        lock_edges = nesting_edges(&acqs, file_idx);
+        lock_across_call_findings(path, &tokens, &acqs, &mut raw);
+        condvar_findings(path, &tokens, &test_lines, &mut raw);
+        atomic_ordering_findings(path, &tokens, &test_lines, &mut raw);
+        spawn_leak_findings(path, &tokens, &test_lines, &mut raw);
     }
 
-    for finding in raw {
-        if let Some(allow) = allows.iter_mut().find(|a| {
-            a.rule == Some(finding.rule)
-                && a.reason_ok
-                && (a.line == finding.line || a.line + 1 == finding.line)
-        }) {
-            allow.used = true;
-            report.suppressed.push(finding);
-        } else {
-            report.findings.push(finding);
-        }
+    FileScan {
+        path: path.to_path_buf(),
+        raw,
+        allows,
+        test_lines,
+        lock_edges,
+    }
+}
+
+/// Crate-level resolution: derive lock-order findings from the union of
+/// every file's nesting edges, match findings against annotations, apply
+/// the strict filter, and emit annotation-hygiene findings.
+fn resolve_crate(mut scans: Vec<FileScan>, config: &AuditConfig, report: &mut Report) {
+    // Lock-order cycles over the whole crate's acquisition graph.
+    let mut edges: Vec<LockEdge> = scans.iter().flat_map(|s| s.lock_edges.clone()).collect();
+    edges.sort();
+    edges.dedup();
+    for finding in lock_order_findings(&edges, &scans) {
+        let file = scans
+            .iter_mut()
+            .find(|s| s.path == finding.path)
+            .expect("lock-order finding points into a scanned file");
+        file.raw.push(finding);
     }
 
-    // Annotation hygiene: malformed or unused annotations are findings too,
-    // so suppressions cannot rot silently. (Not inside test code.)
-    for allow in &allows {
-        if test_lines.contains(&allow.line) {
-            continue;
+    for scan in &mut scans {
+        scan.raw.sort_by_key(|f| (f.line, f.rule));
+        let mut resolved: Vec<(Finding, bool)> = Vec::new();
+        for finding in scan.raw.drain(..) {
+            let suppressed = match scan.allows.iter_mut().find(|a| {
+                a.rule == Some(finding.rule)
+                    && a.reason_ok
+                    && (a.line == finding.line || a.line + 1 == finding.line)
+            }) {
+                Some(allow) => {
+                    allow.used = true;
+                    true
+                }
+                None => false,
+            };
+            resolved.push((finding, suppressed));
         }
-        let problem = if allow.rule.is_none() {
-            Some("unknown rule name in audit:allow".to_string())
-        } else if !allow.reason_ok {
-            Some("audit:allow requires a non-empty `: <reason>`".to_string())
-        } else if !allow.used {
-            Some(format!(
-                "audit:allow({}) suppresses nothing on this or the next line",
-                allow.rule.map(Rule::name).unwrap_or("?")
-            ))
-        } else {
-            None
-        };
-        if let Some(message) = problem {
-            report.findings.push(Finding {
-                path: path.to_path_buf(),
-                line: allow.line,
-                rule: Rule::BadAnnotation,
-                message,
-            });
+        for (finding, suppressed) in resolved {
+            // Strict-only rules are computed for annotation liveness in
+            // every mode but reported only under --strict.
+            if finding.rule.strict_only() && !config.strict {
+                continue;
+            }
+            if suppressed {
+                report.suppressed.push(finding);
+            } else {
+                report.findings.push(finding);
+            }
+        }
+
+        // Annotation hygiene: malformed or unused annotations are findings
+        // too, so suppressions cannot rot silently. (Not inside test code.)
+        for allow in &scan.allows {
+            if scan.test_lines.contains(&allow.line) {
+                continue;
+            }
+            let problem = if allow.rule.is_none() {
+                Some("unknown rule name in audit:allow".to_string())
+            } else if !allow.reason_ok {
+                Some("audit:allow requires a non-empty `: <reason>`".to_string())
+            } else if !allow.used {
+                Some(format!(
+                    "audit:allow({}) suppresses nothing on this or the next line",
+                    allow.rule.map(Rule::name).unwrap_or("?")
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                report.findings.push(Finding {
+                    path: scan.path.clone(),
+                    line: allow.line,
+                    rule: Rule::BadAnnotation,
+                    message,
+                });
+            }
         }
     }
 }
@@ -304,8 +530,8 @@ fn parse_allows(source: &str) -> Vec<Allow> {
 /// Finds each `#[cfg(test)]` attribute, then brace-matches the following
 /// item if it is a `mod`. Test functions in integration-test files are not
 /// handled here because `tests/` directories are never scanned.
-fn test_code_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
-    let mut lines = std::collections::BTreeSet::new();
+fn test_code_lines(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
     let mut i = 0usize;
     while i < tokens.len() {
         if is_cfg_test_attr(tokens, i) {
@@ -405,6 +631,695 @@ fn match_brace(tokens: &[Token], i: usize) -> usize {
     j.saturating_sub(1)
 }
 
+// ---------------------------------------------------------------------
+// Token-window utilities shared by the concurrency rules
+// ---------------------------------------------------------------------
+
+/// Backward scan from `i` (exclusive) to the first token of the enclosing
+/// statement: just past the previous `;`, `,`, `{` or `}` at bracket
+/// balance zero (balanced groups are skipped whole).
+fn stmt_start(tokens: &[Token], i: usize) -> usize {
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut j = i;
+    while j > 0 {
+        let k = j - 1;
+        match &tokens[k].kind {
+            TokenKind::Punct(')') => paren += 1,
+            TokenKind::Punct('(') => {
+                if paren == 0 {
+                    return j;
+                }
+                paren -= 1;
+            }
+            TokenKind::Punct(']') => bracket += 1,
+            TokenKind::Punct('[') => {
+                if bracket == 0 {
+                    return j;
+                }
+                bracket -= 1;
+            }
+            TokenKind::Punct('}') => brace += 1,
+            TokenKind::Punct('{') => {
+                if brace == 0 {
+                    return j;
+                }
+                brace -= 1;
+            }
+            TokenKind::Punct(';') | TokenKind::Punct(',')
+                if paren == 0 && bracket == 0 && brace == 0 =>
+            {
+                return j;
+            }
+            _ => {}
+        }
+        j = k;
+    }
+    0
+}
+
+/// Forward scan from `i` to the end of the current statement: the first
+/// `;` or `,` at bracket balance zero, or the `}`/`)`/`]` that closes the
+/// enclosing block/group.
+fn stmt_end(tokens: &[Token], i: usize) -> usize {
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => {
+                if paren == 0 {
+                    return j;
+                }
+                paren -= 1;
+            }
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => {
+                if bracket == 0 {
+                    return j;
+                }
+                bracket -= 1;
+            }
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => {
+                if brace == 0 {
+                    return j;
+                }
+                brace -= 1;
+            }
+            TokenKind::Punct(';') | TokenKind::Punct(',')
+                if paren == 0 && bracket == 0 && brace == 0 =>
+            {
+                return j;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Forward scan from `i`: the index of the `}` closing the innermost block
+/// containing `i`.
+fn block_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Backward scan: index of the `{` opening the innermost block containing
+/// `i`, or `None` at top level.
+fn enclosing_open_brace(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        let k = j - 1;
+        match &tokens[k].kind {
+            TokenKind::Punct('}') => depth += 1,
+            TokenKind::Punct('{') => {
+                if depth == 0 {
+                    return Some(k);
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j = k;
+    }
+    None
+}
+
+/// Given `i` at `(`, return the index of the matching `)`.
+fn match_paren(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j.saturating_sub(1)
+}
+
+/// What kind of construct a `{` belongs to, judged from its header tokens.
+#[derive(Debug, PartialEq, Eq)]
+enum BlockHeader {
+    /// `while`/`loop`/`for` body — re-checks its condition.
+    Loop,
+    /// `fn` body or closure body — an analysis boundary.
+    Boundary,
+    /// Anything else (if/else/match/arm/unsafe/bare block).
+    Other,
+}
+
+/// Classify the header of the block opened at `open` (index of `{`).
+fn classify_header(tokens: &[Token], open: usize) -> BlockHeader {
+    if open == 0 {
+        return BlockHeader::Other;
+    }
+    // Closure body: `|args| {` / `move |args| {`.
+    if tokens[open - 1].kind.is_punct('|') {
+        return BlockHeader::Boundary;
+    }
+    let start = stmt_start(tokens, open);
+    let header = &tokens[start..open];
+    if let Some(first) = header.first() {
+        if let TokenKind::Ident(s) = &first.kind {
+            if matches!(s.as_str(), "while" | "loop" | "for") {
+                return BlockHeader::Loop;
+            }
+        }
+    }
+    if header
+        .iter()
+        .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "fn"))
+    {
+        return BlockHeader::Boundary;
+    }
+    BlockHeader::Other
+}
+
+/// Whether token `i` sits (transitively) inside a `while`/`loop`/`for`
+/// body without crossing a `fn`/closure boundary.
+fn in_loop(tokens: &[Token], i: usize) -> bool {
+    let mut at = i;
+    while let Some(open) = enclosing_open_brace(tokens, at) {
+        match classify_header(tokens, open) {
+            BlockHeader::Loop => return true,
+            BlockHeader::Boundary => return false,
+            BlockHeader::Other => at = open,
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Lock model: acquisitions, guard regions, nesting edges
+// ---------------------------------------------------------------------
+
+/// Chain methods that forward a `LockResult` guard rather than consuming
+/// it — `let g = m.lock().unwrap();` still binds the guard.
+const GUARD_FORWARDERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// One lock acquisition with the token range its guard is (heuristically)
+/// live over.
+#[derive(Debug)]
+struct LockAcq {
+    /// Normalized lock identity (receiver/argument path, `self.`-stripped).
+    name: String,
+    line: u32,
+    /// Token index of the callee identifier.
+    call: usize,
+    /// Token index of the call's closing `)` (end of the lock expression).
+    close: usize,
+    /// Guard liveness: token index the region ends at (exclusive upper
+    /// bound on nested-acquisition detection).
+    region_end: usize,
+}
+
+/// Extract every lock acquisition in the file: free-function `lock(expr…)`
+/// calls (the pool's poison-recovering helper) and `.lock()` /
+/// `.lock_xxx()` method calls. Guard regions:
+///
+/// * `let g = <lock-expr>;` (possibly via `unwrap`/`expect`) — to the end
+///   of the enclosing block;
+/// * `while let … = <lock-expr>…` — to the end of the loop body (Rust
+///   extends scrutinee temporaries across every iteration's body: the
+///   classic `while let Some(x) = m.lock()….pop()` pitfall);
+/// * `if let` / `match` on a lock expression — to the end of the
+///   construct's block;
+/// * otherwise a statement temporary — to the end of the statement.
+fn lock_acquisitions(tokens: &[Token], test_lines: &BTreeSet<u32>) -> Vec<LockAcq> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let TokenKind::Ident(callee) = &tokens[i].kind else {
+            continue;
+        };
+        if test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        let is_call = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+        if !is_call {
+            continue;
+        }
+        let prev_dot = i >= 1 && tokens[i - 1].kind.is_punct('.');
+        let prev_fn = i >= 1 && matches!(&tokens[i - 1].kind, TokenKind::Ident(s) if s == "fn");
+        let name = if callee == "lock" && !prev_dot && !prev_fn {
+            // free `lock(expr, …)` helper: identity is the first argument's
+            // path, `&`/`mut`/indexing stripped.
+            arg_path(tokens, i + 1)
+        } else if prev_dot && (callee == "lock" || callee.starts_with("lock_")) {
+            // `recv.lock()` / `recv.lock_similar()` method form.
+            let recv = receiver_path(tokens, i - 1);
+            let suffix = callee.strip_prefix("lock_").unwrap_or("");
+            match (recv.is_empty(), suffix.is_empty()) {
+                (true, true) => "lock".to_string(),
+                (true, false) => suffix.to_string(),
+                (false, true) => recv,
+                (false, false) => format!("{recv}.{suffix}"),
+            }
+        } else {
+            continue;
+        };
+        if name.is_empty() {
+            continue;
+        }
+        let close = match_paren(tokens, i + 1);
+        let region_end = guard_region_end(tokens, i, close);
+        out.push(LockAcq {
+            name,
+            line: tokens[i].line,
+            call: i,
+            close,
+            region_end,
+        });
+    }
+    out
+}
+
+/// The dotted path of the first argument of a call, `&`/`mut` and
+/// subscripts stripped, leading `self.` removed: `lock(&self.queues[i])`
+/// → `queues`.
+fn arg_path(tokens: &[Token], open: usize) -> String {
+    let close = match_paren(tokens, open);
+    let mut segments: Vec<&str> = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        match &tokens[j].kind {
+            TokenKind::Punct('&') | TokenKind::Punct('.') => {}
+            TokenKind::Ident(s) if s == "mut" => {}
+            TokenKind::Ident(s) => segments.push(s),
+            TokenKind::Punct('[') => j = skip_bracketed(tokens, j).saturating_sub(1),
+            // stop at the first argument boundary or anything non-path
+            TokenKind::Punct(',') => break,
+            _ => break,
+        }
+        j += 1;
+    }
+    if segments.first() == Some(&"self") {
+        segments.remove(0);
+    }
+    segments.join(".")
+}
+
+/// The dotted receiver path ending at the `.` at index `dot`:
+/// `self.state.lock()` → `state` (leading `self` stripped, subscripts
+/// dropped).
+fn receiver_path(tokens: &[Token], dot: usize) -> String {
+    let mut segments: Vec<&str> = Vec::new();
+    let mut j = dot; // at '.'
+    while j >= 1 {
+        let k = j - 1;
+        match &tokens[k].kind {
+            TokenKind::Ident(s) => {
+                segments.push(s);
+                // continue only through `ident .` chains
+                if k >= 1 && tokens[k - 1].kind.is_punct('.') {
+                    j = k - 1;
+                    continue;
+                }
+                break;
+            }
+            TokenKind::Punct(']') => {
+                // skip a subscript backwards: find its `[`
+                let mut depth = 0i32;
+                let mut b = k;
+                loop {
+                    match &tokens[b].kind {
+                        TokenKind::Punct(']') => depth += 1,
+                        TokenKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if b == 0 {
+                        break;
+                    }
+                    b -= 1;
+                }
+                j = b;
+                continue;
+            }
+            _ => break,
+        }
+    }
+    segments.reverse();
+    if segments.first() == Some(&"self") {
+        segments.remove(0);
+    }
+    segments.join(".")
+}
+
+/// Compute the guard-liveness upper bound for the acquisition whose callee
+/// is at `call` and whose call closes at `close`.
+fn guard_region_end(tokens: &[Token], call: usize, close: usize) -> usize {
+    let start = stmt_start(tokens, call);
+    // `while let …` / `for … in …` / `match …` / `if let …` scrutinee:
+    // the temporary lives through the construct's body.
+    if let Some(TokenKind::Ident(kw)) = tokens.get(start).map(|t| &t.kind) {
+        let extends = match kw.as_str() {
+            "while" | "for" | "match" => true,
+            "if" => matches!(
+                tokens.get(start + 1).map(|t| &t.kind),
+                Some(TokenKind::Ident(s)) if s == "let"
+            ),
+            _ => false,
+        };
+        if extends {
+            // body opens at the first `{` at paren balance zero after the
+            // lock expression
+            let mut paren = 0i32;
+            let mut j = close + 1;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokenKind::Punct('(') => paren += 1,
+                    TokenKind::Punct(')') => paren -= 1,
+                    TokenKind::Punct('{') if paren == 0 => return match_brace(tokens, j),
+                    TokenKind::Punct(';') if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            return stmt_end(tokens, close + 1);
+        }
+    }
+    // `let g = <lock-expr possibly .unwrap()-chained>;` binds the guard.
+    if matches!(tokens.get(start).map(|t| &t.kind), Some(TokenKind::Ident(s)) if s == "let") {
+        let mut end = close;
+        loop {
+            match tokens.get(end + 1).map(|t| &t.kind) {
+                Some(TokenKind::Punct(';')) => {
+                    return block_end(tokens, end + 1);
+                }
+                Some(TokenKind::Punct('.')) => {
+                    let forwards = matches!(
+                        tokens.get(end + 2).map(|t| &t.kind),
+                        Some(TokenKind::Ident(m)) if GUARD_FORWARDERS.contains(&m.as_str())
+                    ) && tokens.get(end + 3).is_some_and(|t| t.kind.is_punct('('));
+                    if forwards {
+                        end = match_paren(tokens, end + 3);
+                        continue;
+                    }
+                    // some other method consumes the guard: temporary
+                    return stmt_end(tokens, close + 1);
+                }
+                _ => return stmt_end(tokens, close + 1),
+            }
+        }
+    }
+    // Statement temporary (including `drop(lock(&m))`).
+    stmt_end(tokens, close + 1)
+}
+
+/// Edges of the lock-acquisition graph: `b` acquired inside `a`'s guard
+/// region. Same-name nesting is reported directly by
+/// [`lock_order_findings`] as re-entrant acquisition (a self-edge).
+fn nesting_edges(acqs: &[LockAcq], file_idx: usize) -> Vec<LockEdge> {
+    let mut out = Vec::new();
+    for a in acqs {
+        for b in acqs {
+            if b.call > a.close && b.call < a.region_end {
+                out.push(LockEdge {
+                    from: a.name.clone(),
+                    to: b.name.clone(),
+                    file: file_idx,
+                    line: b.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule: lock-order. Tarjan-free cycle detection over the crate's lock
+/// graph: a lock set is cyclic iff iteratively removing nodes with no
+/// outgoing (or no incoming) edges leaves a non-empty core; every edge
+/// between core nodes (and every self-edge) is reported, anchored at its
+/// inner-acquisition site.
+fn lock_order_findings(edges: &[LockEdge], scans: &[FileScan]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Self-edges: re-entrant acquisition of a non-reentrant std mutex.
+    for e in edges {
+        if e.from == e.to {
+            findings.push(Finding {
+                path: scans[e.file].path.clone(),
+                line: e.line,
+                rule: Rule::LockOrder,
+                message: format!(
+                    "re-entrant acquisition: `{}` is locked while a guard for it \
+                     is still live (std::sync::Mutex self-deadlocks)",
+                    e.from
+                ),
+            });
+        }
+    }
+    // Trim acyclic fringe until only cycle participants remain.
+    let mut live: BTreeSet<(String, String)> = edges
+        .iter()
+        .filter(|e| e.from != e.to)
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    loop {
+        let froms: BTreeSet<String> = live.iter().map(|(f, _)| f.clone()).collect();
+        let tos: BTreeSet<String> = live.iter().map(|(_, t)| t.clone()).collect();
+        let before = live.len();
+        live.retain(|(f, t)| tos.contains(f) && froms.contains(t));
+        if live.len() == before {
+            break;
+        }
+    }
+    if !live.is_empty() {
+        let members: BTreeSet<&String> = live.iter().flat_map(|(f, t)| [f, t]).collect();
+        let cycle: Vec<&str> = members.iter().map(|s| s.as_str()).collect();
+        for e in edges {
+            if e.from != e.to && live.contains(&(e.from.clone(), e.to.clone())) {
+                findings.push(Finding {
+                    path: scans[e.file].path.clone(),
+                    line: e.line,
+                    rule: Rule::LockOrder,
+                    message: format!(
+                        "acquiring `{}` while holding `{}` participates in a \
+                         lock-order cycle among {{{}}} — fix the acquisition \
+                         order or drop the outer guard first",
+                        e.to,
+                        e.from,
+                        cycle.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Callee names treated as user-callback/job invocations for the
+/// lock-across-call rule: direct calls of closure-typed bindings with
+/// these conventional names, plus any function whose name mentions
+/// jobs/callbacks (the pool's `run_job`).
+const CALLBACK_NAMES: &[&str] = &["job", "f", "callback", "cb", "task", "func"];
+
+fn is_callback_callee(name: &str) -> bool {
+    CALLBACK_NAMES.contains(&name) || name.contains("job") || name.contains("callback")
+}
+
+/// Rule: lock-across-call. A call of a job/callback inside a guard region:
+/// the callee can block indefinitely or acquire the same lock.
+fn lock_across_call_findings(
+    path: &Path,
+    tokens: &[Token],
+    acqs: &[LockAcq],
+    out: &mut Vec<Finding>,
+) {
+    let mut seen_lines = BTreeSet::new();
+    for a in acqs {
+        for j in (a.close + 1)..a.region_end.min(tokens.len()) {
+            let TokenKind::Ident(name) = &tokens[j].kind else {
+                continue;
+            };
+            if !is_callback_callee(name) || !tokens.get(j + 1).is_some_and(|t| t.kind.is_punct('('))
+            {
+                continue;
+            }
+            if j >= 1 && matches!(&tokens[j - 1].kind, TokenKind::Ident(s) if s == "fn") {
+                continue; // definition, not invocation
+            }
+            if seen_lines.insert(tokens[j].line) {
+                out.push(Finding {
+                    path: path.to_path_buf(),
+                    line: tokens[j].line,
+                    rule: Rule::LockAcrossCall,
+                    message: format!(
+                        "`{name}(…)` invoked while the guard for `{}` (line {}) is \
+                         live — run callbacks after dropping the lock",
+                        a.name, a.line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule: condvar-wait-loop. A `.wait(` / `.wait_timeout(` call outside a
+/// `while`/`loop`/`for` body. (`wait_while`/`wait_timeout_while` re-check
+/// their predicate internally and are exempt.)
+fn condvar_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..tokens.len() {
+        let TokenKind::Ident(m) = &tokens[i].kind else {
+            continue;
+        };
+        if m != "wait" && m != "wait_timeout" {
+            continue;
+        }
+        if test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        let after_dot = i >= 1 && tokens[i - 1].kind.is_punct('.');
+        let called = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+        if !(after_dot && called) {
+            continue;
+        }
+        if !in_loop(tokens, i) {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: tokens[i].line,
+                rule: Rule::CondvarWaitLoop,
+                message: format!(
+                    ".{m}() outside a predicate re-check loop — spurious wakeups \
+                     and notify races require `while !cond {{ wait }}`"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule: atomic-ordering. Any `Ordering::Relaxed` in a concurrency crate;
+/// each site must justify (via annotation) that no cross-thread handoff
+/// depends on the value.
+fn atomic_ordering_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    let mut last_line = 0u32;
+    for i in 0..tokens.len() {
+        let TokenKind::Ident(s) = &tokens[i].kind else {
+            continue;
+        };
+        if s != "Relaxed" || test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        let pathed = i >= 3
+            && tokens[i - 1].kind.is_punct(':')
+            && tokens[i - 2].kind.is_punct(':')
+            && matches!(&tokens[i - 3].kind, TokenKind::Ident(o) if o == "Ordering");
+        if !pathed || tokens[i].line == last_line {
+            continue;
+        }
+        last_line = tokens[i].line;
+        out.push(Finding {
+            path: path.to_path_buf(),
+            line: tokens[i].line,
+            rule: Rule::AtomicOrdering,
+            message: "Ordering::Relaxed on an atomic in a concurrency crate — \
+                      use Acquire/Release/SeqCst, or justify that no cross-thread \
+                      handoff rides on this value"
+                .to_string(),
+        });
+    }
+}
+
+/// Rule: spawn-leak. A `.spawn(`/`::spawn(` call whose `JoinHandle` is
+/// discarded: the result is neither bound (to a non-`_` pattern), chained,
+/// returned, nor passed along.
+fn spawn_leak_findings(
+    path: &Path,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..tokens.len() {
+        let TokenKind::Ident(s) = &tokens[i].kind else {
+            continue;
+        };
+        if s != "spawn" || test_lines.contains(&tokens[i].line) {
+            continue;
+        }
+        let called = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+        let pathed = i >= 1
+            && (tokens[i - 1].kind.is_punct('.')
+                || (tokens[i - 1].kind.is_punct(':')
+                    && i >= 2
+                    && tokens[i - 2].kind.is_punct(':')));
+        if !(called && pathed) {
+            continue;
+        }
+        let close = match_paren(tokens, i + 1);
+        match tokens.get(close + 1).map(|t| &t.kind) {
+            // chained (`.ok()`, `.expect(…)`, `?`), passed as an argument,
+            // or a returned tail expression — the handle is captured.
+            Some(TokenKind::Punct('.'))
+            | Some(TokenKind::Punct('?'))
+            | Some(TokenKind::Punct(','))
+            | Some(TokenKind::Punct(')'))
+            | Some(TokenKind::Punct('}')) => continue,
+            _ => {}
+        }
+        // Statement ends here: captured only if bound to a real pattern or
+        // assigned/returned.
+        let start = stmt_start(tokens, i);
+        let head = &tokens[start..i];
+        let let_bound =
+            matches!(head.first().map(|t| &t.kind), Some(TokenKind::Ident(s)) if s == "let");
+        let underscore = let_bound
+            && matches!(head.get(1).map(|t| &t.kind), Some(TokenKind::Ident(p)) if p == "_");
+        let captured = (let_bound && !underscore)
+            || head.iter().any(|t| {
+                matches!(&t.kind, TokenKind::Ident(s) if s == "return")
+                    || (!let_bound && t.kind.is_punct('='))
+            });
+        if !captured {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: tokens[i].line,
+                rule: Rule::SpawnLeak,
+                message: "spawned thread's JoinHandle is discarded — join it (or \
+                          route the work through the prague-par pool, which joins \
+                          on drop)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 
 /// Rule: hash-container. Any appearance of `HashMap`/`HashSet` outside
@@ -415,7 +1330,7 @@ const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 fn hash_container_findings(
     path: &Path,
     tokens: &[Token],
-    test_lines: &std::collections::BTreeSet<u32>,
+    test_lines: &BTreeSet<u32>,
     out: &mut Vec<Finding>,
 ) {
     let mut in_use = false;
@@ -462,10 +1377,10 @@ const ITER_METHODS: &[&str] = &[
 fn hash_iter_findings(
     path: &Path,
     tokens: &[Token],
-    test_lines: &std::collections::BTreeSet<u32>,
+    test_lines: &BTreeSet<u32>,
     out: &mut Vec<Finding>,
 ) {
-    let mut hash_names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
 
     // Pass 1: collect names.
     for i in 0..tokens.len() {
@@ -592,7 +1507,7 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 fn panic_findings(
     path: &Path,
     tokens: &[Token],
-    test_lines: &std::collections::BTreeSet<u32>,
+    test_lines: &BTreeSet<u32>,
     out: &mut Vec<Finding>,
 ) {
     for i in 0..tokens.len() {
@@ -628,12 +1543,13 @@ fn panic_findings(
     }
 }
 
-/// Rule: slice-index (strict only). `expr[…]` indexing immediately after an
-/// identifier, `)` or `]` — excludes attributes (`#[…]`) and declarations.
+/// Rule: slice-index (reported under --strict only). `expr[…]` indexing
+/// immediately after an identifier, `)` or `]` — excludes attributes
+/// (`#[…]`) and declarations.
 fn slice_index_findings(
     path: &Path,
     tokens: &[Token],
-    test_lines: &std::collections::BTreeSet<u32>,
+    test_lines: &BTreeSet<u32>,
     out: &mut Vec<Finding>,
 ) {
     let mut per_line: BTreeMap<u32, usize> = BTreeMap::new();
@@ -683,5 +1599,59 @@ mod tests {
             PANIC_FREE_CRATES.contains(&"obs"),
             "instrumentation must never panic inside the pipeline"
         );
+    }
+
+    #[test]
+    fn concurrency_crates_cover_pool_session_and_registry() {
+        for c in ["par", "core", "obs"] {
+            assert!(CONCURRENCY_CRATES.contains(&c), "{c} must get lock rules");
+        }
+    }
+
+    #[test]
+    fn guard_region_while_let_extends_across_loop_body() {
+        let toks = tokenize("fn f() { while let Some(j) = lock(q).pop() { run(j); } end(); }");
+        let acqs = lock_acquisitions(&toks, &BTreeSet::new());
+        assert_eq!(acqs.len(), 1, "{acqs:#?}");
+        // region must cover `run(j)` but not `end()`
+        let run = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "run"))
+            .unwrap();
+        let end = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "end"))
+            .unwrap();
+        assert!(acqs[0].region_end > run);
+        assert!(acqs[0].region_end < end);
+    }
+
+    #[test]
+    fn guard_region_let_binding_extends_to_block_end() {
+        let toks = tokenize("fn f() { let g = m.lock().unwrap(); touch(); } fn h() { other(); }");
+        let acqs = lock_acquisitions(&toks, &BTreeSet::new());
+        assert_eq!(acqs.len(), 1);
+        let touch = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "touch"))
+            .unwrap();
+        let other = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "other"))
+            .unwrap();
+        assert!(acqs[0].region_end > touch);
+        assert!(acqs[0].region_end < other);
+    }
+
+    #[test]
+    fn guard_region_statement_temporary_is_narrow() {
+        let toks = tokenize("fn f() { lock(q).push(x); after(); }");
+        let acqs = lock_acquisitions(&toks, &BTreeSet::new());
+        assert_eq!(acqs.len(), 1);
+        let after = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "after"))
+            .unwrap();
+        assert!(acqs[0].region_end < after);
     }
 }

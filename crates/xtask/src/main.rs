@@ -9,11 +9,17 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  audit [--strict]   static-analysis pass: determinism (hash-container,
-                     hashmap-iter) and panic-freedom (panic-path; plus
-                     slice-index under --strict). Exits non-zero if any
+  audit [--strict] [--json] [--crate <name>]
+                     static-analysis pass: determinism (hash-container,
+                     hashmap-iter), panic-freedom (panic-path; plus
+                     slice-index under --strict) and concurrency
+                     (lock-order, condvar-wait-loop, atomic-ordering,
+                     lock-across-call, spawn-leak). Exits non-zero if any
                      unsuppressed finding remains. Suppress individual
                      sites with `// audit:allow(<rule>): <reason>`.
+                     --json prints the report as a single JSON object on
+                     stdout (for CI annotation tooling); --crate limits
+                     the scan to one workspace crate.
 ";
 
 fn main() -> ExitCode {
@@ -21,16 +27,26 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("audit") => {
             let mut config = AuditConfig::default();
-            for flag in &args[1..] {
+            let mut json = false;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
                 match flag.as_str() {
                     "--strict" => config.strict = true,
+                    "--json" => json = true,
+                    "--crate" => match rest.next() {
+                        Some(name) => config.only_crate = Some(name.clone()),
+                        None => {
+                            eprintln!("--crate requires a crate name\n\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
                     other => {
                         eprintln!("unknown flag `{other}`\n\n{USAGE}");
                         return ExitCode::from(2);
                     }
                 }
             }
-            run_audit(&config)
+            run_audit(&config, json)
         }
         Some(other) => {
             eprintln!("unknown command `{other}`\n\n{USAGE}");
@@ -43,7 +59,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_audit(config: &AuditConfig) -> ExitCode {
+fn run_audit(config: &AuditConfig, json: bool) -> ExitCode {
     let root = workspace_root();
     let report = match audit_workspace(&root, config) {
         Ok(r) => r,
@@ -52,17 +68,21 @@ fn run_audit(config: &AuditConfig) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for finding in &report.findings {
-        // Print paths relative to the root so output is stable across hosts.
-        let rel = finding
-            .path
-            .strip_prefix(&root)
-            .unwrap_or(&finding.path)
-            .display();
-        println!(
-            "{rel}:{}: [{}] {}",
-            finding.line, finding.rule, finding.message
-        );
+    if json {
+        println!("{}", report.to_json(&root));
+    } else {
+        for finding in &report.findings {
+            // Print paths relative to the root so output is stable across hosts.
+            let rel = finding
+                .path
+                .strip_prefix(&root)
+                .unwrap_or(&finding.path)
+                .display();
+            println!(
+                "{rel}:{}: [{}] {}",
+                finding.line, finding.rule, finding.message
+            );
+        }
     }
     eprintln!(
         "audit: {} file(s) scanned, {} finding(s), {} suppressed by audit:allow",

@@ -1,14 +1,15 @@
 //! Integration tests for `cargo xtask audit`: exact finding counts over
 //! fixture sources with known violations, suppression via `audit:allow`,
-//! annotation hygiene, test-code exemption — and a final gate asserting
-//! the real workspace audits clean.
+//! annotation hygiene, test-code exemption — and final gates asserting
+//! the real workspace audits clean (plus `par` under `--strict`, as CI
+//! runs it).
 //!
 //! The fixtures live in `tests/fixtures/` (a subdirectory, so cargo does
 //! not compile them as test targets) and are scanned through the same
 //! [`audit_source`] entry point `audit_workspace` uses per file.
 
 use std::path::{Path, PathBuf};
-use xtask::audit::{audit_source, audit_workspace, AuditConfig, Report, Rule};
+use xtask::audit::{audit_source, audit_workspace, AuditConfig, Report, Rule, Scope};
 
 fn fixture_path(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -16,19 +17,23 @@ fn fixture_path(name: &str) -> PathBuf {
         .join(name)
 }
 
-fn run_fixture(name: &str, determinism: bool, panic_free: bool, strict: bool) -> Report {
+fn scope(determinism: bool, panic_free: bool, concurrency: bool) -> Scope {
+    Scope {
+        determinism,
+        panic_free,
+        concurrency,
+    }
+}
+
+fn run_fixture(name: &str, scope: Scope, strict: bool) -> Report {
     let path = fixture_path(name);
     let source = std::fs::read_to_string(&path).unwrap();
     let mut report = Report::default();
-    let config = AuditConfig { strict };
-    audit_source(
-        &path,
-        &source,
-        determinism,
-        panic_free,
-        &config,
-        &mut report,
-    );
+    let config = AuditConfig {
+        strict,
+        ..Default::default()
+    };
+    audit_source(&path, &source, scope, &config, &mut report);
     report.files_scanned = 1;
     report
 }
@@ -39,7 +44,11 @@ fn count(report: &Report, rule: Rule) -> usize {
 
 #[test]
 fn determinism_fixture_has_exact_counts() {
-    let report = run_fixture("determinism_violations.rs", true, false, false);
+    let report = run_fixture(
+        "determinism_violations.rs",
+        scope(true, false, false),
+        false,
+    );
     assert_eq!(
         count(&report, Rule::HashContainer),
         2,
@@ -54,14 +63,14 @@ fn determinism_fixture_has_exact_counts() {
 
 #[test]
 fn determinism_rules_are_scoped_to_determinism_crates() {
-    let report = run_fixture("determinism_violations.rs", false, true, true);
+    let report = run_fixture("determinism_violations.rs", scope(false, true, false), true);
     assert_eq!(count(&report, Rule::HashContainer), 0);
     assert_eq!(count(&report, Rule::HashIter), 0);
 }
 
 #[test]
 fn panic_fixture_has_exact_counts() {
-    let report = run_fixture("panic_violations.rs", false, true, false);
+    let report = run_fixture("panic_violations.rs", scope(false, true, false), false);
     assert_eq!(count(&report, Rule::PanicPath), 4, "{:#?}", report.findings);
     assert_eq!(
         count(&report, Rule::SliceIndex),
@@ -73,7 +82,7 @@ fn panic_fixture_has_exact_counts() {
 
 #[test]
 fn strict_mode_adds_slice_index_findings() {
-    let report = run_fixture("panic_violations.rs", false, true, true);
+    let report = run_fixture("panic_violations.rs", scope(false, true, false), true);
     assert_eq!(count(&report, Rule::PanicPath), 4);
     assert_eq!(
         count(&report, Rule::SliceIndex),
@@ -86,13 +95,112 @@ fn strict_mode_adds_slice_index_findings() {
 
 #[test]
 fn panic_rules_are_scoped_to_panic_free_crates() {
-    let report = run_fixture("panic_violations.rs", true, false, false);
+    let report = run_fixture("panic_violations.rs", scope(true, false, false), false);
     assert_eq!(count(&report, Rule::PanicPath), 0);
 }
 
 #[test]
+fn concurrency_fixture_has_exact_counts() {
+    let report = run_fixture(
+        "concurrency_violations.rs",
+        scope(false, false, true),
+        false,
+    );
+    assert_eq!(
+        count(&report, Rule::CondvarWaitLoop),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(
+        count(&report, Rule::AtomicOrdering),
+        2,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(
+        count(&report, Rule::LockAcrossCall),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(count(&report, Rule::SpawnLeak), 1, "{:#?}", report.findings);
+    assert_eq!(
+        count(&report, Rule::LockOrder),
+        1,
+        "re-entrant acquisition is a self-deadlock: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 6);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn concurrency_rules_are_scoped_to_concurrency_crates() {
+    let report = run_fixture(
+        "concurrency_violations.rs",
+        scope(false, false, false),
+        true,
+    );
+    assert!(report.is_clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn deliberate_lock_cycle_is_reported_on_both_inner_sites() {
+    let report = run_fixture("lock_order_cycle.rs", scope(false, false, true), false);
+    assert_eq!(count(&report, Rule::LockOrder), 2, "{:#?}", report.findings);
+    assert_eq!(report.findings.len(), 2);
+    for f in &report.findings {
+        assert!(
+            f.message.contains("lock-order cycle"),
+            "cycle message expected: {f}"
+        );
+    }
+}
+
+#[test]
+fn clean_concurrency_patterns_produce_no_findings() {
+    let report = run_fixture("concurrency_clean.rs", scope(false, false, true), false);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+    assert_eq!(
+        report.suppressed.len(),
+        1,
+        "the justified Relaxed is suppressed, not ignored"
+    );
+    assert_eq!(report.suppressed[0].rule, Rule::AtomicOrdering);
+}
+
+#[test]
+fn strict_only_allows_stay_live_in_non_strict_mode() {
+    // The allow on a real (strict-only) slice-index finding must not be
+    // reported stale by a non-strict run; the allow suppressing nothing
+    // must be flagged in both modes.
+    let non_strict = run_fixture(
+        "strict_only_suppressed.rs",
+        scope(false, true, false),
+        false,
+    );
+    assert_eq!(
+        count(&non_strict, Rule::BadAnnotation),
+        1,
+        "{:#?}",
+        non_strict.findings
+    );
+    assert_eq!(non_strict.findings.len(), 1);
+    assert!(non_strict.findings[0]
+        .message
+        .contains("suppresses nothing"));
+
+    let strict = run_fixture("strict_only_suppressed.rs", scope(false, true, false), true);
+    assert_eq!(count(&strict, Rule::BadAnnotation), 1);
+    assert_eq!(strict.findings.len(), 1);
+    assert_eq!(strict.suppressed.len(), 1);
+    assert_eq!(strict.suppressed[0].rule, Rule::SliceIndex);
+}
+
+#[test]
 fn audit_allow_suppresses_same_line_and_next_line() {
-    let report = run_fixture("suppressed.rs", false, true, false);
+    let report = run_fixture("suppressed.rs", scope(false, true, false), false);
     assert!(report.is_clean(), "{:#?}", report.findings);
     assert_eq!(report.suppressed.len(), 2);
     assert!(report.suppressed.iter().all(|f| f.rule == Rule::PanicPath));
@@ -100,7 +208,7 @@ fn audit_allow_suppresses_same_line_and_next_line() {
 
 #[test]
 fn malformed_and_unused_annotations_are_findings() {
-    let report = run_fixture("bad_annotations.rs", false, true, false);
+    let report = run_fixture("bad_annotations.rs", scope(false, true, false), false);
     assert_eq!(
         count(&report, Rule::BadAnnotation),
         3,
@@ -116,9 +224,29 @@ fn malformed_and_unused_annotations_are_findings() {
 
 #[test]
 fn cfg_test_modules_are_exempt() {
-    let report = run_fixture("test_code_exempt.rs", true, true, true);
+    let report = run_fixture("test_code_exempt.rs", scope(true, true, true), true);
     assert!(report.is_clean(), "{:#?}", report.findings);
     assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let report = run_fixture("lock_order_cycle.rs", scope(false, false, true), false);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let json = report.to_json(&root);
+    assert!(json.starts_with("{\"files_scanned\":1,"));
+    assert_eq!(json.matches("{\"file\":").count(), 2, "{json}");
+    assert!(
+        json.contains("\"file\":\"fixtures/lock_order_cycle.rs\""),
+        "root-relative forward-slash paths: {json}"
+    );
+    assert!(json.contains("\"rule\":\"lock-order\""));
+    assert!(json.contains("\"line\":"));
+    assert!(json.ends_with("\"suppressed\":0}"));
+    assert!(
+        !json.contains('\n'),
+        "single-line object for line-oriented CI consumption"
+    );
 }
 
 #[test]
@@ -139,5 +267,33 @@ fn the_workspace_audits_clean() {
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn the_par_crate_audits_clean_in_strict_mode() {
+    // the gate CI enforces via `cargo xtask audit --strict --crate par`
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    let config = AuditConfig {
+        strict: true,
+        only_crate: Some("par".to_string()),
+    };
+    let report = audit_workspace(root, &config).unwrap();
+    assert!(
+        report.is_clean(),
+        "strict findings in par:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        !report.suppressed.is_empty(),
+        "par's justified suppressions should be visible"
     );
 }

@@ -1,0 +1,45 @@
+//! Audit fixture: correct concurrency patterns that must produce zero
+//! findings — a predicate-loop condvar wait, Release publication, a
+//! justified Relaxed, a joined thread, and consistently-ordered nesting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct Waiter {
+    m: Mutex<bool>,
+    cv: Condvar,
+    flag: AtomicBool,
+    inner: Mutex<u32>,
+}
+
+impl Waiter {
+    fn wait_ready(&self) {
+        let mut ready = self.m.lock().unwrap();
+        while !*ready {
+            ready = self.cv.wait(ready).unwrap();
+        }
+    }
+
+    fn publish(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    fn stats_peek(&self) -> bool {
+        // audit:allow(atomic-ordering): stats-only read; no cross-thread handoff rides on it
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    fn joined_thread(&self) -> u32 {
+        let handle = std::thread::spawn(|| 7u32);
+        handle.join().unwrap_or(0)
+    }
+
+    fn consistent_nesting(&self) -> u32 {
+        let outer = self.m.lock().unwrap();
+        let inner = self.inner.lock().unwrap();
+        let out = u32::from(*outer) + *inner;
+        drop(inner);
+        drop(outer);
+        out
+    }
+}

@@ -1,0 +1,47 @@
+//! Audit fixture: one of each concurrency violation. Never compiled —
+//! scanned by `tests/audit_fixtures.rs`, which pins the exact counts:
+//! 1 condvar-wait-loop, 2 atomic-ordering, 1 lock-across-call,
+//! 1 spawn-leak, 1 lock-order (re-entrant self-deadlock).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct State {
+    m: Mutex<u64>,
+    cv: Condvar,
+    n: AtomicUsize,
+}
+
+impl State {
+    fn bare_wait(&self) {
+        let guard = self.m.lock().unwrap();
+        // condvar-wait-loop: no predicate re-check around the wait
+        let _woken = self.cv.wait(guard).unwrap();
+    }
+
+    fn relaxed_handoff(&self) {
+        // atomic-ordering ×2: Relaxed on a value another thread reads
+        self.n.store(1, Ordering::Relaxed);
+        let _seen = self.n.load(Ordering::Relaxed);
+    }
+
+    fn holds_lock_across_job(&self, job: impl Fn()) {
+        let guard = self.m.lock().unwrap();
+        // lock-across-call: the callback can block or re-enter `m`
+        job();
+        drop(guard);
+    }
+
+    fn leaks_thread(&self) {
+        // spawn-leak: JoinHandle discarded
+        std::thread::spawn(|| {});
+    }
+
+    fn reentrant(&self) {
+        let outer = self.m.lock().unwrap();
+        // lock-order: re-acquiring `m` while its guard is live self-deadlocks
+        let inner = self.m.lock().unwrap();
+        drop(inner);
+        drop(outer);
+    }
+}

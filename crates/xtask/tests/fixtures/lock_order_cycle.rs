@@ -1,0 +1,24 @@
+//! Audit fixture: two locks acquired in opposite nesting orders — the
+//! classic AB/BA deadlock. Never compiled; `tests/audit_fixtures.rs`
+//! pins exactly 2 lock-order findings (one per inner acquisition).
+
+use std::sync::Mutex;
+
+struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    fn sum_ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

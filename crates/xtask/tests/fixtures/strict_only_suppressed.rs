@@ -1,0 +1,14 @@
+//! Audit fixture: annotation liveness for strict-only rules. The first
+//! slice-index allow suppresses a real (strict-only) finding, so it must
+//! be treated as live even by a non-strict run; the second suppresses
+//! nothing and must be flagged as a bad annotation in *both* modes.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // audit:allow(slice-index): caller guarantees non-empty input
+    xs[0]
+}
+
+pub fn stale_annotation(xs: &[u32]) -> u32 {
+    // audit:allow(slice-index): nothing here indexes — stale by design
+    xs.iter().sum()
+}
