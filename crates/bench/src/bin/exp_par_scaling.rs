@@ -1,40 +1,85 @@
-//! Parallel-verification scaling profile: replay the four derived
-//! queries over a molecule database at `--threads` ∈ {1, 2, 4}, check
-//! the results are byte-identical at every thread count, and write
-//! `BENCH_par.json` with the verify-phase time, run wall clock, the
-//! `par.*` pool counters and the speedup relative to one thread.
+//! Parallel-verification scaling profile (Fig. 10(b)-style SRT curve):
+//! replay the four derived queries over a molecule database at
+//! `--threads` ∈ {1, 2, 4} with a *simulated think pause* between the
+//! last drawn edge and the Run click, check the results and
+//! `verify.vf2_states` are byte-identical at every thread count and
+//! every repeat, and write `BENCH_par.json`.
 //!
-//! The speedup is *measured and reported*, not asserted: single-CPU CI
-//! containers legitimately show ≤ 1×, and the point of this profile is
-//! to keep the whole parallel path (pool, speculative submission,
-//! cancellation, deterministic merge) exercised end-to-end with real
-//! numbers attached.
+//! ## What the speedup column means
 //!
-//! Output path: `BENCH_par.json` in the working directory, overridable
-//! via `PRAGUE_PAR_OUT`.
+//! PRAGUE's claim is not raw parallel VF2 throughput — it is that
+//! verification *hides inside GUI latency*, so the system response time
+//! (SRT) at Run-click approaches zero. This profile measures exactly
+//! that: after the final `add_edge` the harness sleeps for `think_ms`
+//! (sized by a calibration pass: 1.2× the slowest sequential Run, capped
+//! at the 2 s GUI latency the paper observes per step), then times
+//! `Session::run`. At `--threads 1` there is no pool, so Run pays full
+//! verification; at `--threads ≥ 2` the speculative batch submitted by
+//! the last edge finishes during the pause and Run only joins + merges.
+//! `speedup` is the ratio of summed exact-query Run SRTs against the
+//! one-thread round — this is meaningful even on a single-CPU host,
+//! because the worker runs while the session thread sleeps.
+//!
+//! Similarity Runs are timed separately (`sim_ms`): similarity
+//! verification starts *at* Run (there is nothing to hide it behind), so
+//! on a single CPU it cannot speed up; it is identity-checked and
+//! reported, not gated.
+//!
+//! ## Attribution columns
+//!
+//! `utilization` = `par.busy_ns / (round wall × threads)` — low
+//! utilization with high speedup is the signature of think-time hiding.
+//! `par_est_cost_ns` vs `par_busy_ns` shows cost-model accuracy,
+//! `par_parks` vs `par_jobs` shows whether spin-then-park kept workers
+//! hot, and `par_seq_fallbacks` counts batches the adaptive scheduler
+//! kept off the pool.
+//!
+//! Output: `BENCH_par.json` (override via `PRAGUE_PAR_OUT`). If
+//! `PRAGUE_PAR_GATE` is set (e.g. `1.7`), the profile asserts the
+//! speedup at the highest thread count reaches it — this is the CI gate
+//! documented in `docs/benchmarks.md`.
 
 use prague::{QueryResults, SystemParams};
-use prague_bench::{replay, PhaseBreakdown, MAX_QUERY_EDGES};
-use prague_datagen::MoleculeConfig;
+use prague_bench::{pool_utilization, replay, PhaseBreakdown, GUI_LATENCY};
+use prague_datagen::{derive_containment_query, MoleculeConfig};
 use prague_graph::GraphId;
 use prague_mining::mine_classified;
 use prague_obs::{names, Obs};
 use std::time::{Duration, Instant};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
-/// Runs per thread count; the first is discarded as warm-up. Measured
-/// wall per round is the sum over the remaining repeats — enough that
-/// scheduler jitter on small hosts doesn't drown the verify phase.
-const REPEATS: usize = 8;
+/// Mining cap. Deliberately *shallow* — fragments of at most 3 edges —
+/// so the derived 6–8-edge queries are never indexed (verification-free
+/// would defeat the point) and candidate sets stay large: this is the
+/// verification-heavy regime the adaptive scheduler exists for.
+const SHALLOW_MINING_EDGES: usize = 3;
+/// Derived containment query sizes (edges). Containment (not similarity)
+/// queries: extracted from database graphs, so `R_q` is non-empty and
+/// Run's cost is exact VF2 verification — the work think time can hide.
+const QUERY_SIZES: [usize; 4] = [6, 7, 7, 8];
+/// Repeats per thread count; the first is discarded as warm-up. Measured
+/// walls are sums over the remaining repeats so scheduler jitter on small
+/// hosts doesn't drown the verify phase.
+const REPEATS: usize = 4;
+/// Think-pause floor — even a calibration pass that measures a trivial
+/// sequential Run leaves a real gap for the workers.
+const THINK_FLOOR: Duration = Duration::from_millis(5);
 
+#[derive(Default)]
 struct Round {
     threads: usize,
-    verify_ms: f64,
     run_wall: Duration,
+    sim_wall: Duration,
+    elapsed: Duration,
+    verify_ms: f64,
     par_jobs: u64,
     par_steals: u64,
     par_cancellations: u64,
     par_busy_ns: u64,
+    par_parks: u64,
+    par_seq_fallbacks: u64,
+    par_est_cost_ns: u64,
+    par_job_overhead_ns: u64,
     vf2_states: u64,
 }
 
@@ -45,143 +90,239 @@ fn result_ids(r: &QueryResults) -> Vec<GraphId> {
     }
 }
 
+/// One repeat of the full workload: every exact query (with a think pause
+/// before Run), then a similarity replay of the first query. Returns the
+/// result ids, the exact-Run wall, and the similarity-Run wall.
+fn run_repeat(
+    system: &prague::PragueSystem,
+    specs: &[prague_datagen::QuerySpec],
+    think: Duration,
+) -> (Vec<Vec<GraphId>>, Duration, Duration) {
+    let mut ids = Vec::new();
+    let mut run_wall = Duration::ZERO;
+    let mut sim_wall = Duration::ZERO;
+    for (i, spec) in specs.iter().enumerate() {
+        let mut session = system.session(2);
+        replay(&mut session, spec);
+        if i == 0 && session.exact_candidates().is_empty() {
+            session.choose_similarity().expect("in-memory reads");
+        }
+        // ...the user inspects the canvas; speculative verification for
+        // the final query runs in the background...
+        std::thread::sleep(think);
+        let t0 = Instant::now();
+        let outcome = session.run().expect("runnable");
+        run_wall += t0.elapsed();
+        ids.push(result_ids(&outcome.results));
+    }
+    {
+        let mut session = system.session(2);
+        replay(&mut session, &specs[0]);
+        session.choose_similarity().expect("in-memory reads");
+        std::thread::sleep(think);
+        let t0 = Instant::now();
+        let outcome = session.run().expect("runnable");
+        sim_wall += t0.elapsed();
+        ids.push(result_ids(&outcome.results));
+    }
+    (ids, run_wall, sim_wall)
+}
+
 fn main() {
     let ds = prague_datagen::molecules_generate(&MoleculeConfig {
-        graphs: 800,
+        graphs: 2000,
         seed: 0x9A11E1,
         ..Default::default()
     });
-    let mining = mine_classified(&ds.db, 0.1, MAX_QUERY_EDGES);
-    let frequent: Vec<_> = mining.frequent.iter().map(|f| f.graph.clone()).collect();
+    let mining = mine_classified(&ds.db, 0.1, SHALLOW_MINING_EDGES);
     let mut system = prague::PragueSystem::from_mining_result(
         ds.db,
         ds.labels,
         mining,
         SystemParams {
             alpha: 0.1,
-            beta: 8,
-            max_fragment_edges: MAX_QUERY_EDGES,
+            beta: 2,
+            max_fragment_edges: SHALLOW_MINING_EDGES,
             ..Default::default()
         },
     )
     .expect("index build");
     system.warm().expect("fresh store warms");
-    let specs = prague_bench::derive_queries(&system, &frequent, "P");
+    let specs: Vec<_> = QUERY_SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            (0..20u64)
+                .find_map(|attempt| {
+                    derive_containment_query(
+                        system.db(),
+                        size,
+                        0x9A11E1 + i as u64 * 7919 + attempt * 104_729,
+                        &format!("P{}", i + 1),
+                    )
+                })
+                .expect("containment query derivable")
+        })
+        .collect();
+
+    // Calibration: size the think pause from the slowest sequential Run,
+    // so at threads ≥ 2 the speculative batch has (just) enough room to
+    // finish inside it — the paper's ≥ 2 s GUI latency is the cap.
+    system.set_threads(1);
+    let mut slowest = Duration::ZERO;
+    for spec in &specs {
+        let mut session = system.session(2);
+        replay(&mut session, spec);
+        let t0 = Instant::now();
+        session.run().expect("runnable");
+        slowest = slowest.max(t0.elapsed());
+    }
+    let think = slowest.mul_f64(1.2).clamp(THINK_FLOOR, GUI_LATENCY);
+    eprintln!(
+        "[par-scaling] calibration: slowest sequential run {:.2}ms -> think pause {:.2}ms",
+        slowest.as_secs_f64() * 1e3,
+        think.as_secs_f64() * 1e3
+    );
 
     let mut rounds: Vec<Round> = Vec::new();
-    // results per (spec, mode) from the one-thread round; every other
-    // thread count must reproduce them exactly.
-    let mut baseline: Vec<Vec<GraphId>> = Vec::new();
+    // ids per (spec, mode) and vf2 states per repeat from the one-thread
+    // round; every other thread count AND repeat must reproduce them.
+    let mut baseline_ids: Vec<Vec<GraphId>> = Vec::new();
+    let mut baseline_states: Option<u64> = None;
 
     for &threads in &THREAD_COUNTS {
         system.set_threads(threads);
-        // a fresh handle per round so each snapshot covers one thread count
-        system.set_obs(Obs::enabled());
-        let mut run_wall = Duration::ZERO;
-        let mut round_ids: Vec<Vec<GraphId>> = Vec::new();
-        for rep in 0..REPEATS {
-            round_ids.clear();
-            let mut wall = Duration::ZERO;
-            // exact replay of each query, then a similarity replay of the
-            // first (covers both SimVerifier paths through the pool)
-            for (i, spec) in specs.iter().enumerate() {
-                let mut session = system.session(2);
-                replay(&mut session, spec);
-                if i == 0 && session.exact_candidates().is_empty() {
-                    session.choose_similarity().expect("in-memory reads");
-                }
-                let t0 = Instant::now();
-                let outcome = session.run().expect("runnable");
-                wall += t0.elapsed();
-                round_ids.push(result_ids(&outcome.results));
-            }
-            {
-                let mut session = system.session(2);
-                replay(&mut session, &specs[0]);
-                session.choose_similarity().expect("in-memory reads");
-                let t0 = Instant::now();
-                let outcome = session.run().expect("runnable");
-                wall += t0.elapsed();
-                round_ids.push(result_ids(&outcome.results));
-            }
-            if rep > 0 {
-                run_wall += wall;
-            }
-        }
-        if baseline.is_empty() {
-            baseline = round_ids.clone();
-        } else {
-            assert_eq!(
-                baseline, round_ids,
-                "results at {threads} threads differ from sequential"
-            );
-        }
-        let snap = system.obs().snapshot().expect("obs enabled");
-        let breakdown = PhaseBreakdown::from_snapshot(&snap);
-        let counter = |n: &str| snap.counter(n).unwrap_or(0);
-        rounds.push(Round {
+        let mut round = Round {
             threads,
-            verify_ms: breakdown.verify_ms,
-            run_wall,
-            par_jobs: counter(names::PAR_JOBS),
-            par_steals: counter(names::PAR_STEALS),
-            par_cancellations: counter(names::PAR_CANCELLATIONS),
-            par_busy_ns: counter(names::PAR_BUSY_NS),
-            vf2_states: counter(names::VERIFY_VF2_STATES),
-        });
+            ..Round::default()
+        };
+        let round_t0 = Instant::now();
+        for rep in 0..REPEATS {
+            // a fresh handle per repeat so every repeat's counters (and
+            // vf2 state total) are independently comparable
+            system.set_obs(Obs::enabled());
+            let (ids, run_wall, sim_wall) = run_repeat(&system, &specs, think);
+            let snap = system.obs().snapshot().expect("obs enabled");
+            let counter = |n: &str| snap.counter(n).unwrap_or(0);
+            let states = counter(names::VERIFY_VF2_STATES);
+
+            if baseline_ids.is_empty() {
+                baseline_ids = ids;
+            } else {
+                assert_eq!(
+                    baseline_ids, ids,
+                    "results at {threads} threads (repeat {rep}) differ from sequential"
+                );
+            }
+            match baseline_states {
+                None => baseline_states = Some(states),
+                Some(b) => assert_eq!(
+                    b, states,
+                    "vf2 state accounting drifted at {threads} threads (repeat {rep})"
+                ),
+            }
+            if rep == 0 {
+                continue; // warm-up: identity-checked, not timed
+            }
+            round.run_wall += run_wall;
+            round.sim_wall += sim_wall;
+            round.verify_ms += PhaseBreakdown::from_snapshot(&snap).verify_ms;
+            round.par_jobs += counter(names::PAR_JOBS);
+            round.par_steals += counter(names::PAR_STEALS);
+            round.par_cancellations += counter(names::PAR_CANCELLATIONS);
+            round.par_busy_ns += counter(names::PAR_BUSY_NS);
+            round.par_parks += counter(names::PAR_PARKS);
+            round.par_seq_fallbacks += counter(names::PAR_SEQ_FALLBACKS);
+            round.par_est_cost_ns += counter(names::PAR_EST_COST_NS);
+            round.par_job_overhead_ns = counter(names::PAR_JOB_OVERHEAD_NS);
+            round.vf2_states = states;
+        }
+        round.elapsed = round_t0.elapsed();
+        rounds.push(round);
     }
 
-    let base_wall = rounds[0].run_wall.as_secs_f64().max(1e-9);
+    let base_run = rounds[0].run_wall.as_secs_f64().max(1e-9);
+    let base_sim = rounds[0].sim_wall.as_secs_f64().max(1e-9);
     let mut entries = Vec::new();
+    let mut top_speedup = 0.0f64;
     for r in &rounds {
-        let speedup = base_wall / r.run_wall.as_secs_f64().max(1e-9);
+        let speedup = base_run / r.run_wall.as_secs_f64().max(1e-9);
+        let sim_speedup = base_sim / r.sim_wall.as_secs_f64().max(1e-9);
+        let util = pool_utilization(r.par_busy_ns, r.elapsed, r.threads);
+        if r.threads == *THREAD_COUNTS.last().expect("non-empty") {
+            top_speedup = speedup;
+        }
         eprintln!(
-            "[par-scaling] threads {}: run {:.2}ms verify {:.2}ms speedup {:.2}x \
-             | jobs {} steals {} cancellations {} busy {:.2}ms | vf2 states {}",
+            "[par-scaling] threads {}: run {:.2}ms (speedup {:.2}x) sim {:.2}ms ({:.2}x) \
+             verify {:.2}ms util {:.1}% | jobs {} steals {} cancels {} parks {} \
+             seq_fallbacks {} est {:.2}ms busy {:.2}ms overhead {}ns | vf2 states {}",
             r.threads,
             r.run_wall.as_secs_f64() * 1e3,
-            r.verify_ms,
             speedup,
+            r.sim_wall.as_secs_f64() * 1e3,
+            sim_speedup,
+            r.verify_ms,
+            util * 100.0,
             r.par_jobs,
             r.par_steals,
             r.par_cancellations,
+            r.par_parks,
+            r.par_seq_fallbacks,
+            r.par_est_cost_ns as f64 / 1e6,
             r.par_busy_ns as f64 / 1e6,
+            r.par_job_overhead_ns,
             r.vf2_states
         );
         entries.push(format!(
             concat!(
-                "{{\"threads\":{},\"run_ms\":{:.3},\"verify_ms\":{:.3},",
-                "\"speedup\":{:.3},\"par_jobs\":{},\"par_steals\":{},",
-                "\"par_cancellations\":{},\"par_busy_ns\":{},\"vf2_states\":{}}}"
+                "{{\"threads\":{},\"run_ms\":{:.3},\"speedup\":{:.3},",
+                "\"sim_ms\":{:.3},\"sim_speedup\":{:.3},\"verify_ms\":{:.3},",
+                "\"utilization\":{:.4},\"par_jobs\":{},\"par_steals\":{},",
+                "\"par_cancellations\":{},\"par_busy_ns\":{},\"par_parks\":{},",
+                "\"par_seq_fallbacks\":{},\"par_est_cost_ns\":{},",
+                "\"par_job_overhead_ns\":{},\"vf2_states\":{}}}"
             ),
             r.threads,
             r.run_wall.as_secs_f64() * 1e3,
-            r.verify_ms,
             speedup,
+            r.sim_wall.as_secs_f64() * 1e3,
+            sim_speedup,
+            r.verify_ms,
+            util,
             r.par_jobs,
             r.par_steals,
             r.par_cancellations,
             r.par_busy_ns,
+            r.par_parks,
+            r.par_seq_fallbacks,
+            r.par_est_cost_ns,
+            r.par_job_overhead_ns,
             r.vf2_states
         ));
     }
-    // state counts must be identical at every thread count (the
-    // determinism guarantee extends to the obs counters)
-    for r in &rounds[1..] {
-        assert_eq!(
-            rounds[0].vf2_states, r.vf2_states,
-            "vf2 state accounting drifted at {} threads",
-            r.threads
-        );
-    }
 
     let json = format!(
-        "{{\"experiment\":\"par_scaling\",\"queries\":{},\"repeats\":{},\"rounds\":[{}]}}",
+        concat!(
+            "{{\"experiment\":\"par_scaling\",\"queries\":{},\"repeats\":{},",
+            "\"think_ms\":{:.3},\"rounds\":[{}]}}"
+        ),
         specs.len() + 1,
         REPEATS - 1,
+        think.as_secs_f64() * 1e3,
         entries.join(",")
     );
     let out = std::env::var("PRAGUE_PAR_OUT").unwrap_or_else(|_| "BENCH_par.json".into());
     std::fs::write(&out, &json).expect("write BENCH_par.json");
     eprintln!("[par-scaling] wrote {out} ({} bytes)", json.len());
+
+    if let Ok(gate) = std::env::var("PRAGUE_PAR_GATE") {
+        let gate: f64 = gate.parse().expect("PRAGUE_PAR_GATE is a float");
+        assert!(
+            top_speedup >= gate,
+            "SRT speedup gate failed: {top_speedup:.2}x < {gate:.2}x at \
+             {} threads (see BENCH_par.json)",
+            THREAD_COUNTS.last().expect("non-empty")
+        );
+        eprintln!("[par-scaling] gate passed: {top_speedup:.2}x >= {gate:.2}x");
+    }
 }

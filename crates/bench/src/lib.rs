@@ -18,7 +18,7 @@
 pub mod experiments;
 pub mod obs_report;
 
-pub use obs_report::{bench_json, PhaseBreakdown};
+pub use obs_report::{bench_json, pool_utilization, PhaseBreakdown};
 
 use prague::{PragueSystem, Session, StepOutcome, SystemParams};
 use prague_baselines::{FeatureIndex, FeatureIndexConfig};

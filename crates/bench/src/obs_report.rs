@@ -89,6 +89,18 @@ impl PhaseBreakdown {
     }
 }
 
+/// Pool utilization in `[0, 1]`: the fraction of the available worker
+/// time (`wall × threads`) spent inside jobs (`par.busy_ns`). Low
+/// utilization with high speedup is the expected signature of think-time
+/// hiding — workers are busy only during the gaps the user provides.
+pub fn pool_utilization(busy_ns: u64, wall: std::time::Duration, threads: usize) -> f64 {
+    let capacity = wall.as_secs_f64() * threads.max(1) as f64;
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    (busy_ns as f64 / 1e9 / capacity).min(1.0)
+}
+
 /// A full `BENCH_*.json` document: experiment name, phase breakdown and
 /// the raw snapshot for anything the breakdown doesn't pre-digest.
 pub fn bench_json(experiment: &str, snap: &Snapshot) -> String {

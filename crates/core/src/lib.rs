@@ -60,7 +60,9 @@ pub use results::{similar_results_gen, similar_results_gen_with, SimilarMatch, S
 pub use session::{
     ModifyOutcome, QueryResults, RunOutcome, Session, SessionError, StepOutcome, StepStatus,
 };
-pub use verify::{exact_verification, exact_verification_obs, exact_verification_par, SimVerifier};
+pub use verify::{
+    exact_verification, exact_verification_obs, exact_verification_par, SimVerifier, VerifyCost,
+};
 
 use prague_graph::{GraphDb, LabelTable};
 use prague_index::{A2fConfig, ActionAwareIndexes, DfBacking, IndexFootprint, StoreError};

@@ -25,7 +25,7 @@ use crate::modify::{suggest_deletion, DeletionSuggestion};
 use crate::results::{similar_results_gen_with, SimilarResults};
 use crate::verify::{
     complete_exact_batch, exact_verification_obs, exact_verification_par, submit_exact_batch,
-    SimVerifier, VerifyChunk,
+    SimVerifier, VerifyChunk, VerifyCost,
 };
 use crate::PragueSystem;
 use prague_graph::{GraphId, Label};
@@ -218,6 +218,10 @@ pub struct Session<'a> {
     /// `&mut`), but the memo guards itself anyway: on drift it is cleared
     /// before serving anything.
     index_epoch: u64,
+    /// Live per-candidate VF2 cost model: sizes pool chunks and decides
+    /// the sequential fallback, seeded with priors and updated from every
+    /// completed verification batch of this session.
+    verify_cost: VerifyCost,
 }
 
 impl<'a> Session<'a> {
@@ -242,6 +246,7 @@ impl<'a> Session<'a> {
             generation: 0,
             pending: None,
             sim_verifier: None,
+            verify_cost: VerifyCost::new(),
         }
     }
 
@@ -317,6 +322,10 @@ impl<'a> Session<'a> {
             // verification-free: `run` passes R_q through untested
             return;
         }
+        // Speculative batches are submitted regardless of the cost
+        // estimate: they run inside think time, where pool overhead costs
+        // the user nothing — the cost-based fallback only gates the
+        // synchronous paths the user actually waits on.
         let token = CancelToken::new();
         let batch = submit_exact_batch(
             self.query.graph(),
@@ -324,6 +333,7 @@ impl<'a> Session<'a> {
             self.system.db_arc(),
             pool,
             &token,
+            &self.verify_cost,
         );
         self.pending = Some(PendingVerify {
             generation: self.generation,
@@ -702,6 +712,7 @@ impl<'a> Session<'a> {
                         self.system.db(),
                         &self.obs,
                         p.batch,
+                        &mut self.verify_cost,
                     ),
                     stale => {
                         if let Some(p) = stale {
@@ -715,6 +726,7 @@ impl<'a> Session<'a> {
                                 false,
                                 &self.obs,
                                 pool,
+                                &mut self.verify_cost,
                             ),
                             None => exact_verification_obs(
                                 self.query.graph(),
@@ -809,6 +821,7 @@ impl<'a> Session<'a> {
         }
         let empty = SimilarCandidates::default();
         let candidates = self.sim_candidates.as_ref().unwrap_or(&empty);
+        let verify_cost = &mut self.verify_cost;
         let Some(cached) = self.sim_verifier.as_ref() else {
             // unreachable: populated just above; avoid a panic path
             return SimilarResults::default();
@@ -817,7 +830,7 @@ impl<'a> Session<'a> {
             Some(pool) => similar_results_gen_with(q_size, candidates, |ids, level| {
                 cached
                     .verifier
-                    .verify_par(ids, level, self.system.db_arc(), pool)
+                    .verify_par(ids, level, self.system.db_arc(), pool, verify_cost)
             }),
             None => similar_results_gen_with(q_size, candidates, |ids, level| {
                 cached.verifier.verify(ids, level, self.system.db())

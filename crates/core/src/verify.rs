@@ -14,10 +14,100 @@ use prague_graph::vf2::{
 use prague_graph::{Graph, GraphDb, GraphId};
 use prague_idset::IdSet;
 use prague_obs::{names, Obs};
-use prague_par::{Batch, CancelToken, Pool};
+use prague_par::{tuning, Batch, CancelToken, Pool};
 use prague_spig::{SpigSet, VisualQuery};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Live per-candidate VF2 cost model driving the adaptive scheduler.
+///
+/// Two EWMAs, updated from every completed verification batch (parallel
+/// chunks and sequential fallbacks alike) and seeded from
+/// [`tuning::SEED_STATES_PER_CANDIDATE`] / [`tuning::SEED_NS_PER_STATE`]:
+///
+/// * **states per candidate** — sizes pool chunks so each job expands
+///   roughly [`tuning::CHUNK_TARGET_STATES`] VF2 states, replacing the
+///   old static floor (cheap candidates coalesce, expensive ones split);
+/// * **ns per state** — converts the state estimate into nanoseconds for
+///   the sequential-fallback decision against the pool's measured
+///   per-job overhead.
+///
+/// The model only shapes *scheduling* (chunk boundaries, pool vs.
+/// sequential); results and the `verify.vf2_states` counter are
+/// byte-identical whatever it predicts, because chunks partition the
+/// candidate set in order and the merge is order-preserving.
+#[derive(Debug, Clone)]
+pub struct VerifyCost {
+    states_per_cand: f64,
+    ns_per_state: f64,
+}
+
+impl Default for VerifyCost {
+    fn default() -> Self {
+        VerifyCost::new()
+    }
+}
+
+impl VerifyCost {
+    /// A model holding only the priors (used by a fresh session).
+    pub fn new() -> Self {
+        VerifyCost::seeded(tuning::SEED_STATES_PER_CANDIDATE, tuning::SEED_NS_PER_STATE)
+    }
+
+    /// A model with explicit per-candidate cost estimates. Test/bench
+    /// hook: lets a caller place a batch deterministically on either side
+    /// of the fallback threshold.
+    pub fn seeded(states_per_cand: f64, ns_per_state: f64) -> Self {
+        VerifyCost {
+            states_per_cand: states_per_cand.max(1.0),
+            ns_per_state: ns_per_state.max(1.0),
+        }
+    }
+
+    /// Fold one completed batch (its candidate count, VF2 states, and
+    /// busy nanoseconds) into the EWMAs.
+    pub fn observe(&mut self, candidates: u64, states: u64, busy_ns: u64) {
+        if candidates == 0 {
+            return;
+        }
+        let w = tuning::EWMA_WEIGHT;
+        let spc = states as f64 / candidates as f64;
+        self.states_per_cand = ((1.0 - w) * self.states_per_cand + w * spc).max(1.0);
+        if states > 0 {
+            let nps = busy_ns as f64 / states as f64;
+            self.ns_per_state = ((1.0 - w) * self.ns_per_state + w * nps).max(1.0);
+        }
+    }
+
+    /// Estimated cost of verifying `n` candidates, in nanoseconds.
+    pub fn est_batch_ns(&self, n: usize) -> u64 {
+        (n as f64 * self.states_per_cand * self.ns_per_state) as u64
+    }
+
+    /// Whether an `n`-candidate batch is worth fanning out on a pool with
+    /// the given measured per-job overhead: its estimated cost must reach
+    /// [`tuning::FALLBACK_OVERHEAD_MULT`] overheads, otherwise fan-out
+    /// bookkeeping dominates and the batch runs sequentially.
+    pub fn should_parallelize(&self, n: usize, job_overhead_ns: u64) -> bool {
+        self.est_batch_ns(n) >= tuning::FALLBACK_OVERHEAD_MULT.saturating_mul(job_overhead_ns)
+    }
+
+    /// Adaptive chunk length for fanning `n` candidates over `threads`
+    /// workers: ~[`tuning::CHUNK_TARGET_STATES`] VF2 states per job by
+    /// the current estimate, capped to keep ≥
+    /// [`tuning::CHUNKS_PER_WORKER`] chunks per worker when `n` allows,
+    /// clamped to `[CHUNK_MIN, CHUNK_MAX]`.
+    fn chunk_len(&self, n: usize, threads: usize) -> usize {
+        let by_cost = (tuning::CHUNK_TARGET_STATES as f64 / self.states_per_cand).ceil() as usize;
+        let headroom = n
+            .div_ceil(threads.max(1) * tuning::CHUNKS_PER_WORKER)
+            .max(1);
+        by_cost
+            .min(headroom)
+            .clamp(tuning::CHUNK_MIN, tuning::CHUNK_MAX)
+    }
+}
 
 /// Exact verification of `R_q`: keep candidates in which `q` actually
 /// embeds. `verification_free` short-circuits the test (the paper skips
@@ -74,31 +164,24 @@ fn exact_seq_core(q: &Graph, candidates: &IdSet, db: &GraphDb) -> (Vec<GraphId>,
 }
 
 /// The result of one worker chunk: the surviving candidates of the chunk
-/// (in candidate order), the VF2 states the chunk expanded, and whether
-/// the chunk stopped early on a cancelled token.
+/// (in candidate order), the VF2 states the chunk expanded, the time it
+/// spent expanding them (feeds the [`VerifyCost`] EWMAs), and whether the
+/// chunk stopped early on a cancelled token.
 #[derive(Debug, Default)]
 pub(crate) struct VerifyChunk {
     verified: Vec<GraphId>,
     states: u64,
+    busy_ns: u64,
     cancelled: bool,
-}
-
-/// Chunk length for fanning `n` candidates out over `threads` workers:
-/// ~4 chunks per worker for stealing headroom, capped so cancellation
-/// latency stays bounded.
-fn chunk_len(n: usize, threads: usize) -> usize {
-    // Floor of 8: single-id chunks make per-job overhead (slot bookkeeping,
-    // queue traffic, wakeups) dominate VF2 work and oversubscribed pools
-    // regress — see BENCH_par.json's 4-thread round on a small host.
-    n.div_ceil(threads.max(1) * 4).clamp(8, 64)
 }
 
 /// Partition a candidate set into in-order id chunks for the pool, without
 /// first materializing the whole set: each chunk is the only `Vec` built,
 /// and concatenating the chunks reproduces ascending iteration exactly.
-fn chunked_ids(candidates: &IdSet, threads: usize) -> Vec<Vec<GraphId>> {
+/// Chunk length comes from the live cost model ([`VerifyCost::chunk_len`]).
+fn chunked_ids(candidates: &IdSet, threads: usize, cost: &VerifyCost) -> Vec<Vec<GraphId>> {
     let n = candidates.len();
-    let cl = chunk_len(n, threads);
+    let cl = cost.chunk_len(n, threads);
     let mut chunks = Vec::with_capacity(n.div_ceil(cl.max(1)));
     let mut it = candidates.iter();
     loop {
@@ -123,14 +206,16 @@ pub(crate) fn submit_exact_batch(
     db: &Arc<GraphDb>,
     pool: &Pool,
     token: &CancelToken,
+    cost: &VerifyCost,
 ) -> Batch<VerifyChunk> {
     let q = Arc::new(q.clone());
     let order = Arc::new(MatchOrder::new(&q));
-    let jobs: Vec<_> = chunked_ids(candidates, pool.threads())
+    let jobs: Vec<_> = chunked_ids(candidates, pool.threads(), cost)
         .into_iter()
         .map(|ids| {
             let (q, order, db) = (Arc::clone(&q), Arc::clone(&order), Arc::clone(db));
             move |token: &CancelToken| {
+                let t0 = Instant::now();
                 let mut state = MatchState::default();
                 let mut out = VerifyChunk::default();
                 for &id in &ids {
@@ -150,6 +235,7 @@ pub(crate) fn submit_exact_batch(
                         }
                     }
                 }
+                out.busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 out
             }
         })
@@ -169,6 +255,7 @@ pub(crate) fn complete_exact_batch(
     db: &GraphDb,
     obs: &Obs,
     batch: Batch<VerifyChunk>,
+    cost: &mut VerifyCost,
 ) -> Vec<GraphId> {
     let _span = obs.span(names::VERIFY_EXACT);
     obs.add(names::VERIFY_EXACT_CANDIDATES, candidates.len() as u64);
@@ -178,12 +265,14 @@ pub(crate) fn complete_exact_batch(
     };
     let mut verified = Vec::new();
     let mut states = 0u64;
+    let mut busy_ns = 0u64;
     let mut intact = true;
     for part in parts {
         match part {
             Some(chunk) if !chunk.cancelled => {
                 verified.extend_from_slice(&chunk.verified);
                 states += chunk.states;
+                busy_ns += chunk.busy_ns;
             }
             _ => {
                 intact = false;
@@ -192,19 +281,24 @@ pub(crate) fn complete_exact_batch(
         }
     }
     if !intact {
+        let t0 = Instant::now();
         let (v, s) = exact_seq_core(q, candidates, db);
         verified = v;
         states = s;
+        busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
+    cost.observe(candidates.len() as u64, states, busy_ns);
     obs.add(names::VERIFY_VF2_STATES, states);
     obs.add(names::VERIFY_EXACT_EMBEDDINGS, verified.len() as u64);
     verified
 }
 
-/// [`exact_verification_obs`] routed through the worker pool: chunked
-/// fan-out, deterministic in-order merge. Output, counters, and
-/// `verify.vf2_states` accounting are byte-identical to the sequential
-/// path.
+/// [`exact_verification_obs`] routed through the adaptive scheduler:
+/// estimate the batch's cost from the live model, run it sequentially on
+/// the calling thread when the estimate cannot pay for pool fan-out
+/// (counted in `par.seq_fallbacks`), otherwise chunk it by the model and
+/// merge in order. Output, counters, and `verify.vf2_states` accounting
+/// are byte-identical to the sequential path either way.
 pub fn exact_verification_par(
     q: &Graph,
     candidates: &IdSet,
@@ -212,13 +306,29 @@ pub fn exact_verification_par(
     verification_free: bool,
     obs: &Obs,
     pool: &Pool,
+    cost: &mut VerifyCost,
 ) -> Vec<GraphId> {
     if verification_free || q.edge_count() == 0 {
         return exact_verification_obs(q, candidates, db, verification_free, obs);
     }
+    let n = candidates.len();
+    let overhead = pool.job_overhead_ns();
+    obs.add(names::PAR_EST_COST_NS, cost.est_batch_ns(n));
+    if !cost.should_parallelize(n, overhead) {
+        obs.add(names::PAR_SEQ_FALLBACKS, 1);
+        let _span = obs.span(names::VERIFY_EXACT);
+        obs.add(names::VERIFY_EXACT_CANDIDATES, n as u64);
+        let t0 = Instant::now();
+        let (verified, states) = exact_seq_core(q, candidates, db);
+        let busy = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        cost.observe(n as u64, states, busy);
+        obs.add(names::VERIFY_VF2_STATES, states);
+        obs.add(names::VERIFY_EXACT_EMBEDDINGS, verified.len() as u64);
+        return verified;
+    }
     let token = CancelToken::new();
-    let batch = submit_exact_batch(q, candidates, db, pool, &token);
-    complete_exact_batch(q, candidates, db, obs, batch)
+    let batch = submit_exact_batch(q, candidates, db, pool, &token, cost);
+    complete_exact_batch(q, candidates, db, obs, batch, cost)
 }
 
 /// A reusable verifier for one query's similarity levels: the distinct
@@ -299,28 +409,46 @@ impl SimVerifier {
         (verified, states)
     }
 
-    /// [`SimVerifier::verify`] routed through the worker pool. Chunks
-    /// test the same fragments in the same per-candidate order as the
-    /// sequential path, and the in-order merge makes the output — and the
-    /// `verify.vf2_states` total — identical to it.
+    /// [`SimVerifier::verify`] routed through the adaptive scheduler:
+    /// same cost-based sequential fallback and model-driven chunking as
+    /// [`exact_verification_par`]. Chunks test the same fragments in the
+    /// same per-candidate order as the sequential path, and the in-order
+    /// merge makes the output — and the `verify.vf2_states` total —
+    /// identical to it.
     pub fn verify_par(
         &self,
         candidates: &IdSet,
         level: usize,
         db: &Arc<GraphDb>,
         pool: &Pool,
+        cost: &mut VerifyCost,
     ) -> Vec<GraphId> {
         self.obs
             .add(names::VERIFY_SIM_CANDIDATES, candidates.len() as u64);
         let Some(frags) = self.fragments.get(&level) else {
             return Vec::new();
         };
+        let n = candidates.len();
+        let overhead = pool.job_overhead_ns();
+        self.obs.add(names::PAR_EST_COST_NS, cost.est_batch_ns(n));
+        if !cost.should_parallelize(n, overhead) {
+            self.obs.add(names::PAR_SEQ_FALLBACKS, 1);
+            let t0 = Instant::now();
+            let (verified, states) = self.verify_core(candidates, level, db);
+            let busy = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cost.observe(n as u64, states, busy);
+            self.obs.add(names::VERIFY_VF2_STATES, states);
+            self.obs
+                .add(names::VERIFY_SIM_EMBEDDINGS, verified.len() as u64);
+            return verified;
+        }
         let token = CancelToken::new();
-        let jobs: Vec<_> = chunked_ids(candidates, pool.threads())
+        let jobs: Vec<_> = chunked_ids(candidates, pool.threads(), cost)
             .into_iter()
             .map(|ids| {
                 let (frags, db) = (Arc::clone(frags), Arc::clone(db));
                 move |token: &CancelToken| {
+                    let t0 = Instant::now();
                     let mut state = MatchState::default();
                     let mut out = VerifyChunk::default();
                     for &id in &ids {
@@ -338,6 +466,8 @@ impl SimVerifier {
                                 MatchOutcome::NotFound => {}
                                 MatchOutcome::Cancelled => {
                                     out.cancelled = true;
+                                    out.busy_ns =
+                                        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                                     return out;
                                 }
                             }
@@ -346,6 +476,7 @@ impl SimVerifier {
                             out.verified.push(id);
                         }
                     }
+                    out.busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     out
                 }
             })
@@ -356,12 +487,14 @@ impl SimVerifier {
         };
         let mut verified = Vec::new();
         let mut states = 0u64;
+        let mut busy_ns = 0u64;
         let mut intact = true;
         for part in parts {
             match part {
                 Some(chunk) if !chunk.cancelled => {
                     verified.extend_from_slice(&chunk.verified);
                     states += chunk.states;
+                    busy_ns += chunk.busy_ns;
                 }
                 _ => {
                     intact = false;
@@ -373,10 +506,13 @@ impl SimVerifier {
             // Unreachable with the fresh token above, but never lose
             // results: redo sequentially (counters already cover the
             // candidate add; emit only states/embeddings below).
+            let t0 = Instant::now();
             let (v, s) = self.verify_core(candidates, level, db);
             verified = v;
             states = s;
+            busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
+        cost.observe(candidates.len() as u64, states, busy_ns);
         self.obs.add(names::VERIFY_VF2_STATES, states);
         self.obs
             .add(names::VERIFY_SIM_EMBEDDINGS, verified.len() as u64);

@@ -18,6 +18,39 @@
 //! candidate generation a lookup.
 //!
 //! The crate is std-only and panic-free in library code.
+//!
+//! # Sets behave like sorted id lists
+//!
+//! ```
+//! use prague_idset::IdSet;
+//!
+//! let mut a = IdSet::from_sorted_slice(&[2, 3, 5, 8]);
+//! let b = IdSet::from_sorted_slice(&[3, 5, 13]);
+//! a.intersect_with(&b);
+//! assert_eq!(a.to_vec(), vec![3, 5]);
+//! assert!(a.contains(5) && !a.contains(8));
+//!
+//! // `Universe(n)` is the free "no pruning yet" set: intersecting it
+//! // away never materializes the range.
+//! let mut u = IdSet::universe(1_000_000);
+//! assert_eq!(u.len(), 1_000_000);
+//! u.intersect_with(&b);
+//! assert_eq!(u.to_vec(), vec![3, 5, 13]);
+//! ```
+//!
+//! # Memoizing shared sets
+//!
+//! ```
+//! use prague_idset::{IdSet, Memo};
+//! use std::sync::Arc;
+//!
+//! let mut memo: Memo<&'static str> = Memo::new();
+//! let set = Arc::new(IdSet::from_sorted_slice(&[1, 4, 9]));
+//! assert!(memo.insert("cam:abc", Arc::clone(&set)));
+//! let hit = memo.get(&"cam:abc").expect("just inserted");
+//! assert_eq!(hit.to_vec(), vec![1, 4, 9]);
+//! assert!(memo.bytes() > 0); // heap accounting for the obs counters
+//! ```
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -88,6 +88,22 @@ pub const PAR_BUSY_NS: &str = "par.busy_ns";
 /// Pool mutexes recovered from poisoning (a worker panicked while holding
 /// a lock). Never silent: every recovery increments this counter.
 pub const PAR_POISONED: &str = "par.poisoned";
+/// Times a worker parked on the condvar after exhausting its spin budget.
+/// Low parks with high jobs means spin-then-park absorbed the gaps
+/// between think-time batches; parks ≈ jobs means the pool kept going
+/// cold between submissions.
+pub const PAR_PARKS: &str = "par.parks";
+/// Estimated batch cost (ns, cumulative over submission decisions) from
+/// the verify layer's EWMA cost model — the left-hand side of every
+/// pool-vs-sequential decision.
+pub const PAR_EST_COST_NS: &str = "par.est_cost_ns";
+/// Measured per-job pool overhead (ns), calibrated once per pool from a
+/// batch of no-op jobs — the right-hand side of the fallback decision.
+pub const PAR_JOB_OVERHEAD_NS: &str = "par.job_overhead_ns";
+/// Verification batches that skipped the pool because their estimated
+/// cost was below the parallelism payoff threshold
+/// (`fallback.overhead_mult` × `par.job_overhead_ns`).
+pub const PAR_SEQ_FALLBACKS: &str = "par.seq_fallbacks";
 /// Candidate-set memo lookups answered from the CAM-keyed cache.
 pub const CAND_MEMO_HITS: &str = "cand.memo_hits";
 /// Candidate-set memo lookups that had to compute the set.
@@ -143,6 +159,10 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (PAR_CANCELLATIONS, MetricKind::Counter),
     (PAR_BUSY_NS, MetricKind::Counter),
     (PAR_POISONED, MetricKind::Counter),
+    (PAR_PARKS, MetricKind::Counter),
+    (PAR_EST_COST_NS, MetricKind::Counter),
+    (PAR_JOB_OVERHEAD_NS, MetricKind::Counter),
+    (PAR_SEQ_FALLBACKS, MetricKind::Counter),
     (CAND_MEMO_HITS, MetricKind::Counter),
     (CAND_MEMO_MISSES, MetricKind::Counter),
     (CAND_IDSET_BYTES, MetricKind::Counter),

@@ -36,6 +36,26 @@ pub const ATOMICS: &[(&str, &str)] = &[
     ("cancel.flag", "Release / Acquire"),
 ];
 
+/// The adaptive-scheduling constants of [`crate::tuning`], as data:
+/// ARCHITECTURE.md § "Adaptive verification scheduling" documents the
+/// chunk-cost model, the sequential-fallback threshold, and the worker
+/// spin budget in a table, and `crates/par/tests/contract.rs` diff-checks
+/// that table against this slice. The unit test below pins each string
+/// to the actual constant, so a retune that skips either the docs or
+/// this table fails CI.
+pub const TUNING: &[(&str, &str)] = &[
+    ("chunk.target_states", "4096"),
+    ("chunk.min", "1"),
+    ("chunk.max", "256"),
+    ("chunk.per_worker", "4"),
+    ("ewma.weight", "0.25"),
+    ("cost.seed_states_per_candidate", "256"),
+    ("cost.seed_ns_per_state", "100"),
+    ("fallback.overhead_mult", "64"),
+    ("pool.spin_budget", "4096"),
+    ("pool.calibration_jobs", "32"),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +69,42 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), ATOMICS.len(), "duplicate atomic names");
+    }
+
+    /// Every TUNING row's value string must equal the live constant in
+    /// [`crate::tuning`]; retuning a knob without updating this table
+    /// (and, via the marker-table test, the docs) fails here.
+    #[test]
+    fn tuning_table_matches_constants() {
+        use crate::tuning;
+        let want: &[(&str, String)] = &[
+            (
+                "chunk.target_states",
+                tuning::CHUNK_TARGET_STATES.to_string(),
+            ),
+            ("chunk.min", tuning::CHUNK_MIN.to_string()),
+            ("chunk.max", tuning::CHUNK_MAX.to_string()),
+            ("chunk.per_worker", tuning::CHUNKS_PER_WORKER.to_string()),
+            ("ewma.weight", tuning::EWMA_WEIGHT.to_string()),
+            (
+                "cost.seed_states_per_candidate",
+                tuning::SEED_STATES_PER_CANDIDATE.to_string(),
+            ),
+            (
+                "cost.seed_ns_per_state",
+                tuning::SEED_NS_PER_STATE.to_string(),
+            ),
+            (
+                "fallback.overhead_mult",
+                tuning::FALLBACK_OVERHEAD_MULT.to_string(),
+            ),
+            ("pool.spin_budget", tuning::SPIN_BUDGET.to_string()),
+            (
+                "pool.calibration_jobs",
+                tuning::CALIBRATION_JOBS.to_string(),
+            ),
+        ];
+        let got: Vec<(&str, String)> = TUNING.iter().map(|&(n, v)| (n, v.to_string())).collect();
+        assert_eq!(got, want, "contract::TUNING drifted from crate::tuning");
     }
 }

@@ -19,14 +19,21 @@
 //! Like `prague-obs`, the crate is dependency-free (standard library
 //! only) and reports its behavior through `par.*` metrics documented in
 //! `ARCHITECTURE.md`: `par.jobs`, `par.steals`, `par.cancellations`,
-//! `par.busy_ns`, `par.poisoned`.
+//! `par.busy_ns`, `par.poisoned`, `par.parks`, and the adaptive-
+//! scheduling trio `par.est_cost_ns` / `par.job_overhead_ns` /
+//! `par.seq_fallbacks` emitted by the verify layer's cost model.
 //!
 //! The crate's lock order, atomic handoff protocol and cancel-token
 //! visibility contract are documented in ARCHITECTURE.md § "Concurrency
 //! model", mirrored in code by [`contract`], enforced statically by the
 //! `cargo xtask audit` concurrency rules, and explored dynamically by the
 //! deterministic model-check harness (`tests/model.rs`, built with
-//! `--cfg model_check`) through the [`sched`] yield points.
+//! `--cfg model_check`) through the [`sched`] yield points. The
+//! scheduling knobs (chunk-cost targets, the sequential-fallback
+//! threshold, the worker spin budget) live in [`tuning`] and are pinned
+//! against the docs by [`contract::TUNING`].
+//!
+//! # Batches return results in submission order
 //!
 //! ```
 //! use prague_par::{CancelToken, Pool};
@@ -38,6 +45,26 @@
 //! let results = pool.submit_batch(&token, jobs).join();
 //! assert_eq!(results[7], Some(8));
 //! ```
+//!
+//! # Cancellation is cooperative and observable
+//!
+//! A job polls its token at whatever granularity it likes (VF2 polls per
+//! candidate and inside the search loop); a cancelled batch still fills
+//! every slot, so a join after cancel never blocks on lost work:
+//!
+//! ```
+//! use prague_par::{CancelToken, Pool};
+//! use prague_obs::Obs;
+//!
+//! let pool = Pool::new(2, Obs::disabled());
+//! let token = CancelToken::new();
+//! token.cancel(); // superseded before submission
+//! let jobs: Vec<_> = (0..4u32)
+//!     .map(|i| move |t: &CancelToken| if t.is_cancelled() { 0 } else { i })
+//!     .collect();
+//! let results = pool.submit_batch(&token, jobs).join();
+//! assert_eq!(results, vec![Some(0); 4]);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -45,6 +72,7 @@ mod cancel;
 pub mod contract;
 mod pool;
 pub mod sched;
+pub mod tuning;
 
 pub use cancel::CancelToken;
 pub use pool::{Batch, Pool};

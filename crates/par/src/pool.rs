@@ -36,7 +36,7 @@ use prague_obs::{names, Obs};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -135,15 +135,35 @@ impl Shared {
             match self.take_job(me) {
                 Some(job) => self.run_job(job),
                 None => {
-                    // Queues drained: exit on shutdown, otherwise sleep.
+                    // Queues drained: exit on shutdown, otherwise
+                    // spin-then-park. During an edit burst, speculative
+                    // verification batches land microseconds apart; a
+                    // bounded spin re-polling `pending` keeps the worker
+                    // hot across the gap (skipping a park/wake context-
+                    // switch pair per batch) while still parking — and
+                    // freeing the CPU — once the canvas goes quiet.
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
+                    }
+                    yp(site::WORKER_SPIN);
+                    let mut spins = 0u32;
+                    while spins < crate::tuning::SPIN_BUDGET
+                        && self.pending.load(Ordering::SeqCst) == 0
+                        && !self.shutdown.load(Ordering::SeqCst)
+                    {
+                        std::hint::spin_loop();
+                        spins += 1;
+                    }
+                    if spins < crate::tuning::SPIN_BUDGET {
+                        // work arrived (or shutdown): back to the queues
+                        continue;
                     }
                     yp(site::WORKER_IDLE);
                     let guard = lock(&self.sleep, &self.obs);
                     if self.pending.load(Ordering::SeqCst) == 0
                         && !self.shutdown.load(Ordering::SeqCst)
                     {
+                        self.obs.add(names::PAR_PARKS, 1);
                         yp(site::WORKER_WAIT);
                         // Timeout is a backstop only; submits notify.
                         if self.wake.wait_timeout(guard, BACKSTOP).is_err() {
@@ -189,6 +209,8 @@ impl Shared {
 pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Lazily measured per-job overhead (see [`Pool::job_overhead_ns`]).
+    overhead_ns: OnceLock<u64>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -227,12 +249,47 @@ impl Pool {
                     .ok()
             })
             .collect();
-        Pool { shared, workers }
+        Pool {
+            shared,
+            workers,
+            overhead_ns: OnceLock::new(),
+        }
     }
 
     /// Number of worker threads actually running.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Measured per-job overhead of this pool in nanoseconds: everything a
+    /// job pays that is not the job itself (submission, queue traffic, a
+    /// possible wake, slot bookkeeping, the join handshake).
+    ///
+    /// Calibrated lazily, once per pool, by timing a batch of
+    /// [`crate::tuning::CALIBRATION_JOBS`] no-op jobs end-to-end and
+    /// dividing by the job count; the result (≥ 1) is reported once
+    /// through the `par.job_overhead_ns` counter and cached. Callers use
+    /// it as the denominator of the sequential-fallback decision: a batch
+    /// whose estimated cost is below
+    /// [`crate::tuning::FALLBACK_OVERHEAD_MULT`] × this cannot pay for
+    /// its own fan-out.
+    ///
+    /// The calibration jobs run through the normal submission path, so
+    /// they count toward `par.jobs` (exactly
+    /// [`crate::tuning::CALIBRATION_JOBS`] of them, once per pool).
+    pub fn job_overhead_ns(&self) -> u64 {
+        *self.overhead_ns.get_or_init(|| {
+            let token = CancelToken::new();
+            let t0 = Instant::now();
+            let jobs: Vec<_> = (0..crate::tuning::CALIBRATION_JOBS)
+                .map(|_| |_t: &CancelToken| ())
+                .collect();
+            let _ = self.submit_batch(&token, jobs).join();
+            let total = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let per_job = (total / crate::tuning::CALIBRATION_JOBS.max(1) as u64).max(1);
+            self.shared.obs.add(names::PAR_JOB_OVERHEAD_NS, per_job);
+            per_job
+        })
     }
 
     /// Submit `jobs` as one cancellable batch. Each job receives the

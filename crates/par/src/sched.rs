@@ -45,8 +45,11 @@ pub mod site {
     pub const BATCH_NOTIFY: u8 = 7;
     /// `Pool::drop`, before the inline drain of a queue.
     pub const DROP_DRAIN: u8 = 8;
+    /// `worker_loop`, entering the bounded spin phase (queues drained,
+    /// before the first `pending` re-poll of spin-then-park).
+    pub const WORKER_SPIN: u8 = 9;
     /// Number of sites.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 }
 
 /// Visits per site covered by a schedule's decision table; later visits
@@ -56,6 +59,7 @@ pub const SLOTS: usize = 64;
 static SEED: AtomicU64 = AtomicU64::new(0);
 static APPLIED: AtomicU64 = AtomicU64::new(0);
 static HITS: [AtomicU32; site::COUNT] = [
+    AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),
     AtomicU32::new(0),

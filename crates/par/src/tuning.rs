@@ -1,0 +1,73 @@
+//! Tuning constants of the adaptive verification scheduler.
+//!
+//! Chunk sizing, the sequential-fallback threshold, and the worker spin
+//! budget are *policy*, not mechanism: `prague-core`'s verify layer reads
+//! them to size pool jobs from its live cost model, and `pool.rs` reads
+//! the spin/calibration knobs. They live here — next to the pool they
+//! tune — so one crate owns every scheduling constant and the whole set
+//! is pinned as data by [`crate::contract::TUNING`] against the
+//! ARCHITECTURE.md § "Adaptive verification scheduling" table (enforced
+//! by `crates/par/tests/contract.rs`, exactly like the lock-order and
+//! atomics tables).
+//!
+//! How the constants compose (the full model lives in `prague-core`'s
+//! `verify` module):
+//!
+//! * a batch of `n` candidates is estimated to cost
+//!   `n × ewma(states/candidate) × ewma(ns/state)` nanoseconds;
+//! * if that estimate is below [`FALLBACK_OVERHEAD_MULT`] × the pool's
+//!   measured per-job overhead, the batch runs sequentially on the
+//!   calling thread (the pool cannot pay for itself);
+//! * otherwise candidates are chunked so each job expands roughly
+//!   [`CHUNK_TARGET_STATES`] VF2 states, bounded by [`CHUNK_MIN`] /
+//!   [`CHUNK_MAX`] and by keeping ≥ [`CHUNKS_PER_WORKER`] chunks per
+//!   worker for stealing headroom.
+
+/// Target VF2 search states per pool job. Cheap candidates coalesce into
+/// big chunks (amortizing per-job overhead); expensive candidates get
+/// chunks of one (maximizing balance and cancellation responsiveness).
+pub const CHUNK_TARGET_STATES: u64 = 4096;
+
+/// Smallest permitted chunk (candidates per job).
+pub const CHUNK_MIN: usize = 1;
+
+/// Largest permitted chunk: bounds cancellation latency — a worker polls
+/// the token between candidates, so a chunk caps the work discarded after
+/// a cancel observed mid-chunk.
+pub const CHUNK_MAX: usize = 256;
+
+/// Minimum chunks per worker the splitter aims for when the candidate
+/// count allows it, so back-stealing can rebalance a skewed batch.
+pub const CHUNKS_PER_WORKER: usize = 4;
+
+/// Weight of the newest batch in the exponentially weighted moving
+/// averages (states-per-candidate and ns-per-state).
+pub const EWMA_WEIGHT: f64 = 0.25;
+
+/// Cost-model prior: VF2 states per candidate assumed before the first
+/// batch completes. Deliberately high — an unknown first batch should be
+/// parallelized, and the model corrects within one observation.
+pub const SEED_STATES_PER_CANDIDATE: f64 = 256.0;
+
+/// Cost-model prior: nanoseconds per VF2 state assumed before the first
+/// measurement (a state expansion is some tens of ns; erring high keeps
+/// the first-batch decision biased toward the pool).
+pub const SEED_NS_PER_STATE: f64 = 100.0;
+
+/// Sequential-fallback threshold: a batch goes to the pool only if its
+/// estimated cost is at least this many multiples of the measured per-job
+/// overhead. Below that, fan-out bookkeeping (queue traffic, wakeups,
+/// slot merges) dominates any parallel win — the regime PR 5's memo put
+/// most re-formulation batches in.
+pub const FALLBACK_OVERHEAD_MULT: u64 = 64;
+
+/// Bounded spin iterations an idle worker burns re-polling `pending`
+/// before taking the sleep lock and parking on the condvar. Think-time
+/// batches arrive microseconds apart during an edit burst; spinning
+/// across the gap skips two context switches per batch.
+pub const SPIN_BUDGET: u32 = 4096;
+
+/// No-op jobs submitted once per pool to measure per-job overhead
+/// (`Pool::job_overhead_ns`): wall time over the batch divided by this
+/// count, covering submit, queue, wake, run and slot-merge costs.
+pub const CALIBRATION_JOBS: usize = 32;

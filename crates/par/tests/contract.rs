@@ -46,6 +46,21 @@ fn architecture_lock_order_matches_contract() {
 }
 
 #[test]
+fn architecture_tuning_matches_contract() {
+    let documented = documented_rows("par-tuning");
+    let in_code: Vec<(String, String)> = contract::TUNING
+        .iter()
+        .map(|&(name, value)| (name.to_string(), value.to_string()))
+        .collect();
+    assert_eq!(
+        documented, in_code,
+        "ARCHITECTURE.md § Adaptive verification scheduling tuning table \
+         and prague_par::contract::TUNING must list the same knobs with \
+         the same values in the same order"
+    );
+}
+
+#[test]
 fn architecture_atomics_match_contract() {
     let documented = documented_rows("par-atomics");
     let in_code: Vec<(String, String)> = contract::ATOMICS

@@ -9,11 +9,17 @@
 mod common;
 
 use common::oracle_similarity;
-use prague::{PragueSystem, QueryResults, SystemParams};
+use prague::{
+    exact_verification_obs, exact_verification_par, PragueSystem, QueryResults, SystemParams,
+    VerifyCost,
+};
 use prague_datagen::{MoleculeConfig, QuerySpec};
 use prague_graph::{Graph, GraphDb, GraphId, Label, NodeId};
+use prague_idset::IdSet;
 use prague_obs::{names, Obs};
+use prague_par::{tuning, Pool};
 use proptest::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn connected_graph(max_n: usize, label_count: u16) -> impl Strategy<Value = Graph> {
@@ -343,6 +349,89 @@ fn session_stress_rapid_edits_and_mid_flight_drop() {
             assert!(
                 pool.wait_idle(Duration::from_secs(10)),
                 "pool did not drain at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The sequential-fallback boundary is cost-driven: with the model seeded
+/// so the estimated batch cost sits just below the payoff threshold
+/// (`fallback.overhead_mult` × the measured per-job overhead), the batch
+/// must run inline — `par.seq_fallbacks` fires and the only pool jobs are
+/// the calibration no-ops. Seeded just above, the batch must fan out —
+/// `par.jobs` grows past the calibration batch and no fallback fires.
+/// Either way the verified ids and `verify.vf2_states` are identical to
+/// the plain sequential path.
+#[test]
+fn sequential_fallback_boundary_is_cost_driven() {
+    // 12 three-node paths; the even ones contain the C-S query edge.
+    let mut db = GraphDb::new();
+    let mut ids: Vec<GraphId> = Vec::new();
+    for i in 0..12u16 {
+        let mut g = Graph::new();
+        let a = g.add_node(Label(0));
+        let b = g.add_node(Label(if i % 2 == 0 { 1 } else { 0 }));
+        let c = g.add_node(Label(0));
+        g.add_edge(a, b).expect("fresh edge");
+        g.add_edge(b, c).expect("fresh edge");
+        ids.push(db.push(g));
+    }
+    let db = Arc::new(db);
+    let mut q = Graph::new();
+    let qa = q.add_node(Label(0));
+    let qb = q.add_node(Label(1));
+    q.add_edge(qa, qb).expect("fresh edge");
+    let cands = IdSet::from_sorted_slice(&ids);
+
+    // Sequential reference: ids and vf2 state count.
+    let ref_obs = Obs::enabled();
+    let ref_ids = exact_verification_obs(&q, &cands, &db, false, &ref_obs);
+    let ref_states = ref_obs
+        .snapshot()
+        .expect("obs enabled")
+        .counter(names::VERIFY_VF2_STATES)
+        .unwrap_or(0);
+    assert!(ref_states > 0, "reference run must expand VF2 states");
+
+    let calibration = tuning::CALIBRATION_JOBS as u64;
+    for expect_pool in [false, true] {
+        let obs = Obs::enabled();
+        let pool = Pool::new(2, obs.clone());
+        let overhead = pool.job_overhead_ns();
+        let threshold = tuning::FALLBACK_OVERHEAD_MULT.saturating_mul(overhead);
+        // Seed states-per-candidate at 1 and pick ns-per-state so the
+        // estimate lands at 0.9× (below) or 1.1× (above) the threshold.
+        let factor = if expect_pool { 1.1 } else { 0.9 };
+        let nps = factor * threshold as f64 / cands.len() as f64;
+        let mut cost = VerifyCost::seeded(1.0, nps);
+        if expect_pool {
+            assert!(cost.should_parallelize(cands.len(), overhead));
+        } else {
+            assert!(!cost.should_parallelize(cands.len(), overhead));
+        }
+
+        let verified = exact_verification_par(&q, &cands, &db, false, &obs, &pool, &mut cost);
+        assert_eq!(verified, ref_ids, "expect_pool={expect_pool}");
+
+        let snap = obs.snapshot().expect("obs enabled");
+        assert_eq!(
+            snap.counter(names::VERIFY_VF2_STATES).unwrap_or(0),
+            ref_states,
+            "vf2 accounting drifted (expect_pool={expect_pool})"
+        );
+        let jobs = snap.counter(names::PAR_JOBS).unwrap_or(0);
+        let fallbacks = snap.counter(names::PAR_SEQ_FALLBACKS).unwrap_or(0);
+        if expect_pool {
+            assert_eq!(fallbacks, 0, "cheap-batch fallback fired above threshold");
+            assert!(
+                jobs > calibration,
+                "batch above threshold never reached the pool (jobs = {jobs})"
+            );
+        } else {
+            assert_eq!(fallbacks, 1, "batch below threshold was not run inline");
+            assert_eq!(
+                jobs, calibration,
+                "batch below threshold still sent jobs to the pool"
             );
         }
     }
