@@ -49,36 +49,75 @@ pub struct ActionRecord {
     pub elapsed: Duration,
 }
 
-/// The full trace of a session.
+/// Maximum number of records a [`SessionLog`] retains. A session is
+/// long-lived and grows by one record per GUI action, so the trace must be
+/// bounded (per-session memory caps, ROADMAP Open item 1). When the cap is
+/// hit, the oldest half of the trace is evicted in one batch — O(1)
+/// amortized per push — and the evicted records' contributions are folded
+/// into aggregate counters so [`SessionLog::total_processing`],
+/// [`SessionLog::total_actions`] and [`SessionLog::fits_latency`] stay
+/// exact over the whole session.
+pub const MAX_RECORDS: usize = 4096;
+
+/// The full trace of a session, bounded to [`MAX_RECORDS`] retained
+/// entries.
 #[derive(Debug, Clone, Default)]
 pub struct SessionLog {
     records: Vec<ActionRecord>,
+    /// Records evicted to respect [`MAX_RECORDS`].
+    evicted: usize,
+    /// Summed `elapsed` of evicted records.
+    evicted_processing: Duration,
+    /// Largest single `elapsed` among evicted records.
+    evicted_max: Duration,
 }
 
 impl SessionLog {
-    /// Append a record.
+    /// Append a record, evicting the oldest half of the trace first if the
+    /// retained prefix is at [`MAX_RECORDS`].
     pub(crate) fn push(&mut self, record: ActionRecord) {
+        if self.records.len() >= MAX_RECORDS {
+            let half = self.records.len() / 2;
+            for r in self.records.drain(..half) {
+                self.evicted += 1;
+                self.evicted_processing += r.elapsed;
+                self.evicted_max = self.evicted_max.max(r.elapsed);
+            }
+        }
         self.records.push(record);
     }
 
-    /// All records, oldest first.
+    /// Retained records, oldest first. After more than [`MAX_RECORDS`]
+    /// actions this is a suffix of the full trace; see
+    /// [`SessionLog::evicted`].
     pub fn records(&self) -> &[ActionRecord] {
         &self.records
     }
 
-    /// Number of recorded actions.
+    /// Number of retained records (equals `records().len()`).
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// Whether nothing happened yet.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+    /// Number of records evicted to respect [`MAX_RECORDS`].
+    pub fn evicted(&self) -> usize {
+        self.evicted
     }
 
-    /// Total processing time across all actions.
+    /// Total number of actions processed over the whole session, including
+    /// evicted ones.
+    pub fn total_actions(&self) -> usize {
+        self.evicted + self.records.len()
+    }
+
+    /// Whether nothing happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.evicted == 0
+    }
+
+    /// Total processing time across all actions, including evicted ones.
     pub fn total_processing(&self) -> Duration {
-        self.records.iter().map(|r| r.elapsed).sum()
+        self.evicted_processing + self.records.iter().map(|r| r.elapsed).sum::<Duration>()
     }
 
     /// Total session time, *including* modification, relabel, similarity
@@ -90,15 +129,17 @@ impl SessionLog {
         self.total_processing()
     }
 
-    /// The slowest single action, if any.
+    /// The slowest single *retained* action, if any. An evicted record may
+    /// have been slower; [`SessionLog::fits_latency`] still accounts for
+    /// those.
     pub fn max_step(&self) -> Option<&ActionRecord> {
         self.records.iter().max_by_key(|r| r.elapsed)
     }
 
-    /// Whether every action fit within `budget` (the GUI latency check the
-    /// paper's Table III makes).
+    /// Whether every action — including evicted ones — fit within `budget`
+    /// (the GUI latency check the paper's Table III makes).
     pub fn fits_latency(&self, budget: Duration) -> bool {
-        self.records.iter().all(|r| r.elapsed <= budget)
+        self.evicted_max <= budget && self.records.iter().all(|r| r.elapsed <= budget)
     }
 
     /// Render a Figure-3-style text table.
@@ -106,7 +147,14 @@ impl SessionLog {
         let mut out = String::new();
         out.push_str("step | action            | status     | candidates | time\n");
         out.push_str("-----+-------------------+------------+------------+---------\n");
+        if self.evicted > 0 {
+            out.push_str(&format!(
+                "   … | ({} older step(s) evicted)\n",
+                self.evicted
+            ));
+        }
         for (i, r) in self.records.iter().enumerate() {
+            let i = i + self.evicted;
             let action = match &r.kind {
                 ActionKind::New { edge } => format!("draw e{edge}"),
                 ActionKind::Delete { edges } => {
@@ -160,6 +208,32 @@ mod tests {
         assert_eq!(log.max_step().unwrap().elapsed, Duration::from_micros(30));
         assert!(log.fits_latency(Duration::from_millis(1)));
         assert!(!log.fits_latency(Duration::from_micros(20)));
+    }
+
+    #[test]
+    fn eviction_keeps_aggregates_exact() {
+        let mut log = SessionLog::default();
+        for i in 0..(MAX_RECORDS + 10) {
+            log.push(record(ActionKind::New { edge: 1 }, i as u64 + 1));
+        }
+        assert!(log.len() <= MAX_RECORDS);
+        assert_eq!(log.total_actions(), MAX_RECORDS + 10);
+        assert_eq!(log.evicted(), MAX_RECORDS + 10 - log.len());
+        // Sum of 1..=n micros regardless of what was evicted.
+        let n = (MAX_RECORDS + 10) as u64;
+        assert_eq!(
+            log.total_processing(),
+            Duration::from_micros(n * (n + 1) / 2)
+        );
+        // The slowest action was retained (monotone series), and the
+        // latency check still sees every evicted record.
+        assert_eq!(log.max_step().unwrap().elapsed, Duration::from_micros(n));
+        assert!(log.fits_latency(Duration::from_micros(n)));
+        assert!(!log.fits_latency(Duration::from_micros(1)));
+        // The rendered table accounts for the elided prefix.
+        let table = log.render();
+        assert!(table.contains("evicted"));
+        assert!(table.contains(&format!("{}", MAX_RECORDS + 10)));
     }
 
     #[test]

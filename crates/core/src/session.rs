@@ -407,8 +407,13 @@ impl<'a> Session<'a> {
             &self.system.indexes().a2f,
             &self.system.indexes().a2i,
         ) {
-            // roll the canvas back so the session stays consistent
-            let _ = self.query.delete_edge(edge);
+            // Roll the canvas back so the session stays consistent. The
+            // rollback deletes the edge added two statements ago, so it
+            // cannot fail — but if it ever does, the canvas has diverged
+            // from the SPIG set; count it instead of discarding silently.
+            if self.query.delete_edge(edge).is_err() {
+                self.obs.add(names::SESSION_ROLLBACK_FAILED, 1);
+            }
             return Err(e.into());
         }
         let spig_time = t0.elapsed();

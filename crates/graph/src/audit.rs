@@ -83,6 +83,7 @@ fn apply_permutation(g: &Graph, perm: &[u32]) -> Graph {
     }
     let mut out = Graph::with_nodes(labels);
     for e in g.edges() {
+        // audit:allow(panic-reachable): permuting a valid simple graph preserves simplicity; a violation is a graph-model bug worth a loud stop in this debug-audit helper
         out.add_labeled_edge(perm[e.u as usize], perm[e.v as usize], e.label)
             .expect("permuted copy of a valid graph is valid");
     }

@@ -78,6 +78,7 @@ impl LabelTable {
         if let Some(&l) = self.ids.get(name) {
             return l;
         }
+        // audit:allow(panic-reachable): documented cap (see `# Panics` above) — real label alphabets are tiny; a 65k-label catalog is corrupt input
         let id = u16::try_from(self.names.len()).expect("label table overflow (> u16::MAX labels)");
         let l = Label(id);
         self.names.push(name.to_string());

@@ -82,6 +82,7 @@ impl MatchOrder {
             let seed = (0..n as NodeId)
                 .filter(|&v| !placed[v as usize])
                 .max_by_key(|&v| score(v))
+                // audit:allow(panic-reachable): the `order.len() < n` loop guard guarantees an unplaced node remains
                 .expect("unplaced node exists");
             placed[seed as usize] = true;
             pos_of[seed as usize] = order.len();

@@ -166,6 +166,7 @@ pub fn rightmost_path(code: &[DfsEdge]) -> Vec<u16> {
             .iter()
             .find(|e| e.is_forward() && e.to == cur)
             .map(|e| e.from)
+            // audit:allow(panic-reachable): DFS-code well-formedness invariant — every non-root vertex is introduced by a forward edge; the miner only builds such codes
             .expect("valid DFS code: every non-root vertex has a forward parent");
         path.push(parent);
         cur = parent;
@@ -184,6 +185,7 @@ pub fn vertex_label(code: &[DfsEdge], v: u16) -> Label {
             return e.to_label;
         }
     }
+    // audit:allow(panic-reachable): callers only pass v < vertex_count(code), and every such vertex appears in some edge of the code
     panic!("vertex {v} not named by code");
 }
 
@@ -196,6 +198,7 @@ pub fn graph_from_code(code: &[DfsEdge]) -> Graph {
     }
     for e in code {
         g.add_labeled_edge(e.from as NodeId, e.to as NodeId, e.edge_label)
+            // audit:allow(panic-reachable): gSpan codes never repeat an edge, so the rebuilt graph is simple by construction
             .expect("DFS code describes a simple graph");
     }
     g
@@ -302,6 +305,7 @@ pub fn gather_extensions(
     let mut out: BTreeMap<Extension, Vec<Proj>> = BTreeMap::new();
     let level = levels.len() - 1;
     let rmpath = rightmost_path(code);
+    // audit:allow(panic-reachable): gather_extensions is only called with a non-empty code (the root edge is pushed before the mining loop)
     let rm = *rmpath.last().expect("non-empty code has a rightmost path");
     for (idx, p) in levels[level].iter().enumerate() {
         let g = &graphs[p.gid as usize];
@@ -393,6 +397,7 @@ pub fn min_dfs_code(g: &Graph) -> DfsCode {
     );
     let graphs = std::slice::from_ref(g);
     let roots = root_projections(graphs);
+    // audit:allow(panic-reachable): guarded by the edge_count() assert above — a one-edge graph always yields a root projection
     let (&(l0, le, l1), projs) = roots.iter().next().expect("graph has an edge");
     let mut code: DfsCode = vec![DfsEdge {
         from: 0,
@@ -405,6 +410,7 @@ pub fn min_dfs_code(g: &Graph) -> DfsCode {
     let mut scratch = ProjScratch::default();
     while code.len() < g.edge_count() {
         let exts = gather_extensions(graphs, &code, &levels, &mut scratch);
+        // audit:allow(panic-reachable): a connected graph with more edges than the current code always has an extension; min_dfs_code is only called on connected mined fragments
         let (ext, projs) = exts.into_iter().next().expect("connected graph extends");
         code.push(ext.to_dfs_edge(&code));
         levels.push(projs);

@@ -76,6 +76,7 @@ fn is_dif(frag: &MinedFragment, frequent_cams: &BTreeSet<&CamCode>) -> bool {
         return true;
     }
     let levels = connected_edge_subsets_by_size(&frag.graph)
+        // audit:allow(panic-reachable): mined fragments respect the 64-edge mining cap, the only failure mode of connected_edge_subsets_by_size
         .expect("fragments are small (mining size cap <= 64 edges)");
     levels[size - 1].iter().all(|&mask| {
         let (sub, _) = frag.graph.edge_subgraph(&mask_edges(mask));

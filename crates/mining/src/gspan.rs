@@ -186,6 +186,7 @@ pub fn mine_parallel(db: &GraphDb, config: &MiningConfig, threads: usize) -> Min
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let work = {
+                        // audit:allow(panic-reachable): offline mining scope — a poisoned lock means a sibling miner already panicked, and aborting the build is correct
                         let mut guard = roots.lock().expect("no poisoned miners");
                         if i >= guard.len() {
                             None
@@ -200,11 +201,13 @@ pub fn mine_parallel(db: &GraphDb, config: &MiningConfig, threads: usize) -> Min
                         None => break,
                     }
                 }
+                // audit:allow(panic-reachable): offline mining scope — a poisoned lock means a sibling miner already panicked, and aborting the build is correct
                 outputs.lock().expect("no poisoned miners").push(out);
             });
         }
     });
     let mut merged = MiningOutput::default();
+    // audit:allow(panic-reachable): after scope() every worker has joined; poisoning here means a miner panicked and the build must not continue on partial output
     for out in outputs.into_inner().expect("threads joined") {
         merged.frequent.extend(out.frequent);
         merged.negative_border.extend(out.negative_border);

@@ -45,6 +45,10 @@ pub const PAR_VERIFY: &str = "par.verify";
 
 // ---- counters --------------------------------------------------------
 
+/// Canvas rollbacks (after a failed formulation step) that themselves
+/// failed, leaving the canvas out of sync with the SPIG set. Expected to
+/// stay at zero; any increment is a bug signal, never silent.
+pub const SESSION_ROLLBACK_FAILED: &str = "session.rollback_failed";
 /// SPIG vertices materialized during construction.
 pub const SPIG_VERTICES: &str = "spig.vertices";
 /// A²F index lookups that found an entry.
@@ -139,6 +143,7 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (VERIFY_EXACT, MetricKind::Span),
     (RESULTS_SIMILAR, MetricKind::Span),
     (PAR_VERIFY, MetricKind::Span),
+    (SESSION_ROLLBACK_FAILED, MetricKind::Counter),
     (SPIG_VERTICES, MetricKind::Counter),
     (A2F_HITS, MetricKind::Counter),
     (A2F_MISSES, MetricKind::Counter),

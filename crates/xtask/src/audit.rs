@@ -42,6 +42,8 @@
 //! stale by a non-strict run — and one suppressing nothing is flagged in
 //! both modes.
 
+use crate::interproc::{CallGraph, PanicWhat, Vis, LONG_LIVED_TYPES};
+use crate::json;
 use crate::lexer::{tokenize, Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -71,6 +73,16 @@ pub const CONCURRENCY_CRATES: &[&str] = &["par", "core", "obs"];
 /// syntax in prose, which the textual annotation parser cannot tell apart
 /// from a real annotation.
 pub const HYGIENE_ONLY_CRATES: &[&str] = &["baselines", "bench", "cli", "datagen"];
+
+/// Product crates the interprocedural rules (`error-swallow`,
+/// `unbounded-growth`) apply to — the library crates a served session
+/// executes, as opposed to the CLI/bench/datagen harnesses. The
+/// `panic-reachable` rule roots at [`PANIC_FREE_CRATES`] but follows calls
+/// into *any* scanned crate (that is its whole point: `graph`/`mining`
+/// helpers are outside the panic-free set but reachable from inside it).
+pub const INTERPROC_CRATES: &[&str] = &[
+    "graph", "mining", "index", "idset", "spig", "core", "obs", "par",
+];
 
 /// The audit rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -104,6 +116,22 @@ pub enum Rule {
     /// outlive the subsystem that spawned it (all pool threads are joined
     /// on drop; anything else must justify why not).
     SpawnLeak,
+    /// Interprocedural: a `pub` function of a panic-free crate transitively
+    /// reaches `unwrap`/`expect`/panic-family macros (or, under `--strict`,
+    /// raw indexing) through the workspace call graph. The finding anchors
+    /// at the panic *site* and reports the full call chain; it is
+    /// suppressible only there (an `audit:allow(panic-path)` at the site
+    /// also counts, so existing justified sites stay justified once).
+    PanicReachable,
+    /// Interprocedural: `let _ = fallible(…);` or a bare `fallible(…).ok();`
+    /// statement discarding a `Result` produced by a workspace function.
+    ErrorSwallow,
+    /// Interprocedural: an `insert`/`push`/`extend` on `self`-rooted state
+    /// inside an impl of a long-lived session type
+    /// ([`crate::interproc::LONG_LIVED_TYPES`]) with no cap check,
+    /// eviction, or byte-accounting call reachable from the mutating
+    /// function — the static precondition for per-session memory caps.
+    UnboundedGrowth,
     /// A malformed or useless `audit:allow` annotation.
     BadAnnotation,
 }
@@ -121,6 +149,9 @@ impl Rule {
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::LockAcrossCall => "lock-across-call",
             Rule::SpawnLeak => "spawn-leak",
+            Rule::PanicReachable => "panic-reachable",
+            Rule::ErrorSwallow => "error-swallow",
+            Rule::UnboundedGrowth => "unbounded-growth",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
@@ -137,6 +168,9 @@ impl Rule {
             "atomic-ordering" => Rule::AtomicOrdering,
             "lock-across-call" => Rule::LockAcrossCall,
             "spawn-leak" => Rule::SpawnLeak,
+            "panic-reachable" => Rule::PanicReachable,
+            "error-swallow" => Rule::ErrorSwallow,
+            "unbounded-growth" => Rule::UnboundedGrowth,
             "bad-annotation" => Rule::BadAnnotation,
             _ => return None,
         })
@@ -145,10 +179,62 @@ impl Rule {
     /// Whether findings of this rule are only *reported* under `--strict`.
     /// Strict-only rules are still computed in every mode so that their
     /// `audit:allow` annotations are recognized as live (not stale).
+    /// (`panic-reachable` is always-on as a rule, but its raw-index *sinks*
+    /// are flagged strict-only per finding, matching slice-index.)
     pub fn strict_only(self) -> bool {
         matches!(self, Rule::SliceIndex)
     }
+
+    /// Every rule, in reporting order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::HashContainer,
+        Rule::HashIter,
+        Rule::PanicPath,
+        Rule::SliceIndex,
+        Rule::LockOrder,
+        Rule::CondvarWaitLoop,
+        Rule::AtomicOrdering,
+        Rule::LockAcrossCall,
+        Rule::SpawnLeak,
+        Rule::PanicReachable,
+        Rule::ErrorSwallow,
+        Rule::UnboundedGrowth,
+        Rule::BadAnnotation,
+    ];
 }
+
+/// The rule ↔ scope ↔ strictness contract, diff-checked against the
+/// ARCHITECTURE.md `audit-rules` marker table (same convention as the
+/// `par-tuning`/`par-locks` tables). One row per [`Rule`], same order as
+/// [`Rule::ALL`]; the strictness cell is exactly `strict` iff
+/// [`Rule::strict_only`] returns true.
+pub const RULE_TABLE: &[(&str, &str, &str)] = &[
+    ("hash-container", "determinism crates", "always"),
+    ("hashmap-iter", "determinism crates", "always"),
+    ("panic-path", "panic-free crates", "always"),
+    ("slice-index", "panic-free crates", "strict"),
+    ("lock-order", "concurrency crates", "always"),
+    ("condvar-wait-loop", "concurrency crates", "always"),
+    ("atomic-ordering", "concurrency crates", "always"),
+    ("lock-across-call", "concurrency crates", "always"),
+    ("spawn-leak", "concurrency crates", "always"),
+    (
+        "panic-reachable",
+        "workspace graph (roots: panic-free crates)",
+        "always (raw-index sinks: strict)",
+    ),
+    (
+        "error-swallow",
+        "workspace graph (product crates)",
+        "always",
+    ),
+    (
+        "unbounded-growth",
+        "workspace graph (product crates)",
+        "always",
+    ),
+    ("bad-annotation", "every scanned crate", "always"),
+];
 
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -221,8 +307,14 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Findings suppressed by a valid `audit:allow` annotation.
     pub suppressed: Vec<Finding>,
+    /// Findings matched by an applied [`Baseline`] — reported but not
+    /// failing (pre-existing debt a baseline run accepted).
+    pub baselined: Vec<Finding>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// The workspace call graph built for the interprocedural rules
+    /// (absent for the legacy single-file lexical entry point).
+    pub graph: Option<crate::interproc::CallGraph>,
 }
 
 impl Report {
@@ -233,46 +325,161 @@ impl Report {
 
     /// Serialize the report as JSON by hand (the workspace has no serde):
     /// `{"files_scanned":N,"findings":[{"file","line","rule","message"},…],
-    /// "suppressed":M}`. Paths are `root`-relative with forward slashes so
-    /// the output is stable across hosts and directly usable by the CI
-    /// step that converts findings into GitHub `::error` annotations.
+    /// "baselined":K,"suppressed":M}`. Paths are `root`-relative with
+    /// forward slashes so the output is stable across hosts and directly
+    /// usable by the CI step that converts findings into GitHub `::error`
+    /// annotations.
     pub fn to_json(&self, root: &Path) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
         let mut items = Vec::new();
         for f in &self.findings {
-            let rel = f
-                .path
-                .strip_prefix(root)
-                .unwrap_or(&f.path)
-                .to_string_lossy()
-                .replace('\\', "/");
             items.push(format!(
                 "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
-                esc(&rel),
+                json::escape(&rel_path(&f.path, root)),
                 f.line,
                 f.rule,
-                esc(&f.message)
+                json::escape(&f.message)
             ));
         }
         format!(
-            "{{\"files_scanned\":{},\"findings\":[{}],\"suppressed\":{}}}",
+            "{{\"files_scanned\":{},\"findings\":[{}],\"baselined\":{},\"suppressed\":{}}}",
             self.files_scanned,
             items.join(","),
+            self.baselined.len(),
             self.suppressed.len()
         )
+    }
+
+    /// Move every finding matched by `baseline` from `findings` into
+    /// `baselined` (a multiset match on root-relative file + rule +
+    /// message, line numbers excluded so unrelated edits don't churn the
+    /// baseline). Returns the stale baseline entries — accepted debt that
+    /// no longer exists and should be cleaned out of the file.
+    pub fn apply_baseline(&mut self, baseline: &Baseline, root: &Path) -> Vec<String> {
+        let mut remaining = baseline.counts.clone();
+        let mut kept = Vec::new();
+        for f in std::mem::take(&mut self.findings) {
+            let key = (
+                rel_path(&f.path, root),
+                f.rule.name().to_string(),
+                f.message.clone(),
+            );
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    self.baselined.push(f);
+                }
+                _ => kept.push(f),
+            }
+        }
+        self.findings = kept;
+        remaining
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|((file, rule, message), n)| format!("{file}: [{rule}] {message} (x{n})"))
+            .collect()
+    }
+}
+
+/// A finding's path relative to the workspace root, `/`-separated.
+fn rel_path(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// A committed findings baseline: accepted pre-existing debt, keyed by
+/// (root-relative file, rule name, message) as a multiset. Line numbers are
+/// deliberately excluded so edits elsewhere in a file don't invalidate the
+/// baseline.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Build a baseline accepting every finding in `report`.
+    pub fn from_report(report: &Report, root: &Path) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in &report.findings {
+            *counts
+                .entry((
+                    rel_path(&f.path, root),
+                    f.rule.name().to_string(),
+                    f.message.clone(),
+                ))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Number of accepted findings (multiset cardinality).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Serialize: `{"version":1,"findings":[{"file","rule","message",
+    /// "count"},…]}`, sorted for a stable diff.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self
+            .counts
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|((file, rule, message), n)| {
+                format!(
+                    "{{\"file\":\"{}\",\"rule\":\"{}\",\"message\":\"{}\",\"count\":{}}}",
+                    json::escape(file),
+                    json::escape(rule),
+                    json::escape(message),
+                    n
+                )
+            })
+            .collect();
+        format!("{{\"version\":1,\"findings\":[{}]}}\n", items.join(",\n"))
+    }
+
+    /// Parse a baseline file produced by [`Baseline::to_json`] (or edited
+    /// by hand). Unknown keys are ignored; missing/mistyped required keys
+    /// are errors so a truncated baseline cannot silently accept nothing.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("version")
+            .and_then(json::Value::as_f64)
+            .ok_or("baseline missing numeric `version`")?;
+        if version != 1.0 {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        let items = doc
+            .get("findings")
+            .and_then(|v| v.as_array())
+            .ok_or("baseline missing `findings` array")?;
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for (idx, item) in items.iter().enumerate() {
+            let field = |k: &str| -> Result<String, String> {
+                item.get(k)
+                    .and_then(json::Value::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("baseline finding #{idx} missing string `{k}`"))
+            };
+            let count = match item.get("count") {
+                None => 1,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|n| *n >= 1.0 && n.fract() == 0.0)
+                    .ok_or(format!("baseline finding #{idx}: bad `count`"))?
+                    as usize,
+            };
+            *counts
+                .entry((field("file")?, field("rule")?, field("message")?))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { counts })
     }
 }
 
@@ -296,21 +503,58 @@ struct LockEdge {
     line: u32,
 }
 
+/// A raw finding before allow/strict resolution: the finding plus which
+/// rules an `audit:allow` at its line may name to suppress it, and whether
+/// it only reports under `--strict`. Lexical findings accept exactly their
+/// own rule; interprocedural findings also accept the co-located lexical
+/// rule (`panic-reachable` ↔ `panic-path`/`slice-index`) so a site
+/// justified once is justified for both views of the same hazard.
+#[derive(Debug)]
+struct RawFinding {
+    finding: Finding,
+    strict_only: bool,
+    allow_rules: Vec<Rule>,
+}
+
+impl RawFinding {
+    fn lexical(finding: Finding) -> RawFinding {
+        let strict_only = finding.rule.strict_only();
+        let allow_rules = vec![finding.rule];
+        RawFinding {
+            finding,
+            strict_only,
+            allow_rules,
+        }
+    }
+}
+
 /// Everything extracted from one source file before crate-level resolution.
 #[derive(Debug)]
 struct FileScan {
     path: PathBuf,
+    krate: String,
     /// Raw findings of every per-file rule, strict-only included.
-    raw: Vec<Finding>,
+    raw: Vec<RawFinding>,
     allows: Vec<Allow>,
     test_lines: BTreeSet<u32>,
     /// Nesting edges feeding the per-crate lock-order graph.
     lock_edges: Vec<LockEdge>,
 }
 
-/// Run the audit over a workspace root (the directory containing `crates/`).
-pub fn audit_workspace(root: &Path, config: &AuditConfig) -> std::io::Result<Report> {
-    let mut report = Report::default();
+/// One source file handed to [`audit_files`].
+#[derive(Debug)]
+pub struct FileInput {
+    /// Path used in findings and the symbol table.
+    pub path: PathBuf,
+    /// File contents.
+    pub source: String,
+    /// The crate the file belongs to (directory name under `crates/`),
+    /// which selects the applicable rule families.
+    pub krate: String,
+}
+
+/// The workspace crates the audit covers, in scan order.
+pub fn workspace_crates() -> Vec<&'static str> {
     let mut all: Vec<&str> = Vec::new();
     for list in [
         DETERMINISM_CRATES,
@@ -324,30 +568,161 @@ pub fn audit_workspace(root: &Path, config: &AuditConfig) -> std::io::Result<Rep
             }
         }
     }
+    all
+}
+
+/// Run the audit over a workspace root (the directory containing `crates/`).
+///
+/// The whole workspace is always scanned — the interprocedural rules need
+/// the full call graph even when reporting is restricted — and
+/// `--crate <name>` filters the *reported* findings afterwards. An unknown
+/// crate name is an error (`InvalidInput`), not an empty report.
+pub fn audit_workspace(root: &Path, config: &AuditConfig) -> std::io::Result<Report> {
+    let all = workspace_crates();
     if let Some(only) = &config.only_crate {
-        all.retain(|c| c == only);
-    }
-    for krate in all {
-        let src = root.join("crates").join(krate).join("src");
-        let scope = Scope::for_crate(krate);
-        let mut scans = Vec::new();
-        for (file_idx, file) in rust_files(&src)?.into_iter().enumerate() {
-            let source = std::fs::read_to_string(&file)?;
-            scans.push(scan_source(&file, &source, scope, file_idx));
-            report.files_scanned += 1;
+        if !all.contains(&only.as_str()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "unknown crate `{only}` — workspace crates: {}",
+                    all.join(", ")
+                ),
+            ));
         }
-        resolve_crate(scans, config, &mut report);
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut files = Vec::new();
+    for krate in &all {
+        let src = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src)? {
+            let source = std::fs::read_to_string(&file)?;
+            files.push(FileInput {
+                path: file,
+                source,
+                krate: (*krate).to_string(),
+            });
+        }
+    }
+    let mut report = Report::default();
+    audit_files(&files, config, &mut report);
+    if let Some(only) = &config.only_crate {
+        let prefix = root.join("crates").join(only);
+        let keep = |f: &Finding| f.path.starts_with(&prefix);
+        report.findings.retain(keep);
+        report.suppressed.retain(keep);
+        report.baselined.retain(keep);
+    }
     Ok(report)
 }
 
-/// Audit a single source file as if it were its own crate (lock-order
-/// cycles are detected within the file). This is the entry point the
-/// fixture tests drive; `audit_workspace` aggregates lock graphs per crate
-/// before resolving.
+/// The audit engine: per-file lexical scans, per-crate lock-graph
+/// aggregation, the whole-input call graph with the interprocedural rules,
+/// then allow/strict resolution and annotation hygiene. Findings are
+/// sorted by (path, line, rule); the built [`CallGraph`] is stored on the
+/// report.
+pub fn audit_files(files: &[FileInput], config: &AuditConfig, report: &mut Report) {
+    let mut scans: Vec<FileScan> = files
+        .iter()
+        .enumerate()
+        .map(|(idx, f)| {
+            scan_source(
+                &f.path,
+                &f.source,
+                Scope::for_crate(&f.krate),
+                idx,
+                &f.krate,
+            )
+        })
+        .collect();
+    report.files_scanned += scans.len();
+
+    // Lock-order cycles are resolved over each crate's full acquisition
+    // graph (edges carry global scan indexes).
+    let mut crates: Vec<String> = scans.iter().map(|s| s.krate.clone()).collect();
+    crates.sort_unstable();
+    crates.dedup();
+    for krate in crates {
+        let mut edges: Vec<LockEdge> = scans
+            .iter()
+            .filter(|s| s.krate == krate)
+            .flat_map(|s| s.lock_edges.clone())
+            .collect();
+        edges.sort();
+        edges.dedup();
+        for finding in lock_order_findings(&edges, &scans) {
+            let file = scans
+                .iter_mut()
+                .find(|s| s.path == finding.path)
+                .expect("lock-order finding points into a scanned file");
+            file.raw.push(RawFinding::lexical(finding));
+        }
+    }
+
+    // The workspace call graph + interprocedural rules.
+    let mut graph = CallGraph::default();
+    for f in files {
+        graph.scan_file(&f.path, &f.source, &f.krate, &module_of(&f.path));
+    }
+    graph.resolve();
+    for (scan_idx, raw) in interproc_findings(&graph) {
+        scans[scan_idx].raw.push(raw);
+    }
+    report.graph = Some(graph);
+
+    resolve_scans(scans, config, report);
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+}
+
+/// The module path of a source file within its crate: `src/lib.rs` → ``,
+/// `src/foo.rs` → `foo`, `src/foo/mod.rs` → `foo`, `src/foo/bar.rs` →
+/// `foo::bar`. Files outside a `src/` directory (fixtures) use their stem.
+fn module_of(path: &Path) -> String {
+    let comps: Vec<String> = path
+        .iter()
+        .map(|c| c.to_string_lossy().into_owned())
+        .collect();
+    let rel: Vec<&str> = match comps.iter().rposition(|c| c == "src") {
+        Some(i) => comps[i + 1..].iter().map(String::as_str).collect(),
+        None => comps.last().map(String::as_str).into_iter().collect(),
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    for (i, c) in rel.iter().enumerate() {
+        let is_last = i + 1 == rel.len();
+        if is_last {
+            let stem = c.strip_suffix(".rs").unwrap_or(c);
+            if !matches!(stem, "lib" | "main" | "mod") {
+                parts.push(stem);
+            }
+        } else {
+            parts.push(c);
+        }
+    }
+    parts.join("::")
+}
+
+/// Audit a single source file as if it were its own crate: lexical rules
+/// plus the interprocedural rules over the file's own call graph
+/// (lock-order cycles are detected within the file). This is the entry
+/// point the fixture tests drive.
+pub fn audit_single(
+    path: &Path,
+    source: &str,
+    krate: &str,
+    config: &AuditConfig,
+    report: &mut Report,
+) {
+    let files = [FileInput {
+        path: path.to_path_buf(),
+        source: source.to_string(),
+        krate: krate.to_string(),
+    }];
+    audit_files(&files, config, report);
+}
+
+/// Audit a single source file with the *lexical* rules of an explicit
+/// [`Scope`] only — no call graph, no interprocedural rules. Kept for
+/// fixture tests that pin per-rule counts independent of crate naming.
 pub fn audit_source(
     path: &Path,
     source: &str,
@@ -355,8 +730,14 @@ pub fn audit_source(
     config: &AuditConfig,
     report: &mut Report,
 ) {
-    let scan = scan_source(path, source, scope, 0);
-    resolve_crate(vec![scan], config, report);
+    let mut scan = scan_source(path, source, scope, 0, "fixture");
+    let mut edges = scan.lock_edges.clone();
+    edges.sort();
+    edges.dedup();
+    let scans = std::slice::from_ref(&scan);
+    let cycles: Vec<Finding> = lock_order_findings(&edges, scans);
+    scan.raw.extend(cycles.into_iter().map(RawFinding::lexical));
+    resolve_scans(vec![scan], config, report);
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for deterministic
@@ -384,7 +765,7 @@ fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
 /// Scan one file: tokenize, run every per-file rule in `scope` (strict-only
 /// rules included — reporting is filtered later), and collect lock edges
 /// and annotations for crate-level resolution.
-fn scan_source(path: &Path, source: &str, scope: Scope, file_idx: usize) -> FileScan {
+fn scan_source(path: &Path, source: &str, scope: Scope, file_idx: usize, krate: &str) -> FileScan {
     let tokens = tokenize(source);
     let test_lines = test_code_lines(&tokens);
     let allows = parse_allows(source);
@@ -410,37 +791,191 @@ fn scan_source(path: &Path, source: &str, scope: Scope, file_idx: usize) -> File
 
     FileScan {
         path: path.to_path_buf(),
-        raw,
+        krate: krate.to_string(),
+        raw: raw.into_iter().map(RawFinding::lexical).collect(),
         allows,
         test_lines,
         lock_edges,
     }
 }
 
-/// Crate-level resolution: derive lock-order findings from the union of
-/// every file's nesting edges, match findings against annotations, apply
-/// the strict filter, and emit annotation-hygiene findings.
-fn resolve_crate(mut scans: Vec<FileScan>, config: &AuditConfig, report: &mut Report) {
-    // Lock-order cycles over the whole crate's acquisition graph.
-    let mut edges: Vec<LockEdge> = scans.iter().flat_map(|s| s.lock_edges.clone()).collect();
-    edges.sort();
-    edges.dedup();
-    for finding in lock_order_findings(&edges, &scans) {
-        let file = scans
-            .iter_mut()
-            .find(|s| s.path == finding.path)
-            .expect("lock-order finding points into a scanned file");
-        file.raw.push(finding);
+/// The interprocedural rules over a resolved [`CallGraph`]:
+/// panic-reachability from public roots, result swallowing, and unbounded
+/// growth of long-lived state. Returns `(file index, raw finding)` pairs —
+/// file indexes follow the graph's scan order, which [`audit_files`] keeps
+/// aligned with its `FileScan` list.
+fn interproc_findings(g: &CallGraph) -> Vec<(usize, RawFinding)> {
+    let mut out: Vec<(usize, RawFinding)> = Vec::new();
+
+    // --- panic-reachable -------------------------------------------------
+    // Roots: plain-`pub` non-test functions in panic-free crates. For each
+    // panic site reachable from any root, report the shortest call chain
+    // (ties broken by root name for determinism), anchored at the site.
+    let mut roots: Vec<usize> = (0..g.fns.len())
+        .filter(|&i| {
+            let f = &g.fns[i];
+            f.vis == Vis::Pub && !f.is_test && PANIC_FREE_CRATES.contains(&f.krate.as_str())
+        })
+        .collect();
+    roots.sort_by(|&a, &b| g.fns[a].qual.cmp(&g.fns[b].qual));
+    // (file, line, what) → (chain length, chain rendering)
+    let mut best: BTreeMap<(usize, u32, &'static str), (usize, String)> = BTreeMap::new();
+    for &root in &roots {
+        // BFS with parents for shortest chains.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut dist: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        dist.insert(root, 0);
+        queue.push_back(root);
+        while let Some(n) = queue.pop_front() {
+            let d = dist[&n];
+            if !g.fns[n].panics.is_empty() {
+                let mut chain = Vec::new();
+                let mut at = n;
+                loop {
+                    chain.push(g.fns[at].qual.as_str());
+                    match parent.get(&at) {
+                        Some(&p) => at = p,
+                        None => break,
+                    }
+                }
+                chain.reverse();
+                let rendered = chain.join(" → ");
+                for site in &g.fns[n].panics {
+                    let key = (g.fns[n].file, site.line, site.what.label());
+                    let cand = (d + 1, rendered.clone());
+                    match best.get(&key) {
+                        Some(existing) if *existing <= cand => {}
+                        _ => {
+                            best.insert(key, cand);
+                        }
+                    }
+                }
+            }
+            for &m in &g.edges[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(m) {
+                    e.insert(d + 1);
+                    parent.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    for ((file, line, what), (_, chain)) in best {
+        let raw_index = what == PanicWhat::RawIndex.label();
+        out.push((
+            file,
+            RawFinding {
+                finding: Finding {
+                    path: g.files[file].clone(),
+                    line,
+                    rule: Rule::PanicReachable,
+                    message: format!(
+                        "{what} reachable from public API: {chain} — return a typed \
+                         error or justify at this site"
+                    ),
+                },
+                strict_only: raw_index,
+                allow_rules: vec![
+                    Rule::PanicReachable,
+                    if raw_index {
+                        Rule::SliceIndex
+                    } else {
+                        Rule::PanicPath
+                    },
+                ],
+            },
+        ));
     }
 
+    // --- error-swallow ---------------------------------------------------
+    for f in &g.fns {
+        if f.is_test || !INTERPROC_CRATES.contains(&f.krate.as_str()) {
+            continue;
+        }
+        for s in &f.swallows {
+            let targets = g.resolve_call(&s.call, f);
+            let Some(&t) = targets.iter().find(|&&t| g.fns[t].returns_result) else {
+                continue;
+            };
+            let how = if s.via_ok {
+                "trailing `.ok();`"
+            } else {
+                "`let _ = …;`"
+            };
+            out.push((
+                f.file,
+                RawFinding {
+                    finding: Finding {
+                        path: g.files[f.file].clone(),
+                        line: s.line,
+                        rule: Rule::ErrorSwallow,
+                        message: format!(
+                            "{how} discards the Result of `{}` — handle or propagate \
+                             the error, or justify the discard",
+                            g.fns[t].qual
+                        ),
+                    },
+                    strict_only: false,
+                    allow_rules: vec![Rule::ErrorSwallow],
+                },
+            ));
+        }
+    }
+
+    // --- unbounded-growth ------------------------------------------------
+    for (fi, f) in g.fns.iter().enumerate() {
+        if f.is_test
+            || f.growth.is_empty()
+            || !INTERPROC_CRATES.contains(&f.krate.as_str())
+            || !f
+                .impl_type
+                .as_deref()
+                .is_some_and(|t| LONG_LIVED_TYPES.contains(&t))
+        {
+            continue;
+        }
+        let bounded = g.reachable(fi).iter().any(|&n| g.fns[n].has_bound_hint);
+        if bounded {
+            continue;
+        }
+        let ty = f.impl_type.as_deref().unwrap_or("?");
+        for site in &f.growth {
+            out.push((
+                f.file,
+                RawFinding {
+                    finding: Finding {
+                        path: g.files[f.file].clone(),
+                        line: site.line,
+                        rule: Rule::UnboundedGrowth,
+                        message: format!(
+                            ".{}(…) grows long-lived `{ty}` state with no cap check, \
+                             eviction, or byte accounting reachable from `{}` — bound \
+                             it (per-session memory caps, ROADMAP Open item 1)",
+                            site.method, f.qual
+                        ),
+                    },
+                    strict_only: false,
+                    allow_rules: vec![Rule::UnboundedGrowth],
+                },
+            ));
+        }
+    }
+
+    out
+}
+
+/// Per-file resolution: match findings against annotations, apply the
+/// strict filter, and emit annotation-hygiene findings.
+fn resolve_scans(mut scans: Vec<FileScan>, config: &AuditConfig, report: &mut Report) {
     for scan in &mut scans {
-        scan.raw.sort_by_key(|f| (f.line, f.rule));
-        let mut resolved: Vec<(Finding, bool)> = Vec::new();
-        for finding in scan.raw.drain(..) {
+        scan.raw.sort_by_key(|r| (r.finding.line, r.finding.rule));
+        let mut resolved: Vec<(RawFinding, bool)> = Vec::new();
+        for raw in scan.raw.drain(..) {
             let suppressed = match scan.allows.iter_mut().find(|a| {
-                a.rule == Some(finding.rule)
+                a.rule.is_some_and(|r| raw.allow_rules.contains(&r))
                     && a.reason_ok
-                    && (a.line == finding.line || a.line + 1 == finding.line)
+                    && (a.line == raw.finding.line || a.line + 1 == raw.finding.line)
             }) {
                 Some(allow) => {
                     allow.used = true;
@@ -448,18 +983,18 @@ fn resolve_crate(mut scans: Vec<FileScan>, config: &AuditConfig, report: &mut Re
                 }
                 None => false,
             };
-            resolved.push((finding, suppressed));
+            resolved.push((raw, suppressed));
         }
-        for (finding, suppressed) in resolved {
-            // Strict-only rules are computed for annotation liveness in
+        for (raw, suppressed) in resolved {
+            // Strict-only findings are computed for annotation liveness in
             // every mode but reported only under --strict.
-            if finding.rule.strict_only() && !config.strict {
+            if raw.strict_only && !config.strict {
                 continue;
             }
             if suppressed {
-                report.suppressed.push(finding);
+                report.suppressed.push(raw.finding);
             } else {
-                report.findings.push(finding);
+                report.findings.push(raw.finding);
             }
         }
 
@@ -530,7 +1065,7 @@ fn parse_allows(source: &str) -> Vec<Allow> {
 /// Finds each `#[cfg(test)]` attribute, then brace-matches the following
 /// item if it is a `mod`. Test functions in integration-test files are not
 /// handled here because `tests/` directories are never scanned.
-fn test_code_lines(tokens: &[Token]) -> BTreeSet<u32> {
+pub(crate) fn test_code_lines(tokens: &[Token]) -> BTreeSet<u32> {
     let mut lines = BTreeSet::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -575,7 +1110,7 @@ fn test_code_lines(tokens: &[Token]) -> BTreeSet<u32> {
 }
 
 /// Whether `tokens[i..]` starts `# [ cfg ( test ) ]`.
-fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
     let kinds: Vec<&TokenKind> = tokens[i..].iter().take(7).map(|t| &t.kind).collect();
     matches!(
         kinds.as_slice(),
@@ -592,7 +1127,7 @@ fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
 }
 
 /// Given `i` at `[`, return the index just past the matching `]`.
-fn skip_bracketed(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn skip_bracketed(tokens: &[Token], i: usize) -> usize {
     let mut depth = 0i32;
     let mut j = i;
     while j < tokens.len() {
@@ -612,7 +1147,7 @@ fn skip_bracketed(tokens: &[Token], i: usize) -> usize {
 }
 
 /// Given `i` at `{`, return the index of the matching `}`.
-fn match_brace(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn match_brace(tokens: &[Token], i: usize) -> usize {
     let mut depth = 0i32;
     let mut j = i;
     while j < tokens.len() {
@@ -638,7 +1173,7 @@ fn match_brace(tokens: &[Token], i: usize) -> usize {
 /// Backward scan from `i` (exclusive) to the first token of the enclosing
 /// statement: just past the previous `;`, `,`, `{` or `}` at bracket
 /// balance zero (balanced groups are skipped whole).
-fn stmt_start(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn stmt_start(tokens: &[Token], i: usize) -> usize {
     let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
     let mut j = i;
     while j > 0 {
@@ -680,7 +1215,7 @@ fn stmt_start(tokens: &[Token], i: usize) -> usize {
 /// Forward scan from `i` to the end of the current statement: the first
 /// `;` or `,` at bracket balance zero, or the `}`/`)`/`]` that closes the
 /// enclosing block/group.
-fn stmt_end(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn stmt_end(tokens: &[Token], i: usize) -> usize {
     let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
     let mut j = i;
     while j < tokens.len() {
@@ -762,7 +1297,7 @@ fn enclosing_open_brace(tokens: &[Token], i: usize) -> Option<usize> {
 }
 
 /// Given `i` at `(`, return the index of the matching `)`.
-fn match_paren(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn match_paren(tokens: &[Token], i: usize) -> usize {
     let mut depth = 0i32;
     let mut j = i;
     while j < tokens.len() {

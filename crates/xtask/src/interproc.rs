@@ -1,0 +1,1557 @@
+//! Whole-workspace interprocedural analysis: a function symbol table and an
+//! over-approximate call graph built on the audit lexer, plus the three
+//! rules that need cross-function (and cross-crate) visibility:
+//!
+//! * **panic-reachable** — a `pub` function in a panic-free crate
+//!   ([`crate::audit::PANIC_FREE_CRATES`]) transitively reaches an
+//!   `unwrap()`/`expect()`/panic-family macro (and, under `--strict`, a raw
+//!   index expression). The lexical `panic-path` rule only sees the crate
+//!   the panic is *in*; this rule sees the public API the panic can take
+//!   down, across helper crates like `graph` and `mining` that are outside
+//!   the panic-free set. Findings anchor at the panic site and report the
+//!   shortest call chain from a public root.
+//! * **error-swallow** — `let _ = fallible(…);` or a bare `fallible(…).ok();`
+//!   statement discarding a `Result` produced by a *workspace* function.
+//! * **unbounded-growth** — an `insert`/`push`/`extend` on state rooted at
+//!   `self` inside an impl of a long-lived session type
+//!   ([`LONG_LIVED_TYPES`]) where neither the mutating function nor
+//!   anything it (transitively) calls performs a cap check, eviction, or
+//!   byte-accounting step — the static precondition for per-session memory
+//!   caps (ROADMAP Open item 1).
+//!
+//! ## The call graph is deliberately approximate
+//!
+//! There is no type checker here, so resolution is name-based with three
+//! precision tiers:
+//!
+//! 1. `self.method(…)`, `Type::method(…)` and `self.field.method(…)` (via
+//!    the struct field table) resolve against the `(type, method)` index —
+//!    precise when the impl exists in the workspace.
+//! 2. Free calls and non-ambient method names resolve to *every* workspace
+//!    function with that name (over-approximation: extra edges, never
+//!    missed workspace edges for unique names).
+//! 3. Unqualified method calls whose name collides with ubiquitous std
+//!    methods ([`AMBIENT_METHODS`]) stay unresolved rather than connecting
+//!    every `.insert(` to every workspace `insert` — a documented
+//!    under-approximation that keeps chains meaningful.
+
+use crate::audit::{
+    is_cfg_test_attr, match_brace, match_paren, skip_bracketed, stmt_end, stmt_start,
+    test_code_lines, HYGIENE_ONLY_CRATES,
+};
+use crate::json;
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Struct types treated as long-lived session state for the
+/// `unbounded-growth` rule: anything a `Session` (or the process) holds for
+/// its whole lifetime, where an uncapped collection is a slow memory leak
+/// under the service model of ROADMAP Open item 1.
+pub const LONG_LIVED_TYPES: &[&str] = &[
+    "Session",
+    "SessionLog",
+    "CandMemo",
+    "Memo",
+    "Registry",
+    "Pool",
+];
+
+/// Mutating methods that grow a collection.
+const GROWTH_METHODS: &[&str] = &[
+    "insert",
+    "push",
+    "extend",
+    "push_back",
+    "push_front",
+    "append",
+    "extend_from_slice",
+];
+
+/// Method names so common on std types that an *unqualified* call through
+/// them (`x.insert(…)` where `x`'s type is unknown) must stay unresolved:
+/// connecting them by name would wire every std container call into the
+/// workspace functions that happen to share the name.
+pub const AMBIENT_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_micros",
+    "as_millis",
+    "as_mut",
+    "as_nanos",
+    "as_ref",
+    "as_secs",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "bytes",
+    "capacity",
+    "chain",
+    "char_indices",
+    "chars",
+    "checked_add",
+    "checked_sub",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "drop",
+    "duration_since",
+    "elapsed",
+    "end",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "extend",
+    "extend_from_slice",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "load",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "new",
+    "next",
+    "notify_all",
+    "notify_one",
+    "ok",
+    "parse",
+    "partition_point",
+    "peek",
+    "peekable",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "position",
+    "push",
+    "push_back",
+    "push_front",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "reverse",
+    "saturating_add",
+    "saturating_sub",
+    "send",
+    "shrink_to_fit",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "spawn",
+    "split",
+    "split_once",
+    "start",
+    "starts_with",
+    "store",
+    "subsec_nanos",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "wait",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Identifiers that signal a growth site is bounded: eviction, truncation,
+/// cap constants, or byte accounting appearing in (or reachable from) the
+/// mutating function. Deliberately generous — the rule is a lint, and a
+/// false "bounded" is cheaper than drowning real findings in noise.
+fn is_bound_hint(ident: &str) -> bool {
+    const EXACT: &[&str] = &[
+        "pop",
+        "pop_front",
+        "pop_back",
+        "remove",
+        "clear",
+        "drain",
+        "retain",
+        "truncate",
+        "dedup",
+        "cap",
+    ];
+    let l = ident.to_ascii_lowercase();
+    EXACT.contains(&l.as_str())
+        || l.contains("evict")
+        || l.contains("trim")
+        || l.contains("prune")
+        || l.contains("shrink")
+        || l.contains("limit")
+        || l.contains("budget")
+        || l.contains("bytes")
+        || l.contains("capacity")
+        || l.ends_with("_cap")
+        || l.starts_with("cap_")
+        || l.starts_with("max")
+}
+
+/// Keywords that can directly precede `(` without being calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "else", "move", "unsafe",
+    "async", "await", "use", "pub", "mod", "impl", "struct", "enum", "trait", "where", "as", "in",
+    "ref", "mut", "dyn", "crate", "super", "self", "Self", "box", "const", "static", "type",
+    "union",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Function visibility, as far as tokens can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// Plain `pub` — part of the crate's public API surface.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    Restricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// How a call site is qualified — drives resolution precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `f(…)` — a free function call.
+    Free,
+    /// `x.m(…)` with unknown receiver type.
+    Method,
+    /// `self.m(…)` — resolves within the enclosing impl first.
+    SelfMethod,
+    /// `self.field.m(…)` — resolves through the struct field table.
+    FieldMethod(String),
+    /// `Type::m(…)` (or `module::f(…)`; `Self::m` is rewritten to the
+    /// enclosing impl type).
+    Typed(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee's terminal name.
+    pub name: String,
+    /// Qualification.
+    pub kind: CallKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// What a panic sink is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicWhat {
+    /// `.unwrap()`
+    Unwrap,
+    /// `.expect(…)`
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+    Macro,
+    /// A raw `x[i]` index expression (a sink under `--strict` only).
+    RawIndex,
+}
+
+impl PanicWhat {
+    /// Display form used in finding messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            PanicWhat::Unwrap => ".unwrap()",
+            PanicWhat::Expect => ".expect(…)",
+            PanicWhat::Macro => "a panic-family macro",
+            PanicWhat::RawIndex => "a raw index expression",
+        }
+    }
+}
+
+/// A potential panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Kind of sink.
+    pub what: PanicWhat,
+}
+
+/// A `self`-rooted collection growth site.
+#[derive(Debug, Clone)]
+pub struct GrowthSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// The growing method (`insert`/`push`/…).
+    pub method: String,
+}
+
+/// A discarded-result site (`let _ = …;` or trailing `.ok();`).
+#[derive(Debug, Clone)]
+pub struct SwallowSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// The discarded call.
+    pub call: CallSite,
+    /// `true` for `.ok();`, `false` for `let _ =`.
+    pub via_ok: bool,
+}
+
+/// One function (or default trait method) in the symbol table.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Terminal name.
+    pub name: String,
+    /// Fully qualified display name: `crate::module::Type::name`.
+    pub qual: String,
+    /// Workspace crate (directory name under `crates/`).
+    pub krate: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub impl_type: Option<String>,
+    /// Visibility.
+    pub vis: Vis,
+    /// Inside `#[cfg(test)]` (module or item attribute) or `#[test]`.
+    pub is_test: bool,
+    /// Index into the analyzed file list.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the return type mentions `Result`.
+    pub returns_result: bool,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Panic sinks in the body.
+    pub panics: Vec<PanicSite>,
+    /// Growth sites in the body.
+    pub growth: Vec<GrowthSite>,
+    /// Discarded-result sites in the body.
+    pub swallows: Vec<SwallowSite>,
+    /// Whether the body mentions a cap/eviction/byte-accounting identifier.
+    pub has_bound_hint: bool,
+}
+
+/// The workspace symbol table + resolved call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All functions, in scan order.
+    pub fns: Vec<FnSym>,
+    /// File paths, indexed by [`FnSym::file`].
+    pub files: Vec<PathBuf>,
+    /// `fns`-index adjacency: resolved callees per function (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    /// Struct field table: type name → field name → type idents in
+    /// declaration order (outermost first).
+    pub fields: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    /// Indexes for resolution.
+    by_name_method: BTreeMap<String, Vec<usize>>,
+    by_name_free: BTreeMap<String, Vec<usize>>,
+    by_type_method: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Collect symbols from one file's source. `module` is the file's
+    /// module path within its crate (`""` for `lib.rs`).
+    pub fn scan_file(&mut self, path: &Path, source: &str, krate: &str, module: &str) {
+        let tokens = tokenize(source);
+        let test_lines = test_code_lines(&tokens);
+        let file_idx = self.files.len();
+        self.files.push(path.to_path_buf());
+        collect_symbols(
+            &tokens,
+            &test_lines,
+            krate,
+            module,
+            file_idx,
+            &mut self.fns,
+            &mut self.fields,
+        );
+    }
+
+    /// Build the resolution indexes and adjacency lists. Call once after
+    /// every file has been scanned.
+    pub fn resolve(&mut self) {
+        self.by_name_method.clear();
+        self.by_name_free.clear();
+        self.by_type_method.clear();
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            match &f.impl_type {
+                Some(t) => {
+                    self.by_name_method
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(i);
+                    self.by_type_method
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                }
+                None => {
+                    self.by_name_free.entry(f.name.clone()).or_default().push(i);
+                }
+            }
+        }
+        self.edges = self
+            .fns
+            .iter()
+            .map(|f| {
+                if f.is_test {
+                    return Vec::new();
+                }
+                let mut out: BTreeSet<usize> = BTreeSet::new();
+                for c in &f.calls {
+                    for t in self.resolve_call(c, f) {
+                        out.insert(t);
+                    }
+                }
+                out.into_iter().collect()
+            })
+            .collect();
+    }
+
+    /// Resolve one call site (made from `caller`) to candidate workspace
+    /// functions. Candidates in hygiene-only harness crates are dropped
+    /// unless the caller itself lives in one: harness crates (`cli`,
+    /// `bench`, `baselines`, `datagen`) depend on the product crates,
+    /// never the reverse, so a name-collision edge from product code into
+    /// a harness would be a fabrication of the over-approximation.
+    pub fn resolve_call(&self, call: &CallSite, caller: &FnSym) -> Vec<usize> {
+        let enclosing_type = caller.impl_type.as_deref();
+        let caller_in_harness = HYGIENE_ONLY_CRATES.contains(&caller.krate.as_str());
+        let admissible = |i: &usize| -> bool {
+            let callee = &self.fns[*i];
+            caller_in_harness
+                || callee.krate == caller.krate
+                || !HYGIENE_ONLY_CRATES.contains(&callee.krate.as_str())
+        };
+        let by_name = |map: &BTreeMap<String, Vec<usize>>| -> Vec<usize> {
+            map.get(&call.name)
+                .map(|v| v.iter().filter(|i| admissible(i)).copied().collect())
+                .unwrap_or_default()
+        };
+        let typed = |t: &str| -> Vec<usize> {
+            self.by_type_method
+                .get(&(t.to_string(), call.name.clone()))
+                .map(|v| v.iter().filter(|i| admissible(i)).copied().collect())
+                .unwrap_or_default()
+        };
+        let ambient = AMBIENT_METHODS.binary_search(&call.name.as_str()).is_ok();
+        match &call.kind {
+            CallKind::Free => by_name(&self.by_name_free),
+            CallKind::SelfMethod => {
+                if let Some(t) = enclosing_type {
+                    let hit = typed(t);
+                    if !hit.is_empty() {
+                        return hit;
+                    }
+                }
+                if ambient {
+                    Vec::new()
+                } else {
+                    by_name(&self.by_name_method)
+                }
+            }
+            CallKind::FieldMethod(field) => {
+                if let Some(t) = enclosing_type {
+                    if let Some(tys) = self.fields.get(t).and_then(|fs| fs.get(field)) {
+                        for ty in tys {
+                            let hit = typed(ty);
+                            if !hit.is_empty() {
+                                return hit;
+                            }
+                        }
+                    }
+                }
+                if ambient {
+                    Vec::new()
+                } else {
+                    by_name(&self.by_name_method)
+                }
+            }
+            CallKind::Typed(t) => {
+                let t = if t == "Self" {
+                    enclosing_type.unwrap_or("Self")
+                } else {
+                    t.as_str()
+                };
+                let hit = typed(t);
+                if !hit.is_empty() {
+                    return hit;
+                }
+                if ambient {
+                    return Vec::new();
+                }
+                let mut out = by_name(&self.by_name_method);
+                out.extend(by_name(&self.by_name_free));
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            CallKind::Method => {
+                if ambient {
+                    Vec::new()
+                } else {
+                    by_name(&self.by_name_method)
+                }
+            }
+        }
+    }
+
+    /// Forward reachability (callees) from `start`, excluding test fns;
+    /// includes `start` itself.
+    pub fn reachable(&self, start: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for &m in &self.edges[n] {
+                if !seen.contains(&m) {
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of resolved edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Human-readable dump, optionally restricted to one crate. Sorted by
+    /// qualified name for deterministic output.
+    pub fn render_text(&self, only_crate: Option<&str>) -> String {
+        let mut order: Vec<usize> = (0..self.fns.len())
+            .filter(|&i| !self.fns[i].is_test)
+            .filter(|&i| only_crate.is_none_or(|c| self.fns[i].krate == c))
+            .collect();
+        order.sort_by(|&a, &b| self.fns[a].qual.cmp(&self.fns[b].qual));
+        let mut out = format!(
+            "# workspace call graph: {} function(s), {} resolved edge(s)\n",
+            order.len(),
+            self.edge_count()
+        );
+        for &i in &order {
+            let f = &self.fns[i];
+            let vis = match f.vis {
+                Vis::Pub => "pub",
+                Vis::Restricted => "pub(restricted)",
+                Vis::Private => "priv",
+            };
+            let mut flags = Vec::new();
+            if !f.panics.is_empty() {
+                flags.push(format!("panics={}", f.panics.len()));
+            }
+            if f.returns_result {
+                flags.push("-> Result".to_string());
+            }
+            let flags = if flags.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", flags.join(", "))
+            };
+            out.push_str(&format!("{} {}{}\n", f.qual, vis, flags));
+            let mut callees: Vec<&str> = self.edges[i]
+                .iter()
+                .map(|&j| self.fns[j].qual.as_str())
+                .collect();
+            callees.sort_unstable();
+            callees.dedup();
+            for c in callees {
+                out.push_str(&format!("  -> {c}\n"));
+            }
+        }
+        out
+    }
+
+    /// Single-line JSON dump of the graph (same sort order as the text
+    /// form), for tooling.
+    pub fn to_json(&self, only_crate: Option<&str>) -> String {
+        let mut order: Vec<usize> = (0..self.fns.len())
+            .filter(|&i| !self.fns[i].is_test)
+            .filter(|&i| only_crate.is_none_or(|c| self.fns[i].krate == c))
+            .collect();
+        order.sort_by(|&a, &b| self.fns[a].qual.cmp(&self.fns[b].qual));
+        let mut items = Vec::with_capacity(order.len());
+        for &i in &order {
+            let f = &self.fns[i];
+            let callees: Vec<String> = self.edges[i]
+                .iter()
+                .map(|&j| format!("\"{}\"", json::escape(&self.fns[j].qual)))
+                .collect();
+            items.push(format!(
+                "{{\"fn\":\"{}\",\"crate\":\"{}\",\"pub\":{},\"panics\":{},\"calls\":[{}]}}",
+                json::escape(&f.qual),
+                json::escape(&f.krate),
+                f.vis == Vis::Pub,
+                f.panics.len(),
+                callees.join(",")
+            ));
+        }
+        format!(
+            "{{\"functions\":{},\"edges\":{},\"items\":[{}]}}",
+            order.len(),
+            self.edge_count(),
+            items.join(",")
+        )
+    }
+}
+
+/// Scope-stack entry for the symbol walker.
+enum ScopeKind {
+    Mod,
+    /// `impl`/`trait` block with its subject type name.
+    Impl(Option<String>),
+    Fn(usize),
+    Other,
+}
+
+struct OpenScope {
+    close: usize,
+    kind: ScopeKind,
+}
+
+/// Walk one file's token stream, registering functions, struct fields,
+/// and per-function call/panic/growth/swallow sites.
+#[allow(clippy::too_many_arguments)]
+fn collect_symbols(
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    krate: &str,
+    module: &str,
+    file_idx: usize,
+    fns: &mut Vec<FnSym>,
+    fields: &mut BTreeMap<String, BTreeMap<String, Vec<String>>>,
+) {
+    let mut stack: Vec<OpenScope> = Vec::new();
+    let mut mods: Vec<String> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while stack.last().is_some_and(|s| s.close <= i) {
+            if matches!(stack.last().unwrap().kind, ScopeKind::Mod) {
+                mods.pop();
+            }
+            stack.pop();
+        }
+        // Skip attributes wholesale; remember `#[cfg(test)]` / `#[test]`.
+        if tokens[i].kind.is_punct('#') {
+            let open = if tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) {
+                Some(i + 1)
+            } else if tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('!'))
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('['))
+            {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(open) = open {
+                if is_cfg_test_attr(tokens, i)
+                    || matches!(
+                        tokens.get(open + 1).map(|t| &t.kind),
+                        Some(TokenKind::Ident(s)) if s == "test"
+                    )
+                {
+                    pending_test_attr = true;
+                }
+                i = skip_bracketed(tokens, open);
+                continue;
+            }
+        }
+        let in_fn = stack.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Fn(idx) => Some(idx),
+            _ => None,
+        });
+        let impl_type = stack
+            .iter()
+            .rev()
+            .find_map(|s| match &s.kind {
+                ScopeKind::Impl(t) => Some(t.clone()),
+                _ => None,
+            })
+            .flatten();
+
+        let TokenKind::Ident(word) = &tokens[i].kind else {
+            // Raw-index sinks inside fn bodies.
+            if let Some(fi) = in_fn {
+                if tokens[i].kind.is_punct('[') && i >= 1 && is_raw_index(tokens, i) {
+                    fns[fi].panics.push(PanicSite {
+                        line: tokens[i].line,
+                        what: PanicWhat::RawIndex,
+                    });
+                }
+            }
+            if tokens[i].kind.is_punct('{') {
+                stack.push(OpenScope {
+                    close: match_brace(tokens, i),
+                    kind: ScopeKind::Other,
+                });
+            }
+            i += 1;
+            continue;
+        };
+
+        match word.as_str() {
+            "mod" if in_fn.is_none() => {
+                if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                    if tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('{')) {
+                        stack.push(OpenScope {
+                            close: match_brace(tokens, i + 2),
+                            kind: ScopeKind::Mod,
+                        });
+                        mods.push(name.clone());
+                        pending_test_attr = false;
+                        i += 3;
+                        continue;
+                    }
+                }
+                pending_test_attr = false;
+                i += 1;
+            }
+            "impl" | "trait" if in_fn.is_none() => {
+                let (subject, body_open) = impl_subject(tokens, i);
+                pending_test_attr = false;
+                match body_open {
+                    Some(open) => {
+                        stack.push(OpenScope {
+                            close: match_brace(tokens, open),
+                            kind: ScopeKind::Impl(subject),
+                        });
+                        i = open + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            "struct" if in_fn.is_none() => {
+                pending_test_attr = false;
+                i = collect_struct_fields(tokens, i, fields);
+            }
+            "fn" => {
+                let item_test = pending_test_attr;
+                pending_test_attr = false;
+                let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) else {
+                    i += 1;
+                    continue;
+                };
+                let (returns_result, body_open) = fn_signature(tokens, i + 2);
+                let vis = fn_visibility(tokens, i);
+                let is_test = item_test
+                    || test_lines.contains(&tokens[i].line)
+                    || in_fn.is_some_and(|fi| fns[fi].is_test);
+                let mut qual = vec![krate.to_string()];
+                if !module.is_empty() {
+                    qual.push(module.to_string());
+                }
+                qual.extend(mods.iter().cloned());
+                if let Some(t) = &impl_type {
+                    qual.push(t.clone());
+                }
+                qual.push(name.clone());
+                let sym = FnSym {
+                    name: name.clone(),
+                    qual: qual.join("::"),
+                    krate: krate.to_string(),
+                    impl_type: impl_type.clone(),
+                    vis,
+                    is_test,
+                    file: file_idx,
+                    line: tokens[i].line,
+                    returns_result,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                    growth: Vec::new(),
+                    swallows: Vec::new(),
+                    has_bound_hint: false,
+                };
+                let idx = fns.len();
+                fns.push(sym);
+                match body_open {
+                    Some(open) => {
+                        stack.push(OpenScope {
+                            close: match_brace(tokens, open),
+                            kind: ScopeKind::Fn(idx),
+                        });
+                        i = open + 1;
+                    }
+                    None => i += 1, // declaration only (trait method without body)
+                }
+            }
+            _ => {
+                if let Some(fi) = in_fn {
+                    scan_body_token(tokens, i, fi, impl_type.as_deref(), fns);
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Per-token body scanning: calls, panic sinks, growth sites, swallow
+/// sites, bound hints — attributed to the innermost function `fi`.
+fn scan_body_token(
+    tokens: &[Token],
+    i: usize,
+    fi: usize,
+    impl_type: Option<&str>,
+    fns: &mut [FnSym],
+) {
+    let TokenKind::Ident(word) = &tokens[i].kind else {
+        return;
+    };
+    let line = tokens[i].line;
+
+    if is_bound_hint(word) {
+        fns[fi].has_bound_hint = true;
+    }
+
+    // Panic-family macros: `name !`.
+    if PANIC_MACROS.contains(&word.as_str())
+        && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('!'))
+    {
+        fns[fi].panics.push(PanicSite {
+            line,
+            what: PanicWhat::Macro,
+        });
+        return;
+    }
+
+    let called = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+    if !called {
+        // `let _ = …;` swallow pattern, anchored at `let`.
+        if word == "let" {
+            if let Some(site) = let_underscore_swallow(tokens, i, impl_type) {
+                fns[fi].swallows.push(site);
+            }
+        }
+        return;
+    }
+    if NON_CALL_IDENTS.contains(&word.as_str()) {
+        return;
+    }
+    if i >= 1 && matches!(&tokens[i - 1].kind, TokenKind::Ident(s) if s == "fn") {
+        return; // definition header, not a call
+    }
+
+    let after_dot = i >= 1 && tokens[i - 1].kind.is_punct('.');
+
+    // `.unwrap()` / `.expect(`.
+    if after_dot && (word == "unwrap" || word == "expect") {
+        fns[fi].panics.push(PanicSite {
+            line,
+            what: if word == "unwrap" {
+                PanicWhat::Unwrap
+            } else {
+                PanicWhat::Expect
+            },
+        });
+        return;
+    }
+
+    // Trailing `.ok();` swallow: `<call>.ok();` as a bare statement.
+    if after_dot && word == "ok" {
+        if let Some(site) = trailing_ok_swallow(tokens, i, impl_type) {
+            fns[fi].swallows.push(site);
+            return;
+        }
+    }
+
+    let call = classify_call(tokens, i, word);
+    // `self`-rooted growth sites.
+    if after_dot
+        && GROWTH_METHODS.contains(&word.as_str())
+        && receiver_root_is_self(tokens, i - 1)
+        && !matches!(call.kind, CallKind::SelfMethod)
+    {
+        fns[fi].growth.push(GrowthSite {
+            line,
+            method: word.clone(),
+        });
+    }
+    fns[fi].calls.push(call);
+}
+
+/// Classify the call whose callee identifier is at `i` (next token is `(`).
+fn classify_call(tokens: &[Token], i: usize, name: &str) -> CallSite {
+    let line = tokens[i].line;
+    let kind = if i >= 1 && tokens[i - 1].kind.is_punct('.') {
+        // `self . m (`
+        let self_recv = i >= 2
+            && matches!(&tokens[i - 2].kind, TokenKind::Ident(s) if s == "self")
+            && !(i >= 3 && tokens[i - 3].kind.is_punct('.'));
+        if self_recv {
+            CallKind::SelfMethod
+        } else {
+            // `self . field . m (`
+            let field = if i >= 4
+                && tokens[i - 3].kind.is_punct('.')
+                && matches!(&tokens[i - 4].kind, TokenKind::Ident(s) if s == "self")
+                && !(i >= 5 && tokens[i - 5].kind.is_punct('.'))
+            {
+                match &tokens[i - 2].kind {
+                    TokenKind::Ident(f) => Some(f.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            match field {
+                Some(f) => CallKind::FieldMethod(f),
+                None => CallKind::Method,
+            }
+        }
+    } else if i >= 2 && tokens[i - 1].kind.is_punct(':') && tokens[i - 2].kind.is_punct(':') {
+        match tokens.get(i.wrapping_sub(3)).map(|t| &t.kind) {
+            Some(TokenKind::Ident(t)) => CallKind::Typed(t.clone()),
+            _ => CallKind::Free,
+        }
+    } else {
+        CallKind::Free
+    };
+    CallSite {
+        name: name.to_string(),
+        kind,
+        line,
+    }
+}
+
+/// Whether the method-call receiver chain ending at the `.` at `dot`
+/// (`x.y[z].m(…)`, `self.lock_x().m(…)`, …) is rooted at `self`.
+fn receiver_root_is_self(tokens: &[Token], dot: usize) -> bool {
+    let mut j = dot; // index of a '.' whose receiver we are walking
+    loop {
+        if j == 0 {
+            return false;
+        }
+        let k = j - 1;
+        match &tokens[k].kind {
+            TokenKind::Ident(s) => {
+                if k >= 1 && tokens[k - 1].kind.is_punct('.') {
+                    j = k - 1;
+                } else {
+                    return s == "self";
+                }
+            }
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                let (open_c, close_c) = if tokens[k].kind.is_punct(')') {
+                    ('(', ')')
+                } else {
+                    ('[', ']')
+                };
+                let mut depth = 0i32;
+                let mut b = k;
+                loop {
+                    if tokens[b].kind.is_punct(close_c) {
+                        depth += 1;
+                    } else if tokens[b].kind.is_punct(open_c) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if b == 0 {
+                        return false;
+                    }
+                    b -= 1;
+                }
+                if b == 0 {
+                    return false;
+                }
+                // The group belongs to a call/index on the preceding
+                // ident — keep walking its receiver.
+                match &tokens[b - 1].kind {
+                    TokenKind::Ident(s) => {
+                        if b >= 2 && tokens[b - 2].kind.is_punct('.') {
+                            j = b - 2;
+                        } else {
+                            return s == "self";
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Detect `let _ = <expr with a call, no `?`>;` at `let` (index `i`).
+fn let_underscore_swallow(
+    tokens: &[Token],
+    i: usize,
+    _impl_type: Option<&str>,
+) -> Option<SwallowSite> {
+    if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Ident(s)) if s == "_") {
+        return None;
+    }
+    if !tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('=')) {
+        return None;
+    }
+    let end = stmt_end(tokens, i + 3);
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut first_call: Option<usize> = None;
+    for j in (i + 3)..end {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace -= 1,
+            TokenKind::Punct('?') if paren == 0 && bracket == 0 && brace == 0 => {
+                return None; // error is propagated, not swallowed
+            }
+            TokenKind::Ident(s)
+                if paren == 0
+                    && bracket == 0
+                    && brace == 0
+                    && first_call.is_none()
+                    && tokens.get(j + 1).is_some_and(|t| t.kind.is_punct('('))
+                    && !NON_CALL_IDENTS.contains(&s.as_str()) =>
+            {
+                first_call = Some(j);
+            }
+            _ => {}
+        }
+    }
+    let j = first_call?;
+    let TokenKind::Ident(name) = &tokens[j].kind else {
+        return None;
+    };
+    Some(SwallowSite {
+        line: tokens[i].line,
+        call: classify_call(tokens, j, name),
+        via_ok: false,
+    })
+}
+
+/// Detect a bare-statement `<call>(…).ok();` at the `ok` identifier.
+fn trailing_ok_swallow(
+    tokens: &[Token],
+    i: usize,
+    _impl_type: Option<&str>,
+) -> Option<SwallowSite> {
+    // shape: `) . ok ( ) ;`
+    if !(i >= 2 && tokens[i - 2].kind.is_punct(')')) {
+        return None;
+    }
+    if !(tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+        && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(')'))
+        && tokens.get(i + 3).is_some_and(|t| t.kind.is_punct(';')))
+    {
+        return None;
+    }
+    // Find the call the `)` at i-2 closes.
+    let mut depth = 0i32;
+    let mut b = i - 2;
+    loop {
+        if tokens[b].kind.is_punct(')') {
+            depth += 1;
+        } else if tokens[b].kind.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if b == 0 {
+            return None;
+        }
+        b -= 1;
+    }
+    if b == 0 {
+        return None;
+    }
+    let TokenKind::Ident(name) = &tokens[b - 1].kind else {
+        return None;
+    };
+    if NON_CALL_IDENTS.contains(&name.as_str()) {
+        return None;
+    }
+    let callee = b - 1;
+    // Must be a discarded statement: from statement start to the callee
+    // there is no `let`, `return`, or assignment.
+    let start = stmt_start(tokens, callee);
+    for t in &tokens[start..callee] {
+        match &t.kind {
+            TokenKind::Ident(s) if s == "let" || s == "return" => return None,
+            TokenKind::Punct('=') => return None,
+            _ => {}
+        }
+    }
+    Some(SwallowSite {
+        line: tokens[i].line,
+        call: classify_call(tokens, callee, name),
+        via_ok: true,
+    })
+}
+
+/// The slice-index heuristic shared with the lexical rule: a `[` that
+/// follows an identifier, `)` or `]`, is not an attribute, and is not the
+/// empty `[]`.
+fn is_raw_index(tokens: &[Token], i: usize) -> bool {
+    let prev_ok = match &tokens[i - 1].kind {
+        TokenKind::Ident(s) => !matches!(
+            s.as_str(),
+            "mut" | "dyn" | "impl" | "in" | "as" | "return" | "box" | "vec"
+        ),
+        TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+        _ => false,
+    };
+    let attr = i >= 2
+        && (tokens[i - 1].kind.is_punct('#')
+            || (tokens[i - 1].kind.is_punct('!') && tokens[i - 2].kind.is_punct('#')));
+    let empty = tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(']'));
+    prev_ok && !attr && !empty
+}
+
+/// Parse an `impl`/`trait` header starting at `i` (the keyword): the
+/// subject type name and the index of the body `{` (None for `impl Trait
+/// for Type;` style declarations, which have no body).
+fn impl_subject(tokens: &[Token], i: usize) -> (Option<String>, Option<usize>) {
+    // Find the body `{` at paren/bracket balance zero.
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    let mut open = None;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') if paren == 0 && bracket == 0 => {
+                open = Some(j);
+                break;
+            }
+            TokenKind::Punct(';') if paren == 0 && bracket == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let header_end = open.unwrap_or(j);
+    // `impl Trait for Type {` → subject is the path after the last `for`
+    // that is not an HRTB `for<...>`. `trait Name {` / `impl Type {` →
+    // first path after the keyword (skipping a leading generics group).
+    let mut subject_start = i + 1;
+    for k in (i + 1)..header_end {
+        if matches!(&tokens[k].kind, TokenKind::Ident(s) if s == "for")
+            && !tokens.get(k + 1).is_some_and(|t| t.kind.is_punct('<'))
+        {
+            subject_start = k + 1;
+        }
+    }
+    // Skip a leading generics group `<...>` (tracking `->` so `Fn() -> R`
+    // does not close it early).
+    let mut k = subject_start;
+    if tokens.get(k).is_some_and(|t| t.kind.is_punct('<')) {
+        let mut depth = 0i32;
+        while k < header_end {
+            if tokens[k].kind.is_punct('<') {
+                depth += 1;
+            } else if tokens[k].kind.is_punct('>') && !(k >= 1 && tokens[k - 1].kind.is_punct('-'))
+            {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+    }
+    // Subject = last ident of the leading path (`crate::foo::Bar` → `Bar`).
+    // A single `:` (supertrait bound: `trait Foo: Send {`) ends the path;
+    // only `::` separators continue it.
+    let mut subject = None;
+    while k < header_end {
+        match &tokens[k].kind {
+            TokenKind::Ident(s) if s == "dyn" => k += 1,
+            TokenKind::Ident(s) => {
+                subject = Some(s.clone());
+                k += 1;
+            }
+            TokenKind::Punct(':') if tokens.get(k + 1).is_some_and(|t| t.kind.is_punct(':')) => {
+                k += 2;
+            }
+            _ => break,
+        }
+    }
+    (subject, open)
+}
+
+/// Parse a `fn` signature starting just past the name (at the generics or
+/// parameter list): whether the return type mentions `Result`, and the
+/// index of the body `{` (None for bodyless trait-method declarations).
+fn fn_signature(tokens: &[Token], mut i: usize) -> (bool, Option<usize>) {
+    // Skip generics `<...>` (tracking `->`).
+    if tokens.get(i).is_some_and(|t| t.kind.is_punct('<')) {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if tokens[i].kind.is_punct('<') {
+                depth += 1;
+            } else if tokens[i].kind.is_punct('>') && !(i >= 1 && tokens[i - 1].kind.is_punct('-'))
+            {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    if !tokens.get(i).is_some_and(|t| t.kind.is_punct('(')) {
+        return (false, None);
+    }
+    let close = match_paren(tokens, i);
+    let mut returns_result = false;
+    let mut j = close + 1;
+    let mut paren = 0i32;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('{') if paren == 0 => return (returns_result, Some(j)),
+            TokenKind::Punct(';') if paren == 0 => return (returns_result, None),
+            TokenKind::Ident(s) if s == "where" && paren == 0 => {
+                // return type ends here; keep scanning for the body brace
+                let mut k = j + 1;
+                let mut p2 = 0i32;
+                while k < tokens.len() {
+                    match &tokens[k].kind {
+                        TokenKind::Punct('(') => p2 += 1,
+                        TokenKind::Punct(')') => p2 -= 1,
+                        TokenKind::Punct('{') if p2 == 0 => return (returns_result, Some(k)),
+                        TokenKind::Punct(';') if p2 == 0 => return (returns_result, None),
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return (returns_result, None);
+            }
+            TokenKind::Ident(s) if s == "Result" => returns_result = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (returns_result, None)
+}
+
+/// Determine the visibility of the `fn` at token `i` by walking back over
+/// qualifiers (`const`, `unsafe`, `async`, `extern "C"`).
+fn fn_visibility(tokens: &[Token], i: usize) -> Vis {
+    let mut k = i;
+    while k >= 1 {
+        let prev = &tokens[k - 1].kind;
+        match prev {
+            TokenKind::Ident(s)
+                if matches!(s.as_str(), "const" | "unsafe" | "async" | "extern") =>
+            {
+                k -= 1;
+            }
+            TokenKind::Literal => k -= 1, // the "C" in `extern "C"`
+            TokenKind::Punct(')') => {
+                // possibly `pub(crate)` — find the `(` and check for `pub`
+                let mut depth = 0i32;
+                let mut b = k - 1;
+                loop {
+                    if tokens[b].kind.is_punct(')') {
+                        depth += 1;
+                    } else if tokens[b].kind.is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if b == 0 {
+                        return Vis::Private;
+                    }
+                    b -= 1;
+                }
+                if b >= 1 && matches!(&tokens[b - 1].kind, TokenKind::Ident(s) if s == "pub") {
+                    return Vis::Restricted;
+                }
+                return Vis::Private;
+            }
+            TokenKind::Ident(s) if s == "pub" => return Vis::Pub,
+            _ => return Vis::Private,
+        }
+    }
+    Vis::Private
+}
+
+/// Parse `struct Name { field: Type, … }` starting at the `struct` keyword;
+/// returns the index to resume scanning at.
+fn collect_struct_fields(
+    tokens: &[Token],
+    i: usize,
+    fields: &mut BTreeMap<String, BTreeMap<String, Vec<String>>>,
+) -> usize {
+    let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) else {
+        return i + 1;
+    };
+    // Find `{`, `(` (tuple) or `;` (unit) after the name/generics.
+    let mut j = i + 2;
+    if tokens.get(j).is_some_and(|t| t.kind.is_punct('<')) {
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            if tokens[j].kind.is_punct('<') {
+                depth += 1;
+            } else if tokens[j].kind.is_punct('>') && !(j >= 1 && tokens[j - 1].kind.is_punct('-'))
+            {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    match tokens.get(j).map(|t| &t.kind) {
+        Some(TokenKind::Punct('{')) => {}
+        Some(TokenKind::Punct('(')) => return match_paren(tokens, j) + 1,
+        _ => return j,
+    }
+    let close = match_brace(tokens, j);
+    let map = fields.entry(name.clone()).or_default();
+    let mut k = j + 1;
+    let (mut paren, mut angle) = (0i32, 0i32);
+    while k < close {
+        // A field is `ident :` at depth 0; its type runs to the next `,`
+        // at depth 0 (or the closing brace).
+        match &tokens[k].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') if !(k >= 1 && tokens[k - 1].kind.is_punct('-')) => angle -= 1,
+            TokenKind::Punct('#') if tokens.get(k + 1).is_some_and(|t| t.kind.is_punct('[')) => {
+                k = skip_bracketed(tokens, k + 1);
+                continue;
+            }
+            TokenKind::Ident(fname)
+                if paren == 0
+                    && angle == 0
+                    && tokens.get(k + 1).is_some_and(|t| t.kind.is_punct(':'))
+                    && !tokens.get(k + 2).is_some_and(|t| t.kind.is_punct(':'))
+                    && !matches!(fname.as_str(), "pub" | "crate" | "super") =>
+            {
+                // collect type idents to the field's terminating comma
+                let mut tys = Vec::new();
+                let mut m = k + 2;
+                let (mut p2, mut a2) = (0i32, 0i32);
+                while m < close {
+                    match &tokens[m].kind {
+                        TokenKind::Punct('(') => p2 += 1,
+                        TokenKind::Punct(')') => p2 -= 1,
+                        TokenKind::Punct('<') => a2 += 1,
+                        TokenKind::Punct('>') if !(m >= 1 && tokens[m - 1].kind.is_punct('-')) => {
+                            a2 -= 1
+                        }
+                        TokenKind::Punct(',') if p2 == 0 && a2 <= 0 => break,
+                        TokenKind::Ident(t)
+                            if !matches!(t.as_str(), "pub" | "dyn" | "mut" | "crate" | "super") =>
+                        {
+                            tys.push(t.clone())
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                map.insert(fname.clone(), tys);
+                k = m;
+                continue;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    close + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn graph_of(src: &str) -> CallGraph {
+        let mut g = CallGraph::default();
+        g.scan_file(&PathBuf::from("test.rs"), src, "core", "test");
+        g.resolve();
+        g
+    }
+
+    fn find<'a>(g: &'a CallGraph, name: &str) -> &'a FnSym {
+        g.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} registered"))
+    }
+
+    #[test]
+    fn symbols_record_impl_type_visibility_and_result() {
+        let g = graph_of(
+            "pub struct S { log: Log } \
+             impl S { pub fn go(&self) -> Result<(), E> { self.log.push(1); } \
+                      pub(crate) fn helper(&self) {} \
+                      fn private(&self) {} }",
+        );
+        let go = find(&g, "go");
+        assert_eq!(go.impl_type.as_deref(), Some("S"));
+        assert_eq!(go.vis, Vis::Pub);
+        assert!(go.returns_result);
+        assert_eq!(go.qual, "core::test::S::go");
+        assert_eq!(find(&g, "helper").vis, Vis::Restricted);
+        assert_eq!(find(&g, "private").vis, Vis::Private);
+        assert_eq!(
+            g.fields.get("S").and_then(|f| f.get("log")),
+            Some(&vec!["Log".to_string()])
+        );
+    }
+
+    #[test]
+    fn field_method_calls_resolve_through_struct_fields() {
+        let g = graph_of(
+            "struct Outer { inner: Inner } struct Inner; \
+             impl Outer { pub fn touch(&mut self) { self.inner.poke(); } } \
+             impl Inner { fn poke(&self) { helper_fn(); } } \
+             fn helper_fn() {}",
+        );
+        let touch = g.fns.iter().position(|f| f.name == "touch").unwrap();
+        let poke = g.fns.iter().position(|f| f.name == "poke").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper_fn").unwrap();
+        assert_eq!(g.edges[touch], vec![poke]);
+        assert_eq!(g.edges[poke], vec![helper]);
+        let reach = g.reachable(touch);
+        assert!(reach.contains(&helper), "transitive reachability");
+    }
+
+    #[test]
+    fn ambient_method_names_stay_unresolved_without_a_type() {
+        let g = graph_of(
+            "struct T; impl T { fn insert(&self) { panic!(\"boom\") } } \
+             fn caller(map: M) { map.insert(1); }",
+        );
+        let caller = g.fns.iter().position(|f| f.name == "caller").unwrap();
+        assert!(
+            g.edges[caller].is_empty(),
+            "`map.insert` must not resolve to T::insert by name alone"
+        );
+    }
+
+    #[test]
+    fn panic_growth_and_swallow_sites_are_collected() {
+        let g = graph_of(
+            "struct Session { items: Items } \
+             impl Session { \
+               fn grow(&mut self) { self.items.push(3); } \
+               fn swallow(&mut self) { let _ = fallible(); refresh(self).ok(); } \
+               fn fine(&mut self) -> Result<(), E> { let _ = fallible()?; Ok(()) } \
+               fn boom(&self, v: V) { v.get(0).unwrap(); } } \
+             fn fallible() -> Result<u8, E> { Err(E) } \
+             fn refresh(s: &mut Session) -> Result<(), E> { Ok(()) }",
+        );
+        let grow = find(&g, "grow");
+        assert_eq!(grow.growth.len(), 1);
+        assert_eq!(grow.growth[0].method, "push");
+        let swallow = find(&g, "swallow");
+        assert_eq!(swallow.swallows.len(), 2, "{:?}", swallow.swallows);
+        assert!(!swallow.swallows[0].via_ok);
+        assert!(swallow.swallows[1].via_ok);
+        assert!(find(&g, "fine").swallows.is_empty(), "`?` propagates");
+        assert_eq!(find(&g, "boom").panics.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_functions_are_marked() {
+        let g = graph_of(
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n#[test]\nfn unit() {}\n",
+        );
+        assert!(!find(&g, "live").is_test);
+        assert!(find(&g, "helper").is_test);
+        assert!(find(&g, "unit").is_test);
+    }
+
+    #[test]
+    fn receiver_root_detection_handles_calls_and_indexing() {
+        let g = graph_of(
+            "struct Pool { queues: Q } \
+             impl Pool { fn a(&self) { self.queues[0].push_back(j); } \
+                         fn b(&self) { self.guard().push(1); } \
+                         fn c(&self, local: L) { local.push(1); } \
+                         fn guard(&self) -> G { g } }",
+        );
+        assert_eq!(
+            find(&g, "a").growth.len(),
+            1,
+            "indexed field is self-rooted"
+        );
+        assert_eq!(
+            find(&g, "b").growth.len(),
+            1,
+            "guard call chain is self-rooted"
+        );
+        assert!(
+            find(&g, "c").growth.is_empty(),
+            "locals are not session state"
+        );
+    }
+}

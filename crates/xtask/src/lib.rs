@@ -1,9 +1,14 @@
 //! Workspace automation for the PRAGUE reproduction.
 //!
-//! The only subcommand today is `audit` — see [`audit`] for the rule set
-//! and [`lexer`] for the token model it runs on. The engine is exposed as
-//! a library so the integration tests can run rules over fixture sources
-//! and assert exact finding counts.
+//! The only subcommand today is `audit` — see [`audit`] for the rule set,
+//! [`lexer`] for the token model it runs on, [`interproc`] for the
+//! workspace symbol table / call graph behind the interprocedural rules,
+//! and [`json`] for the serde-free JSON support (escaping + a parser for
+//! committed baselines). The engine is exposed as a library so the
+//! integration tests can run rules over fixture sources and assert exact
+//! finding counts.
 
 pub mod audit;
+pub mod interproc;
+pub mod json;
 pub mod lexer;

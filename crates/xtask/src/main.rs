@@ -1,25 +1,36 @@
 //! `cargo xtask` — workspace automation entry point.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::audit::{audit_workspace, AuditConfig};
+use xtask::audit::{audit_workspace, AuditConfig, Baseline, Report};
 
 const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  audit [--strict] [--json] [--crate <name>]
+  audit [--strict] [--json] [--crate <name>] [--graph]
+        [--baseline <file>] [--write-baseline <file>]
                      static-analysis pass: determinism (hash-container,
                      hashmap-iter), panic-freedom (panic-path; plus
-                     slice-index under --strict) and concurrency
+                     slice-index under --strict), concurrency
                      (lock-order, condvar-wait-loop, atomic-ordering,
-                     lock-across-call, spawn-leak). Exits non-zero if any
-                     unsuppressed finding remains. Suppress individual
-                     sites with `// audit:allow(<rule>): <reason>`.
+                     lock-across-call, spawn-leak) and interprocedural
+                     rules over the workspace call graph
+                     (panic-reachable, error-swallow, unbounded-growth).
+                     Exits non-zero if any unsuppressed finding remains.
+                     Suppress individual sites with
+                     `// audit:allow(<rule>): <reason>`.
                      --json prints the report as a single JSON object on
                      stdout (for CI annotation tooling); --crate limits
-                     the scan to one workspace crate.
+                     *reporting* to one workspace crate (the whole
+                     workspace is still scanned — the call graph needs
+                     it); --graph prints the workspace call graph (also
+                     persisted to target/xtask/callgraph.txt on every
+                     run); --baseline treats findings recorded in <file>
+                     as accepted debt (only new findings fail, stale
+                     entries warn); --write-baseline seeds <file> from
+                     the current findings and exits successfully.
 ";
 
 fn main() -> ExitCode {
@@ -28,15 +39,33 @@ fn main() -> ExitCode {
         Some("audit") => {
             let mut config = AuditConfig::default();
             let mut json = false;
+            let mut graph = false;
+            let mut baseline: Option<PathBuf> = None;
+            let mut write_baseline: Option<PathBuf> = None;
             let mut rest = args[1..].iter();
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
                     "--strict" => config.strict = true,
                     "--json" => json = true,
+                    "--graph" => graph = true,
                     "--crate" => match rest.next() {
                         Some(name) => config.only_crate = Some(name.clone()),
                         None => {
                             eprintln!("--crate requires a crate name\n\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--baseline" => match rest.next() {
+                        Some(p) => baseline = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("--baseline requires a file path\n\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--write-baseline" => match rest.next() {
+                        Some(p) => write_baseline = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("--write-baseline requires a file path\n\n{USAGE}");
                             return ExitCode::from(2);
                         }
                     },
@@ -46,7 +75,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            run_audit(&config, json)
+            run_audit(&config, json, graph, baseline, write_baseline)
         }
         Some(other) => {
             eprintln!("unknown command `{other}`\n\n{USAGE}");
@@ -59,15 +88,75 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_audit(config: &AuditConfig, json: bool) -> ExitCode {
+fn run_audit(
+    config: &AuditConfig,
+    json: bool,
+    graph: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+) -> ExitCode {
     let root = workspace_root();
-    let report = match audit_workspace(&root, config) {
+    let mut report = match audit_workspace(&root, config) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("audit: i/o error: {e}");
+            eprintln!("audit: {e}");
             return ExitCode::from(2);
         }
     };
+
+    persist_graph(&root, &report);
+
+    if graph {
+        let Some(g) = &report.graph else {
+            eprintln!("audit: no call graph was built");
+            return ExitCode::from(2);
+        };
+        let filter = config.only_crate.as_deref();
+        if json {
+            println!("{}", g.to_json(filter));
+        } else {
+            print!("{}", g.render_text(filter));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = write_baseline {
+        let seeded = Baseline::from_report(&report, &root);
+        if let Err(e) = std::fs::write(&path, seeded.to_json()) {
+            eprintln!("audit: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "audit: baseline {} written ({} accepted finding(s))",
+            path.display(),
+            seeded.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let parsed = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("audit: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        for stale in report.apply_baseline(&parsed, &root) {
+            eprintln!(
+                "audit: warning: baseline entry no longer matches any finding \
+                 (clean it up): {stale}"
+            );
+        }
+    }
+
     if json {
         println!("{}", report.to_json(&root));
     } else {
@@ -85,9 +174,10 @@ fn run_audit(config: &AuditConfig, json: bool) -> ExitCode {
         }
     }
     eprintln!(
-        "audit: {} file(s) scanned, {} finding(s), {} suppressed by audit:allow",
+        "audit: {} file(s) scanned, {} finding(s), {} baselined, {} suppressed by audit:allow",
         report.files_scanned,
         report.findings.len(),
+        report.baselined.len(),
         report.suppressed.len()
     );
     if report.is_clean() {
@@ -95,6 +185,20 @@ fn run_audit(config: &AuditConfig, json: bool) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Persist the call graph under `target/xtask/` so `--graph` output is also
+/// available to tooling after any plain audit run. Best-effort: a read-only
+/// checkout must not turn a clean audit into a failure.
+fn persist_graph(root: &Path, report: &Report) {
+    let Some(g) = &report.graph else {
+        return;
+    };
+    let dir = root.join("target").join("xtask");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(dir.join("callgraph.txt"), g.render_text(None));
 }
 
 /// Resolve the workspace root: `cargo xtask` runs with the manifest dir of

@@ -9,12 +9,37 @@
 //! [`audit_source`] entry point `audit_workspace` uses per file.
 
 use std::path::{Path, PathBuf};
-use xtask::audit::{audit_source, audit_workspace, AuditConfig, Report, Rule, Scope};
+use xtask::audit::{
+    audit_single, audit_source, audit_workspace, AuditConfig, Baseline, Finding, Report, Rule,
+    Scope, RULE_TABLE,
+};
+use xtask::json;
 
 fn fixture_path(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name)
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root")
+}
+
+/// Run a fixture through `audit_single`: lexical rules for the crate's
+/// scope *plus* the interprocedural rules over the file's own call graph.
+fn run_interproc_fixture(name: &str, krate: &str, strict: bool) -> Report {
+    let path = fixture_path(name);
+    let source = std::fs::read_to_string(&path).unwrap();
+    let mut report = Report::default();
+    let config = AuditConfig {
+        strict,
+        ..Default::default()
+    };
+    audit_single(&path, &source, krate, &config, &mut report);
+    report
 }
 
 fn scope(determinism: bool, panic_free: bool, concurrency: bool) -> Scope {
@@ -242,7 +267,7 @@ fn json_output_is_machine_readable() {
     );
     assert!(json.contains("\"rule\":\"lock-order\""));
     assert!(json.contains("\"line\":"));
-    assert!(json.ends_with("\"suppressed\":0}"));
+    assert!(json.ends_with("\"baselined\":0,\"suppressed\":0}"));
     assert!(
         !json.contains('\n'),
         "single-line object for line-oriented CI consumption"
@@ -251,12 +276,10 @@ fn json_output_is_machine_readable() {
 
 #[test]
 fn the_workspace_audits_clean() {
-    // the same gate CI enforces via `cargo xtask audit`
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(Path::parent)
-        .expect("xtask lives two levels below the workspace root");
-    let report = audit_workspace(root, &AuditConfig::default()).unwrap();
+    // the same gate CI enforces via `cargo xtask audit` — since the
+    // interprocedural rules landed this covers panic-reachable,
+    // error-swallow and unbounded-growth over the real call graph
+    let report = audit_workspace(workspace_root(), &AuditConfig::default()).unwrap();
     assert!(report.files_scanned > 20, "workspace scan looks incomplete");
     assert!(
         report.is_clean(),
@@ -268,15 +291,18 @@ fn the_workspace_audits_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    let graph = report
+        .graph
+        .as_ref()
+        .expect("workspace audit builds a call graph");
+    assert!(graph.fns.len() > 100, "symbol table looks incomplete");
+    assert!(graph.edge_count() > 100, "call resolution looks incomplete");
 }
 
 #[test]
 fn the_par_crate_audits_clean_in_strict_mode() {
     // the gate CI enforces via `cargo xtask audit --strict --crate par`
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(Path::parent)
-        .expect("xtask lives two levels below the workspace root");
+    let root = workspace_root();
     let config = AuditConfig {
         strict: true,
         only_crate: Some("par".to_string()),
@@ -295,5 +321,310 @@ fn the_par_crate_audits_clean_in_strict_mode() {
     assert!(
         !report.suppressed.is_empty(),
         "par's justified suppressions should be visible"
+    );
+}
+
+// ---- interprocedural rules over fixtures ------------------------------
+
+#[test]
+fn panic_reachable_fixture_has_exact_counts() {
+    let report = run_interproc_fixture("panic_reachable.rs", "idset", false);
+    assert_eq!(count(&report, Rule::PanicPath), 2, "{:#?}", report.findings);
+    assert_eq!(
+        count(&report, Rule::PanicReachable),
+        1,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 3);
+    // The chain names every hop from the public root to the panic site.
+    let chain = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::PanicReachable)
+        .unwrap();
+    assert!(
+        chain.message.contains(
+            "reachable from public API: idset::panic_reachable::Loader::load \
+             → idset::panic_reachable::Loader::locate \
+             → idset::panic_reachable::decode"
+        ),
+        "full call chain expected: {}",
+        chain.message
+    );
+    // One allow at the sink suppresses both the lexical and the
+    // interprocedural finding; the dead helper is lexically flagged but
+    // reachable from no public root.
+    assert_eq!(report.suppressed.len(), 2, "{:#?}", report.suppressed);
+}
+
+#[test]
+fn panic_reachable_raw_index_sinks_are_strict_only() {
+    let non_strict = run_interproc_fixture("panic_reachable.rs", "idset", false);
+    assert!(
+        !non_strict
+            .findings
+            .iter()
+            .any(|f| f.message.contains("raw index expression")),
+        "{:#?}",
+        non_strict.findings
+    );
+    let strict = run_interproc_fixture("panic_reachable.rs", "idset", true);
+    assert_eq!(
+        count(&strict, Rule::SliceIndex),
+        1,
+        "{:#?}",
+        strict.findings
+    );
+    assert_eq!(
+        count(&strict, Rule::PanicReachable),
+        2,
+        "{:#?}",
+        strict.findings
+    );
+    let raw = strict
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::PanicReachable && f.message.contains("raw index"))
+        .expect("strict mode reports the raw-index sink's chain");
+    assert!(
+        raw.message
+            .contains("idset::panic_reachable::head → idset::panic_reachable::nth"),
+        "{}",
+        raw.message
+    );
+    assert_eq!(strict.findings.len(), 5);
+}
+
+#[test]
+fn error_swallow_fixture_has_exact_counts() {
+    let report = run_interproc_fixture("error_swallow.rs", "graph", false);
+    assert_eq!(
+        count(&report, Rule::ErrorSwallow),
+        2,
+        "{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 2);
+    for f in &report.findings {
+        assert!(
+            f.message
+                .contains("discards the Result of `graph::error_swallow::Store::write`"),
+            "{}",
+            f.message
+        );
+    }
+    assert_eq!(report.suppressed.len(), 1, "{:#?}", report.suppressed);
+    assert_eq!(report.suppressed[0].rule, Rule::ErrorSwallow);
+}
+
+#[test]
+fn unbounded_growth_fixture_has_exact_counts() {
+    let report = run_interproc_fixture("unbounded_growth.rs", "core", false);
+    assert_eq!(
+        count(&report, Rule::UnboundedGrowth),
+        1,
+        "bounded-via-callee and Builder growth must stay clean: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 1);
+    assert!(
+        report.findings[0]
+            .message
+            .contains("grows long-lived `Session` state"),
+        "{}",
+        report.findings[0].message
+    );
+    assert!(
+        report.findings[0]
+            .message
+            .contains("core::unbounded_growth::Session::record"),
+        "{}",
+        report.findings[0].message
+    );
+    assert_eq!(report.suppressed.len(), 1, "{:#?}", report.suppressed);
+    assert_eq!(report.suppressed[0].rule, Rule::UnboundedGrowth);
+}
+
+// ---- CLI / report plumbing --------------------------------------------
+
+#[test]
+fn unknown_crate_is_an_error_not_an_empty_report() {
+    let config = AuditConfig {
+        only_crate: Some("nonexistent".to_string()),
+        ..Default::default()
+    };
+    let err = audit_workspace(workspace_root(), &config).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(
+        err.to_string().contains("unknown crate `nonexistent`"),
+        "{err}"
+    );
+}
+
+#[test]
+fn report_json_round_trips_through_a_real_parser() {
+    // Adversarial path + message: quotes, backslashes, newlines, tabs.
+    let mut report = Report {
+        files_scanned: 1,
+        ..Default::default()
+    };
+    report.findings.push(Finding {
+        path: PathBuf::from("dir/we\"ird\\file.rs"),
+        line: 7,
+        rule: Rule::PanicPath,
+        message: "say \"hi\"\nthen\ttab \\ done".to_string(),
+    });
+    let doc = json::parse(&report.to_json(Path::new("/absent-root"))).unwrap();
+    assert_eq!(
+        doc.get("files_scanned").and_then(json::Value::as_f64),
+        Some(1.0)
+    );
+    let findings = doc.get("findings").unwrap().as_array().unwrap();
+    assert_eq!(findings.len(), 1);
+    // Backslashes in paths are normalized to `/` for host-stable output;
+    // the embedded quote must survive escaping.
+    assert_eq!(
+        findings[0].get("file").and_then(json::Value::as_str),
+        Some("dir/we\"ird/file.rs")
+    );
+    assert_eq!(
+        findings[0].get("message").and_then(json::Value::as_str),
+        Some("say \"hi\"\nthen\ttab \\ done")
+    );
+    assert_eq!(
+        findings[0].get("rule").and_then(json::Value::as_str),
+        Some("panic-path")
+    );
+
+    // A real fixture report parses too, and the call-graph JSON is valid.
+    let report = run_interproc_fixture("error_swallow.rs", "graph", false);
+    let doc = json::parse(&report.to_json(&fixture_path(""))).unwrap();
+    assert_eq!(doc.get("findings").unwrap().as_array().unwrap().len(), 2);
+    let graph_json = report.graph.as_ref().unwrap().to_json(None);
+    assert!(json::parse(&graph_json).is_ok(), "{graph_json}");
+}
+
+// ---- findings baseline ------------------------------------------------
+
+#[test]
+fn baseline_partitions_findings_and_reports_stale_entries() {
+    let root = fixture_path("");
+    let full = run_interproc_fixture("panic_reachable.rs", "idset", false);
+    assert_eq!(full.findings.len(), 3);
+
+    // Seed → serialize → parse → apply to an identical run: everything is
+    // baselined, nothing fails, nothing is stale.
+    let seeded = Baseline::from_report(&full, &root);
+    assert_eq!(seeded.len(), 3);
+    let parsed = Baseline::parse(&seeded.to_json()).unwrap();
+    let mut again = run_interproc_fixture("panic_reachable.rs", "idset", false);
+    let stale = again.apply_baseline(&parsed, &root);
+    assert!(again.is_clean(), "{:#?}", again.findings);
+    assert_eq!(again.baselined.len(), 3);
+    assert!(stale.is_empty(), "{stale:?}");
+
+    // Applied to a different run: new findings still fail, and the
+    // accepted-but-vanished debt is reported for cleanup.
+    let mut other = run_interproc_fixture("unbounded_growth.rs", "core", false);
+    let stale = other.apply_baseline(&parsed, &root);
+    assert!(!other.is_clean(), "a baseline must not hide new findings");
+    assert_eq!(other.findings[0].rule, Rule::UnboundedGrowth);
+    assert_eq!(stale.len(), 3, "{stale:?}");
+
+    // Malformed baselines are errors, not silently-empty accept lists.
+    assert!(Baseline::parse("{}").is_err());
+    assert!(Baseline::parse("{\"version\":2,\"findings\":[]}").is_err());
+    assert!(Baseline::parse("{\"version\":1,\"findings\":[{\"file\":\"x\"}]}").is_err());
+}
+
+#[test]
+fn committed_baseline_fails_a_deliberate_unbounded_insert() {
+    // The acceptance gate for the CI job `cargo xtask audit --strict
+    // --baseline audit_baseline.json`: the committed baseline accepts the
+    // workspace's current debt, so a *new* unbounded insert (the fixture's
+    // `Session::record`) must still fail.
+    let text = std::fs::read_to_string(workspace_root().join("audit_baseline.json")).unwrap();
+    let baseline = Baseline::parse(&text).unwrap();
+    assert!(
+        !baseline.is_empty(),
+        "strict advisory debt should be recorded"
+    );
+    let mut report = run_interproc_fixture("unbounded_growth.rs", "core", true);
+    report.apply_baseline(&baseline, &fixture_path(""));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::UnboundedGrowth),
+        "the deliberate unbounded insert must survive the baseline: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn the_workspace_is_strict_clean_against_the_committed_baseline() {
+    // the gate CI enforces via
+    // `cargo xtask audit --strict --baseline audit_baseline.json`
+    let root = workspace_root();
+    let config = AuditConfig {
+        strict: true,
+        ..Default::default()
+    };
+    let mut report = audit_workspace(root, &config).unwrap();
+    let text = std::fs::read_to_string(root.join("audit_baseline.json")).unwrap();
+    let baseline = Baseline::parse(&text).unwrap();
+    let stale = report.apply_baseline(&baseline, root);
+    assert!(
+        report.is_clean(),
+        "strict findings not covered by audit_baseline.json (fix them, \
+         justify them with audit:allow, or re-seed via --write-baseline):\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries — clean audit_baseline.json up:\n{}",
+        stale.join("\n")
+    );
+}
+
+// ---- documentation pin ------------------------------------------------
+
+#[test]
+fn architecture_rule_table_matches_in_code_contract() {
+    let text = std::fs::read_to_string(workspace_root().join("ARCHITECTURE.md")).unwrap();
+    let begin = text
+        .find("<!-- audit-rules:begin -->")
+        .expect("ARCHITECTURE.md must carry the audit-rules marker table");
+    let end = text
+        .find("<!-- audit-rules:end -->")
+        .expect("audit-rules end marker");
+    let mut rows = Vec::new();
+    for line in text[begin..end].lines() {
+        let line = line.trim();
+        if !line.starts_with('|') || line.starts_with("|---") || line.starts_with("| rule") {
+            continue;
+        }
+        let cells: Vec<String> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().trim_matches('`').to_string())
+            .collect();
+        assert_eq!(cells.len(), 3, "3-column rule table: {line}");
+        rows.push((cells[0].clone(), cells[1].clone(), cells[2].clone()));
+    }
+    let documented: Vec<(&str, &str, &str)> = rows
+        .iter()
+        .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str()))
+        .collect();
+    assert_eq!(
+        documented, RULE_TABLE,
+        "ARCHITECTURE.md audit-rules table must equal xtask::audit::RULE_TABLE \
+         (same rows, same order)"
     );
 }

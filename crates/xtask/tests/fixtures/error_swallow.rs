@@ -1,0 +1,34 @@
+//! Fixture: error-swallow. Scanned via `audit_single` as crate `graph`
+//! (a product crate): discarding the `Result` of a workspace function via
+//! `let _ =` or a statement-level `.ok();` is a finding unless justified.
+
+pub struct Store;
+
+impl Store {
+    fn write(&self) -> Result<(), String> {
+        Err("disk".to_string())
+    }
+
+    /// `let _ =` discard of a workspace fallible call.
+    pub fn flush(&self) {
+        let _ = self.write();
+    }
+
+    /// Statement-level `.ok();` discard of a workspace fallible call.
+    pub fn sync(&self) {
+        self.write().ok();
+    }
+
+    /// A justified discard stays visible as a suppression.
+    pub fn shutdown(&self) {
+        // audit:allow(error-swallow): fixture justification for the discard
+        let _ = self.write();
+    }
+
+    /// Propagation is not a swallow: `?` consumes the Result.
+    pub fn careful(&self) -> Result<(), String> {
+        self.write()?;
+        let _ = self.write()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: panic-reachable. Scanned via `audit_single` as crate `idset`
+//! (panic-free), so the lexical panic-path rule runs alongside the
+//! interprocedural reachability rule — the counts pin how they differ.
+
+pub struct Loader;
+
+impl Loader {
+    /// Public root: reaches a panic two private hops down. Only the
+    /// interprocedural rule connects this API to the `decode` sink.
+    pub fn load(&self) -> u32 {
+        self.locate(3)
+    }
+
+    fn locate(&self, x: u32) -> u32 {
+        decode(x)
+    }
+}
+
+fn decode(x: u32) -> u32 {
+    let v: Option<u32> = Some(x);
+    v.expect("decode invariant")
+}
+
+/// A justified panic site: one allow at the sink suppresses both the
+/// lexical panic-path finding and the panic-reachable chain.
+pub fn checked(xs: &[u32]) -> u32 {
+    // audit:allow(panic-path): fixture justification at the panic site
+    xs.first().copied().unwrap()
+}
+
+/// Strict tier: a raw index one private hop from a public root. Reported
+/// only under `--strict`, exactly like the lexical slice-index rule.
+pub fn head(xs: &[u32]) -> u32 {
+    nth(xs)
+}
+
+fn nth(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+/// Panics but is reachable from no public root: the lexical rule still
+/// flags it, the interprocedural rule does not.
+fn dead_helper() {
+    panic!("unreachable from any public root");
+}

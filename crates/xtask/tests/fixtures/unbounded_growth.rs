@@ -1,0 +1,49 @@
+//! Fixture: unbounded-growth. Scanned via `audit_single` as crate `core`:
+//! growth calls on long-lived (`Session`-family) state are findings unless
+//! a cap/eviction/byte-accounting hint is reachable from the growing
+//! function — including through a callee, which is what makes the rule
+//! interprocedural.
+
+pub struct Session {
+    log: Vec<u64>,
+    cache: Vec<u64>,
+    tagged: Vec<u64>,
+}
+
+impl Session {
+    /// Unbounded: nothing reachable from here bounds `log`.
+    pub fn record(&mut self, v: u64) {
+        self.log.push(v);
+    }
+
+    /// Bounded interprocedurally: the eviction lives in a callee whose
+    /// name carries no bound hint of its own.
+    pub fn admit(&mut self, v: u64) {
+        self.cache.push(v);
+        self.drop_oldest();
+    }
+
+    fn drop_oldest(&mut self) {
+        if self.cache.len() > 8 {
+            self.cache.truncate(8);
+        }
+    }
+
+    /// Justified growth stays visible as a suppression.
+    pub fn tag(&mut self, v: u64) {
+        // audit:allow(unbounded-growth): fixture justification for the growth
+        self.tagged.push(v);
+    }
+}
+
+/// Short-lived builders are not flagged: `Builder` is not a long-lived
+/// type name.
+pub struct Builder {
+    parts: Vec<u64>,
+}
+
+impl Builder {
+    pub fn part(&mut self, v: u64) {
+        self.parts.push(v);
+    }
+}
