@@ -1,0 +1,261 @@
+//! Multi-session service load profile: per-edge-step latency under
+//! concurrent sessions, and write `BENCH_service.json`.
+//!
+//! The paper's interactivity premise is per-user: every `New` step must
+//! fit inside GUI think time. A deployed service multiplexes many users
+//! over one shared system and one verification pool, so the question
+//! becomes: *how does per-step latency degrade as sessions pile on?*
+//! This profile measures exactly that through the real protocol path
+//! (`SessionManager::handle_line`, fair gate included): at 1, 8, 64 and
+//! 256 concurrent sessions, every session replays derived containment
+//! queries and each `edge` frame's end-to-end handling time is recorded.
+//!
+//! Reported per round: p50/p99 per-edge-step latency, p99 Run latency,
+//! frames processed, and the fair-gate saturation signal
+//! (`srv.queue_wait_ns` traffic). The p99 at 64 sessions is gated under
+//! `PRAGUE_SERVICE_GATE_MS` (default 1000 ms) — the service keeps
+//! sub-second steps at realistic multi-user load even on a small host.
+//!
+//! Output: `BENCH_service.json` (override via `PRAGUE_SERVICE_OUT`).
+
+use prague::SystemParams;
+use prague_datagen::{derive_containment_query, MoleculeConfig, QuerySpec};
+use prague_mining::mine_classified;
+use prague_obs::{names, Obs};
+use prague_server::{ServerConfig, SessionManager, SystemClock};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent-session counts, one round each.
+const SESSION_COUNTS: [usize; 4] = [1, 8, 64, 256];
+/// Query replays per session per round.
+const REPLAYS: usize = 2;
+/// Derived query sizes (edges), rotated across sessions. Shallow mining
+/// (3-edge fragments) keeps these unindexed, so every step computes
+/// candidates and Run verifies on the pool — the contended regime.
+const QUERY_SIZES: [usize; 3] = [3, 4, 5];
+/// Mining cap (see above).
+const SHALLOW_MINING_EDGES: usize = 3;
+/// Database size. Fixed, like `exp_par_scaling`: the variable under
+/// study is the session count, not the data scale.
+const GRAPHS: usize = 600;
+/// Verification pool workers shared by every session.
+const THREADS: usize = 4;
+
+struct Round {
+    sessions: usize,
+    steps: usize,
+    step_p50: Duration,
+    step_p99: Duration,
+    run_p99: Duration,
+    wall: Duration,
+    frames: u64,
+    queue_waits: u64,
+}
+
+fn percentile(xs: &mut [Duration], p: usize) -> Duration {
+    assert!(!xs.is_empty());
+    xs.sort_unstable();
+    xs[(xs.len() - 1) * p / 100]
+}
+
+/// Replay `spec` once through the protocol; returns (edge-step
+/// latencies, Run latency). Every frame must be `ok`.
+fn replay(mgr: &SessionManager, spec: &QuerySpec) -> (Vec<Duration>, Duration) {
+    let ok = |frame: &str, resp: &str| {
+        assert!(
+            resp.contains("\"ok\":true"),
+            "frame failed: {frame} -> {resp}"
+        );
+    };
+    let open = mgr.handle_line("{\"op\":\"open\"}", None);
+    ok("open", &open);
+    let sid: u64 = open
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches('}').parse().ok())
+        .expect("open frame carries the session id");
+    for &l in &spec.node_labels {
+        let frame = format!("{{\"op\":\"node\",\"session\":{sid},\"label\":{}}}", l.0);
+        ok(&frame, &mgr.handle_line(&frame, None));
+    }
+    let mut steps = Vec::with_capacity(spec.edges.len());
+    for &(u, v) in &spec.edges {
+        let frame = format!("{{\"op\":\"edge\",\"session\":{sid},\"u\":{u},\"v\":{v}}}");
+        let t0 = Instant::now();
+        let resp = mgr.handle_line(&frame, None);
+        steps.push(t0.elapsed());
+        ok(&frame, &resp);
+    }
+    let run_frame = format!("{{\"op\":\"run\",\"session\":{sid}}}");
+    let t0 = Instant::now();
+    let resp = mgr.handle_line(&run_frame, None);
+    let run = t0.elapsed();
+    ok(&run_frame, &resp);
+    let close = format!("{{\"op\":\"close\",\"session\":{sid}}}");
+    ok(&close, &mgr.handle_line(&close, None));
+    (steps, run)
+}
+
+fn main() {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: GRAPHS,
+        seed: 0x5E41CE,
+        ..Default::default()
+    });
+    let mining = mine_classified(&ds.db, 0.1, SHALLOW_MINING_EDGES);
+    let mut system = prague::PragueSystem::from_mining_result(
+        ds.db,
+        ds.labels,
+        mining,
+        SystemParams {
+            alpha: 0.1,
+            beta: 2,
+            max_fragment_edges: SHALLOW_MINING_EDGES,
+            ..Default::default()
+        },
+    )
+    .expect("index build");
+    system.warm().expect("fresh store warms");
+    system.set_threads(THREADS);
+    system.set_obs(Obs::enabled());
+
+    let specs: Vec<QuerySpec> = QUERY_SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            (0..50u64)
+                .find_map(|attempt| {
+                    derive_containment_query(
+                        system.db(),
+                        size,
+                        0x5E41CE + i as u64 * 7919 + attempt * 104_729,
+                        &format!("S{}", i + 1),
+                    )
+                })
+                .expect("containment query derivable")
+        })
+        .collect();
+
+    let mgr = Arc::new(SessionManager::new(
+        Arc::new(system),
+        ServerConfig::default(),
+        Arc::new(SystemClock::new()),
+    ));
+
+    let mut rounds: Vec<Round> = Vec::new();
+    for &sessions in &SESSION_COUNTS {
+        let obs_before = mgr.system().obs().snapshot().expect("obs enabled");
+        let t0 = Instant::now();
+        let (mut steps, mut runs): (Vec<Duration>, Vec<Duration>) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|s| {
+                    let mgr = Arc::clone(&mgr);
+                    let spec = specs[s % specs.len()].clone();
+                    scope.spawn(move || {
+                        let mut steps = Vec::new();
+                        let mut runs = Vec::new();
+                        for _ in 0..REPLAYS {
+                            let (s, r) = replay(&mgr, &spec);
+                            steps.extend(s);
+                            runs.push(r);
+                        }
+                        (steps, runs)
+                    })
+                })
+                .collect();
+            let mut steps = Vec::new();
+            let mut runs = Vec::new();
+            for h in handles {
+                let (s, r) = h.join().expect("session thread");
+                steps.extend(s);
+                runs.extend(r);
+            }
+            (steps, runs)
+        });
+        let wall = t0.elapsed();
+        let snap = mgr.system().obs().snapshot().expect("obs enabled");
+        let delta = |n: &str| {
+            snap.counter(n)
+                .unwrap_or(0)
+                .saturating_sub(obs_before.counter(n).unwrap_or(0))
+        };
+        let queue_waits = snap
+            .histogram(names::SRV_QUEUE_WAIT_NS)
+            .map_or(0, |h| h.count);
+        let round = Round {
+            sessions,
+            steps: steps.len(),
+            step_p50: percentile(&mut steps, 50),
+            step_p99: percentile(&mut steps, 99),
+            run_p99: percentile(&mut runs, 99),
+            wall,
+            frames: delta(names::SRV_FRAMES),
+            queue_waits,
+        };
+        eprintln!(
+            "[service-load] sessions {:>3}: {} steps, step p50 {:.2}ms p99 {:.2}ms, \
+             run p99 {:.2}ms, {} frames in {:.0}ms",
+            round.sessions,
+            round.steps,
+            round.step_p50.as_secs_f64() * 1e3,
+            round.step_p99.as_secs_f64() * 1e3,
+            round.run_p99.as_secs_f64() * 1e3,
+            round.frames,
+            round.wall.as_secs_f64() * 1e3
+        );
+        rounds.push(round);
+    }
+
+    let entries: Vec<String> = rounds
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"sessions\":{},\"steps\":{},\"step_p50_ms\":{:.3},",
+                    "\"step_p99_ms\":{:.3},\"run_p99_ms\":{:.3},\"wall_ms\":{:.3},",
+                    "\"frames\":{},\"queue_waits\":{}}}"
+                ),
+                r.sessions,
+                r.steps,
+                r.step_p50.as_secs_f64() * 1e3,
+                r.step_p99.as_secs_f64() * 1e3,
+                r.run_p99.as_secs_f64() * 1e3,
+                r.wall.as_secs_f64() * 1e3,
+                r.frames,
+                r.queue_waits
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"experiment\":\"service_load\",\"graphs\":{},\"threads\":{},",
+            "\"replays\":{},\"rounds\":[{}]}}"
+        ),
+        GRAPHS,
+        THREADS,
+        REPLAYS,
+        entries.join(",")
+    );
+    let out = std::env::var("PRAGUE_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_service.json");
+    eprintln!("[service-load] wrote {out} ({} bytes)", json.len());
+
+    // The acceptance gate: per-edge-step p99 at 64 concurrent sessions
+    // stays sub-second (override the bound via PRAGUE_SERVICE_GATE_MS).
+    let gate_ms: f64 = std::env::var("PRAGUE_SERVICE_GATE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000.0);
+    let at64 = rounds
+        .iter()
+        .find(|r| r.sessions == 64)
+        .expect("64-session round present");
+    let p99_ms = at64.step_p99.as_secs_f64() * 1e3;
+    assert!(
+        p99_ms < gate_ms,
+        "service gate failed: 64-session step p99 {p99_ms:.1}ms >= {gate_ms:.0}ms \
+         (see BENCH_service.json)"
+    );
+    eprintln!("[service-load] gate passed: 64-session step p99 {p99_ms:.1}ms < {gate_ms:.0}ms");
+}

@@ -18,7 +18,17 @@ USAGE:
   prague run      alias of `query`
   prague interactive --catalog <FILE.prgc> [--sigma <K=2>] [--beta <B=8>]
                   [--threads <N=1>] [--stats[=json]]
+  prague serve    --catalog <FILE.prgc> [--addr <HOST:PORT=127.0.0.1:7474>]
+                  [--sigma <K=2>] [--beta <B=8>] [--threads <N=1>]
+                  [--max-sessions <N=1024>] [--idle-secs <S=300>]
+                  [--stats[=json]]
   prague help
+
+`serve` hosts the multi-session query service: one JSON frame per line
+over TCP (frame reference in README.md § \"The query service\"). It runs
+until stdin is closed, then shuts down cleanly (sessions closed,
+connection threads joined); with `--stats` the observability snapshot —
+including the `srv.*` service metrics — is printed on exit.
 
 `--stats` prints the observability snapshot (span tree, counters,
 histograms; see ARCHITECTURE.md § Performance model) after the query;
@@ -121,6 +131,27 @@ pub struct InteractiveArgs {
     pub stats: StatsMode,
 }
 
+/// Parsed `serve` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Catalog path.
+    pub catalog: PathBuf,
+    /// Listen address (`HOST:PORT`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Default distance threshold σ for sessions that don't override it.
+    pub sigma: usize,
+    /// Fragment size threshold β for the rebuilt index.
+    pub beta: usize,
+    /// Verification worker threads shared by all sessions.
+    pub threads: usize,
+    /// Hard cap on concurrently live sessions.
+    pub max_sessions: usize,
+    /// Idle seconds before a session is expired.
+    pub idle_secs: u64,
+    /// Observability reporting mode.
+    pub stats: StatsMode,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -134,6 +165,8 @@ pub enum Command {
     Query(QueryArgs),
     /// Formulate a query interactively on stdin.
     Interactive(InteractiveArgs),
+    /// Host the multi-session TCP query service.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -317,6 +350,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 stats: stats_mode(&pairs)?,
             }))
         }
+        "serve" => {
+            let pairs = flags(rest)?;
+            Ok(Command::Serve(ServeArgs {
+                catalog: required(&pairs, "--catalog")?,
+                addr: get(&pairs, "--addr")
+                    .unwrap_or("127.0.0.1:7474")
+                    .to_string(),
+                sigma: parse_num(&pairs, "--sigma", 2usize)?,
+                beta: parse_num(&pairs, "--beta", 8usize)?,
+                threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
+                max_sessions: parse_num(&pairs, "--max-sessions", 1024usize)?.max(1),
+                idle_secs: parse_num(&pairs, "--idle-secs", 300u64)?.max(1),
+                stats: stats_mode(&pairs)?,
+            }))
+        }
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
 }
@@ -373,6 +421,40 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse_args(&argv(
+            "serve --catalog c.prgc --addr 0.0.0.0:7575 --sigma 3 --threads 4 \
+             --max-sessions 64 --idle-secs 30 --stats=json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.catalog, PathBuf::from("c.prgc"));
+                assert_eq!(s.addr, "0.0.0.0:7575");
+                assert_eq!(s.sigma, 3);
+                assert_eq!(s.threads, 4);
+                assert_eq!(s.max_sessions, 64);
+                assert_eq!(s.idle_secs, 30);
+                assert_eq!(s.stats, StatsMode::Json);
+            }
+            _ => panic!(),
+        }
+        match parse_args(&argv("serve --catalog c.prgc")).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, "127.0.0.1:7474");
+                assert_eq!(s.max_sessions, 1024);
+                assert_eq!(s.idle_secs, 300);
+                assert_eq!(s.stats, StatsMode::Off);
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(
+            parse_args(&argv("serve")),
+            Err(ParseError::Missing("--catalog"))
+        ));
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Command implementations.
 
-use crate::args::{BuildArgs, GenerateArgs, InteractiveArgs, QueryArgs, StatsArgs, StatsMode};
+use crate::args::{
+    BuildArgs, GenerateArgs, InteractiveArgs, QueryArgs, ServeArgs, StatsArgs, StatsMode,
+};
 use prague::{persist, PragueSystem, QueryResults, SystemParams};
 use prague_datagen::{GraphGenConfig, MoleculeConfig};
 use prague_graph::io::{read_lg_file, write_lg_file};
 use prague_graph::{Graph, LabelTable};
 use prague_mining::mine_classified;
 use prague_obs::Obs;
+use prague_server::{Server, ServerConfig, SessionManager, SystemClock};
 
 /// `prague generate`: write a synthetic dataset in `.lg` format.
 pub fn generate(args: &GenerateArgs) -> Result<(), String> {
@@ -263,6 +266,75 @@ pub fn interactive(args: &InteractiveArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `prague serve`: host the multi-session query service over a loaded
+/// catalog. Runs until stdin closes (so `prague serve … < /dev/null`
+/// starts, prints the bound address, and exits cleanly — the CI smoke),
+/// then shuts down: sessions closed, speculative verification cancelled,
+/// connection threads joined.
+pub fn serve(args: &ServeArgs) -> Result<(), String> {
+    serve_until(args, std::io::stdin().lock(), |addr| {
+        println!("listening on {addr}");
+    })
+}
+
+/// The testable core of [`serve`]: the service runs until `control`
+/// (stdin in production) reaches EOF; `on_ready` observes the bound
+/// address before any connection is accepted.
+pub fn serve_until<R: std::io::BufRead>(
+    args: &ServeArgs,
+    control: R,
+    on_ready: impl FnOnce(std::net::SocketAddr),
+) -> Result<(), String> {
+    let (db, labels, mining) = persist::load_catalog(&args.catalog).map_err(|e| e.to_string())?;
+    let max_edges = mining.frequent.iter().map(|f| f.size()).max().unwrap_or(1);
+    let mut system = PragueSystem::from_mining_result(
+        db,
+        labels,
+        mining,
+        SystemParams {
+            alpha: 0.0,
+            beta: args.beta,
+            max_fragment_edges: max_edges,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    system.warm().map_err(|e| e.to_string())?;
+    system.set_threads(args.threads);
+    if args.stats.is_on() {
+        system.set_obs(Obs::enabled());
+    }
+    let system = std::sync::Arc::new(system);
+    let manager = std::sync::Arc::new(SessionManager::new(
+        std::sync::Arc::clone(&system),
+        ServerConfig {
+            default_sigma: args.sigma,
+            max_sessions: args.max_sessions,
+            idle_timeout: std::time::Duration::from_secs(args.idle_secs),
+            ..ServerConfig::default()
+        },
+        std::sync::Arc::new(SystemClock::new()),
+    ));
+    let server = Server::bind(&args.addr, std::sync::Arc::clone(&manager))
+        .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    on_ready(server.local_addr());
+    // Park on the control stream; EOF (or a read error) is the shutdown
+    // signal. Lines typed here are ignored — the protocol runs over TCP.
+    for line in control.lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    server.shutdown();
+    let stats = manager.lifecycle_stats();
+    eprintln!(
+        "shutdown: {} opened, {} closed, {} expired, {} evicted",
+        stats.opened, stats.closed, stats.expired, stats.evicted
+    );
+    print_stats(&system, args.stats);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +387,75 @@ mod tests {
         .unwrap();
 
         for p in [data, catalog, qfile] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_answers_frames_and_shuts_down_on_control_eof() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let data = temp("srv-d.lg");
+        let catalog = temp("srv-c.prgc");
+        generate(&GenerateArgs {
+            kind: "molecules".into(),
+            graphs: 60,
+            out: data.clone(),
+            seed: 5,
+            labels: 20,
+        })
+        .unwrap();
+        build(&BuildArgs {
+            data: data.clone(),
+            out: catalog.clone(),
+            alpha: 0.2,
+            max_edges: 3,
+        })
+        .unwrap();
+
+        let args = ServeArgs {
+            catalog: catalog.clone(),
+            addr: "127.0.0.1:0".into(),
+            sigma: 2,
+            beta: 2,
+            threads: 2,
+            max_sessions: 16,
+            idle_secs: 60,
+            stats: StatsMode::Off,
+        };
+        // `on_ready` runs while the server is live; the empty control
+        // stream then shuts it down as soon as the closure returns.
+        serve_until(&args, std::io::empty(), |addr| {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut ask = |frame: &str| {
+                writeln!(stream, "{frame}").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                line
+            };
+            assert!(ask("{\"op\":\"ping\"}").contains("\"pong\":true"));
+            let open = ask("{\"op\":\"open\"}");
+            assert!(open.contains("\"session\":1"), "{open}");
+            for _ in 0..3 {
+                let n = ask("{\"op\":\"node\",\"session\":1,\"name\":\"C\"}");
+                assert!(n.contains("\"ok\":true"), "{n}");
+            }
+            for (u, v) in [(0, 1), (1, 2)] {
+                let e = ask(&format!(
+                    "{{\"op\":\"edge\",\"session\":1,\"u\":{u},\"v\":{v}}}"
+                ));
+                assert!(e.contains("\"status\":"), "{e}");
+            }
+            let run = ask("{\"op\":\"run\",\"session\":1}");
+            assert!(run.contains("\"kind\":"), "{run}");
+            assert!(ask("{\"op\":\"stats\"}").contains("\"sessions\":1"));
+            assert!(ask("{\"op\":\"close\",\"session\":1}").contains("\"closed\":true"));
+            assert!(ask("garbage").contains("bad_json"));
+        })
+        .unwrap();
+
+        for p in [data, catalog] {
             std::fs::remove_file(p).ok();
         }
     }

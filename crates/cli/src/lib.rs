@@ -30,6 +30,7 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Stats(s) => commands::stats(&s),
         Command::Query(q) => commands::query(&q),
         Command::Interactive(i) => commands::interactive(&i),
+        Command::Serve(s) => commands::serve(&s),
         Command::Help => {
             println!("{}", args::USAGE);
             Ok(())

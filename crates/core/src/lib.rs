@@ -250,6 +250,17 @@ impl PragueSystem {
         Session::new(self, sigma)
     }
 
+    /// Start a formulation session that co-owns the system through this
+    /// `Arc`. Unlike [`PragueSystem::session`] the result is
+    /// `Session<'static>`, so it can be stored (e.g. in the
+    /// `prague-server` session manager) and moved across threads while
+    /// other sessions share the same read-mostly system. Note the system
+    /// behind a shared `Arc` cannot be mutated ([`PragueSystem::insert_graph`]
+    /// needs `&mut`), so live sessions never observe an index-epoch change.
+    pub fn session_shared(self: &Arc<Self>, sigma: usize) -> Session<'static> {
+        Session::new_shared(Arc::clone(self), sigma)
+    }
+
     /// The data graphs.
     pub fn db(&self) -> &GraphDb {
         &self.db

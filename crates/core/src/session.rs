@@ -189,9 +189,32 @@ struct CachedVerifier {
     verifier: SimVerifier,
 }
 
+/// How a [`Session`] reaches its [`PragueSystem`]: borrowed (the
+/// original single-user shape — the session cannot outlive the system and
+/// the system cannot mutate while it lives) or shared through an [`Arc`]
+/// (the `prague-server` shape — hundreds of `Session<'static>`s co-own
+/// one read-mostly system and can be stored in a session manager). Both
+/// deref to the same `&PragueSystem`, so every session method is
+/// oblivious to the ownership mode.
+enum SystemHandle<'a> {
+    Borrowed(&'a PragueSystem),
+    Shared(Arc<PragueSystem>),
+}
+
+impl std::ops::Deref for SystemHandle<'_> {
+    type Target = PragueSystem;
+
+    fn deref(&self) -> &PragueSystem {
+        match self {
+            SystemHandle::Borrowed(s) => s,
+            SystemHandle::Shared(s) => s,
+        }
+    }
+}
+
 /// One user's formulation session.
 pub struct Session<'a> {
-    system: &'a PragueSystem,
+    system: SystemHandle<'a>,
     /// Subgraph distance threshold σ for similarity search.
     pub sigma: usize,
     query: VisualQuery,
@@ -224,11 +247,32 @@ pub struct Session<'a> {
     verify_cost: VerifyCost,
 }
 
+// The server hands sessions across connection-handler threads and parks
+// them inside a shared manager; both moves are only sound if these hold,
+// so pin them at compile time rather than trusting auto-trait drift.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Session<'static>>();
+    assert_sync::<PragueSystem>();
+};
+
 impl<'a> Session<'a> {
     pub(crate) fn new(system: &'a PragueSystem, sigma: usize) -> Self {
+        Self::with_handle(SystemHandle::Borrowed(system), sigma)
+    }
+
+    /// A session that co-owns the system: the `prague-server` entry point,
+    /// where sessions outlive any one borrow of the shared [`PragueSystem`].
+    pub(crate) fn new_shared(system: Arc<PragueSystem>, sigma: usize) -> Session<'static> {
+        Session::with_handle(SystemHandle::Shared(system), sigma)
+    }
+
+    fn with_handle(system: SystemHandle<'a>, sigma: usize) -> Session<'a> {
         let obs = system.obs().clone();
         let mut spigs = SpigSet::new();
         spigs.set_obs(obs.clone());
+        let index_epoch = system.index_epoch();
         Session {
             system,
             sigma,
@@ -241,7 +285,7 @@ impl<'a> Session<'a> {
             log: SessionLog::default(),
             memo: CandMemo::new(obs.clone()),
             memo_enabled: true,
-            index_epoch: system.index_epoch(),
+            index_epoch,
             obs,
             generation: 0,
             pending: None,

@@ -1,13 +1,16 @@
-//! Minimal JSON support for the audit engine: a string escaper used by
-//! every emitter ([`crate::audit::Report::to_json`], the baseline writer,
-//! the call-graph dump) and a small recursive-descent parser used to read
-//! committed baselines back — and, in the tests, to round-trip the
-//! hand-rolled report serialization through a real parser so escaping bugs
-//! (raw `"`/`\` in paths or messages) cannot silently corrupt CI input.
+//! Minimal serde-free JSON support shared across the workspace: a string
+//! escaper used by every hand-rolled emitter (the [`crate::Snapshot`] JSON
+//! exporter, `xtask`'s audit report/baseline writers, the `prague-server`
+//! response encoder) and a small recursive-descent parser used wherever
+//! JSON must be read back — committed audit baselines, and every request
+//! frame of the `prague-server` wire protocol.
 //!
-//! The workspace has no serde; this is a complete parser for the JSON the
-//! audit emits (objects, arrays, strings with every escape form including
-//! `\uXXXX` surrogate pairs, integer/float numbers, booleans, null).
+//! The workspace has no serde; this is a complete parser for ordinary
+//! JSON documents (objects, arrays, strings with every escape form
+//! including `\uXXXX` surrogate pairs, integer/float numbers, booleans,
+//! null). It lives in `prague-obs` because that crate is the std-only
+//! root of the dependency graph — everything that needs JSON already
+//! depends on it.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -168,7 +171,8 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Value) -> Result<Value, ParseError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -253,7 +257,8 @@ impl Parser<'_> {
                             let hi = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&hi) {
                                 // surrogate pair: expect \uXXXX low half
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+                                if rest.starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&lo) {
@@ -287,8 +292,9 @@ impl Parser<'_> {
                     while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
                         self.pos += 1;
                     }
+                    let raw = self.bytes.get(start..self.pos).unwrap_or(&[]);
                     out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
+                        std::str::from_utf8(raw)
                             .map_err(|_| self.err("invalid UTF-8 in string"))?,
                     );
                 }
@@ -323,8 +329,8 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
+        let raw = self.bytes.get(start..self.pos).unwrap_or(&[]);
+        let text = std::str::from_utf8(raw).map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Value::Number)
             .map_err(|_| ParseError {

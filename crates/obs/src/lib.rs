@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 #[path = "names_mod.rs"]
 pub mod names;
 mod registry;

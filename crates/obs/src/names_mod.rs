@@ -116,6 +116,51 @@ pub const CAND_MEMO_MISSES: &str = "cand.memo_misses";
 /// (compressed `IdSet` containers; shared sets counted once per entry).
 pub const CAND_IDSET_BYTES: &str = "cand.idset_bytes";
 
+// ---- service layer (prague-server) -----------------------------------
+//
+// The `srv.*` family is emitted by `prague-server`'s `SessionManager`
+// and connection loop, not by `Session` itself, so it lives in its own
+// [`SRV_ALL`] table — documented by the `srv-names` marker table of
+// ARCHITECTURE.md § "Service layer" and pinned by
+// `tests/integration_service.rs`.
+
+/// Sessions opened (`open` frames accepted by the manager).
+pub const SRV_SESSIONS_OPENED: &str = "srv.sessions_opened";
+/// Sessions closed explicitly (`close` frames, including connection
+/// teardown closing the sessions the connection had opened).
+pub const SRV_SESSIONS_CLOSED: &str = "srv.sessions_closed";
+/// Sessions expired by the idle sweep (no frame within the idle timeout).
+pub const SRV_SESSIONS_EXPIRED: &str = "srv.sessions_expired";
+/// Sessions evicted for exceeding their per-session memory budget
+/// (measured in candidate-memo heap bytes, the `cand.idset_bytes` pool).
+pub const SRV_SESSIONS_EVICTED: &str = "srv.sessions_evicted";
+/// Protocol frames processed (every well-formed request, ok or error).
+pub const SRV_FRAMES: &str = "srv.frames";
+/// Frames answered with a typed error (malformed JSON, unknown session,
+/// oversized line, rejected action — never a panic).
+pub const SRV_FRAME_ERRORS: &str = "srv.frame_errors";
+/// End-to-end latency of each processed frame (latency buckets) — the
+/// service-level per-edge-step SRT of `BENCH_service.json`.
+pub const SRV_FRAME_NS: &str = "srv.frame_ns";
+/// Time a session's verify-carrying frame waited for its fair-scheduler
+/// grant before touching the shared pool (latency buckets). Growth here
+/// under load means sessions are queueing behind each other's
+/// verification, not that verification itself got slower.
+pub const SRV_QUEUE_WAIT_NS: &str = "srv.queue_wait_ns";
+
+/// Every documented service-layer metric with its kind, in table order.
+/// The `srv-names` table of ARCHITECTURE.md must list exactly these.
+pub const SRV_ALL: &[(&str, MetricKind)] = &[
+    (SRV_SESSIONS_OPENED, MetricKind::Counter),
+    (SRV_SESSIONS_CLOSED, MetricKind::Counter),
+    (SRV_SESSIONS_EXPIRED, MetricKind::Counter),
+    (SRV_SESSIONS_EVICTED, MetricKind::Counter),
+    (SRV_FRAMES, MetricKind::Counter),
+    (SRV_FRAME_ERRORS, MetricKind::Counter),
+    (SRV_FRAME_NS, MetricKind::Histogram),
+    (SRV_QUEUE_WAIT_NS, MetricKind::Histogram),
+];
+
 // ---- histograms ------------------------------------------------------
 
 /// Blob-store backing-file read latency (latency buckets).
@@ -178,13 +223,13 @@ pub const ALL: &[(&str, MetricKind)] = &[
 
 #[cfg(test)]
 mod tests {
-    use super::ALL;
+    use super::{ALL, SRV_ALL};
     use std::collections::BTreeSet;
 
     #[test]
     fn names_are_unique_and_dotted_lowercase() {
         let mut seen = BTreeSet::new();
-        for (name, _) in ALL {
+        for (name, _) in ALL.iter().chain(SRV_ALL) {
             assert!(seen.insert(*name), "duplicate metric name {name}");
             assert!(
                 name.chars()

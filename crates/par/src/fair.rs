@@ -1,0 +1,360 @@
+//! Fair cross-session admission onto the shared verification pool.
+//!
+//! The pool itself is FIFO per worker queue: whoever submits first runs
+//! first. That is the right default for one session, but the multi-session
+//! server funnels *every* session's verification batches into one pool —
+//! and a heavy session (large `R_q`, many edges) that submits whenever it
+//! likes would keep the queues full and starve light sessions out of
+//! their GUI latency budget. [`FairGate`] is the admission valve in front
+//! of the pool: a fixed number of global slots, a per-key quota, and a
+//! FIFO-with-quota-skip grant order.
+//!
+//! * a caller acquires a permit for its key (the server uses the session
+//!   id) before submitting pool work, and drops it when the work is
+//!   joined;
+//! * at most `total_slots` permits exist at once, so admitted work is
+//!   bounded regardless of session count;
+//! * at most `per_key_quota` of them belong to one key, so one session
+//!   can never hold the whole pool;
+//! * waiters are granted in arrival order, **except** that a waiter whose
+//!   key is already at quota is skipped — later arrivals under other keys
+//!   overtake it. A heavy session's backlog therefore queues behind every
+//!   light session's next request, which is exactly round-robin when all
+//!   sessions are saturated.
+//!
+//! The gate is advisory — it does not wrap the pool API, it serializes
+//! *admission* to it — so single-session paths (CLI, benches) keep
+//! submitting directly with zero overhead. Like the pool, it survives
+//! poisoning (recoveries counted in `par.poisoned`) and blocks on a
+//! condvar in a predicate loop.
+
+use prague_obs::{names, Obs};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Lock with poison recovery; same contract as the pool's helper (gate
+/// state is updated in whole steps, so a panicking sibling cannot leave
+/// it half-written), and every recovery is counted.
+fn lock<'a, T>(m: &'a Mutex<T>, obs: &Obs) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        obs.add(names::PAR_POISONED, 1);
+        poisoned.into_inner()
+    })
+}
+
+struct GateState {
+    /// Permits currently out, all keys.
+    in_use: usize,
+    /// Permits currently out, per key (entries removed at zero).
+    held: BTreeMap<u64, usize>,
+    /// Waiters in arrival order: (ticket, key). Bounded by the number of
+    /// concurrently blocked caller threads, one entry each.
+    waiting: VecDeque<(u64, u64)>,
+    /// Next arrival ticket.
+    next_ticket: u64,
+}
+
+impl GateState {
+    /// Whether the waiter holding `ticket` (for `key`) may proceed now:
+    /// a global slot is free, its key is under quota, and no *eligible*
+    /// waiter is ahead of it (waiters ahead whose keys are at quota are
+    /// skipped — that is the fairness rule).
+    fn may_grant(&self, ticket: u64, key: u64, total: usize, quota: usize) -> bool {
+        if self.in_use >= total || self.held.get(&key).copied().unwrap_or(0) >= quota {
+            return false;
+        }
+        for &(t, k) in &self.waiting {
+            if t == ticket {
+                return true;
+            }
+            if self.held.get(&k).copied().unwrap_or(0) < quota {
+                return false; // an eligible earlier arrival goes first
+            }
+        }
+        // not registered (fast path before enqueueing): no eligible waiter
+        // ahead means the queue holds only quota-capped keys
+        true
+    }
+
+    fn take(&mut self, key: u64) {
+        self.in_use += 1;
+        *self.held.entry(key).or_insert(0) += 1;
+    }
+}
+
+/// A bounded, per-key-fair admission gate for shared-pool submission.
+/// See the [module docs](self) for the grant order.
+pub struct FairGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    total_slots: usize,
+    per_key_quota: usize,
+    obs: Obs,
+}
+
+impl FairGate {
+    /// A gate with `total_slots` global permits, at most `per_key_quota`
+    /// per key. Both are clamped to at least 1 (a zero quota could never
+    /// grant and would deadlock the first caller).
+    pub fn new(total_slots: usize, per_key_quota: usize, obs: Obs) -> Self {
+        FairGate {
+            state: Mutex::new(GateState {
+                in_use: 0,
+                held: BTreeMap::new(),
+                waiting: VecDeque::new(),
+                next_ticket: 0,
+            }),
+            freed: Condvar::new(),
+            total_slots: total_slots.max(1),
+            per_key_quota: per_key_quota.max(1).min(total_slots.max(1)),
+            obs,
+        }
+    }
+
+    /// Global permit count.
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+
+    /// Per-key permit cap.
+    pub fn per_key_quota(&self) -> usize {
+        self.per_key_quota
+    }
+
+    /// Permits currently out (diagnostic snapshot).
+    pub fn in_use(&self) -> usize {
+        lock(&self.state, &self.obs).in_use
+    }
+
+    /// Callers currently blocked in [`FairGate::acquire`] (diagnostic
+    /// snapshot; used by tests to sequence cross-thread scenarios).
+    pub fn waiters(&self) -> usize {
+        lock(&self.state, &self.obs).waiting.len()
+    }
+
+    /// Acquire a permit for `key`, blocking until the grant order allows
+    /// it. The returned permit releases on drop; [`FairPermit::waited`]
+    /// reports how long admission took (the server records it as
+    /// `srv.queue_wait_ns`).
+    pub fn acquire(&self, key: u64) -> FairPermit<'_> {
+        let t0 = Instant::now();
+        let mut state = lock(&self.state, &self.obs);
+        if state.may_grant(u64::MAX, key, self.total_slots, self.per_key_quota) {
+            state.take(key);
+            drop(state);
+            return FairPermit {
+                gate: self,
+                key,
+                waited: t0.elapsed(),
+            };
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket = state.next_ticket.wrapping_add(1);
+        state.waiting.push_back((ticket, key));
+        while !state.may_grant(ticket, key, self.total_slots, self.per_key_quota) {
+            state = self.freed.wait(state).unwrap_or_else(|poisoned| {
+                self.obs.add(names::PAR_POISONED, 1);
+                poisoned.into_inner()
+            });
+        }
+        state.waiting.retain(|&(t, _)| t != ticket);
+        state.take(key);
+        // a skipped-over waiter behind us may be eligible for a different
+        // free slot; re-evaluate everyone
+        self.freed.notify_all();
+        drop(state);
+        FairPermit {
+            gate: self,
+            key,
+            waited: t0.elapsed(),
+        }
+    }
+
+    /// Acquire without blocking: `None` when a blocking acquire would
+    /// have to wait.
+    pub fn try_acquire(&self, key: u64) -> Option<FairPermit<'_>> {
+        let mut state = lock(&self.state, &self.obs);
+        if state.may_grant(u64::MAX, key, self.total_slots, self.per_key_quota) {
+            state.take(key);
+            Some(FairPermit {
+                gate: self,
+                key,
+                waited: Duration::ZERO,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn release(&self, key: u64) {
+        let mut state = lock(&self.state, &self.obs);
+        state.in_use = state.in_use.saturating_sub(1);
+        if let Some(n) = state.held.get_mut(&key) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                state.held.remove(&key);
+            }
+        }
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+/// An admission permit from a [`FairGate`]; released on drop.
+pub struct FairPermit<'a> {
+    gate: &'a FairGate,
+    key: u64,
+    waited: Duration,
+}
+
+impl FairPermit<'_> {
+    /// The key this permit was acquired under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// How long the acquiring call blocked before admission.
+    pub fn waited(&self) -> Duration {
+        self.waited
+    }
+}
+
+impl Drop for FairPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gate(total: usize, quota: usize) -> Arc<FairGate> {
+        Arc::new(FairGate::new(total, quota, Obs::disabled()))
+    }
+
+    /// Poll until `cond` holds — the gate exposes snapshot counters
+    /// precisely so cross-thread tests can sequence without sleeps.
+    fn wait_until(cond: impl Fn() -> bool) {
+        let t0 = Instant::now();
+        while !cond() {
+            assert!(t0.elapsed() < Duration::from_secs(10), "test stalled");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn uncontended_acquire_is_immediate() {
+        let g = gate(4, 2);
+        let a = g.acquire(1);
+        let b = g.acquire(1);
+        assert_eq!(g.in_use(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn quota_caps_one_key_but_not_others() {
+        let g = gate(4, 2);
+        let _a = g.acquire(1);
+        let _b = g.acquire(1);
+        assert!(g.try_acquire(1).is_none(), "key 1 is at quota");
+        assert!(g.try_acquire(2).is_some(), "other keys unaffected");
+    }
+
+    #[test]
+    fn total_slots_cap_all_keys() {
+        let g = gate(2, 2);
+        let _a = g.acquire(1);
+        let _b = g.acquire(2);
+        assert!(g.try_acquire(3).is_none(), "no free global slot");
+    }
+
+    #[test]
+    fn later_key_overtakes_quota_capped_backlog() {
+        let g = gate(2, 1);
+        let a = g.acquire(1);
+        // key 1's second request queues behind its quota …
+        let g2 = Arc::clone(&g);
+        let backlog = std::thread::spawn(move || {
+            let p = g2.acquire(1);
+            p.waited()
+        });
+        wait_until(|| g.waiters() == 1);
+        // … while key 2, arriving later, is admitted straight away.
+        let b = g
+            .try_acquire(2)
+            .expect("later key must skip a quota-capped waiter");
+        assert_eq!(g.waiters(), 1, "key 1's backlog is still queued");
+        drop(a); // frees key 1's quota: the backlog proceeds
+        let waited = backlog.join().expect("backlog thread");
+        assert!(waited >= Duration::ZERO);
+        drop(b);
+        assert_eq!(g.in_use(), 0);
+    }
+
+    #[test]
+    fn arrival_order_wins_among_eligible_keys() {
+        let g = gate(1, 1);
+        let a = g.acquire(1);
+        let g2 = Arc::clone(&g);
+        let first = std::thread::spawn(move || {
+            let _p = g2.acquire(2);
+            2u64
+        });
+        wait_until(|| g.waiters() == 1);
+        let g3 = Arc::clone(&g);
+        let second = std::thread::spawn(move || {
+            let _p = g3.acquire(3);
+            3u64
+        });
+        wait_until(|| g.waiters() == 2);
+        // Only one slot: key 2 queued first, so it must be granted first.
+        // We can't observe grant *order* directly without racing, but we
+        // can assert the invariant that unblocking happens at all and the
+        // gate drains to zero with both waiters served.
+        drop(a);
+        assert_eq!(first.join().expect("first"), 2);
+        assert_eq!(second.join().expect("second"), 3);
+        wait_until(|| g.in_use() == 0);
+    }
+
+    #[test]
+    fn stress_never_exceeds_caps() {
+        let g = gate(3, 1);
+        let peak = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..8u64)
+            .map(|key| {
+                let g = Arc::clone(&g);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _p = g.acquire(key % 4);
+                        let now = g.in_use();
+                        let mut guard = peak.lock().expect("peak lock");
+                        *guard = (*guard).max(now);
+                        drop(guard);
+                        assert!(now <= 3, "global cap violated: {now}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress thread");
+        }
+        assert_eq!(g.in_use(), 0);
+        assert!(*peak.lock().expect("peak lock") <= 3);
+    }
+
+    #[test]
+    fn zero_parameters_are_clamped() {
+        let g = FairGate::new(0, 0, Obs::disabled());
+        assert_eq!(g.total_slots(), 1);
+        assert_eq!(g.per_key_quota(), 1);
+        let p = g.acquire(9);
+        assert_eq!(p.key(), 9);
+    }
+}

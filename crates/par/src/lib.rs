@@ -70,9 +70,11 @@
 
 mod cancel;
 pub mod contract;
+pub mod fair;
 mod pool;
 pub mod sched;
 pub mod tuning;
 
 pub use cancel::CancelToken;
+pub use fair::{FairGate, FairPermit};
 pub use pool::{Batch, Pool};

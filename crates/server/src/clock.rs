@@ -1,0 +1,102 @@
+//! Time source abstraction for session lifecycle decisions.
+//!
+//! Idle expiry compares "now" against each session's last-used stamp.
+//! Testing that with the OS clock means sleeping through real timeouts;
+//! instead the manager takes a [`Clock`] and the lifecycle tests drive a
+//! [`FakeClock`] forward deterministically. Production uses
+//! [`SystemClock`] — a monotonic nanosecond counter anchored at
+//! construction (never the wall clock, which can step backwards).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond counter. Implementations must be cheap —
+/// the manager reads it on every frame.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin; never decreases.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: monotonic time since construction.
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at the moment of this call.
+    pub fn new() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of uptime; the saturating cast
+        // is unreachable in practice but keeps this panic-free.
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for deterministic lifecycle tests: time moves
+/// only when the test says so.
+#[derive(Default)]
+pub struct FakeClock {
+    ns: AtomicU64,
+}
+
+impl FakeClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        FakeClock {
+            ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance by `d` (saturating).
+    pub fn advance(&self, d: Duration) {
+        let delta = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let _ = self
+            .ns
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                Some(cur.saturating_add(delta))
+            });
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_moves_only_on_advance() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(Duration::from_secs(3));
+        assert_eq!(c.now_ns(), 3_000_000_000);
+        assert_eq!(c.now_ns(), 3_000_000_000);
+        c.advance(Duration::from_nanos(7));
+        assert_eq!(c.now_ns(), 3_000_000_007);
+    }
+}

@@ -1,0 +1,371 @@
+//! The wire protocol: one JSON object per line, request → response.
+//!
+//! Each frame is a single `\n`-terminated JSON object with an `"op"`
+//! field naming the action; everything the paper's GUI does maps to one
+//! op. Responses always carry `"ok"`: `true` with op-specific fields, or
+//! `false` with a stable machine-readable `"error"` code and a human
+//! `"message"`. The full frame reference lives in README.md § "The query
+//! service"; parsing reuses the workspace's serde-free JSON parser
+//! ([`prague_obs::json`]) so the server adds no dependencies.
+//!
+//! Robustness contract (pinned by `tests/protocol.rs`): malformed JSON,
+//! wrong-typed fields, unknown ops, and oversized lines each produce a
+//! typed error frame — never a panic, never a dropped connection (except
+//! oversized lines, where the peer is misbehaving and the connection
+//! closes after the error frame).
+
+use prague_obs::json::{self, Value};
+
+/// Hard cap on one frame line, terminator included. Long enough for any
+/// legitimate query (64 edges ≈ a few hundred bytes), short enough that
+/// a peer streaming garbage cannot balloon connection buffers.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; carries no state.
+    Ping,
+    /// Create a session; `sigma` defaults to the server's configured σ.
+    Open {
+        /// Subgraph distance threshold override.
+        sigma: Option<usize>,
+    },
+    /// Drop a node on the canvas, by numeric label or by name.
+    Node {
+        /// Target session.
+        session: u64,
+        /// Numeric label id (used when `name` is absent).
+        label: Option<u16>,
+        /// Label name resolved against the system's label table.
+        name: Option<String>,
+    },
+    /// Draw an edge (the paper's `New` action).
+    Edge {
+        /// Target session.
+        session: u64,
+        /// First endpoint (canvas node id).
+        u: u32,
+        /// Second endpoint (canvas node id).
+        v: u32,
+    },
+    /// Delete one or more edges (the paper's `Modify` action).
+    Delete {
+        /// Target session.
+        session: u64,
+        /// Edge labels ℓ to delete.
+        edges: Vec<u32>,
+    },
+    /// Relabel a canvas node (footnote 5: delete + re-insert).
+    Relabel {
+        /// Target session.
+        session: u64,
+        /// Canvas node id.
+        node: u32,
+        /// New numeric label.
+        label: u16,
+    },
+    /// Switch the session to similarity mode (`SimQuery`).
+    Similar {
+        /// Target session.
+        session: u64,
+    },
+    /// Execute the query (`Run`).
+    Run {
+        /// Target session.
+        session: u64,
+    },
+    /// Service-level statistics (no session required).
+    Stats,
+    /// Close a session and free its state.
+    Close {
+        /// Target session.
+        session: u64,
+    },
+}
+
+/// A protocol-level failure: stable `code` for machines, `message` for
+/// humans. Rendered as an `"ok": false` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad_frame(message: impl Into<String>) -> ProtoError {
+    ProtoError {
+        code: "bad_frame",
+        message: message.into(),
+    }
+}
+
+/// Extract a required non-negative integer field that fits in `max`.
+fn int_field(v: &Value, key: &str, max: u64) -> Result<u64, ProtoError> {
+    let field = v
+        .get(key)
+        .ok_or_else(|| bad_frame(format!("missing field '{key}'")))?;
+    let f = field
+        .as_f64()
+        .ok_or_else(|| bad_frame(format!("field '{key}' must be a number")))?;
+    if !f.is_finite() || f < 0.0 || f.fract() != 0.0 || f > max as f64 {
+        return Err(bad_frame(format!(
+            "field '{key}' must be an integer in [0, {max}]"
+        )));
+    }
+    Ok(f as u64)
+}
+
+fn opt_int_field(v: &Value, key: &str, max: u64) -> Result<Option<u64>, ProtoError> {
+    if v.get(key).is_none() {
+        return Ok(None);
+    }
+    int_field(v, key, max).map(Some)
+}
+
+fn session_field(v: &Value) -> Result<u64, ProtoError> {
+    int_field(v, "session", u64::MAX >> 11) // 2^53: exact in f64
+}
+
+/// Parse one request line. `line` must be exactly one JSON object
+/// (surrounding whitespace tolerated, trailing `\n` stripped by the
+/// transport).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    if line.len() > MAX_LINE {
+        return Err(ProtoError {
+            code: "line_too_long",
+            message: format!("frame exceeds {MAX_LINE} bytes"),
+        });
+    }
+    let value = json::parse(line).map_err(|e| ProtoError {
+        code: "bad_json",
+        message: e.to_string(),
+    })?;
+    if value.as_object().is_none() {
+        return Err(bad_frame("frame must be a JSON object"));
+    }
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad_frame("missing string field 'op'"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "open" => Ok(Request::Open {
+            sigma: opt_int_field(&value, "sigma", 64)?.map(|s| s as usize),
+        }),
+        "node" => {
+            let session = session_field(&value)?;
+            let name = value
+                .get("name")
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| bad_frame("field 'name' must be a string"))
+                })
+                .transpose()?;
+            let label = opt_int_field(&value, "label", u64::from(u16::MAX))?.map(|l| l as u16);
+            if name.is_none() && label.is_none() {
+                return Err(bad_frame("'node' needs 'label' or 'name'"));
+            }
+            Ok(Request::Node {
+                session,
+                label,
+                name,
+            })
+        }
+        "edge" => Ok(Request::Edge {
+            session: session_field(&value)?,
+            u: int_field(&value, "u", u64::from(u32::MAX))? as u32,
+            v: int_field(&value, "v", u64::from(u32::MAX))? as u32,
+        }),
+        "delete" => {
+            let session = session_field(&value)?;
+            let edges = match value.get("edges") {
+                Some(arr) => {
+                    let items = arr
+                        .as_array()
+                        .ok_or_else(|| bad_frame("field 'edges' must be an array"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        let f = item
+                            .as_f64()
+                            .ok_or_else(|| bad_frame("'edges' entries must be numbers"))?;
+                        if !f.is_finite() || f < 0.0 || f.fract() != 0.0 || f > u32::MAX as f64 {
+                            return Err(bad_frame("'edges' entries must be u32 integers"));
+                        }
+                        out.push(f as u32);
+                    }
+                    out
+                }
+                None => vec![int_field(&value, "edge", u64::from(u32::MAX))? as u32],
+            };
+            if edges.is_empty() {
+                return Err(bad_frame("'delete' needs at least one edge"));
+            }
+            Ok(Request::Delete { session, edges })
+        }
+        "relabel" => Ok(Request::Relabel {
+            session: session_field(&value)?,
+            node: int_field(&value, "node", u64::from(u32::MAX))? as u32,
+            label: int_field(&value, "label", u64::from(u16::MAX))? as u16,
+        }),
+        "similar" => Ok(Request::Similar {
+            session: session_field(&value)?,
+        }),
+        "run" => Ok(Request::Run {
+            session: session_field(&value)?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "close" => Ok(Request::Close {
+            session: session_field(&value)?,
+        }),
+        other => Err(ProtoError {
+            code: "unknown_op",
+            message: format!("unknown op '{other}'"),
+        }),
+    }
+}
+
+/// Render an error response frame.
+pub fn error_frame(code: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        json::escape(code),
+        json::escape(message)
+    )
+}
+
+impl ProtoError {
+    /// This error as a response frame.
+    pub fn to_frame(&self) -> String {
+        error_frame(self.code, &self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}"), Ok(Request::Ping));
+        assert_eq!(
+            parse_request("{\"op\":\"open\",\"sigma\":2}"),
+            Ok(Request::Open { sigma: Some(2) })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"open\"}"),
+            Ok(Request::Open { sigma: None })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"node\",\"session\":1,\"label\":3}"),
+            Ok(Request::Node {
+                session: 1,
+                label: Some(3),
+                name: None
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"node\",\"session\":1,\"name\":\"C\"}"),
+            Ok(Request::Node {
+                session: 1,
+                label: None,
+                name: Some("C".into())
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"edge\",\"session\":1,\"u\":0,\"v\":1}"),
+            Ok(Request::Edge {
+                session: 1,
+                u: 0,
+                v: 1
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"delete\",\"session\":1,\"edge\":2}"),
+            Ok(Request::Delete {
+                session: 1,
+                edges: vec![2]
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"delete\",\"session\":1,\"edges\":[2,3]}"),
+            Ok(Request::Delete {
+                session: 1,
+                edges: vec![2, 3]
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"relabel\",\"session\":1,\"node\":0,\"label\":5}"),
+            Ok(Request::Relabel {
+                session: 1,
+                node: 0,
+                label: 5
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"similar\",\"session\":4}"),
+            Ok(Request::Similar { session: 4 })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"run\",\"session\":4}"),
+            Ok(Request::Run { session: 4 })
+        );
+        assert_eq!(parse_request("{\"op\":\"stats\"}"), Ok(Request::Stats));
+        assert_eq!(
+            parse_request("{\"op\":\"close\",\"session\":4}"),
+            Ok(Request::Close { session: 4 })
+        );
+    }
+
+    #[test]
+    fn malformed_frames_get_typed_errors() {
+        assert_eq!(parse_request("not json").unwrap_err().code, "bad_json");
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, "bad_frame");
+        assert_eq!(parse_request("{}").unwrap_err().code, "bad_frame");
+        assert_eq!(
+            parse_request("{\"op\":\"warp\"}").unwrap_err().code,
+            "unknown_op"
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"run\"}").unwrap_err().code,
+            "bad_frame"
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"run\",\"session\":-1}")
+                .unwrap_err()
+                .code,
+            "bad_frame"
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"run\",\"session\":1.5}")
+                .unwrap_err()
+                .code,
+            "bad_frame"
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"edge\",\"session\":1,\"u\":0}")
+                .unwrap_err()
+                .code,
+            "bad_frame"
+        );
+        let long = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(MAX_LINE));
+        assert_eq!(parse_request(&long).unwrap_err().code, "line_too_long");
+    }
+
+    #[test]
+    fn error_frames_escape_payloads() {
+        let f = error_frame("bad_json", "quote \" and \\ backslash");
+        assert!(f.contains("\\\""));
+        assert!(prague_obs::json::parse(&f).is_ok());
+    }
+}

@@ -1,0 +1,155 @@
+//! The TCP transport: one thread per connection, one JSON frame per line.
+//!
+//! The transport is deliberately thin — all protocol and scheduling
+//! logic lives in [`SessionManager`] — and hardened at the edges:
+//!
+//! * lines are read with an explicit [`crate::protocol::MAX_LINE`] cap;
+//!   a peer that streams past it gets one `line_too_long` error frame
+//!   and the connection is closed (buffers never balloon);
+//! * a half-closed or reset connection tears down cleanly: every session
+//!   the connection opened (and did not close) is closed for it, which
+//!   cancels any in-flight speculative verification via the session's
+//!   own drop path;
+//! * reads use a short timeout so connection threads observe shutdown
+//!   promptly; [`Server`] joins its accept loop and every connection
+//!   thread on [`Server::shutdown`]/drop — no leaked threads.
+
+use crate::manager::{ConnSessions, SessionManager};
+use crate::protocol::{error_frame, MAX_LINE};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval for the accept loop and connection reads; bounds how
+/// long shutdown waits on an idle socket.
+const POLL: Duration = Duration::from_millis(20);
+
+/// A running query service bound to a TCP port.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start accepting connections against `manager`.
+    pub fn bind(addr: &str, manager: Arc<SessionManager>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &manager, &flag));
+        Ok(Server {
+            addr: local,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join every connection thread, and return. Also
+    /// runs on drop; calling it explicitly just makes teardown visible.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            // A panicked accept loop already tore the service down; there
+            // is nothing further to unwind here.
+            drop(handle.join());
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, manager: &Arc<SessionManager>, shutdown: &Arc<AtomicBool>) {
+    // Connection handles live only on this thread; reaped as connections
+    // finish so the list tracks live connections, not connection history.
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let manager = Arc::clone(manager);
+                let flag = Arc::clone(shutdown);
+                conns.retain(|h| !h.is_finished());
+                conns.push(std::thread::spawn(move || {
+                    serve_conn(stream, &manager, &flag)
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    for h in conns {
+        drop(h.join());
+    }
+}
+
+/// Serve one connection until EOF, error, oversized line, or shutdown.
+/// On every exit path the connection's surviving sessions are closed.
+fn serve_conn(stream: TcpStream, manager: &Arc<SessionManager>, shutdown: &Arc<AtomicBool>) {
+    let mut owned = ConnSessions::new();
+    run_conn(stream, manager, shutdown, &mut owned);
+    owned.close_all(manager);
+}
+
+fn run_conn(
+    mut stream: TcpStream,
+    manager: &Arc<SessionManager>,
+    shutdown: &Arc<AtomicBool>,
+    owned: &mut ConnSessions,
+) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !shutdown.load(Ordering::SeqCst) {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF / half-close
+            Ok(n) => {
+                buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=nl).collect();
+                    let text = String::from_utf8_lossy(&line);
+                    let response = manager.handle_line(text.trim(), Some(owned));
+                    if write_frame(&mut stream, &response).is_err() {
+                        return;
+                    }
+                }
+                if buf.len() > MAX_LINE {
+                    // The peer is streaming an unterminated frame past
+                    // the cap: reply once, then hang up.
+                    let frame = error_frame("line_too_long", "frame exceeds the line cap");
+                    drop(write_frame(&mut stream, &frame));
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return, // reset / broken pipe
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &str) -> std::io::Result<()> {
+    stream.write_all(frame.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

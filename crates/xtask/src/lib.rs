@@ -4,11 +4,13 @@
 //! [`lexer`] for the token model it runs on, [`interproc`] for the
 //! workspace symbol table / call graph behind the interprocedural rules,
 //! and [`json`] for the serde-free JSON support (escaping + a parser for
-//! committed baselines). The engine is exposed as a library so the
-//! integration tests can run rules over fixture sources and assert exact
-//! finding counts.
+//! committed baselines) — re-exported from `prague-obs`, where it moved
+//! so the `prague-server` wire protocol can share the same parser. The
+//! engine is exposed as a library so the integration tests can run rules
+//! over fixture sources and assert exact finding counts.
 
 pub mod audit;
 pub mod interproc;
-pub mod json;
 pub mod lexer;
+
+pub use prague_obs::json;

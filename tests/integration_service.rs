@@ -1,0 +1,747 @@
+//! Service-layer integration: the multi-session query service must be a
+//! transparent multiplexer over single-user sessions.
+//!
+//! Four angles, mirroring the service contract in ARCHITECTURE.md
+//! § "Service layer":
+//!
+//! * **cross-session determinism** (proptest): N sessions replaying N
+//!   edit scripts *concurrently* through the manager — protocol frames,
+//!   OS interleaving, fair-gate admission and all — observe exactly the
+//!   per-step statuses, candidate counts, suggestions, results, and
+//!   total `verify.vf2_states` of the same N scripts replayed
+//!   *sequentially* on plain borrowed `Session`s;
+//! * **protocol robustness**: a storm of malformed, oversized, and
+//!   abruptly-disconnected TCP connections produces typed error frames
+//!   and clean teardown — never a panic, never a leaked session, and
+//!   `par.poisoned == 0` afterwards;
+//! * **fairness**: a 12-edge heavy session hammering the shared pool
+//!   cannot starve 32 light sessions out of interactive step latency;
+//! * **docs drift**: the `srv-names` table in ARCHITECTURE.md matches
+//!   `prague_obs::names::SRV_ALL`, and live service traffic emits only
+//!   documented `srv.*` metrics.
+
+use prague::session::{Session, StepStatus};
+use prague::{PragueSystem, QueryResults, SystemParams};
+use prague_datagen::{derive_containment_query, MoleculeConfig, QuerySpec};
+use prague_graph::{Graph, GraphDb, Label, NodeId};
+use prague_obs::json::{self, Value};
+use prague_obs::{names, Obs};
+use prague_server::{Server, ServerConfig, SessionManager, SystemClock};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// shared fixtures (same shapes as integration_par.rs)
+// ---------------------------------------------------------------------------
+
+fn connected_graph(max_n: usize, label_count: u16) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..label_count, n);
+        let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+        let extras = proptest::collection::vec((0..n, 0..n), 0..=2);
+        (labels, parents, extras).prop_map(move |(labels, parents, extras)| {
+            let mut g = Graph::new();
+            for &l in &labels {
+                g.add_node(Label(l));
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                g.add_edge((i + 1) as NodeId, (p as usize % (i + 1)) as NodeId)
+                    .unwrap();
+            }
+            for &(a, b) in &extras {
+                if a != b {
+                    let _ = g.add_edge(a as NodeId, b as NodeId);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn small_db() -> impl Strategy<Value = GraphDb> {
+    proptest::collection::vec(connected_graph(6, 3), 4..10).prop_map(GraphDb::from_graphs)
+}
+
+/// A query spec from a random connected graph, edges in connected growth
+/// order.
+fn query_spec() -> impl Strategy<Value = QuerySpec> {
+    connected_graph(5, 3).prop_map(|g| {
+        let mut order: Vec<u32> = Vec::new();
+        let mut wired = std::collections::HashSet::new();
+        while order.len() < g.edge_count() {
+            for e in 0..g.edge_count() as u32 {
+                if order.contains(&e) {
+                    continue;
+                }
+                let edge = g.edge(e);
+                if order.is_empty() || wired.contains(&edge.u) || wired.contains(&edge.v) {
+                    order.push(e);
+                    wired.insert(edge.u);
+                    wired.insert(edge.v);
+                }
+            }
+        }
+        let mut node_map = vec![u32::MAX; g.node_count()];
+        let mut node_labels = Vec::new();
+        let mut edges = Vec::new();
+        for &e in &order {
+            let edge = g.edge(e);
+            for &n in &[edge.u, edge.v] {
+                if node_map[n as usize] == u32::MAX {
+                    node_map[n as usize] = node_labels.len() as u32;
+                    node_labels.push(g.label(n));
+                }
+            }
+            edges.push((node_map[edge.u as usize], node_map[edge.v as usize]));
+        }
+        QuerySpec {
+            name: "P".into(),
+            node_labels,
+            edges,
+            similar_at: None,
+        }
+    })
+}
+
+fn build(db: GraphDb) -> PragueSystem {
+    PragueSystem::build(
+        db,
+        SystemParams {
+            alpha: 0.3,
+            beta: 2,
+            max_fragment_edges: 6,
+            ..Default::default()
+        },
+    )
+    .expect("builds")
+}
+
+/// Molecule fixture mined shallow so multi-edge queries always verify on
+/// the shared pool.
+fn shallow_molecule_system(threads: usize) -> PragueSystem {
+    let ds = prague_datagen::molecules_generate(&MoleculeConfig {
+        graphs: 150,
+        seed: 0x0B51,
+        ..Default::default()
+    });
+    let mut system = PragueSystem::build_with_labels(
+        ds.db,
+        ds.labels,
+        SystemParams {
+            alpha: 0.1,
+            beta: 2,
+            max_fragment_edges: 3,
+            ..Default::default()
+        },
+    )
+    .expect("system builds");
+    system.set_obs(Obs::enabled());
+    if threads > 1 {
+        system.set_threads(threads);
+    }
+    system
+}
+
+// ---------------------------------------------------------------------------
+// response parsing helpers
+// ---------------------------------------------------------------------------
+
+fn parsed(line: &str) -> Value {
+    json::parse(line).unwrap_or_else(|e| panic!("response not valid JSON ({e}): {line}"))
+}
+
+fn field_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field '{key}' in {v:?}")) as u64
+}
+
+fn field_str(v: &Value, key: &str) -> String {
+    v.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string field '{key}' in {v:?}"))
+        .to_owned()
+}
+
+fn assert_ok(v: &Value, line: &str) {
+    let ok = match v.get("ok") {
+        Some(Value::Bool(b)) => *b,
+        _ => false,
+    };
+    assert!(ok, "frame not ok: {line}");
+}
+
+// ---------------------------------------------------------------------------
+// cross-session determinism (the differential proptest)
+// ---------------------------------------------------------------------------
+
+/// Everything a replayed script makes observable through the protocol,
+/// with timing fields excluded.
+#[derive(Debug, Clone, PartialEq)]
+struct Trace {
+    /// Per edge step: (status, candidate count, suggested edge if any).
+    steps: Vec<(String, u64, Option<u64>)>,
+    /// Per Run (one after every edge): (kind, results). Exact matches
+    /// carry distance 0.
+    runs: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+fn status_name(s: StepStatus) -> &'static str {
+    match s {
+        StepStatus::Frequent => "frequent",
+        StepStatus::Infrequent => "infrequent",
+        StepStatus::Similar => "similar",
+    }
+}
+
+/// Reference replay: a plain borrowed session, no service in sight.
+fn replay_plain(session: &mut Session<'_>, spec: &QuerySpec) -> Trace {
+    let mut trace = Trace {
+        steps: Vec::new(),
+        runs: Vec::new(),
+    };
+    let nodes: Vec<_> = spec
+        .node_labels
+        .iter()
+        .map(|&l| session.add_node(l))
+        .collect();
+    for &(u, v) in &spec.edges {
+        let step = session
+            .add_edge(nodes[u as usize], nodes[v as usize])
+            .expect("spec edges are valid");
+        trace.steps.push((
+            status_name(step.status).to_owned(),
+            step.candidate_count as u64,
+            step.suggestion.as_ref().map(|s| u64::from(s.edge)),
+        ));
+        let outcome = session.run().expect("runnable mid-formulation");
+        let (kind, results) = match outcome.results {
+            QueryResults::Exact(ids) => (
+                "exact".to_owned(),
+                ids.iter().map(|&g| (u64::from(g), 0)).collect(),
+            ),
+            QueryResults::Similar(sim) => (
+                "similar".to_owned(),
+                sim.matches
+                    .iter()
+                    .map(|m| (u64::from(m.graph_id), m.distance as u64))
+                    .collect(),
+            ),
+        };
+        trace.runs.push((kind, results));
+    }
+    trace
+}
+
+/// Service replay: the same script through protocol frames against the
+/// shared manager.
+fn replay_service(mgr: &SessionManager, spec: &QuerySpec, sigma: usize) -> Trace {
+    let mut trace = Trace {
+        steps: Vec::new(),
+        runs: Vec::new(),
+    };
+    let open = mgr.handle_line(&format!("{{\"op\":\"open\",\"sigma\":{sigma}}}"), None);
+    let open_v = parsed(&open);
+    assert_ok(&open_v, &open);
+    let sid = field_u64(&open_v, "session");
+    for (i, &l) in spec.node_labels.iter().enumerate() {
+        let resp = mgr.handle_line(
+            &format!("{{\"op\":\"node\",\"session\":{sid},\"label\":{}}}", l.0),
+            None,
+        );
+        let v = parsed(&resp);
+        assert_ok(&v, &resp);
+        assert_eq!(field_u64(&v, "node"), i as u64, "canvas ids are dense");
+    }
+    for &(u, v) in &spec.edges {
+        let resp = mgr.handle_line(
+            &format!("{{\"op\":\"edge\",\"session\":{sid},\"u\":{u},\"v\":{v}}}"),
+            None,
+        );
+        let ev = parsed(&resp);
+        assert_ok(&ev, &resp);
+        trace.steps.push((
+            field_str(&ev, "status"),
+            field_u64(&ev, "candidates"),
+            ev.get("suggested_edge")
+                .and_then(Value::as_f64)
+                .map(|f| f as u64),
+        ));
+        let run = mgr.handle_line(&format!("{{\"op\":\"run\",\"session\":{sid}}}"), None);
+        let rv = parsed(&run);
+        assert_ok(&rv, &run);
+        let results = rv
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("run carries results")
+            .iter()
+            .map(|m| match m {
+                Value::Number(id) => (*id as u64, 0u64),
+                obj => (field_u64(obj, "graph"), field_u64(obj, "distance")),
+            })
+            .collect();
+        trace.runs.push((field_str(&rv, "kind"), results));
+    }
+    let close = mgr.handle_line(&format!("{{\"op\":\"close\",\"session\":{sid}}}"), None);
+    assert_ok(&parsed(&close), &close);
+    trace
+}
+
+fn vf2_states(obs: &Obs) -> u64 {
+    obs.snapshot()
+        .expect("obs enabled")
+        .counter(names::VERIFY_VF2_STATES)
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole differential: concurrent multi-session service
+    /// replay ≡ sequential single-session replay, per step and in total
+    /// VF2 accounting, at 1 and 4 verification threads.
+    #[test]
+    fn concurrent_sessions_match_sequential_replay(
+        db in small_db(),
+        specs in proptest::collection::vec(query_spec(), 2..5),
+        sigma in 1usize..3,
+    ) {
+        for threads in [1usize, 4] {
+            let mut system = build(db.clone());
+            if threads > 1 {
+                system.set_threads(threads);
+            }
+
+            // Phase 1 — sequential reference on borrowed sessions.
+            let seq_obs = Obs::enabled();
+            system.set_obs(seq_obs.clone());
+            let mut expected = Vec::with_capacity(specs.len());
+            for spec in &specs {
+                let mut session = system.session(sigma);
+                expected.push(replay_plain(&mut session, spec));
+            }
+            let seq_states = vf2_states(&seq_obs);
+
+            // Phase 2 — the same scripts, concurrently, through the
+            // service (protocol frames, fair gate, shared Arc system).
+            let srv_obs = Obs::enabled();
+            system.set_obs(srv_obs.clone());
+            let mgr = SessionManager::new(
+                Arc::new(system),
+                ServerConfig::default(),
+                Arc::new(SystemClock::new()),
+            );
+            let got: Vec<Trace> = std::thread::scope(|scope| {
+                let handles: Vec<_> = specs
+                    .iter()
+                    .map(|spec| scope.spawn(|| replay_service(&mgr, spec, sigma)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("session thread"))
+                    .collect()
+            });
+            let srv_states = vf2_states(&srv_obs);
+
+            prop_assert_eq!(
+                &got, &expected,
+                "service traces diverged from sequential replay at {} threads", threads
+            );
+            prop_assert_eq!(
+                srv_states, seq_states,
+                "vf2 accounting diverged at {} threads", threads
+            );
+            prop_assert_eq!(mgr.session_count(), 0, "all sessions closed");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// protocol robustness over TCP
+// ---------------------------------------------------------------------------
+
+fn service(threads: usize, cfg: ServerConfig) -> Arc<SessionManager> {
+    Arc::new(SessionManager::new(
+        Arc::new(shallow_molecule_system(threads)),
+        cfg,
+        Arc::new(SystemClock::new()),
+    ))
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|_| stream.write_all(b"\n"))
+        .expect("client write");
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("client read");
+    line.trim().to_owned()
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < Duration::from_secs(20), "timed out: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn malformed_and_hostile_connections_get_typed_errors_and_clean_teardown() {
+    let mgr = service(2, ServerConfig::default());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&mgr)).expect("bind");
+    let addr = server.local_addr();
+
+    // A storm of malformed frames on one connection: every one gets a
+    // typed error frame and the connection stays usable throughout.
+    let (mut stream, mut reader) = connect(addr);
+    let hostile: &[(&str, &str)] = &[
+        ("this is not json", "bad_json"),
+        ("{\"op\":\"warp\"}", "unknown_op"),
+        ("{}", "bad_frame"),
+        ("[1,2,3]", "bad_frame"),
+        ("\"just a string\"", "bad_frame"),
+        ("{\"op\":\"edge\",\"session\":1,\"u\":0}", "bad_frame"),
+        ("{\"op\":\"run\",\"session\":424242}", "unknown_session"),
+        ("{\"op\":\"open\",\"sigma\":-3}", "bad_frame"),
+        (
+            "{\"op\":\"node\",\"session\":1,\"label\":\"C\"}",
+            "bad_frame",
+        ),
+        ("{\"op\":\"run\",\"session\":1e40}", "bad_frame"),
+    ];
+    for &(frame, code) in hostile {
+        send_line(&mut stream, frame);
+        let resp = read_line(&mut reader);
+        let v = parsed(&resp);
+        assert_eq!(field_str(&v, "error"), code, "for frame {frame}: {resp}");
+    }
+    // ... and a valid frame on the same connection still works.
+    send_line(&mut stream, "{\"op\":\"ping\"}");
+    let pong = read_line(&mut reader);
+    assert_ok(&parsed(&pong), &pong);
+    drop(stream);
+
+    // An unterminated line one byte over the cap: one line_too_long
+    // frame, then the server hangs up (EOF on the client side). Exactly
+    // MAX_LINE + 1 bytes so the server has drained everything we sent
+    // before it closes — the FIN, and the error frame, arrive cleanly.
+    let (mut stream, mut reader) = connect(addr);
+    let garbage = vec![b'x'; prague_server::MAX_LINE + 1];
+    stream.write_all(&garbage).expect("oversized write");
+    stream.flush().expect("flush");
+    let resp = read_line(&mut reader);
+    assert_eq!(field_str(&parsed(&resp), "error"), "line_too_long");
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "server must close after an oversized line");
+    drop(stream);
+
+    // Mid-verify disconnect: a 4-edge carbon chain is never an indexed
+    // fragment here (shallow mining), so a speculative verify batch is
+    // in flight on the pool — then the client vanishes without a close
+    // frame. The transport must close the session, whose drop cancels
+    // the batch.
+    let (mut stream, mut reader) = connect(addr);
+    send_line(&mut stream, "{\"op\":\"open\"}");
+    let open = read_line(&mut reader);
+    let sid = field_u64(&parsed(&open), "session");
+    for _ in 0..5 {
+        send_line(
+            &mut stream,
+            &format!("{{\"op\":\"node\",\"session\":{sid},\"name\":\"C\"}}"),
+        );
+        read_line(&mut reader);
+    }
+    for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
+        send_line(
+            &mut stream,
+            &format!("{{\"op\":\"edge\",\"session\":{sid},\"u\":{u},\"v\":{v}}}"),
+        );
+        let resp = read_line(&mut reader);
+        assert_ok(&parsed(&resp), &resp);
+    }
+    assert_eq!(mgr.session_count(), 1);
+    drop((stream, reader)); // abrupt: no close frame (both fd clones!)
+    wait_until("abandoned session reaped", || mgr.session_count() == 0);
+
+    // Half-close: open a session, shut down the write side only. The
+    // server sees EOF and tears the connection's sessions down.
+    let (stream, mut reader) = connect(addr);
+    let mut writer = stream.try_clone().expect("clone");
+    send_line(&mut writer, "{\"op\":\"open\"}");
+    let open = read_line(&mut reader);
+    assert_ok(&parsed(&open), &open);
+    assert_eq!(mgr.session_count(), 1);
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    wait_until("half-closed session reaped", || mgr.session_count() == 0);
+    drop(stream);
+
+    // After the storm: a fresh connection runs a full happy path …
+    let (mut stream, mut reader) = connect(addr);
+    send_line(&mut stream, "{\"op\":\"open\"}");
+    let sid = field_u64(&parsed(&read_line(&mut reader)), "session");
+    for name in ["C", "C", "C"] {
+        send_line(
+            &mut stream,
+            &format!("{{\"op\":\"node\",\"session\":{sid},\"name\":\"{name}\"}}"),
+        );
+        read_line(&mut reader);
+    }
+    for (u, v) in [(0u32, 1u32), (1, 2)] {
+        send_line(
+            &mut stream,
+            &format!("{{\"op\":\"edge\",\"session\":{sid},\"u\":{u},\"v\":{v}}}"),
+        );
+        let resp = read_line(&mut reader);
+        assert_ok(&parsed(&resp), &resp);
+    }
+    send_line(
+        &mut stream,
+        &format!("{{\"op\":\"run\",\"session\":{sid}}}"),
+    );
+    let run = read_line(&mut reader);
+    let rv = parsed(&run);
+    assert_ok(&rv, &run);
+    assert_eq!(field_str(&rv, "kind"), "exact", "{run}");
+    send_line(
+        &mut stream,
+        &format!("{{\"op\":\"close\",\"session\":{sid}}}"),
+    );
+    let close = read_line(&mut reader);
+    assert_ok(&parsed(&close), &close);
+
+    // … and nothing was poisoned or leaked along the way.
+    let snap = mgr.system().obs().snapshot().expect("obs enabled");
+    assert_eq!(
+        snap.counter(names::PAR_POISONED).unwrap_or(0),
+        0,
+        "the storm must not poison any lock"
+    );
+    assert!(snap.counter(names::SRV_FRAME_ERRORS).unwrap_or(0) >= hostile.len() as u64);
+    assert_eq!(mgr.session_count(), 0);
+    let stats = mgr.lifecycle_stats();
+    assert_eq!(
+        stats.opened, stats.closed,
+        "every opened session was closed"
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// fairness: heavy vs light sessions
+// ---------------------------------------------------------------------------
+
+/// Replay `spec` through the service once, returning each edge frame's
+/// handling latency.
+fn timed_replay(mgr: &SessionManager, spec: &QuerySpec) -> Vec<Duration> {
+    let open = mgr.handle_line("{\"op\":\"open\"}", None);
+    let sid = field_u64(&parsed(&open), "session");
+    for &l in &spec.node_labels {
+        mgr.handle_line(
+            &format!("{{\"op\":\"node\",\"session\":{sid},\"label\":{}}}", l.0),
+            None,
+        );
+    }
+    let mut latencies = Vec::with_capacity(spec.edges.len());
+    for &(u, v) in &spec.edges {
+        let t0 = Instant::now();
+        let resp = mgr.handle_line(
+            &format!("{{\"op\":\"edge\",\"session\":{sid},\"u\":{u},\"v\":{v}}}"),
+            None,
+        );
+        latencies.push(t0.elapsed());
+        let ev = parsed(&resp);
+        assert_ok(&ev, &resp);
+    }
+    mgr.handle_line(&format!("{{\"op\":\"run\",\"session\":{sid}}}"), None);
+    mgr.handle_line(&format!("{{\"op\":\"close\",\"session\":{sid}}}"), None);
+    latencies
+}
+
+fn p99(mut xs: Vec<Duration>) -> Duration {
+    assert!(!xs.is_empty());
+    xs.sort_unstable();
+    xs[(xs.len() - 1) * 99 / 100]
+}
+
+#[test]
+fn heavy_session_cannot_starve_light_sessions() {
+    let mgr = service(
+        4,
+        ServerConfig {
+            fair_slots: 4,
+            per_session_quota: 1,
+            ..Default::default()
+        },
+    );
+    let db = mgr.system().db();
+    let heavy_spec = (3..100u64)
+        .find_map(|seed| derive_containment_query(db, 12, seed, "heavy"))
+        .expect("a 12-edge containment query exists");
+    let light_spec = (3..100u64)
+        .find_map(|seed| derive_containment_query(db, 2, seed, "light"))
+        .expect("a 2-edge containment query exists");
+
+    // Solo baseline: light sessions with the service to themselves.
+    let mut solo = Vec::new();
+    for _ in 0..20 {
+        solo.extend(timed_replay(&mgr, &light_spec));
+    }
+    let solo_p99 = p99(solo);
+
+    // Storm: one heavy session replays a 12-edge script in a loop while
+    // 32 light sessions (8 workers × 4 sessions each) keep stepping.
+    let stop = AtomicBool::new(false);
+    let light_latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let heavy = scope.spawn(|| {
+            let mut rounds = 0u32;
+            loop {
+                timed_replay(&mgr, &heavy_spec);
+                rounds += 1;
+                if stop.load(Ordering::SeqCst) {
+                    return rounds;
+                }
+            }
+        });
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    for _ in 0..4 {
+                        mine.extend(timed_replay(&mgr, &light_spec));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let collected: Vec<Duration> = workers
+            .into_iter()
+            .flat_map(|h| h.join().expect("light worker"))
+            .collect();
+        stop.store(true, Ordering::SeqCst);
+        let rounds = heavy.join().expect("heavy worker");
+        assert!(rounds >= 1, "the heavy session must actually run");
+        collected
+    });
+
+    let light_p99 = p99(light_latencies);
+    // Starvation looks like light steps queueing behind the heavy
+    // session's entire pool backlog — hundreds of ms and up. The pinned
+    // bound is deliberately generous (CPU oversubscription inflates
+    // absolute numbers on CI) while staying far below that regime.
+    let bound = solo_p99 * 50 + Duration::from_millis(50);
+    assert!(
+        light_p99 <= bound,
+        "light sessions starved: p99 {light_p99:?} vs solo {solo_p99:?} (bound {bound:?})"
+    );
+
+    // The gate's wait accounting saw traffic.
+    let snap = mgr.system().obs().snapshot().expect("obs enabled");
+    assert!(snap.counter(names::SRV_FRAMES).unwrap_or(0) > 0);
+    assert!(snap.histogram(names::SRV_QUEUE_WAIT_NS).is_some());
+}
+
+// ---------------------------------------------------------------------------
+// docs drift: the srv-names table
+// ---------------------------------------------------------------------------
+
+/// Parse the rows between the `srv-names` markers of ARCHITECTURE.md
+/// into `(name, kind-label)` pairs, in document order (same parser shape
+/// as `integration_obs.rs` uses for the core table).
+fn documented_srv_metrics() -> Vec<(String, String)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ARCHITECTURE.md");
+    let text = std::fs::read_to_string(path).expect("ARCHITECTURE.md readable");
+    let begin = text
+        .find("<!-- srv-names:begin -->")
+        .expect("srv-names:begin marker present");
+    let end = text
+        .find("<!-- srv-names:end -->")
+        .expect("srv-names:end marker present");
+    let mut rows = Vec::new();
+    for line in text[begin..end].lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some(first) = cells.nth(1) else { continue };
+        let Some(name) = first.strip_prefix('`').and_then(|s| s.strip_suffix('`')) else {
+            continue;
+        };
+        let kind = cells.next().expect("kind cell present").to_string();
+        rows.push((name.to_string(), kind));
+    }
+    rows
+}
+
+#[test]
+fn architecture_srv_table_matches_names_in_code() {
+    let documented = documented_srv_metrics();
+    let in_code: Vec<(String, String)> = names::SRV_ALL
+        .iter()
+        .map(|&(name, kind)| (name.to_string(), kind.label().to_string()))
+        .collect();
+    assert_eq!(
+        documented, in_code,
+        "ARCHITECTURE.md § Service layer and prague_obs::names::SRV_ALL \
+         must list exactly the same metrics in the same order"
+    );
+}
+
+/// Live service traffic emits `srv.*` metrics — and only documented ones.
+#[test]
+fn service_traffic_emits_only_documented_srv_metrics() {
+    let mgr = service(1, ServerConfig::default());
+    let spec = (3..100u64)
+        .find_map(|seed| derive_containment_query(mgr.system().db(), 2, seed, "emit"))
+        .expect("a 2-edge containment query exists");
+    timed_replay(&mgr, &spec);
+    mgr.handle_line("{\"op\":\"stats\"}", None);
+    mgr.handle_line("not json", None);
+    let snap = mgr.system().obs().snapshot().expect("obs enabled");
+    let documented: std::collections::BTreeSet<&str> =
+        names::SRV_ALL.iter().map(|&(n, _)| n).collect();
+    for name in snap.counter_names() {
+        if name.starts_with("srv.") {
+            assert!(
+                documented.contains(name.as_str()),
+                "undocumented srv counter: {name}"
+            );
+        }
+    }
+    for name in snap.histogram_names() {
+        if name.starts_with("srv.") {
+            assert!(
+                documented.contains(name.as_str()),
+                "undocumented srv histogram: {name}"
+            );
+        }
+    }
+    for &counter in &[
+        names::SRV_SESSIONS_OPENED,
+        names::SRV_SESSIONS_CLOSED,
+        names::SRV_FRAMES,
+        names::SRV_FRAME_ERRORS,
+    ] {
+        assert!(
+            snap.counter(counter).unwrap_or(0) > 0,
+            "expected traffic on {counter}"
+        );
+    }
+    assert!(snap.histogram(names::SRV_FRAME_NS).is_some());
+}
