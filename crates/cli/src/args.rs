@@ -20,8 +20,8 @@ USAGE:
                   [--threads <N=1>] [--stats[=json]]
   prague serve    --catalog <FILE.prgc> [--addr <HOST:PORT=127.0.0.1:7474>]
                   [--sigma <K=2>] [--beta <B=8>] [--threads <N=1>]
-                  [--max-sessions <N=1024>] [--idle-secs <S=300>]
-                  [--stats[=json]]
+                  [--max-sessions <N=1024>] [--max-conns <N=1024>]
+                  [--idle-secs <S=300>] [--stats[=json]]
   prague help
 
 `serve` hosts the multi-session query service: one JSON frame per line
@@ -146,6 +146,8 @@ pub struct ServeArgs {
     pub threads: usize,
     /// Hard cap on concurrently live sessions.
     pub max_sessions: usize,
+    /// Hard cap on concurrently served TCP connections.
+    pub max_conns: usize,
     /// Idle seconds before a session is expired.
     pub idle_secs: u64,
     /// Observability reporting mode.
@@ -361,6 +363,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 beta: parse_num(&pairs, "--beta", 8usize)?,
                 threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
                 max_sessions: parse_num(&pairs, "--max-sessions", 1024usize)?.max(1),
+                max_conns: parse_num(&pairs, "--max-conns", 1024usize)?.max(1),
                 idle_secs: parse_num(&pairs, "--idle-secs", 300u64)?.max(1),
                 stats: stats_mode(&pairs)?,
             }))
@@ -427,7 +430,7 @@ mod tests {
     fn parses_serve() {
         let cmd = parse_args(&argv(
             "serve --catalog c.prgc --addr 0.0.0.0:7575 --sigma 3 --threads 4 \
-             --max-sessions 64 --idle-secs 30 --stats=json",
+             --max-sessions 64 --max-conns 16 --idle-secs 30 --stats=json",
         ))
         .unwrap();
         match cmd {
@@ -437,6 +440,7 @@ mod tests {
                 assert_eq!(s.sigma, 3);
                 assert_eq!(s.threads, 4);
                 assert_eq!(s.max_sessions, 64);
+                assert_eq!(s.max_conns, 16);
                 assert_eq!(s.idle_secs, 30);
                 assert_eq!(s.stats, StatsMode::Json);
             }
@@ -446,6 +450,7 @@ mod tests {
             Command::Serve(s) => {
                 assert_eq!(s.addr, "127.0.0.1:7474");
                 assert_eq!(s.max_sessions, 1024);
+                assert_eq!(s.max_conns, 1024);
                 assert_eq!(s.idle_secs, 300);
                 assert_eq!(s.stats, StatsMode::Off);
             }

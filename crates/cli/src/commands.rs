@@ -310,6 +310,7 @@ pub fn serve_until<R: std::io::BufRead>(
         ServerConfig {
             default_sigma: args.sigma,
             max_sessions: args.max_sessions,
+            max_conns: args.max_conns,
             idle_timeout: std::time::Duration::from_secs(args.idle_secs),
             ..ServerConfig::default()
         },
@@ -420,6 +421,7 @@ mod tests {
             beta: 2,
             threads: 2,
             max_sessions: 16,
+            max_conns: 16,
             idle_secs: 60,
             stats: StatsMode::Off,
         };

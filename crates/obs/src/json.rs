@@ -114,11 +114,19 @@ impl fmt::Display for ParseError {
     }
 }
 
+/// Maximum container (object/array) nesting depth. The parser recurses
+/// once per level, and `prague-server` feeds it untrusted network input:
+/// without a cap, a frame of a few thousand `[`s overflows the
+/// connection thread's stack and aborts the whole process. 128 levels is
+/// far beyond any document the workspace reads or writes.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -132,6 +140,8 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -146,6 +156,21 @@ impl Parser<'_> {
         while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
+    }
+
+    /// Enter one container level; errors past [`MAX_DEPTH`]. A failed
+    /// parse abandons the whole document, so `exit` is only needed on
+    /// the success paths.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth -= 1;
     }
 
     fn eat(&mut self, b: u8) -> Result<(), ParseError> {
@@ -182,10 +207,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.eat(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&b'}') {
             self.pos += 1;
+            self.exit();
             return Ok(Value::Object(map));
         }
         loop {
@@ -201,6 +228,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.exit();
                     return Ok(Value::Object(map));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -210,10 +238,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.eat(b'[')?;
+        self.enter()?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&b']') {
             self.pos += 1;
+            self.exit();
             return Ok(Value::Array(out));
         }
         loop {
@@ -224,6 +254,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.exit();
                     return Ok(Value::Array(out));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -365,6 +396,30 @@ mod tests {
     fn surrogate_pairs_decode() {
         let v = parse(r#""😀""#).unwrap();
         assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Well under the cap: parses fine, siblings don't accumulate.
+        let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&shallow).is_ok());
+        let siblings = format!("[{},{}]", &shallow, &shallow);
+        assert!(parse(&siblings).is_ok());
+        // Exactly at the cap: still fine.
+        let at_cap = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_cap).is_ok());
+        // One past the cap: a typed error, not recursion to the brink.
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let e = parse(&over).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // The hostile shape from the wire: tens of thousands of opens
+        // in one 64 KiB frame. Must error, not abort the process.
+        let bomb = "[".repeat(32 * 1024);
+        let e = parse(&bomb).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        let obj_bomb = "{\"a\":".repeat(16 * 1024);
+        let e = parse(&obj_bomb).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
     }
 
     #[test]

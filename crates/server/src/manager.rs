@@ -27,6 +27,12 @@
 //! sits behind its own mutex; the manager map is locked only for
 //! lookup); frames for the same session serialize, which matches one
 //! user at one canvas.
+//!
+//! Sessions are **connection-scoped**: ids are sequential and therefore
+//! guessable, so frames arriving over a TCP connection may only address
+//! sessions that connection opened ([`ConnSessions::owns`]); a frame
+//! for anyone else's session is answered `unknown_session`, exactly as
+//! if the session did not exist.
 
 use crate::clock::Clock;
 use crate::protocol::{error_frame, parse_request, ProtoError, Request};
@@ -49,6 +55,11 @@ pub struct ServerConfig {
     /// Hard cap on concurrently live sessions; `open` beyond it fails
     /// with `server_full`.
     pub max_sessions: usize,
+    /// Hard cap on concurrently served TCP connections; an accept past
+    /// it is answered with one `too_many_connections` error frame and
+    /// closed (enforced by the transport, configured here so one struct
+    /// carries every service knob).
+    pub max_conns: usize,
     /// Per-session candidate-memo budget in bytes; a session observed
     /// over budget after a frame is evicted.
     pub session_memory_cap: usize,
@@ -66,6 +77,7 @@ impl Default for ServerConfig {
         ServerConfig {
             default_sigma: 2,
             max_sessions: 1024,
+            max_conns: 1024,
             session_memory_cap: 64 << 20,
             idle_timeout: Duration::from_secs(300),
             fair_slots: 8,
@@ -217,7 +229,17 @@ impl SessionManager {
             .sessions
             .iter()
             .filter(|(_, slot)| {
-                now.saturating_sub(slot.last_used_ns.load(Ordering::SeqCst)) > timeout
+                // A held session mutex means a frame is mid-flight on it
+                // right now — not idle, however stale the stamp looks
+                // (e.g. a long fair-gate wait under heavy contention).
+                // Poisoned counts as free: the frame that held it is
+                // gone, and expiring the wreck is the right outcome.
+                let in_flight = matches!(
+                    slot.session.try_lock(),
+                    Err(std::sync::TryLockError::WouldBlock)
+                );
+                !in_flight
+                    && now.saturating_sub(slot.last_used_ns.load(Ordering::SeqCst)) > timeout
             })
             .map(|(&id, _)| id)
             .collect();
@@ -252,7 +274,9 @@ impl SessionManager {
     /// Handle one raw request line: parse, dispatch, render the response
     /// frame. Never panics; every failure becomes an `"ok": false`
     /// frame. `opened`/`closed` session ids are appended to `lifecycle`
-    /// when provided so a connection can tear down what it owns.
+    /// when provided so a connection can tear down what it owns — and
+    /// when provided, session-addressed frames are restricted to the
+    /// sessions that connection opened (others get `unknown_session`).
     pub fn handle_line(&self, line: &str, lifecycle: Option<&mut ConnSessions>) -> String {
         let t0 = Instant::now();
         self.obs.add(names::SRV_FRAMES, 1);
@@ -275,6 +299,16 @@ impl SessionManager {
 
     fn dispatch(&self, req: Request, lifecycle: Option<&mut ConnSessions>) -> String {
         self.sweep_idle();
+        // Sessions are connection-scoped: ids are sequential (guessable),
+        // so a frame arriving over a connection may only address sessions
+        // that connection opened — anything else is answered exactly like
+        // a dead session, revealing nothing. In-process callers (tests,
+        // the bench harness) pass no `lifecycle` and stay unrestricted.
+        if let (Some(conn), Some(sid)) = (lifecycle.as_ref(), req.session_id()) {
+            if !conn.owns(sid) {
+                return self.unknown_session(sid);
+            }
+        }
         match req {
             Request::Ping => "{\"ok\":true,\"pong\":true}".to_owned(),
             Request::Open { sigma } => match self.open(sigma) {
@@ -410,6 +444,12 @@ impl SessionManager {
         let result = f(self, &mut session);
         let over_cap = session.memo().bytes() > self.cfg.session_memory_cap;
         drop(session);
+        // Stamp again now the frame is done: idleness is measured from
+        // the end of the last frame, not its start, so a frame that
+        // waited a long time at the fair gate doesn't leave a stale
+        // stamp behind for the next sweep to misread.
+        slot.last_used_ns
+            .store(self.clock.now_ns(), Ordering::SeqCst);
         if over_cap {
             self.evict(id);
         }
@@ -476,6 +516,13 @@ impl ConnSessions {
     /// The owned session ids.
     pub fn ids(&self) -> &[u64] {
         &self.ids
+    }
+
+    /// Whether this connection opened (and has not closed) `id`. The
+    /// manager consults this before dispatching any session-addressed
+    /// frame that arrived over a connection.
+    pub fn owns(&self, id: u64) -> bool {
+        self.ids.contains(&id)
     }
 
     fn track(&mut self, id: u64) {
@@ -756,6 +803,68 @@ mod tests {
         assert!(stats.contains("\"closed\":1"), "{stats}");
         assert!(stats.contains("\"expired\":1"), "{stats}");
         assert!(stats.contains("\"db_graphs\":11"), "{stats}");
+    }
+
+    #[test]
+    fn in_flight_frame_survives_a_concurrent_idle_sweep() {
+        let (mgr, clock) = manager_with(
+            ServerConfig {
+                idle_timeout: Duration::from_secs(10),
+                ..Default::default()
+            },
+            1,
+        );
+        let id = mgr.open(None).unwrap();
+        // Simulate a frame stuck far past the idle timeout (e.g. a long
+        // fair-gate wait under contention): while the handler holds the
+        // session mutex, a concurrent sweep runs against a stale stamp.
+        // The held mutex marks the session in flight, so the sweep must
+        // skip it rather than expire it mid-frame.
+        let resp = mgr.with_session(id, |m, _s| {
+            clock.advance(Duration::from_secs(60));
+            m.sweep_idle();
+            assert!(m.is_live(id), "swept while a frame was in flight");
+            Ok("{\"ok\":true}".to_owned())
+        });
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        // The stamp was refreshed when the frame *finished*: an
+        // immediate sweep keeps the session, one past the timeout
+        // expires it.
+        mgr.sweep_idle();
+        assert!(mgr.is_live(id));
+        clock.advance(Duration::from_secs(11));
+        mgr.sweep_idle();
+        assert!(!mgr.is_live(id));
+        assert_eq!(mgr.lifecycle_stats().expired, 1);
+    }
+
+    #[test]
+    fn connections_cannot_address_each_others_sessions() {
+        let (mgr, _clock) = manager_with(ServerConfig::default(), 1);
+        let mut conn_a = ConnSessions::new();
+        let mut conn_b = ConnSessions::new();
+        let open = mgr.handle_line("{\"op\":\"open\"}", Some(&mut conn_a));
+        assert!(open.contains("\"session\":1"), "{open}");
+        // B probes A's (sequential, guessable) id: every session-
+        // addressed op — close included — is answered exactly as if the
+        // session did not exist.
+        for frame in [
+            "{\"op\":\"node\",\"session\":1,\"label\":0}",
+            "{\"op\":\"edge\",\"session\":1,\"u\":0,\"v\":1}",
+            "{\"op\":\"run\",\"session\":1}",
+            "{\"op\":\"close\",\"session\":1}",
+        ] {
+            let resp = mgr.handle_line(frame, Some(&mut conn_b));
+            assert!(resp.contains("unknown_session"), "{frame}: {resp}");
+        }
+        // A's session survived the probing, still usable by A …
+        assert!(mgr.is_live(1));
+        let resp =
+            mgr.handle_line("{\"op\":\"node\",\"session\":1,\"label\":0}", Some(&mut conn_a));
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        // … and by in-process callers (no connection, no restriction).
+        let resp = mgr.handle_line("{\"op\":\"node\",\"session\":1,\"label\":1}", None);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
     }
 
     #[test]

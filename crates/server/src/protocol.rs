@@ -84,6 +84,24 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The session id this request addresses, if any. `ping`, `open`,
+    /// and `stats` are session-free; everything else targets one
+    /// session, and the manager checks connection ownership against it.
+    pub fn session_id(&self) -> Option<u64> {
+        match self {
+            Request::Node { session, .. }
+            | Request::Edge { session, .. }
+            | Request::Delete { session, .. }
+            | Request::Relabel { session, .. }
+            | Request::Similar { session }
+            | Request::Run { session }
+            | Request::Close { session } => Some(*session),
+            Request::Ping | Request::Open { .. } | Request::Stats => None,
+        }
+    }
+}
+
 /// A protocol-level failure: stable `code` for machines, `message` for
 /// humans. Rendered as an `"ok": false` frame.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -4,15 +4,21 @@
 //! logic lives in [`SessionManager`] — and hardened at the edges:
 //!
 //! * lines are read with an explicit [`crate::protocol::MAX_LINE`] cap;
-//!   a peer that streams past it gets one `line_too_long` error frame
-//!   and the connection is closed (buffers never balloon);
+//!   a peer that streams past it — newline-terminated or not — gets one
+//!   `line_too_long` error frame and the connection is closed (buffers
+//!   never balloon);
+//! * concurrent connections are capped at
+//!   [`crate::ServerConfig::max_conns`]; an accept past the cap is
+//!   answered with one `too_many_connections` frame and closed, so a
+//!   connection flood cannot exhaust threads;
 //! * a half-closed or reset connection tears down cleanly: every session
 //!   the connection opened (and did not close) is closed for it, which
 //!   cancels any in-flight speculative verification via the session's
 //!   own drop path;
-//! * reads use a short timeout so connection threads observe shutdown
-//!   promptly; [`Server`] joins its accept loop and every connection
-//!   thread on [`Server::shutdown`]/drop — no leaked threads.
+//! * reads use a bounded timeout so connection threads observe shutdown
+//!   promptly without idle connections spinning; [`Server`] joins its
+//!   accept loop and every connection thread on
+//!   [`Server::shutdown`]/drop — no leaked threads.
 
 use crate::manager::{ConnSessions, SessionManager};
 use crate::protocol::{error_frame, MAX_LINE};
@@ -23,9 +29,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Poll interval for the accept loop and connection reads; bounds how
-/// long shutdown waits on an idle socket.
+/// Poll interval for the accept loop; bounds how long shutdown waits on
+/// an idle listener.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Read timeout for connection sockets. EOF and data wake a read
+/// immediately regardless, so this only paces how often an *idle*
+/// connection re-checks the shutdown flag — long enough that parked
+/// connections barely burn CPU, short enough that shutdown stays
+/// prompt.
+const READ_POLL: Duration = Duration::from_millis(200);
 
 /// A running query service bound to a TCP port.
 pub struct Server {
@@ -84,10 +97,19 @@ fn accept_loop(listener: &TcpListener, manager: &Arc<SessionManager>, shutdown: 
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                conns.retain(|h| !h.is_finished());
+                if conns.len() >= manager.config().max_conns {
+                    // Refuse past the cap: one typed frame, then close.
+                    // A flood therefore costs one write per attempt, not
+                    // a thread.
+                    let frame =
+                        error_frame("too_many_connections", "connection limit reached");
+                    drop(write_frame(&mut stream, &frame));
+                    continue;
+                }
                 let manager = Arc::clone(manager);
                 let flag = Arc::clone(shutdown);
-                conns.retain(|h| !h.is_finished());
                 conns.push(std::thread::spawn(move || {
                     serve_conn(stream, &manager, &flag)
                 }));
@@ -115,7 +137,7 @@ fn run_conn(
     shutdown: &Arc<AtomicBool>,
     owned: &mut ConnSessions,
 ) {
-    if stream.set_read_timeout(Some(POLL)).is_err() {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
     let mut buf = Vec::new();
@@ -128,8 +150,14 @@ fn run_conn(
                 while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = buf.drain(..=nl).collect();
                     let text = String::from_utf8_lossy(&line);
-                    let response = manager.handle_line(text.trim(), Some(owned));
-                    if write_frame(&mut stream, &response).is_err() {
+                    let text = text.trim();
+                    // Same cap `parse_request` enforces: an over-long
+                    // *terminated* line gets its `line_too_long` frame
+                    // below, then the documented hang-up — matching the
+                    // unterminated path.
+                    let too_long = text.len() > MAX_LINE;
+                    let response = manager.handle_line(text, Some(owned));
+                    if write_frame(&mut stream, &response).is_err() || too_long {
                         return;
                     }
                 }

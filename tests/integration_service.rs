@@ -432,6 +432,13 @@ fn malformed_and_hostile_connections_get_typed_errors_and_clean_teardown() {
         let v = parsed(&resp);
         assert_eq!(field_str(&v, "error"), code, "for frame {frame}: {resp}");
     }
+    // A nesting bomb inside the line cap: 16k `[`s must come back as
+    // one typed bad_json frame (the parser's depth cap), not recurse
+    // the connection thread's stack into an abort.
+    let bomb = "[".repeat(16 * 1024);
+    send_line(&mut stream, &bomb);
+    let resp = read_line(&mut reader);
+    assert_eq!(field_str(&parsed(&resp), "error"), "bad_json", "{resp}");
     // ... and a valid frame on the same connection still works.
     send_line(&mut stream, "{\"op\":\"ping\"}");
     let pong = read_line(&mut reader);
@@ -451,6 +458,30 @@ fn malformed_and_hostile_connections_get_typed_errors_and_clean_teardown() {
     let mut rest = Vec::new();
     let n = reader.read_to_end(&mut rest).unwrap_or(0);
     assert_eq!(n, 0, "server must close after an oversized line");
+    drop(stream);
+
+    // A newline-*terminated* line one byte over the cap: same documented
+    // contract — one line_too_long frame, then the server hangs up.
+    // (If the kernel happens to fragment delivery so the cap is crossed
+    // before the newline arrives, the unterminated path answers instead;
+    // both reply line_too_long and close, but a close with unread bytes
+    // can RST the frame away — so the frame is asserted only when it
+    // arrives, the closure always.)
+    let (mut stream, mut reader) = connect(addr);
+    let mut long_line = vec![b'x'; prague_server::MAX_LINE + 1];
+    long_line.push(b'\n');
+    stream.write_all(&long_line).expect("oversized write");
+    stream.flush().expect("flush");
+    let mut first = String::new();
+    if reader.read_line(&mut first).is_ok() && !first.trim().is_empty() {
+        assert_eq!(field_str(&parsed(first.trim()), "error"), "line_too_long");
+    }
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(
+        n, 0,
+        "server must close after a terminated oversized line too"
+    );
     drop(stream);
 
     // Mid-verify disconnect: a 4-edge carbon chain is never an indexed
@@ -543,6 +574,115 @@ fn malformed_and_hostile_connections_get_typed_errors_and_clean_teardown() {
         stats.opened, stats.closed,
         "every opened session was closed"
     );
+    server.shutdown();
+}
+
+#[test]
+fn sessions_are_connection_scoped() {
+    let mgr = service(1, ServerConfig::default());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&mgr)).expect("bind");
+    let addr = server.local_addr();
+
+    let (mut conn_a, mut reader_a) = connect(addr);
+    send_line(&mut conn_a, "{\"op\":\"open\"}");
+    let open = read_line(&mut reader_a);
+    let sid = field_u64(&parsed(&open), "session");
+
+    // Another connection guesses the (sequential) id: every session-
+    // addressed op — close included — is answered as if the session did
+    // not exist, so it can neither observe nor destroy A's state.
+    let (mut conn_b, mut reader_b) = connect(addr);
+    for frame in [
+        format!("{{\"op\":\"node\",\"session\":{sid},\"name\":\"C\"}}"),
+        format!("{{\"op\":\"run\",\"session\":{sid}}}"),
+        format!("{{\"op\":\"close\",\"session\":{sid}}}"),
+    ] {
+        send_line(&mut conn_b, &frame);
+        let resp = read_line(&mut reader_b);
+        assert_eq!(
+            field_str(&parsed(&resp), "error"),
+            "unknown_session",
+            "for frame {frame}: {resp}"
+        );
+    }
+    // B can still open and use its own session …
+    send_line(&mut conn_b, "{\"op\":\"open\"}");
+    let b_open = read_line(&mut reader_b);
+    let b_sid = field_u64(&parsed(&b_open), "session");
+    assert_ne!(b_sid, sid);
+    send_line(
+        &mut conn_b,
+        &format!("{{\"op\":\"node\",\"session\":{b_sid},\"name\":\"C\"}}"),
+    );
+    let resp = read_line(&mut reader_b);
+    assert_ok(&parsed(&resp), &resp);
+
+    // … and A's session survived the probing, still usable by A.
+    assert!(mgr.is_live(sid));
+    send_line(
+        &mut conn_a,
+        &format!("{{\"op\":\"node\",\"session\":{sid},\"name\":\"C\"}}"),
+    );
+    let resp = read_line(&mut reader_a);
+    assert_ok(&parsed(&resp), &resp);
+    send_line(
+        &mut conn_a,
+        &format!("{{\"op\":\"close\",\"session\":{sid}}}"),
+    );
+    let close = read_line(&mut reader_a);
+    assert_ok(&parsed(&close), &close);
+    drop((conn_a, reader_a, conn_b, reader_b));
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_extra_connections_with_a_typed_frame() {
+    let mgr = service(
+        1,
+        ServerConfig {
+            max_conns: 1,
+            ..Default::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&mgr)).expect("bind");
+    let addr = server.local_addr();
+
+    // First connection: admitted, live (the pong proves its thread is
+    // registered with the accept loop before we try the second one).
+    let (mut one, mut reader_one) = connect(addr);
+    send_line(&mut one, "{\"op\":\"ping\"}");
+    let pong = read_line(&mut reader_one);
+    assert_ok(&parsed(&pong), &pong);
+
+    // Second connection: refused with one typed frame, then EOF.
+    let (_two, mut reader_two) = connect(addr);
+    let resp = read_line(&mut reader_two);
+    assert_eq!(field_str(&parsed(&resp), "error"), "too_many_connections");
+    let mut rest = Vec::new();
+    let n = reader_two.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "refused connection must be closed");
+
+    // Dropping the admitted connection frees its slot (the accept loop
+    // reaps finished threads on the next accept).
+    drop((one, reader_one));
+    wait_until("freed connection slot admits a newcomer", || {
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            return false;
+        };
+        if s.set_read_timeout(Some(Duration::from_secs(5))).is_err() {
+            return false;
+        }
+        let mut r = BufReader::new(match s.try_clone() {
+            Ok(c) => c,
+            Err(_) => return false,
+        });
+        if s.write_all(b"{\"op\":\"ping\"}\n").is_err() {
+            return false;
+        }
+        let mut line = String::new();
+        r.read_line(&mut line).ok();
+        line.contains("\"pong\":true")
+    });
     server.shutdown();
 }
 
