@@ -14,14 +14,15 @@ USAGE:
   prague stats    --catalog <FILE.prgc>
   prague query    --catalog <FILE.prgc> --query <FILE.lg>
                   [--sigma <K=2>] [--beta <B=8>] [--similar] [--trace]
-                  [--threads <N=1>] [--stats[=json]]
+                  [--threads <N=1>] [--shards <N=1>] [--stats[=json]]
   prague run      alias of `query`
   prague interactive --catalog <FILE.prgc> [--sigma <K=2>] [--beta <B=8>]
-                  [--threads <N=1>] [--stats[=json]]
+                  [--threads <N=1>] [--shards <N=1>] [--stats[=json]]
   prague serve    --catalog <FILE.prgc> [--addr <HOST:PORT=127.0.0.1:7474>]
                   [--sigma <K=2>] [--beta <B=8>] [--threads <N=1>]
-                  [--max-sessions <N=1024>] [--max-conns <N=1024>]
-                  [--idle-secs <S=300>] [--stats[=json]]
+                  [--shards <N=1>] [--max-sessions <N=1024>]
+                  [--max-conns <N=1024>] [--idle-secs <S=300>]
+                  [--stats[=json]]
   prague help
 
 `serve` hosts the multi-session query service: one JSON frame per line
@@ -39,6 +40,13 @@ verification speculatively during formulation think time; `--threads 1`
 (the default) is the original sequential path. Results are identical
 either way. The default can also be set via the PRAGUE_THREADS
 environment variable (the flag wins).
+
+`--shards N` partitions the database and the action-aware indexes
+across N shards by consistent hash of the graph id (see
+ARCHITECTURE.md § \"Sharded index\"); `--shards 1` (the default) is the
+classic single-index layout. Query answers are byte-identical either
+way. The default can also be set via the PRAGUE_SHARDS environment
+variable (the flag wins).
 ";
 
 /// Parsed `generate` options.
@@ -112,6 +120,8 @@ pub struct QueryArgs {
     pub trace: bool,
     /// Verification worker threads (1 = sequential).
     pub threads: usize,
+    /// Index shard count (1 = unsharded).
+    pub shards: usize,
     /// Observability reporting mode.
     pub stats: StatsMode,
 }
@@ -127,6 +137,8 @@ pub struct InteractiveArgs {
     pub beta: usize,
     /// Verification worker threads (1 = sequential).
     pub threads: usize,
+    /// Index shard count (1 = unsharded).
+    pub shards: usize,
     /// Observability reporting mode.
     pub stats: StatsMode,
 }
@@ -144,6 +156,8 @@ pub struct ServeArgs {
     pub beta: usize,
     /// Verification worker threads shared by all sessions.
     pub threads: usize,
+    /// Index shard count (1 = unsharded).
+    pub shards: usize,
     /// Hard cap on concurrently live sessions.
     pub max_sessions: usize,
     /// Hard cap on concurrently served TCP connections.
@@ -280,6 +294,16 @@ fn default_threads() -> usize {
         .map_or(1, |n| n.max(1))
 }
 
+/// The `--shards` default: the `PRAGUE_SHARDS` environment variable if
+/// set and parseable, else 1 (unsharded). CI uses the variable to run
+/// the whole suite under a fixed shard count.
+fn default_shards() -> usize {
+    std::env::var("PRAGUE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// `--stats` → text, `--stats=json` → JSON, absent → off.
 fn stats_mode(pairs: &[(String, Option<String>)]) -> Result<StatsMode, ParseError> {
     match pairs.iter().find(|(f, _)| f == "--stats") {
@@ -339,6 +363,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 similar: has(&pairs, "--similar"),
                 trace: has(&pairs, "--trace"),
                 threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
+                shards: parse_num(&pairs, "--shards", default_shards())?.max(1),
                 stats: stats_mode(&pairs)?,
             }))
         }
@@ -349,6 +374,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 sigma: parse_num(&pairs, "--sigma", 2usize)?,
                 beta: parse_num(&pairs, "--beta", 8usize)?,
                 threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
+                shards: parse_num(&pairs, "--shards", default_shards())?.max(1),
                 stats: stats_mode(&pairs)?,
             }))
         }
@@ -362,6 +388,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 sigma: parse_num(&pairs, "--sigma", 2usize)?,
                 beta: parse_num(&pairs, "--beta", 8usize)?,
                 threads: parse_num(&pairs, "--threads", default_threads())?.max(1),
+                shards: parse_num(&pairs, "--shards", default_shards())?.max(1),
                 max_sessions: parse_num(&pairs, "--max-sessions", 1024usize)?.max(1),
                 max_conns: parse_num(&pairs, "--max-conns", 1024usize)?.max(1),
                 idle_secs: parse_num(&pairs, "--idle-secs", 300u64)?.max(1),
@@ -508,6 +535,26 @@ mod tests {
         let cmd = parse_args(&argv("interactive --catalog c.prgc --threads 0")).unwrap();
         match cmd {
             Command::Interactive(i) => assert_eq!(i.threads, 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn shards_flag_parses_and_clamps() {
+        let cmd = parse_args(&argv("query --catalog c.prgc --query q.lg --shards 4")).unwrap();
+        match cmd {
+            Command::Query(q) => assert_eq!(q.shards, 4),
+            _ => panic!(),
+        }
+        // 0 is clamped to unsharded rather than rejected.
+        let cmd = parse_args(&argv("serve --catalog c.prgc --shards 0")).unwrap();
+        match cmd {
+            Command::Serve(s) => assert_eq!(s.shards, 1),
+            _ => panic!(),
+        }
+        let cmd = parse_args(&argv("interactive --catalog c.prgc")).unwrap();
+        match cmd {
+            Command::Interactive(i) => assert_eq!(i.shards, 1),
             _ => panic!(),
         }
     }

@@ -163,6 +163,7 @@ pub fn query(args: &QueryArgs) -> Result<(), String> {
             alpha: 0.0, // recorded in the catalog's mining pass; unused here
             beta: args.beta,
             max_fragment_edges: max_edges,
+            shards: args.shards,
             ..Default::default()
         },
     )
@@ -249,6 +250,7 @@ pub fn interactive(args: &InteractiveArgs) -> Result<(), String> {
             alpha: 0.0,
             beta: args.beta,
             max_fragment_edges: max_edges,
+            shards: args.shards,
             ..Default::default()
         },
     )
@@ -295,6 +297,7 @@ pub fn serve_until<R: std::io::BufRead>(
             alpha: 0.0,
             beta: args.beta,
             max_fragment_edges: max_edges,
+            shards: args.shards,
             ..Default::default()
         },
     )
@@ -383,6 +386,7 @@ mod tests {
             similar: false,
             trace: true,
             threads: 2,
+            shards: 2,
             stats: StatsMode::Json,
         })
         .unwrap();
@@ -420,6 +424,7 @@ mod tests {
             sigma: 2,
             beta: 2,
             threads: 2,
+            shards: 2,
             max_sessions: 16,
             max_conns: 16,
             idle_secs: 60,
@@ -511,6 +516,7 @@ mod tests {
             similar: false,
             trace: false,
             threads: 1,
+            shards: 1,
             stats: StatsMode::Off,
         })
         .unwrap_err();

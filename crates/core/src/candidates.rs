@@ -17,8 +17,9 @@
 
 use prague_graph::{CamCode, GraphId};
 use prague_idset::{intersect_all, IdSet, Memo};
-use prague_index::{A2fIndex, A2iIndex, StoreError};
+use prague_index::{A2fId, A2fIndex, A2iId, A2iIndex, StoreError};
 use prague_obs::{names, Obs};
+use prague_shard::ShardedIndexes;
 use prague_spig::{SpigSet, SpigVertex};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -154,6 +155,44 @@ impl CandMemo {
     }
 }
 
+/// How candidate generation reaches FSG lists: one process-wide index
+/// pair, or N per-shard pairs merged through the `prague-shard` facade.
+/// Structural catalog lookups (CAM → id, sizes, DAG navigation) are
+/// identical either way — the shards share the global fragment order —
+/// so only FSG fan-out dispatches here. Candidate *values* are identical
+/// in both arms: the sharded FSG union reproduces the unsharded list
+/// exactly, which is what keeps sharded sessions byte-compatible.
+#[derive(Debug, Clone, Copy)]
+pub enum IndexesRef<'a> {
+    /// The original single-index layout.
+    Single {
+        /// The frequent-fragment index.
+        a2f: &'a A2fIndex,
+        /// The DIF index.
+        a2i: &'a A2iIndex,
+    },
+    /// Per-shard index pairs behind the merged read facade.
+    Sharded(&'a ShardedIndexes),
+}
+
+impl IndexesRef<'_> {
+    /// FSG ids of frequent fragment `id`, merged across shards.
+    pub fn a2f_fsg(&self, id: A2fId) -> Result<Arc<IdSet>, StoreError> {
+        match self {
+            IndexesRef::Single { a2f, .. } => a2f.fsg_ids(id),
+            IndexesRef::Sharded(s) => s.a2f_fsg(id),
+        }
+    }
+
+    /// FSG ids of DIF `id`, merged across shards.
+    pub fn a2i_fsg(&self, id: A2iId) -> Arc<IdSet> {
+        match self {
+            IndexesRef::Single { a2i, .. } => a2i.fsg_ids(id),
+            IndexesRef::Sharded(s) => s.a2i_fsg(id),
+        }
+    }
+}
+
 /// Heap footprint of a cached whole-query similarity output.
 fn similar_heap_bytes(sc: &SimilarCandidates) -> usize {
     sc.levels
@@ -185,6 +224,17 @@ pub fn exact_sub_candidate_set(
     db_len: usize,
     memo: Option<&CandMemo>,
 ) -> Result<Arc<IdSet>, StoreError> {
+    exact_sub_candidate_set_in(v, IndexesRef::Single { a2f, a2i }, db_len, memo)
+}
+
+/// [`exact_sub_candidate_set`] over either index layout (single or
+/// sharded) — the interactive pipeline's entry point.
+pub fn exact_sub_candidate_set_in(
+    v: &SpigVertex,
+    ix: IndexesRef<'_>,
+    db_len: usize,
+    memo: Option<&CandMemo>,
+) -> Result<Arc<IdSet>, StoreError> {
     let fl = &v.fragment_list;
     if fl.dead {
         return Ok(Arc::new(IdSet::new()));
@@ -193,16 +243,16 @@ pub fn exact_sub_candidate_set(
         return Ok(hit);
     }
     let set = if let Some(fid) = fl.freq_id {
-        a2f.fsg_ids(fid)?
+        ix.a2f_fsg(fid)?
     } else if let Some(did) = fl.dif_id {
-        a2i.fsg_ids(did)
+        ix.a2i_fsg(did)
     } else {
         let mut lists: Vec<Arc<IdSet>> = Vec::with_capacity(fl.phi.len() + fl.upsilon.len());
         for &fid in &fl.phi {
-            lists.push(a2f.fsg_ids(fid)?);
+            lists.push(ix.a2f_fsg(fid)?);
         }
         for &did in &fl.upsilon {
-            lists.push(a2i.fsg_ids(did));
+            lists.push(ix.a2i_fsg(did));
         }
         if lists.is_empty() {
             Arc::new(IdSet::universe(db_len as u32))
@@ -321,6 +371,26 @@ pub fn similar_sub_candidates(
     db_len: usize,
     memo: Option<&CandMemo>,
 ) -> Result<SimilarCandidates, StoreError> {
+    similar_sub_candidates_in(
+        q_size,
+        sigma,
+        set,
+        IndexesRef::Single { a2f, a2i },
+        db_len,
+        memo,
+    )
+}
+
+/// [`similar_sub_candidates`] over either index layout (single or
+/// sharded) — the interactive pipeline's entry point.
+pub fn similar_sub_candidates_in(
+    q_size: usize,
+    sigma: usize,
+    set: &SpigSet,
+    ix: IndexesRef<'_>,
+    db_len: usize,
+    memo: Option<&CandMemo>,
+) -> Result<SimilarCandidates, StoreError> {
     let mut out = SimilarCandidates::default();
     if q_size == 0 {
         return Ok(out);
@@ -344,7 +414,7 @@ pub fn similar_sub_candidates(
         let mut free = IdSet::new();
         let mut ver = IdSet::new();
         for (v, _mask) in distinct_level_fragments(set, i) {
-            let cands = exact_sub_candidate_set(v, a2f, a2i, db_len, memo)?;
+            let cands = exact_sub_candidate_set_in(v, ix, db_len, memo)?;
             if is_verification_free(v) {
                 free.union_with(cands.as_ref());
             } else {

@@ -15,7 +15,7 @@
 //! is cache replay: sets are compared by [`prague_idset::IdSet::len`]
 //! (no materialization) and only the winner is expanded into ids.
 
-use crate::candidates::{exact_sub_candidate_set, CandMemo};
+use crate::candidates::{exact_sub_candidate_set_in, CandMemo, IndexesRef};
 use prague_graph::GraphId;
 use prague_idset::IdSet;
 use prague_index::{A2fIndex, A2iIndex, StoreError};
@@ -43,6 +43,17 @@ pub fn suggest_deletion(
     db_len: usize,
     memo: Option<&CandMemo>,
 ) -> Result<Option<DeletionSuggestion>, StoreError> {
+    suggest_deletion_in(query, set, IndexesRef::Single { a2f, a2i }, db_len, memo)
+}
+
+/// [`suggest_deletion`] over either index layout (single or sharded).
+pub fn suggest_deletion_in(
+    query: &VisualQuery,
+    set: &SpigSet,
+    ix: IndexesRef<'_>,
+    db_len: usize,
+    memo: Option<&CandMemo>,
+) -> Result<Option<DeletionSuggestion>, StoreError> {
     let live = query.live_mask();
     let mut best: Option<(EdgeLabelId, Arc<IdSet>)> = None;
     for label in query.live_labels() {
@@ -54,7 +65,7 @@ pub fn suggest_deletion(
         let Some(vertex) = set.vertex_by_mask(mask) else {
             continue;
         };
-        let candidates = exact_sub_candidate_set(vertex, a2f, a2i, db_len, memo)?;
+        let candidates = exact_sub_candidate_set_in(vertex, ix, db_len, memo)?;
         let better = match &best {
             None => true,
             Some((_, b)) => candidates.len() > b.len(),
@@ -77,6 +88,16 @@ pub fn deletion_options(
     a2i: &A2iIndex,
     db_len: usize,
 ) -> Result<Vec<(EdgeLabelId, usize)>, StoreError> {
+    deletion_options_in(query, set, IndexesRef::Single { a2f, a2i }, db_len)
+}
+
+/// [`deletion_options`] over either index layout (single or sharded).
+pub fn deletion_options_in(
+    query: &VisualQuery,
+    set: &SpigSet,
+    ix: IndexesRef<'_>,
+    db_len: usize,
+) -> Result<Vec<(EdgeLabelId, usize)>, StoreError> {
     let live = query.live_mask();
     let mut out = Vec::new();
     for label in query.live_labels() {
@@ -85,7 +106,7 @@ pub fn deletion_options(
         }
         let mask = live & !(1u64 << (label - 1));
         if let Some(vertex) = set.vertex_by_mask(mask) {
-            let count = exact_sub_candidate_set(vertex, a2f, a2i, db_len, None)?.len();
+            let count = exact_sub_candidate_set_in(vertex, ix, db_len, None)?.len();
             out.push((label, count));
         }
     }

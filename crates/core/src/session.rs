@@ -18,10 +18,10 @@
 //! (the only work the user actually waits for).
 
 use crate::candidates::{
-    exact_sub_candidate_set, similar_sub_candidates, CandMemo, SimilarCandidates,
+    exact_sub_candidate_set_in, similar_sub_candidates_in, CandMemo, SimilarCandidates,
 };
 use crate::history::{ActionKind, ActionRecord, SessionLog};
-use crate::modify::{suggest_deletion, DeletionSuggestion};
+use crate::modify::{suggest_deletion_in, DeletionSuggestion};
 use crate::results::{similar_results_gen_with, SimilarResults};
 use crate::verify::{
     complete_exact_batch, exact_verification_obs, exact_verification_par, submit_exact_batch,
@@ -378,6 +378,7 @@ impl<'a> Session<'a> {
             pool,
             &token,
             &self.verify_cost,
+            self.system.shard_plan(),
         );
         self.pending = Some(PendingVerify {
             generation: self.generation,
@@ -482,11 +483,10 @@ impl<'a> Session<'a> {
             if self.rq_empty {
                 // Algorithm 1 lines 7–8: offer modification or similarity.
                 let sug_span = self.obs.span(names::MODIFY_SUGGEST);
-                let suggestion = suggest_deletion(
+                let suggestion = suggest_deletion_in(
                     &self.query,
                     &self.spigs,
-                    &self.system.indexes().a2f,
-                    &self.system.indexes().a2i,
+                    self.system.indexes_ref(),
                     self.system.db().len(),
                     self.memo_opt(),
                 )?;
@@ -696,11 +696,10 @@ impl<'a> Session<'a> {
     /// The system's deletion suggestion for the current query.
     pub fn suggest_deletion(&self) -> Result<Option<DeletionSuggestion>, SessionError> {
         let _span = self.obs.span(names::MODIFY_SUGGEST);
-        Ok(suggest_deletion(
+        Ok(suggest_deletion_in(
             &self.query,
             &self.spigs,
-            &self.system.indexes().a2f,
-            &self.system.indexes().a2i,
+            self.system.indexes_ref(),
             self.system.db().len(),
             self.memo_opt(),
         )?)
@@ -776,6 +775,7 @@ impl<'a> Session<'a> {
                                 &self.obs,
                                 pool,
                                 &mut self.verify_cost,
+                                self.system.shard_plan(),
                             ),
                             None => exact_verification_obs(
                                 self.query.graph(),
@@ -820,10 +820,9 @@ impl<'a> Session<'a> {
     fn refresh_exact(&mut self) -> Result<(), SessionError> {
         self.check_index_epoch();
         let rq = match self.spigs.target_vertex(&self.query) {
-            Some(v) => exact_sub_candidate_set(
+            Some(v) => exact_sub_candidate_set_in(
                 v,
-                &self.system.indexes().a2f,
-                &self.system.indexes().a2i,
+                self.system.indexes_ref(),
                 self.system.db().len(),
                 self.memo_opt(),
             )?,
@@ -836,12 +835,11 @@ impl<'a> Session<'a> {
 
     fn refresh_similar(&mut self) -> Result<(), SessionError> {
         self.check_index_epoch();
-        self.sim_candidates = Some(similar_sub_candidates(
+        self.sim_candidates = Some(similar_sub_candidates_in(
             self.query.size(),
             self.sigma,
             &self.spigs,
-            &self.system.indexes().a2f,
-            &self.system.indexes().a2i,
+            self.system.indexes_ref(),
             self.system.db().len(),
             self.memo_opt(),
         )?);
@@ -862,6 +860,7 @@ impl<'a> Session<'a> {
         if stale {
             let mut verifier = SimVerifier::from_spigs(&self.query, &self.spigs, lowest, q_size);
             verifier.set_obs(self.obs.clone());
+            verifier.set_shard_plan(self.system.shard_plan());
             self.sim_verifier = Some(CachedVerifier {
                 generation: self.generation,
                 sigma: self.sigma,

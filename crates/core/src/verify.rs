@@ -15,6 +15,7 @@ use prague_graph::{Graph, GraphDb, GraphId};
 use prague_idset::IdSet;
 use prague_obs::{names, Obs};
 use prague_par::{tuning, Batch, CancelToken, Pool};
+use prague_shard::ShardPlan;
 use prague_spig::{SpigSet, VisualQuery};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -175,14 +176,36 @@ pub(crate) struct VerifyChunk {
     cancelled: bool,
 }
 
-/// Partition a candidate set into in-order id chunks for the pool, without
-/// first materializing the whole set: each chunk is the only `Vec` built,
-/// and concatenating the chunks reproduces ascending iteration exactly.
-/// Chunk length comes from the live cost model ([`VerifyCost::chunk_len`]).
-fn chunked_ids(candidates: &IdSet, threads: usize, cost: &VerifyCost) -> Vec<Vec<GraphId>> {
+/// Partition a candidate set into id chunks for the pool. Without a shard
+/// plan, chunks are in-order slices of ascending iteration — each chunk is
+/// the only `Vec` built, and concatenating them reproduces the sequential
+/// order exactly. With a multi-shard plan, ids are first bucketed by their
+/// owning shard (each bucket ascending, buckets in shard order) so every
+/// chunk touches one shard's graphs; the merge restores global id order
+/// with one `sort_unstable`, keeping results byte-identical. Chunk length
+/// comes from the live cost model ([`VerifyCost::chunk_len`]).
+fn chunked_ids(
+    candidates: &IdSet,
+    threads: usize,
+    cost: &VerifyCost,
+    plan: Option<ShardPlan>,
+) -> Vec<Vec<GraphId>> {
     let n = candidates.len();
-    let cl = cost.chunk_len(n, threads);
-    let mut chunks = Vec::with_capacity(n.div_ceil(cl.max(1)));
+    let cl = cost.chunk_len(n, threads).max(1);
+    if let Some(plan) = plan.filter(|p| !p.is_single()) {
+        let mut buckets: Vec<Vec<GraphId>> = vec![Vec::new(); plan.shards()];
+        for id in candidates.iter() {
+            buckets[plan.shard_of(id)].push(id);
+        }
+        let mut chunks = Vec::with_capacity(n.div_ceil(cl));
+        for bucket in &buckets {
+            for chunk in bucket.chunks(cl) {
+                chunks.push(chunk.to_vec());
+            }
+        }
+        return chunks;
+    }
+    let mut chunks = Vec::with_capacity(n.div_ceil(cl));
     let mut it = candidates.iter();
     loop {
         let ids: Vec<GraphId> = it.by_ref().take(cl).collect();
@@ -195,8 +218,9 @@ fn chunked_ids(candidates: &IdSet, threads: usize, cost: &VerifyCost) -> Vec<Vec
 }
 
 /// Submit chunked VF2 jobs testing `q` against `candidates` on `pool`.
-/// Chunks partition `candidates` in order and the batch preserves
-/// submission order, so concatenating the joined chunk results reproduces
+/// Chunks partition `candidates` (shard-bucketed when `plan` is a
+/// multi-shard plan) and the batch preserves submission order; the merge
+/// in [`complete_exact_batch`] sorts the concatenation, so the result is
 /// the sequential output exactly. Jobs clone `q`/`db` handles — nothing
 /// borrows the caller — which is what lets `Session` keep a batch in
 /// flight across user think time.
@@ -207,10 +231,11 @@ pub(crate) fn submit_exact_batch(
     pool: &Pool,
     token: &CancelToken,
     cost: &VerifyCost,
+    plan: Option<ShardPlan>,
 ) -> Batch<VerifyChunk> {
     let q = Arc::new(q.clone());
     let order = Arc::new(MatchOrder::new(&q));
-    let jobs: Vec<_> = chunked_ids(candidates, pool.threads(), cost)
+    let jobs: Vec<_> = chunked_ids(candidates, pool.threads(), cost, plan)
         .into_iter()
         .map(|ids| {
             let (q, order, db) = (Arc::clone(&q), Arc::clone(&order), Arc::clone(db));
@@ -287,6 +312,9 @@ pub(crate) fn complete_exact_batch(
         states = s;
         busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
+    // Restore global id order after a shard-bucketed chunking (a no-op for
+    // the contiguous in-order chunks of the unsharded path).
+    verified.sort_unstable();
     cost.observe(candidates.len() as u64, states, busy_ns);
     obs.add(names::VERIFY_VF2_STATES, states);
     obs.add(names::VERIFY_EXACT_EMBEDDINGS, verified.len() as u64);
@@ -299,6 +327,7 @@ pub(crate) fn complete_exact_batch(
 /// (counted in `par.seq_fallbacks`), otherwise chunk it by the model and
 /// merge in order. Output, counters, and `verify.vf2_states` accounting
 /// are byte-identical to the sequential path either way.
+#[allow(clippy::too_many_arguments)] // the session's full verify context
 pub fn exact_verification_par(
     q: &Graph,
     candidates: &IdSet,
@@ -307,6 +336,7 @@ pub fn exact_verification_par(
     obs: &Obs,
     pool: &Pool,
     cost: &mut VerifyCost,
+    plan: Option<ShardPlan>,
 ) -> Vec<GraphId> {
     if verification_free || q.edge_count() == 0 {
         return exact_verification_obs(q, candidates, db, verification_free, obs);
@@ -327,7 +357,7 @@ pub fn exact_verification_par(
         return verified;
     }
     let token = CancelToken::new();
-    let batch = submit_exact_batch(q, candidates, db, pool, &token, cost);
+    let batch = submit_exact_batch(q, candidates, db, pool, &token, cost, plan);
     complete_exact_batch(q, candidates, db, obs, batch, cost)
 }
 
@@ -339,6 +369,10 @@ pub struct SimVerifier {
     /// cloning graphs per chunk.
     fragments: BTreeMap<usize, Arc<Vec<(Graph, MatchOrder)>>>,
     obs: Obs,
+    /// When set to a multi-shard plan, `verify_par` buckets candidates by
+    /// owning shard before chunking (locality) and restores global id
+    /// order on merge.
+    shard_plan: Option<ShardPlan>,
 }
 
 impl SimVerifier {
@@ -363,6 +397,7 @@ impl SimVerifier {
         SimVerifier {
             fragments,
             obs: Obs::disabled(),
+            shard_plan: None,
         }
     }
 
@@ -371,6 +406,13 @@ impl SimVerifier {
     /// `verify.vf2_states` counters through it.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Attach the system's shard plan so [`SimVerifier::verify_par`]
+    /// chunks candidates shard-locally. `None` (the default) keeps the
+    /// plain in-order chunking.
+    pub fn set_shard_plan(&mut self, plan: Option<ShardPlan>) {
+        self.shard_plan = plan;
     }
 
     /// `SimVerify`: of `candidates`, the graphs containing at least one
@@ -443,7 +485,7 @@ impl SimVerifier {
             return verified;
         }
         let token = CancelToken::new();
-        let jobs: Vec<_> = chunked_ids(candidates, pool.threads(), cost)
+        let jobs: Vec<_> = chunked_ids(candidates, pool.threads(), cost, self.shard_plan)
             .into_iter()
             .map(|ids| {
                 let (frags, db) = (Arc::clone(frags), Arc::clone(db));
@@ -512,6 +554,9 @@ impl SimVerifier {
             states = s;
             busy_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
+        // Restore global id order after a shard-bucketed chunking (a no-op
+        // for the contiguous in-order chunks of the unsharded path).
+        verified.sort_unstable();
         cost.observe(candidates.len() as u64, states, busy_ns);
         self.obs.add(names::VERIFY_VF2_STATES, states);
         self.obs

@@ -16,7 +16,10 @@ pub mod graphgen;
 pub mod molecules;
 pub mod queries;
 
-pub use graphgen::{generate as graphgen_generate, GraphGenConfig};
+pub use graphgen::{
+    generate as graphgen_generate, generate_streaming as graphgen_generate_streaming,
+    GraphGenConfig,
+};
 pub use molecules::{generate as molecules_generate, MoleculeConfig, MoleculeDataset};
 pub use queries::{
     derive_containment_query, derive_similarity_query, DeriveConfig, QueryKind, QuerySpec,

@@ -761,6 +761,83 @@ fn retain_lows(c: &mut Container, keep: impl Fn(u16) -> bool) -> bool {
     true
 }
 
+impl IdSet {
+    /// Union a family of shared sets with one k-way chunk-level merge —
+    /// the cross-shard candidate merge. Chunks are grouped by their
+    /// high-16-bit key and each group's containers are OR-ed into a
+    /// single output container, so the result is built left-to-right
+    /// exactly once instead of re-merging (and re-allocating) an
+    /// accumulator per operand the way a fold of pairwise
+    /// [`IdSet::union_with`] calls would.
+    ///
+    /// `Universe(n)` operands are honored: the largest bound swallows
+    /// every id below it, and if no concrete operand reaches past that
+    /// bound the result stays a free `Universe` without materializing
+    /// anything.
+    pub fn union_all(sets: &[Arc<IdSet>]) -> IdSet {
+        let mut bound = 0u32;
+        for s in sets {
+            if let Repr::Universe(n) = s.repr {
+                bound = bound.max(n);
+            }
+        }
+        if bound > 0 && sets.iter().all(|s| s.max().is_none_or(|m| m < bound)) {
+            return IdSet::universe(bound);
+        }
+        // A universe that doesn't dominate becomes one more chunked operand.
+        let materialized = (bound > 0).then(|| {
+            let mut u = IdSet::universe(bound);
+            u.materialize();
+            u
+        });
+        let mut lists: Vec<&[(u16, Container)]> = Vec::with_capacity(sets.len() + 1);
+        if let Some(u) = &materialized {
+            if let Repr::Chunks(c) = &u.repr {
+                lists.push(c);
+            }
+        }
+        for s in sets {
+            if let Repr::Chunks(c) = &s.repr {
+                if !c.is_empty() {
+                    lists.push(c);
+                }
+            }
+        }
+        // k-way merge: every list is ascending in chunk key, so repeatedly
+        // take the smallest frontier key and OR together all containers
+        // carrying it. Output keys are produced in ascending order.
+        let mut pos = vec![0usize; lists.len()];
+        let mut out: Vec<(u16, Container)> = Vec::new();
+        loop {
+            let mut key: Option<u16> = None;
+            for (p, l) in pos.iter().zip(&lists) {
+                if let Some(&(k, _)) = l.get(*p) {
+                    key = Some(key.map_or(k, |cur| cur.min(k)));
+                }
+            }
+            let Some(k) = key else { break };
+            let mut acc: Option<Container> = None;
+            for (p, l) in pos.iter_mut().zip(&lists) {
+                if let Some((ck, c)) = l.get(*p) {
+                    if *ck == k {
+                        *p += 1;
+                        acc = Some(match acc {
+                            None => c.clone(),
+                            Some(a) => or(a, c),
+                        });
+                    }
+                }
+            }
+            if let Some(c) = acc {
+                out.push((k, c));
+            }
+        }
+        IdSet {
+            repr: Repr::Chunks(out),
+        }
+    }
+}
+
 /// Intersect a family of shared sets, smallest first, with early exit on
 /// empty — the engine form of Algorithm 3's Φ/Υ posting-list intersection.
 pub fn intersect_all(mut sets: Vec<Arc<IdSet>>) -> IdSet {

@@ -130,6 +130,26 @@ proptest! {
     }
 
     #[test]
+    fn union_all_matches_pairwise(ops in proptest::collection::vec(op_strategy(), 0..5)) {
+        let built: Vec<(IdSet, BTreeSet<u32>)> = ops.iter().map(build).collect();
+        let mut oracle = BTreeSet::new();
+        for (_, o) in &built {
+            oracle.extend(o.iter().copied());
+        }
+        let sets: Vec<Arc<IdSet>> = built.iter().map(|(s, _)| Arc::new(s.clone())).collect();
+        let got = IdSet::union_all(&sets);
+        let want: Vec<u32> = oracle.iter().copied().collect();
+        prop_assert_eq!(got.len(), want.len());
+        prop_assert_eq!(got.to_vec(), want);
+        // ... and agrees with a fold of pairwise unions.
+        let mut folded = IdSet::new();
+        for (s, _) in &built {
+            folded.union_with(s);
+        }
+        prop_assert_eq!(got, folded);
+    }
+
+    #[test]
     fn insert_matches_btreeset(op in op_strategy(), extra in proptest::collection::vec(0u32..4 * CHUNK, 0..64)) {
         let (mut s, mut oracle) = build(&op);
         for &id in &extra {

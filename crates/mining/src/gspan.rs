@@ -91,7 +91,7 @@ impl MiningOutput {
 
 /// Count distinct graph ids in a projection list (entries are grouped by
 /// parent order, so gids arrive non-decreasing).
-fn distinct_gids(projs: &[Proj]) -> Vec<GraphId> {
+pub(crate) fn distinct_gids(projs: &[Proj]) -> Vec<GraphId> {
     let mut out = Vec::new();
     let mut last = u32::MAX;
     for p in projs {

@@ -13,9 +13,11 @@ pub(crate) mod audit;
 pub mod dfscode;
 pub mod dif;
 pub mod gspan;
+pub mod shardmine;
 
 pub use dif::MiningResult;
 pub use gspan::{mine, mine_parallel, MinedFragment, MiningConfig, MiningOutput};
+pub use shardmine::{complete_records, mine_recorded, CompletionRequest, FragmentRecord};
 
 /// Mine `db` at support ratio `alpha` with fragments capped at `max_edges`,
 /// returning the classified result (frequent set + DIFs) in one call.

@@ -1,0 +1,393 @@
+//! Record-and-replay mining passes for the sharded index engine
+//! (`prague-shard`).
+//!
+//! Sharded mining runs in two waves:
+//!
+//! * **W1** — every shard mines its own slice of the database at a
+//!   pro-rated local threshold ([`mine_recorded`]) and keeps a
+//!   [`FragmentRecord`] for *everything* its gSpan walk visits: every
+//!   locally frequent fragment and every minimal locally-infrequent
+//!   extension. The pigeonhole bound guarantees completeness for the
+//!   global frequent set: with the local threshold `t_i = ⌈α·n_i⌉`, a
+//!   locally infrequent fragment has support `≤ ⌈α·n_i⌉ − 1 < α·n_i` on
+//!   shard `i`, so a fragment infrequent on every shard has global
+//!   support `< α·Σn_i ≤ ⌈α·N⌉` — strictly below the global threshold.
+//!   Every globally frequent fragment is therefore locally frequent on
+//!   at least one shard and appears in some shard's W1 records.
+//! * **W2** — the coordinator unions the W1 records and asks each shard
+//!   to *expand* ([`complete_records`]) every fragment that is frequent
+//!   on some shard but was not expanded locally. Expansion replays the
+//!   fragment's projections from its recorded DFS code (the same
+//!   rightmost-path machinery W1 used, so the child sets are identical
+//!   to what a local descent would have produced) and reports every
+//!   minimal extension child with its exact local support list. After
+//!   W2, each shard holds the exact local `fsgIds` of every child of
+//!   every possibly-globally-frequent fragment; the union across shards
+//!   reconstructs the unsharded miner's support lists value-for-value.
+//!   A shard that never reported a fragment provably does not contain it
+//!   (roots are always visited where present; non-roots are enumerated
+//!   by their parent's expansion, which every shard performs), so its
+//!   contribution is the empty set — no third wave is needed.
+
+use crate::dfscode::{
+    gather_extensions, graph_from_code, is_min, root_projections, DfsCode, Proj, ProjScratch,
+};
+use crate::gspan::{distinct_gids, MiningConfig};
+use prague_graph::{cam_code, CamCode, Graph, GraphDb, GraphId, Label};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One fragment visited by a shard's mining walk, with everything the
+/// cross-shard assembly needs: its minimum DFS code (the replay key), its
+/// CAM code (the merge key), the fragment graph, the shard-local support
+/// list, and the CAM of its minimum-code parent (`None` for 1-edge
+/// roots) for negative-border classification.
+#[derive(Debug, Clone)]
+pub struct FragmentRecord {
+    /// Minimum DFS code — uniquely identifies the fragment and lets any
+    /// other shard replay its projections.
+    pub code: DfsCode,
+    /// Canonical CAM code (the cross-shard merge key).
+    pub cam: CamCode,
+    /// The fragment graph (as built from the minimum code, so identical
+    /// across shards for the same CAM).
+    pub graph: Graph,
+    /// Shard-local ids of the graphs containing the fragment, ascending.
+    pub fsg_ids: Vec<GraphId>,
+    /// CAM of the fragment's minimum-code parent; `None` for size-1.
+    pub parent_cam: Option<CamCode>,
+    /// Whether the fragment met the *shard-local* threshold (W1 records
+    /// only; always `false` for W2 expansion children, whose global
+    /// classification comes from the merged support).
+    pub frequent: bool,
+}
+
+impl FragmentRecord {
+    /// Fragment size (edge count).
+    pub fn size(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Shard-local support.
+    pub fn support(&self) -> usize {
+        self.fsg_ids.len()
+    }
+}
+
+/// W1: mine one shard's database at `config` (the shard-local threshold),
+/// recording every fragment the gSpan walk visits — the locally frequent
+/// set plus its minimal infrequent extensions. Single-threaded by design:
+/// the shards themselves are the unit of parallelism.
+pub fn mine_recorded(db: &GraphDb, config: &MiningConfig) -> Vec<FragmentRecord> {
+    let graphs = db.graphs();
+    let mut out = Vec::new();
+    let mut scratch = ProjScratch::default();
+    for ((l0, le, l1), projs) in root_projections(graphs) {
+        let code: DfsCode = vec![crate::dfscode::DfsEdge {
+            from: 0,
+            to: 1,
+            from_label: l0,
+            edge_label: le,
+            to_label: l1,
+        }];
+        let fsg_ids = distinct_gids(&projs);
+        let graph = graph_from_code(&code);
+        let cam = cam_code(&graph);
+        let frequent = fsg_ids.len() >= config.min_support;
+        let root_cam = cam.clone();
+        out.push(FragmentRecord {
+            code: code.clone(),
+            cam,
+            graph,
+            fsg_ids,
+            parent_cam: None,
+            frequent,
+        });
+        if frequent && config.max_edges > 1 {
+            let mut levels = vec![projs];
+            let mut code = code;
+            record_mining(
+                graphs,
+                config,
+                &mut code,
+                &root_cam,
+                &mut levels,
+                &mut scratch,
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+fn record_mining(
+    graphs: &[Graph],
+    config: &MiningConfig,
+    code: &mut DfsCode,
+    parent_cam: &CamCode,
+    levels: &mut Vec<Vec<Proj>>,
+    scratch: &mut ProjScratch,
+    out: &mut Vec<FragmentRecord>,
+) {
+    let extensions = gather_extensions(graphs, code, levels, scratch);
+    for (ext, projs) in extensions {
+        let edge = ext.to_dfs_edge(code);
+        code.push(edge);
+        if is_min(code) {
+            let fsg_ids = distinct_gids(&projs);
+            let graph = graph_from_code(code);
+            let cam = cam_code(&graph);
+            let frequent = fsg_ids.len() >= config.min_support;
+            let rec_cam = cam.clone();
+            out.push(FragmentRecord {
+                code: code.clone(),
+                cam,
+                graph,
+                fsg_ids,
+                parent_cam: Some(parent_cam.clone()),
+                frequent,
+            });
+            if frequent && code.len() < config.max_edges {
+                levels.push(projs);
+                record_mining(graphs, config, code, &rec_cam, levels, scratch, out);
+                levels.pop();
+            }
+        }
+        code.pop();
+    }
+}
+
+/// W2 work order for one shard: fragments (by minimum DFS code, with
+/// their CAM) that are locally frequent on *some* shard but were not
+/// expanded by this shard's W1 walk. See [`complete_records`].
+#[derive(Debug, Clone, Default)]
+pub struct CompletionRequest {
+    /// `(code, cam)` of each fragment to expand locally.
+    pub expand: Vec<(DfsCode, CamCode)>,
+}
+
+/// Rebuild the projection level stack of `code` by replaying the prefix
+/// descent gSpan takes to reach it. Returns `None` when the fragment has
+/// no embedding in this shard (its support here is the empty set).
+fn replay_levels(
+    graphs: &[Graph],
+    code: &[crate::dfscode::DfsEdge],
+    roots: &BTreeMap<(Label, Label, Label), Vec<Proj>>,
+    scratch: &mut ProjScratch,
+) -> Option<Vec<Vec<Proj>>> {
+    let first = code.first()?;
+    let key = (first.from_label, first.edge_label, first.to_label);
+    let mut levels = vec![roots.get(&key)?.clone()];
+    let mut prefix: DfsCode = vec![*first];
+    for edge in code.iter().skip(1) {
+        let extensions = gather_extensions(graphs, &prefix, &levels, scratch);
+        let projs = extensions
+            .into_iter()
+            .find(|(ext, _)| ext.to_dfs_edge(&prefix) == *edge)
+            .map(|(_, projs)| projs)?;
+        levels.push(projs);
+        prefix.push(*edge);
+    }
+    Some(levels)
+}
+
+/// W2: expand each requested fragment against this shard's database and
+/// record every minimal-code extension child not already covered by
+/// `already` (this shard's W1 CAM set). Children are produced by the
+/// same `gather_extensions`/`is_min` walk W1 uses, so their local
+/// support lists are exactly what a local descent would have recorded; a
+/// requested fragment with no local embedding simply contributes
+/// nothing.
+pub fn complete_records(
+    db: &GraphDb,
+    req: &CompletionRequest,
+    already: &BTreeSet<CamCode>,
+) -> Vec<FragmentRecord> {
+    if req.expand.is_empty() {
+        return Vec::new();
+    }
+    let graphs = db.graphs();
+    let mut scratch = ProjScratch::default();
+    let roots = root_projections(graphs);
+    let mut done = already.clone();
+    let mut out = Vec::new();
+    for (code, cam) in &req.expand {
+        let Some(levels) = replay_levels(graphs, code, &roots, &mut scratch) else {
+            continue;
+        };
+        let mut prefix = code.clone();
+        let mut levels = levels;
+        let extensions = gather_extensions(graphs, &prefix, &levels, &mut scratch);
+        for (ext, projs) in extensions {
+            let edge = ext.to_dfs_edge(&prefix);
+            prefix.push(edge);
+            if is_min(&prefix) {
+                let graph = graph_from_code(&prefix);
+                let child_cam = cam_code(&graph);
+                if done.insert(child_cam.clone()) {
+                    out.push(FragmentRecord {
+                        code: prefix.clone(),
+                        cam: child_cam,
+                        graph,
+                        fsg_ids: distinct_gids(&projs),
+                        parent_cam: Some(cam.clone()),
+                        frequent: false,
+                    });
+                }
+            }
+            prefix.pop();
+        }
+        levels.clear();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gspan::mine;
+    use prague_graph::Label;
+
+    fn path(labels: &[u16]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = labels.iter().map(|&l| g.add_node(Label(l))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn tiny_db() -> GraphDb {
+        let mut db = GraphDb::new();
+        db.push(path(&[0, 1, 0]));
+        db.push(path(&[0, 1, 1]));
+        db.push(path(&[0, 1, 0, 1]));
+        db.push({
+            let mut g = path(&[0, 0, 0]);
+            g.add_edge(2, 0).unwrap();
+            g
+        });
+        db.push(path(&[2, 2]));
+        db
+    }
+
+    #[test]
+    fn recorded_matches_mine_output() {
+        let db = tiny_db();
+        for min_support in 1..=4 {
+            let cfg = MiningConfig {
+                min_support,
+                max_edges: 3,
+            };
+            let plain = mine(&db, &cfg);
+            let recs = mine_recorded(&db, &cfg);
+            let expect = plain.frequent.len() + plain.negative_border.len();
+            assert_eq!(recs.len(), expect, "every visited fragment is recorded");
+            let by_cam: BTreeMap<_, _> = recs.iter().map(|r| (r.cam.clone(), r)).collect();
+            assert_eq!(by_cam.len(), recs.len(), "no duplicate records");
+            for f in &plain.frequent {
+                let r = by_cam.get(&f.cam).expect("frequent fragment recorded");
+                assert!(r.frequent);
+                assert_eq!(r.fsg_ids, f.fsg_ids);
+                assert_eq!(r.code.len(), f.graph.edge_count());
+            }
+            for f in &plain.negative_border {
+                let r = by_cam.get(&f.cam).expect("border fragment recorded");
+                assert!(!r.frequent);
+                assert_eq!(r.fsg_ids, f.fsg_ids);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_cam_follows_the_min_code_prefix() {
+        let db = tiny_db();
+        let cfg = MiningConfig {
+            min_support: 1,
+            max_edges: 3,
+        };
+        let recs = mine_recorded(&db, &cfg);
+        for r in &recs {
+            match (&r.parent_cam, r.size()) {
+                (None, s) => assert_eq!(s, 1),
+                (Some(p), s) => {
+                    assert!(s >= 2);
+                    let prefix: DfsCode = r.code[..r.code.len() - 1].to_vec();
+                    assert_eq!(p, &cam_code(&graph_from_code(&prefix)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completion_reproduces_local_children_exactly() {
+        let db = tiny_db();
+        // Mine at support 1 to learn the full visit set, then ask a
+        // high-threshold W1 (which expands almost nothing) to complete
+        // against it: completion children must carry the exact support
+        // lists the low-threshold walk recorded.
+        let full = mine_recorded(
+            &db,
+            &MiningConfig {
+                min_support: 1,
+                max_edges: 3,
+            },
+        );
+        let sparse_cfg = MiningConfig {
+            min_support: 4,
+            max_edges: 3,
+        };
+        let sparse = mine_recorded(&db, &sparse_cfg);
+        let already: BTreeSet<CamCode> = sparse.iter().map(|r| r.cam.clone()).collect();
+        // Expand every fragment the full walk expanded (frequent at 1,
+        // below the cap) that the sparse walk did not expand.
+        let sparse_expanded: BTreeSet<CamCode> = sparse
+            .iter()
+            .filter(|r| r.frequent && r.size() < sparse_cfg.max_edges)
+            .map(|r| r.cam.clone())
+            .collect();
+        let req = CompletionRequest {
+            expand: full
+                .iter()
+                .filter(|r| {
+                    r.frequent
+                        && r.size() < sparse_cfg.max_edges
+                        && !sparse_expanded.contains(&r.cam)
+                })
+                .map(|r| (r.code.clone(), r.cam.clone()))
+                .collect(),
+        };
+        let extra = complete_records(&db, &req, &already);
+        let full_by_cam: BTreeMap<_, _> = full.iter().map(|r| (r.cam.clone(), r)).collect();
+        // Sparse W1 plus completion covers every fragment the full walk
+        // visited, with identical support lists.
+        let mut covered: BTreeMap<CamCode, &FragmentRecord> =
+            sparse.iter().map(|r| (r.cam.clone(), r)).collect();
+        for r in &extra {
+            let fr = full_by_cam
+                .get(&r.cam)
+                .expect("completion child was visited by full walk");
+            assert_eq!(r.fsg_ids, fr.fsg_ids, "replayed support list must be exact");
+            covered.insert(r.cam.clone(), r);
+        }
+        for (cam, fr) in &full_by_cam {
+            let got = covered.get(cam).expect("full visit set covered");
+            assert_eq!(got.fsg_ids, fr.fsg_ids);
+        }
+    }
+
+    #[test]
+    fn replay_of_absent_fragment_is_none() {
+        let db = tiny_db();
+        let mut scratch = ProjScratch::default();
+        let roots = root_projections(db.graphs());
+        // A 1-edge code over labels absent from the database.
+        let code: DfsCode = vec![crate::dfscode::DfsEdge {
+            from: 0,
+            to: 1,
+            from_label: Label(7),
+            edge_label: Label(0),
+            to_label: Label(7),
+        }];
+        assert!(replay_levels(db.graphs(), &code, &roots, &mut scratch).is_none());
+    }
+}

@@ -409,7 +409,11 @@ mod tests {
         let at_cap = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
         assert!(parse(&at_cap).is_ok());
         // One past the cap: a typed error, not recursion to the brink.
-        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         let e = parse(&over).unwrap_err();
         assert!(e.message.contains("nesting"), "{e}");
         // The hostile shape from the wire: tens of thousands of opens

@@ -108,6 +108,16 @@ pub const PAR_JOB_OVERHEAD_NS: &str = "par.job_overhead_ns";
 /// cost was below the parallelism payoff threshold
 /// (`fallback.overhead_mult` × `par.job_overhead_ns`).
 pub const PAR_SEQ_FALLBACKS: &str = "par.seq_fallbacks";
+/// Per-shard offline build time (mining waves plus that shard's index
+/// build), milliseconds, one add per shard — the sum is total shard
+/// work; divided by the shard count it is the mean per-shard build.
+pub const SHARD_BUILD_MS: &str = "shard.build_ms";
+/// Serial cross-shard assembly time (support-list translate + merge +
+/// global classification), milliseconds.
+pub const SHARD_MERGE_MS: &str = "shard.merge_ms";
+/// Largest shard relative to the ideal even split, ×1000 (1000 =
+/// perfectly balanced; 1500 = largest shard holds 1.5× the even share).
+pub const SHARD_IMBALANCE_X1000: &str = "shard.imbalance_x1000";
 /// Candidate-set memo lookups answered from the CAM-keyed cache.
 pub const CAND_MEMO_HITS: &str = "cand.memo_hits";
 /// Candidate-set memo lookups that had to compute the set.
@@ -213,6 +223,9 @@ pub const ALL: &[(&str, MetricKind)] = &[
     (PAR_EST_COST_NS, MetricKind::Counter),
     (PAR_JOB_OVERHEAD_NS, MetricKind::Counter),
     (PAR_SEQ_FALLBACKS, MetricKind::Counter),
+    (SHARD_BUILD_MS, MetricKind::Counter),
+    (SHARD_MERGE_MS, MetricKind::Counter),
+    (SHARD_IMBALANCE_X1000, MetricKind::Counter),
     (CAND_MEMO_HITS, MetricKind::Counter),
     (CAND_MEMO_MISSES, MetricKind::Counter),
     (CAND_IDSET_BYTES, MetricKind::Counter),

@@ -238,8 +238,7 @@ impl SessionManager {
                     slot.session.try_lock(),
                     Err(std::sync::TryLockError::WouldBlock)
                 );
-                !in_flight
-                    && now.saturating_sub(slot.last_used_ns.load(Ordering::SeqCst)) > timeout
+                !in_flight && now.saturating_sub(slot.last_used_ns.load(Ordering::SeqCst)) > timeout
             })
             .map(|(&id, _)| id)
             .collect();
@@ -859,8 +858,10 @@ mod tests {
         }
         // A's session survived the probing, still usable by A …
         assert!(mgr.is_live(1));
-        let resp =
-            mgr.handle_line("{\"op\":\"node\",\"session\":1,\"label\":0}", Some(&mut conn_a));
+        let resp = mgr.handle_line(
+            "{\"op\":\"node\",\"session\":1,\"label\":0}",
+            Some(&mut conn_a),
+        );
         assert!(resp.contains("\"ok\":true"), "{resp}");
         // … and by in-process callers (no connection, no restriction).
         let resp = mgr.handle_line("{\"op\":\"node\",\"session\":1,\"label\":1}", None);

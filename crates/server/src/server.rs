@@ -103,8 +103,7 @@ fn accept_loop(listener: &TcpListener, manager: &Arc<SessionManager>, shutdown: 
                     // Refuse past the cap: one typed frame, then close.
                     // A flood therefore costs one write per attempt, not
                     // a thread.
-                    let frame =
-                        error_frame("too_many_connections", "connection limit reached");
+                    let frame = error_frame("too_many_connections", "connection limit reached");
                     drop(write_frame(&mut stream, &frame));
                     continue;
                 }

@@ -1,0 +1,31 @@
+//! # prague-shard
+//!
+//! The sharded index engine: partitions a [`prague_graph::GraphDb`] and
+//! the A²F/A²I action-aware indexes across N shards by consistent hash
+//! of the graph id, mines each shard independently (in parallel on a
+//! [`prague_par::Pool`] when one is supplied), and merges per-shard
+//! candidate sets with one cheap k-way [`prague_idset::IdSet::union_all`].
+//!
+//! The engine is *exact*: the two-wave mining protocol ([`mine_sharded`])
+//! reconstructs the unsharded miner's frequent set, negative border, and
+//! support lists value-for-value, so a sharded system answers every
+//! query byte-identically to an unsharded one — sharding is purely a
+//! build-time and memory-locality optimization.
+//!
+//! * [`plan`] — stateless consistent-hash placement ([`ShardPlan`]).
+//! * [`partition`] — the partitioned database ([`ShardedDb`]).
+//! * [`mine`] — two-wave shard-parallel mining ([`mine_sharded`]).
+//! * [`facade`] — per-shard indexes behind one merged read facade
+//!   ([`ShardedIndexes`]).
+
+#![warn(missing_docs)]
+
+pub mod facade;
+pub mod mine;
+pub mod partition;
+pub mod plan;
+
+pub use facade::{ShardBuildStats, ShardedIndexes};
+pub use mine::{mine_sharded, ShardMineStats};
+pub use partition::ShardedDb;
+pub use plan::ShardPlan;

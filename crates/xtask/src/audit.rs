@@ -53,19 +53,22 @@ use std::path::{Path, PathBuf};
 /// `obs` qualifies because snapshot export order feeds diff-based tooling
 /// (the `integration_obs` docs-drift test, `BENCH_*.json` comparisons).
 pub const DETERMINISM_CRATES: &[&str] = &[
-    "graph", "mining", "index", "idset", "spig", "core", "obs", "par", "server",
+    "graph", "mining", "index", "idset", "spig", "shard", "core", "obs", "par", "server",
 ];
 
 /// Crates whose library code must not contain panic paths. `obs` is in
 /// every hot path of the interactive pipeline, so a panic there would take
 /// down instrumented sessions.
-pub const PANIC_FREE_CRATES: &[&str] = &["index", "idset", "core", "spig", "obs", "par", "server"];
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "index", "idset", "core", "spig", "shard", "obs", "par", "server",
+];
 
 /// Crates holding the concurrency layer: the `prague-par` pool itself, the
-/// session/`CandMemo` state shared with its workers (`core`), and the
-/// registry every worker records into (`obs`). These get the lock/atomic
+/// session/`CandMemo` state shared with its workers (`core`), the
+/// registry every worker records into (`obs`), and the FSG-union cache
+/// mutex shared across sessions (`shard`). These get the lock/atomic
 /// rule family; see ARCHITECTURE.md § "Concurrency model".
-pub const CONCURRENCY_CRATES: &[&str] = &["par", "core", "obs", "server"];
+pub const CONCURRENCY_CRATES: &[&str] = &["par", "core", "obs", "server", "shard"];
 
 /// Crates scanned for annotation hygiene only: no rule family applies, so
 /// *any* `audit:allow` found there is stale by definition. `xtask` itself
@@ -81,7 +84,7 @@ pub const HYGIENE_ONLY_CRATES: &[&str] = &["baselines", "bench", "cli", "datagen
 /// into *any* scanned crate (that is its whole point: `graph`/`mining`
 /// helpers are outside the panic-free set but reachable from inside it).
 pub const INTERPROC_CRATES: &[&str] = &[
-    "graph", "mining", "index", "idset", "spig", "core", "obs", "par", "server",
+    "graph", "mining", "index", "idset", "spig", "shard", "core", "obs", "par", "server",
 ];
 
 /// The audit rules.

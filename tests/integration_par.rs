@@ -410,7 +410,7 @@ fn sequential_fallback_boundary_is_cost_driven() {
             assert!(!cost.should_parallelize(cands.len(), overhead));
         }
 
-        let verified = exact_verification_par(&q, &cands, &db, false, &obs, &pool, &mut cost);
+        let verified = exact_verification_par(&q, &cands, &db, false, &obs, &pool, &mut cost, None);
         assert_eq!(verified, ref_ids, "expect_pool={expect_pool}");
 
         let snap = obs.snapshot().expect("obs enabled");
